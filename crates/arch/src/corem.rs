@@ -1,0 +1,282 @@
+//! Analytical core and machine performance model.
+//!
+//! Effective IPC combines three limits:
+//!
+//! 1. the machine's sustained issue rate (`issue_width ×
+//!    pipeline_efficiency` — out-of-order cores convert width into
+//!    throughput far better than in-order ones);
+//! 2. the application's intrinsic ILP;
+//! 3. memory stalls, obtained by running the application's synthetic
+//!    address trace through the machine's simulated cache hierarchy, with a
+//!    latency-hiding factor modelling out-of-order/MLP overlap.
+//!
+//! This reproduces the paper's Fig. 1: Hadoop IPC is far below SPEC/PARSEC
+//! on both machines, and the big core sustains ≈1.4× the little core's IPC
+//! on Hadoop code.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cache::{CacheConfig, CacheHierarchy};
+use crate::dvfs::{Frequency, OperatingPoint, VoltageCurve};
+use crate::power::ChipPowerModel;
+use crate::profile::ComputeProfile;
+use crate::trace::TraceGenerator;
+
+/// Which side of the big/little divide a machine is on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CoreKind {
+    /// High-performance out-of-order server core (Xeon).
+    Big,
+    /// Low-power in-order core (Atom).
+    Little,
+}
+
+impl std::fmt::Display for CoreKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreKind::Big => write!(f, "Xeon"),
+            CoreKind::Little => write!(f, "Atom"),
+        }
+    }
+}
+
+/// Pipeline-level parameters of one core.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoreModel {
+    /// Big or little.
+    pub kind: CoreKind,
+    /// Instructions issued per cycle at best.
+    pub issue_width: f64,
+    /// Fraction of the issue width sustainable on real code (out-of-order
+    /// scheduling recovers stalls an in-order pipeline cannot).
+    pub pipeline_efficiency: f64,
+    /// Fraction of memory-stall cycles hidden by out-of-order execution and
+    /// memory-level parallelism.
+    pub mem_hide: f64,
+    /// Fraction of blocking I/O time overlapped with computation
+    /// (deep buffers + aggressive prefetch on the big core; §3.1.1 of the
+    /// paper credits Xeon's win on Sort to exactly this).
+    pub io_overlap: f64,
+    /// Sustained I/O-path throughput in bytes per core cycle: checksums,
+    /// kernel copies and (de)serialization. Wide load/store units and
+    /// vector checksum code give the big core a large edge — the mechanism
+    /// that makes a wimpy core CPU-bound on I/O-heavy work.
+    pub copy_bytes_per_cycle: f64,
+}
+
+impl CoreModel {
+    /// Sustained issue rate for an application with intrinsic ILP `ilp`.
+    pub fn issue_ipc(&self, ilp: f64) -> f64 {
+        (self.issue_width * self.pipeline_efficiency).min(ilp)
+    }
+
+    /// Seconds of CPU time to push `bytes` through the I/O path at
+    /// frequency `f`.
+    pub fn io_path_seconds(&self, bytes: f64, f: Frequency) -> f64 {
+        bytes / (self.copy_bytes_per_cycle * f.hz())
+    }
+}
+
+/// A complete machine: core, cache hierarchy, DVFS curve, power and area.
+///
+/// # Examples
+///
+/// ```
+/// use hhsim_arch::{presets, ComputeProfile, Frequency};
+///
+/// let xeon = presets::xeon_e5_2420();
+/// let t = xeon.compute_seconds(1e9, &ComputeProfile::spec_average(), Frequency::GHZ_1_8);
+/// assert!(t > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineModel {
+    /// Marketing name ("Intel Xeon E5-2420").
+    pub name: String,
+    /// Core pipeline parameters.
+    pub core: CoreModel,
+    /// Cache hierarchy, innermost first.
+    pub cache_levels: Vec<CacheConfig>,
+    /// DRAM access latency in nanoseconds.
+    pub mem_latency_ns: f64,
+    /// Voltage/frequency curve for DVFS.
+    pub voltage_curve: VoltageCurve,
+    /// Chip power model.
+    pub power: ChipPowerModel,
+    /// Die area in mm² (Atom 160, Xeon 216 — §1.2).
+    pub area_mm2: f64,
+    /// Cores per chip.
+    pub num_cores: usize,
+    /// Installed DRAM in GiB (both machines use 8 GB in the paper).
+    pub memory_gb: f64,
+}
+
+/// Number of addresses simulated when deriving stall behaviour; large
+/// enough to warm the biggest L3 working sets while staying fast.
+const TRACE_LEN: usize = 400_000;
+/// Addresses discarded as cache warm-up before statistics are kept.
+const TRACE_WARMUP: usize = 80_000;
+
+impl MachineModel {
+    /// Builds this machine's (empty) cache hierarchy.
+    pub fn hierarchy(&self) -> CacheHierarchy {
+        CacheHierarchy::new(self.cache_levels.clone(), self.mem_latency_ns)
+    }
+
+    /// Operating point on this machine's curve at frequency `f`.
+    pub fn operating_point(&self, f: Frequency) -> OperatingPoint {
+        OperatingPoint::on_curve(self.voltage_curve, f)
+    }
+
+    /// Simulates the profile's address trace through this machine's caches
+    /// and returns `(on_chip_stall_cycles, dram_stall_ns)` per memory
+    /// access, after warm-up. Deterministic for a given profile.
+    pub fn stall_split(&self, profile: &ComputeProfile) -> (f64, f64) {
+        let mut h = self.hierarchy();
+        let mut gen = TraceGenerator::new(profile.mem, trace_seed(&profile.name));
+        for _ in 0..TRACE_WARMUP {
+            h.access(gen.next_address());
+        }
+        // Reset statistics but keep contents: measure the warm steady state.
+        h.reset_stats_keep_contents();
+        for _ in 0..(TRACE_LEN - TRACE_WARMUP) {
+            h.access(gen.next_address());
+        }
+        h.stall_split_per_access()
+    }
+
+    /// Cycles per instruction for `profile` at frequency `f`.
+    pub fn cpi(&self, profile: &ComputeProfile, f: Frequency) -> f64 {
+        let (on_chip, dram_ns) = self.stall_split(profile);
+        self.cpi_with_stalls(profile, f, on_chip, dram_ns)
+    }
+
+    /// CPI given precomputed stall components (lets callers memoize the
+    /// trace simulation, which does not depend on frequency).
+    pub fn cpi_with_stalls(
+        &self,
+        profile: &ComputeProfile,
+        f: Frequency,
+        on_chip_stall_cycles: f64,
+        dram_stall_ns: f64,
+    ) -> f64 {
+        let base = 1.0 / self.core.issue_ipc(profile.ilp);
+        let stall_per_access =
+            on_chip_stall_cycles + dram_stall_ns * f.ghz();
+        let stall = profile.mem.accesses_per_instr
+            * stall_per_access
+            * (1.0 - self.core.mem_hide);
+        base + stall
+    }
+
+    /// Effective instructions per cycle for `profile` at `f`.
+    pub fn effective_ipc(&self, profile: &ComputeProfile, f: Frequency) -> f64 {
+        1.0 / self.cpi(profile, f)
+    }
+
+    /// Wall-clock seconds to execute `instructions` of `profile` at `f` on
+    /// one core.
+    pub fn compute_seconds(
+        &self,
+        instructions: f64,
+        profile: &ComputeProfile,
+        f: Frequency,
+    ) -> f64 {
+        instructions * self.cpi(profile, f) / f.hz()
+    }
+}
+
+/// Stable seed derived from the profile name so traces are reproducible
+/// but distinct per application.
+fn trace_seed(name: &str) -> u64 {
+    // FNV-1a, deterministic across platforms (no DefaultHasher instability).
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn issue_ipc_respects_both_limits() {
+        let big = presets::xeon_e5_2420().core;
+        let little = presets::atom_c2758().core;
+        // Wide machine, low-ILP code: the code limits.
+        assert_eq!(big.issue_ipc(1.0), 1.0);
+        // Narrow machine, high-ILP code: the machine limits.
+        assert!(little.issue_ipc(3.0) < 2.0);
+        assert!(big.issue_ipc(3.0) > little.issue_ipc(3.0));
+    }
+
+    #[test]
+    fn fig1_ipc_relationships_hold() {
+        let xeon = presets::xeon_e5_2420();
+        let atom = presets::atom_c2758();
+        let spec = ComputeProfile::spec_average();
+        let hadoop = ComputeProfile::hadoop_average();
+        let f = Frequency::GHZ_1_8;
+
+        let x_spec = xeon.effective_ipc(&spec, f);
+        let x_had = xeon.effective_ipc(&hadoop, f);
+        let a_spec = atom.effective_ipc(&spec, f);
+        let a_had = atom.effective_ipc(&hadoop, f);
+
+        // Hadoop IPC is much lower than traditional on both machines, and
+        // the drop is bigger on the big core (paper: 2.16x vs 1.55x).
+        assert!(x_spec / x_had > 1.6, "xeon spec/hadoop = {}", x_spec / x_had);
+        assert!(a_spec / a_had > 1.2, "atom spec/hadoop = {}", a_spec / a_had);
+        assert!(
+            x_spec / x_had > a_spec / a_had,
+            "IPC drop must be larger on the big core"
+        );
+        // Big sustains higher IPC than little on Hadoop (paper: 1.43x).
+        let ratio = x_had / a_had;
+        assert!(
+            (1.25..=1.75).contains(&ratio),
+            "xeon/atom hadoop IPC ratio {ratio} out of band"
+        );
+    }
+
+    #[test]
+    fn stall_split_is_deterministic() {
+        let xeon = presets::xeon_e5_2420();
+        let p = ComputeProfile::hadoop_average();
+        assert_eq!(xeon.stall_split(&p), xeon.stall_split(&p));
+    }
+
+    #[test]
+    fn cpi_grows_with_frequency_for_memory_bound_code() {
+        // DRAM latency is fixed in ns, so cycles-per-instruction worsens at
+        // higher clocks (memory wall).
+        let atom = presets::atom_c2758();
+        let hadoop = ComputeProfile::hadoop_average();
+        let lo = atom.cpi(&hadoop, Frequency::GHZ_1_2);
+        let hi = atom.cpi(&hadoop, Frequency::GHZ_1_8);
+        assert!(hi > lo);
+    }
+
+    #[test]
+    fn compute_time_scales_inversely_with_frequency_sublinearly() {
+        let xeon = presets::xeon_e5_2420();
+        let hadoop = ComputeProfile::hadoop_average();
+        let t_lo = xeon.compute_seconds(1e9, &hadoop, Frequency::GHZ_1_2);
+        let t_hi = xeon.compute_seconds(1e9, &hadoop, Frequency::GHZ_1_8);
+        assert!(t_hi < t_lo, "higher frequency must be faster");
+        let speedup = t_lo / t_hi;
+        assert!(
+            speedup < 1.5,
+            "memory wall must keep speedup below the 1.5x clock ratio, got {speedup}"
+        );
+    }
+
+    #[test]
+    fn trace_seed_is_stable() {
+        assert_eq!(trace_seed("WordCount"), trace_seed("WordCount"));
+        assert_ne!(trace_seed("WordCount"), trace_seed("Sort"));
+    }
+}

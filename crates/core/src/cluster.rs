@@ -1,0 +1,132 @@
+//! Discrete-event cluster scheduling: task durations → phase wall-clock.
+//!
+//! Map (and reduce) tasks run in waves over the cluster's task slots; the
+//! wave structure is what makes small HDFS blocks (many short tasks) and
+//! very large blocks (few tasks, idle slots) both lose — §3.1.1. Tasks get
+//! a deterministic ±8% duration jitter so stragglers lengthen the last
+//! wave realistically.
+
+use hhsim_des::{SimTime, Simulation, SlotPool};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// A batch of identically-shaped tasks to schedule on a slot pool.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskSet {
+    /// Number of tasks.
+    pub tasks: usize,
+    /// Nominal duration of one task, seconds.
+    pub task_seconds: f64,
+    /// Per-task fixed overhead (launch, heartbeat), seconds.
+    pub overhead_seconds: f64,
+}
+
+/// Deterministic per-task jitter factor in `[0.92, 1.08]`.
+fn jitter(task_index: usize) -> f64 {
+    // SplitMix-style scramble for a platform-independent pseudo-random.
+    let mut x = task_index as u64 + 0x9e37_79b9;
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    let u = ((x >> 11) as f64) / ((1u64 << 53) as f64);
+    0.92 + 0.16 * u
+}
+
+/// Wall-clock seconds to drain `set` over `slots` parallel slots, computed
+/// with the discrete-event kernel.
+///
+/// # Panics
+///
+/// Panics if `slots` is zero.
+pub fn makespan(set: &TaskSet, slots: usize) -> f64 {
+    assert!(slots > 0, "need at least one slot");
+    if set.tasks == 0 {
+        return 0.0;
+    }
+    let mut sim = Simulation::new();
+    let pool = SlotPool::shared("slots", slots);
+    let end = Rc::new(RefCell::new(SimTime::ZERO));
+    for i in 0..set.tasks {
+        let dur =
+            SimTime::from_secs_f64(set.task_seconds * jitter(i) + set.overhead_seconds);
+        let end = end.clone();
+        SlotPool::acquire(&pool, &mut sim, move |sim, guard| {
+            sim.schedule_in(dur, move |sim| {
+                guard.release(sim);
+                let mut e = end.borrow_mut();
+                if sim.now() > *e {
+                    *e = sim.now();
+                }
+            });
+        });
+    }
+    sim.run();
+    let t = end.borrow().as_secs_f64();
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(tasks: usize, secs: f64) -> TaskSet {
+        TaskSet {
+            tasks,
+            task_seconds: secs,
+            overhead_seconds: 0.0,
+        }
+    }
+
+    #[test]
+    fn single_wave_equals_longest_task() {
+        let t = makespan(&set(4, 10.0), 8);
+        assert!((9.2..=10.8).contains(&t), "one wave with jitter, got {t}");
+    }
+
+    #[test]
+    fn waves_stack() {
+        let t1 = makespan(&set(8, 10.0), 8);
+        let t3 = makespan(&set(24, 10.0), 8);
+        assert!(t3 > 2.7 * t1, "three waves must take ~3x one wave");
+        assert!(t3 < 3.3 * t1);
+    }
+
+    #[test]
+    fn overhead_charges_per_task() {
+        let no = makespan(&set(16, 10.0), 4);
+        let with = makespan(
+            &TaskSet {
+                tasks: 16,
+                task_seconds: 10.0,
+                overhead_seconds: 2.0,
+            },
+            4,
+        );
+        // 4 waves x 2 s extra per task in the critical path.
+        assert!((with - no - 8.0).abs() < 1.0, "got {}", with - no);
+    }
+
+    #[test]
+    fn more_slots_cannot_be_slower() {
+        let few = makespan(&set(20, 5.0), 2);
+        let many = makespan(&set(20, 5.0), 10);
+        assert!(many < few);
+    }
+
+    #[test]
+    fn empty_set_is_free() {
+        assert_eq!(makespan(&set(0, 5.0), 4), 0.0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = makespan(&set(37, 3.3), 5);
+        let b = makespan(&set(37, 3.3), 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_slots_rejected() {
+        let _ = makespan(&set(1, 1.0), 0);
+    }
+}

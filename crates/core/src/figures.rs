@@ -1,0 +1,594 @@
+//! Generators for every table and figure in the paper's evaluation.
+//!
+//! Each function reproduces one artifact as a [`FigureData`] table
+//! (`series`, `x`, `value` rows, CSV-ready). Absolute values are in model
+//! units; the *shapes* — who wins, by what factor, where crossovers fall —
+//! are the reproduction targets, checked against
+//! [`crate::calibration`].
+
+use hhsim_accel::AccelConfig;
+use hhsim_arch::{presets, ComputeProfile, Frequency, MachineModel};
+use hhsim_energy::MetricKind;
+use hhsim_hdfs::BlockSize;
+use hhsim_workloads::AppId;
+
+use crate::model::{simulate, Measurement, SimConfig};
+use crate::report::FigureData;
+
+/// Per-node data size used for micro-benchmarks (1 GB, §3).
+pub const MICRO_DATA: u64 = 1 << 30;
+/// Per-node data size used for real-world applications (10 GB, §3).
+pub const REAL_DATA: u64 = 10 << 30;
+
+fn machines() -> [MachineModel; 2] {
+    presets::both()
+}
+
+fn cfg(app: AppId, m: &MachineModel) -> SimConfig {
+    SimConfig::new(app, m.clone())
+}
+
+fn label(m: &MachineModel) -> &'static str {
+    match m.core.kind {
+        hhsim_arch::CoreKind::Big => "Xeon",
+        hhsim_arch::CoreKind::Little => "Atom",
+    }
+}
+
+/// Table 1: architectural parameters of both machines.
+pub fn table1() -> FigureData {
+    let mut f = FigureData::new("table1", "Architectural parameters", "value");
+    for m in machines() {
+        let who = label(&m);
+        f.push(who, "issue_width", m.core.issue_width);
+        f.push(who, "cores", m.num_cores as f64);
+        f.push(who, "cache_levels", m.cache_levels.len() as f64);
+        for c in &m.cache_levels {
+            f.push(who, format!("{}_kb", c.name), (c.size_bytes / 1024) as f64);
+        }
+        f.push(who, "memory_gb", m.memory_gb);
+        f.push(who, "area_mm2", m.area_mm2);
+    }
+    f
+}
+
+/// Table 2: the studied applications (1 row per app, value = class code
+/// 0 = compute, 1 = I/O, 2 = hybrid).
+pub fn table2() -> FigureData {
+    let mut f = FigureData::new("table2", "Studied Hadoop applications", "class");
+    for app in AppId::ALL {
+        let class = match app.class() {
+            hhsim_workloads::AppClass::Compute => 0.0,
+            hhsim_workloads::AppClass::Io => 1.0,
+            hhsim_workloads::AppClass::Hybrid => 2.0,
+        };
+        f.push(app.full_name(), app.domain(), class);
+    }
+    f
+}
+
+/// Fig. 1: IPC of SPEC, PARSEC and Hadoop suite averages on both cores.
+pub fn fig1() -> FigureData {
+    let mut f = FigureData::new("fig1", "IPC of SPEC/PARSEC/Hadoop on big and little", "ipc");
+    let suites = [
+        ("Avg_Spec", ComputeProfile::spec_average()),
+        ("Avg_Parsec", ComputeProfile::parsec_average()),
+        ("Avg_Hadoop", ComputeProfile::hadoop_average()),
+    ];
+    for m in machines() {
+        for (name, p) in &suites {
+            f.push(label(&m), *name, m.effective_ipc(p, Frequency::GHZ_1_8));
+        }
+    }
+    f
+}
+
+/// Fig. 2: EDP, ED²P, ED³P ratio (Xeon / Atom) per suite — >1 means the
+/// little core is the more efficient choice.
+pub fn fig2() -> FigureData {
+    let mut f = FigureData::new(
+        "fig2",
+        "ED^xP ratio Xeon/Atom for SPEC, PARSEC, Hadoop",
+        "ratio",
+    );
+    let [xeon, atom] = machines();
+    let suites = [
+        ("Avg_Spec", ComputeProfile::spec_average()),
+        ("Avg_Parsec", ComputeProfile::parsec_average()),
+        ("Avg_Hadoop", ComputeProfile::hadoop_average()),
+    ];
+    let freq = Frequency::GHZ_1_8;
+    // Fixed-work suite model: N instructions on one core of each machine.
+    let n_instr = 2.0e11;
+    for (name, p) in &suites {
+        let t_x = xeon.compute_seconds(n_instr, p, freq);
+        let t_a = atom.compute_seconds(n_instr, p, freq);
+        let p_x = xeon
+            .power
+            .node_power(xeon.operating_point(freq), 1, 1, p.activity, 0.4, 0.0)
+            .dynamic();
+        let p_a = atom
+            .power
+            .node_power(atom.operating_point(freq), 1, 1, p.activity, 0.4, 0.0)
+            .dynamic();
+        for x in 1..=3u32 {
+            let edxp_x = p_x * t_x * t_x.powi(x as i32 - 1);
+            let edxp_a = p_a * t_a * t_a.powi(x as i32 - 1);
+            f.push(format!("ED{x}P"), *name, edxp_x / edxp_a);
+        }
+    }
+    f
+}
+
+/// Shared sweep: execution time over block sizes × frequencies.
+fn exec_sweep(id: &str, title: &str, apps: &[AppId], blocks: &[BlockSize], data: u64) -> FigureData {
+    let mut f = FigureData::new(id, title, "seconds");
+    for m in machines() {
+        for app in apps {
+            for freq in Frequency::SWEEP {
+                for b in blocks {
+                    let meas = simulate(
+                        &cfg(*app, &m)
+                            .frequency(freq)
+                            .block_size(*b)
+                            .data_per_node(data),
+                    );
+                    f.push(
+                        format!("{}/{}", label(&m), app.short_name()),
+                        format!("{}MB@{:.1}GHz", b.mib(), freq.ghz()),
+                        meas.breakdown.total(),
+                    );
+                }
+            }
+        }
+    }
+    f
+}
+
+/// Fig. 3: execution time of the micro-benchmarks across HDFS block sizes
+/// and frequencies (1 GB/node).
+pub fn fig3() -> FigureData {
+    exec_sweep(
+        "fig3",
+        "Execution time, micro-benchmarks vs block size x frequency",
+        &AppId::MICRO,
+        &BlockSize::SWEEP,
+        MICRO_DATA,
+    )
+}
+
+/// Fig. 4: execution time of the real-world applications (10 GB/node,
+/// 64–512 MB blocks per §3.1.1).
+pub fn fig4() -> FigureData {
+    exec_sweep(
+        "fig4",
+        "Execution time, real-world applications vs block size x frequency",
+        &AppId::REAL,
+        &BlockSize::SWEEP_REAL,
+        REAL_DATA,
+    )
+}
+
+/// Shared sweep: whole-application EDP vs frequency, normalized to Atom @
+/// 1.2 GHz (the paper's Figs. 5/6 normalization).
+fn edp_sweep(id: &str, title: &str, apps: &[AppId], data: u64) -> FigureData {
+    let mut f = FigureData::new(id, title, "edp_norm");
+    for app in apps {
+        let base = simulate(
+            &cfg(*app, &presets::atom_c2758())
+                .frequency(Frequency::GHZ_1_2)
+                .data_per_node(data),
+        )
+        .cost
+        .edp();
+        for m in machines() {
+            for freq in Frequency::SWEEP {
+                let meas = simulate(&cfg(*app, &m).frequency(freq).data_per_node(data));
+                f.push(
+                    format!("{}/{}", label(&m), app.short_name()),
+                    format!("{:.1}GHz", freq.ghz()),
+                    meas.cost.edp() / base,
+                );
+            }
+        }
+    }
+    f
+}
+
+/// Fig. 5: EDP of the entire real-world applications vs frequency.
+pub fn fig5() -> FigureData {
+    edp_sweep("fig5", "EDP of entire real-world apps vs frequency", &AppId::REAL, REAL_DATA)
+}
+
+/// Fig. 6: EDP of the entire micro-benchmarks vs frequency.
+pub fn fig6() -> FigureData {
+    edp_sweep("fig6", "EDP of entire micro-benchmarks vs frequency", &AppId::MICRO, MICRO_DATA)
+}
+
+/// Shared sweep: per-phase EDP vs frequency (Figs. 7/8), normalized to the
+/// Atom 1.2 GHz map phase.
+fn phase_edp_sweep(id: &str, title: &str, apps: &[AppId], data: u64) -> FigureData {
+    let mut f = FigureData::new(id, title, "edp_norm");
+    for app in apps {
+        let base = simulate(
+            &cfg(*app, &presets::atom_c2758())
+                .frequency(Frequency::GHZ_1_2)
+                .data_per_node(data),
+        )
+        .map_cost
+        .edp()
+        .max(1e-12);
+        for m in machines() {
+            for freq in Frequency::SWEEP {
+                let meas = simulate(&cfg(*app, &m).frequency(freq).data_per_node(data));
+                let x = format!("{:.1}GHz", freq.ghz());
+                f.push(
+                    format!("{}/{} map", label(&m), app.short_name()),
+                    x.clone(),
+                    meas.map_cost.edp() / base,
+                );
+                if app.has_reduce() {
+                    f.push(
+                        format!("{}/{} reduce", label(&m), app.short_name()),
+                        x,
+                        meas.reduce_cost.edp() / base,
+                    );
+                }
+            }
+        }
+    }
+    f
+}
+
+/// Fig. 7: map/reduce-phase EDP of the micro-benchmarks vs frequency.
+pub fn fig7() -> FigureData {
+    phase_edp_sweep("fig7", "Phase EDP, micro-benchmarks", &AppId::MICRO, MICRO_DATA)
+}
+
+/// Fig. 8: map/reduce-phase EDP of the real-world applications.
+pub fn fig8() -> FigureData {
+    phase_edp_sweep("fig8", "Phase EDP, real-world applications", &AppId::REAL, REAL_DATA)
+}
+
+/// Fig. 9: EDP ratio (Xeon/Atom) vs HDFS block size at 1.8 GHz.
+pub fn fig9() -> FigureData {
+    let mut f = FigureData::new("fig9", "EDP ratio Xeon/Atom vs block size @1.8GHz", "ratio");
+    let [xeon, atom] = machines();
+    for app in AppId::ALL {
+        let data = if app.is_real_world() { REAL_DATA } else { MICRO_DATA };
+        let blocks: &[BlockSize] = if app.is_real_world() {
+            &BlockSize::SWEEP_REAL
+        } else {
+            &BlockSize::SWEEP
+        };
+        for b in blocks {
+            let x = simulate(&cfg(app, &xeon).block_size(*b).data_per_node(data));
+            let a = simulate(&cfg(app, &atom).block_size(*b).data_per_node(data));
+            f.push(
+                app.full_name(),
+                format!("{}MB", b.mib()),
+                x.cost.edp() / a.cost.edp(),
+            );
+        }
+    }
+    f
+}
+
+/// Data-size labels of §3.3.
+const DATA_SIZES: [(u64, &str); 3] = [(1 << 30, "1GB"), (10 << 30, "10GB"), (20 << 30, "20GB")];
+
+/// Shared sweep: execution-time breakdown and total vs input size.
+fn datasize_breakdown(id: &str, title: &str, apps: &[AppId]) -> FigureData {
+    let mut f = FigureData::new(id, title, "seconds");
+    for m in machines() {
+        for app in apps {
+            for (bytes, lbl) in DATA_SIZES {
+                let meas = simulate(&cfg(*app, &m).data_per_node(bytes));
+                let s = format!("{}/{}", label(&m), app.short_name());
+                f.push(format!("{s} map"), lbl, meas.breakdown.map_s);
+                f.push(format!("{s} reduce"), lbl, meas.breakdown.reduce_s);
+                f.push(format!("{s} others"), lbl, meas.breakdown.others_s);
+                f.push(format!("{s} total"), lbl, meas.breakdown.total());
+            }
+        }
+    }
+    f
+}
+
+/// Fig. 10: execution breakdown vs input size, micro-benchmarks (WC, TS).
+pub fn fig10() -> FigureData {
+    datasize_breakdown(
+        "fig10",
+        "Execution time breakdown vs data size (micro)",
+        &[AppId::WordCount, AppId::TeraSort],
+    )
+}
+
+/// Fig. 11: execution breakdown vs input size, real-world apps (NB, FP).
+pub fn fig11() -> FigureData {
+    datasize_breakdown(
+        "fig11",
+        "Execution time breakdown vs data size (real world)",
+        &AppId::REAL,
+    )
+}
+
+/// Fig. 12: whole-application EDP vs input size (normalized per app to
+/// Atom @ 1 GB).
+pub fn fig12() -> FigureData {
+    let mut f = FigureData::new("fig12", "EDP of entire application vs data size", "edp_norm");
+    let [xeon, atom] = machines();
+    for app in AppId::ALL {
+        let base = simulate(&cfg(app, &atom).data_per_node(1 << 30)).cost.edp();
+        for (m, who) in [(&atom, "Atom"), (&xeon, "Xeon")] {
+            for (bytes, lbl) in DATA_SIZES {
+                let meas = simulate(&cfg(app, m).data_per_node(bytes));
+                f.push(
+                    format!("{}/{}", who, app.short_name()),
+                    lbl,
+                    meas.cost.edp() / base,
+                );
+            }
+        }
+    }
+    f
+}
+
+/// Fig. 13: map/reduce-phase EDP vs input size (normalized per app to the
+/// Atom 1 GB map phase).
+pub fn fig13() -> FigureData {
+    let mut f = FigureData::new("fig13", "Phase EDP vs data size", "edp_norm");
+    let [xeon, atom] = machines();
+    for app in AppId::ALL {
+        let base = simulate(&cfg(app, &atom).data_per_node(1 << 30))
+            .map_cost
+            .edp()
+            .max(1e-12);
+        for (m, who) in [(&atom, "Atom"), (&xeon, "Xeon")] {
+            for (bytes, lbl) in DATA_SIZES {
+                let meas = simulate(&cfg(app, m).data_per_node(bytes));
+                f.push(
+                    format!("{}/{} map", who, app.short_name()),
+                    lbl,
+                    meas.map_cost.edp() / base,
+                );
+                if app.has_reduce() {
+                    f.push(
+                        format!("{}/{} reduce", who, app.short_name()),
+                        lbl,
+                        meas.reduce_cost.edp() / base,
+                    );
+                }
+            }
+        }
+    }
+    f
+}
+
+/// Eq. (1): the Atom→Xeon speedup ratio after vs before acceleration for
+/// one (app, accelerator, frequency, block) point.
+fn accel_ratio(app: AppId, acc: &AccelConfig, freq: Frequency, block: BlockSize) -> f64 {
+    let [xeon, atom] = machines();
+    let data = if app.is_real_world() { REAL_DATA } else { MICRO_DATA };
+    let mk = |m: &MachineModel, accel: Option<AccelConfig>| -> Measurement {
+        let mut c = cfg(app, m).frequency(freq).block_size(block).data_per_node(data);
+        if let Some(a) = accel {
+            c = c.accelerator(a);
+        }
+        simulate(&c)
+    };
+    let before = mk(&atom, None).breakdown.total() / mk(&xeon, None).breakdown.total();
+    let after =
+        mk(&atom, Some(*acc)).breakdown.total() / mk(&xeon, Some(*acc)).breakdown.total();
+    after / before
+}
+
+/// Fig. 14: speedup ratio (Eq. 1) vs mapper acceleration rate 1–100×.
+pub fn fig14() -> FigureData {
+    let mut f = FigureData::new(
+        "fig14",
+        "Atom vs Xeon speedup after/before acceleration vs rate",
+        "ratio",
+    );
+    for app in AppId::ALL {
+        for acc in AccelConfig::sweep() {
+            f.push(
+                app.full_name(),
+                format!("{:.0}x", acc.rate),
+                accel_ratio(app, &acc, Frequency::GHZ_1_8, BlockSize::MB_512),
+            );
+        }
+    }
+    f
+}
+
+/// Fig. 15: speedup ratio (Eq. 1) at 20× acceleration vs frequency.
+pub fn fig15() -> FigureData {
+    let mut f = FigureData::new("fig15", "Acceleration ratio vs frequency", "ratio");
+    let acc = AccelConfig::fpga(20.0);
+    for app in AppId::ALL {
+        for freq in Frequency::SWEEP {
+            f.push(
+                app.full_name(),
+                format!("{:.1}GHz", freq.ghz()),
+                accel_ratio(app, &acc, freq, BlockSize::MB_512),
+            );
+        }
+    }
+    f
+}
+
+/// Fig. 16: speedup ratio (Eq. 1) at 20× acceleration vs block size.
+pub fn fig16() -> FigureData {
+    let mut f = FigureData::new("fig16", "Acceleration ratio vs block size", "ratio");
+    let acc = AccelConfig::fpga(20.0);
+    for app in AppId::ALL {
+        let blocks: &[BlockSize] = if app.is_real_world() {
+            &BlockSize::SWEEP_REAL
+        } else {
+            &BlockSize::SWEEP
+        };
+        for b in blocks {
+            f.push(
+                app.full_name(),
+                format!("{}MB", b.mib()),
+                accel_ratio(app, &acc, Frequency::GHZ_1_8, *b),
+            );
+        }
+    }
+    f
+}
+
+/// Core counts studied in Table 3 / Fig. 17.
+pub const CORE_SWEEP: [usize; 4] = [2, 4, 6, 8];
+
+/// Block size for the scheduling study. The paper states 512 MB, but on
+/// 1 GB/node inputs that yields only 2 map tasks per node, so core-count
+/// scaling could never manifest; 128 MB gives 8 tasks/node (≥ the largest
+/// M), which is the regime the paper's Table 3 numbers clearly come from
+/// (256 MB keeps 4 tasks per node: parallelism scales up to M=8 while the
+/// workload still resembles the large-block configuration).
+pub const SCHED_BLOCK: BlockSize = BlockSize::MB_256;
+
+/// Table 3: operational (ED^xP) and capital (ED^xAP) cost for 2–8 cores
+/// on both machines, 512 MB blocks @ 1.8 GHz (§3.5).
+pub fn table3() -> FigureData {
+    let mut f = FigureData::new("table3", "Operational and capital cost vs cores", "value");
+    for m in machines() {
+        for app in AppId::ALL {
+            let data = if app.is_real_world() { REAL_DATA } else { MICRO_DATA };
+            for cores in CORE_SWEEP {
+                let meas = simulate(
+                    &cfg(app, &m)
+                        .data_per_node(data)
+                        .block_size(SCHED_BLOCK)
+                        .mappers(cores),
+                );
+                let x = format!("{}/M{}", label(&m), cores);
+                f.push(format!("EDP/{}", app.short_name()), x.clone(), meas.cost.edp());
+                f.push(format!("ED2P/{}", app.short_name()), x.clone(), meas.cost.ed2p());
+                f.push(format!("EDAP/{}", app.short_name()), x.clone(), meas.cost.edap());
+                f.push(format!("ED2AP/{}", app.short_name()), x, meas.cost.ed2ap());
+            }
+        }
+    }
+    f
+}
+
+/// Fig. 17: spider-chart data — the four cost metrics normalized to the
+/// 8-Xeon-core configuration of each application.
+pub fn fig17() -> FigureData {
+    let mut f = FigureData::new("fig17", "Costs normalized to 8 Xeon cores", "norm");
+    let [xeon, atom] = machines();
+    for app in AppId::ALL {
+        let data = if app.is_real_world() { REAL_DATA } else { MICRO_DATA };
+        let base = simulate(
+            &cfg(app, &xeon)
+                .data_per_node(data)
+                .block_size(SCHED_BLOCK)
+                .mappers(8),
+        )
+        .cost;
+        for (m, who) in [(&atom, "A"), (&xeon, "X")] {
+            for cores in CORE_SWEEP {
+                let meas = simulate(
+                    &cfg(app, m)
+                        .data_per_node(data)
+                        .block_size(SCHED_BLOCK)
+                        .mappers(cores),
+                );
+                for k in MetricKind::ALL {
+                    f.push(
+                        format!("{}/{}{}", app.short_name(), cores, who),
+                        k.to_string(),
+                        meas.cost.get(k) / base.get(k),
+                    );
+                }
+            }
+        }
+    }
+    f
+}
+
+/// Every generator keyed by id, for the CLI harness.
+pub fn all() -> Vec<(&'static str, fn() -> FigureData)> {
+    vec![
+        ("table1", table1 as fn() -> FigureData),
+        ("table2", table2),
+        ("fig1", fig1),
+        ("fig2", fig2),
+        ("fig3", fig3),
+        ("fig4", fig4),
+        ("fig5", fig5),
+        ("fig6", fig6),
+        ("fig7", fig7),
+        ("fig8", fig8),
+        ("fig9", fig9),
+        ("fig10", fig10),
+        ("fig11", fig11),
+        ("fig12", fig12),
+        ("fig13", fig13),
+        ("fig14", fig14),
+        ("fig15", fig15),
+        ("fig16", fig16),
+        ("table3", table3),
+        ("fig17", fig17),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_reproduces_paper_relationships() {
+        let f = fig1();
+        let xh = f.value("Xeon", "Avg_Hadoop").expect("present");
+        let xs = f.value("Xeon", "Avg_Spec").expect("present");
+        let ah = f.value("Atom", "Avg_Hadoop").expect("present");
+        let as_ = f.value("Atom", "Avg_Spec").expect("present");
+        assert!(xs / xh > 1.6, "Hadoop IPC far below SPEC on big core");
+        assert!(as_ / ah > 1.2, "Hadoop IPC below SPEC on little core");
+        assert!((1.2..=1.8).contains(&(xh / ah)), "paper: 1.43x");
+    }
+
+    #[test]
+    fn fig2_gap_narrows_with_delay_pressure() {
+        let f = fig2();
+        for suite in ["Avg_Spec", "Avg_Hadoop"] {
+            let e1 = f.value("ED1P", suite).expect("present");
+            let e3 = f.value("ED3P", suite).expect("present");
+            assert!(e3 < e1, "{suite}: delay pressure must favour Xeon");
+        }
+    }
+
+    #[test]
+    fn fig9_has_all_apps() {
+        let f = fig9();
+        for app in AppId::ALL {
+            assert!(
+                !f.series(app.full_name()).is_empty(),
+                "{app} missing from fig9"
+            );
+        }
+    }
+
+    #[test]
+    fn fig14_ratios_at_most_one() {
+        let f = fig14();
+        for r in &f.rows {
+            assert!(
+                r.value <= 1.05,
+                "acceleration cannot increase Xeon's advantage: {} {} {}",
+                r.series,
+                r.x,
+                r.value
+            );
+        }
+    }
+
+    #[test]
+    fn all_generators_are_registered() {
+        assert_eq!(all().len(), 20, "2 tables + 18 figure artifacts");
+    }
+}

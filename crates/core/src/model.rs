@@ -1,0 +1,674 @@
+//! The node/cluster timing and energy model.
+//!
+//! For a given (application, machine, frequency, block size, data size,
+//! core count) this module prices every component the paper discusses:
+//!
+//! * **compute** — instructions per byte × CPI from the trace-driven cache
+//!   simulation (per phase profile, per machine, per DVFS point);
+//! * **I/O path CPU** — kernel/copy/serialization instructions charged per
+//!   I/O byte; this is how a wimpy core becomes CPU-bound on I/O-heavy
+//!   work even though the disks are identical;
+//! * **disk** — seek+bandwidth per block read, spill writes, multi-pass
+//!   merges (spill counts recomputed analytically at target scale), with
+//!   slot contention on the node's disk;
+//! * **network** — cross-node shuffle at NIC bandwidth;
+//! * **memory pressure** — when a node's working footprint outgrows its
+//!   8 GB of DRAM, page-cache effectiveness collapses and I/O inflates;
+//!   the big core's deeper buffering absorbs this far better (§3.3);
+//! * **overlap** — the out-of-order core hides a large fraction of I/O
+//!   wait behind computation (§3.1.1), the in-order core does not;
+//! * **framework overhead** — per-task launch plus serial master↔slave
+//!   bookkeeping (what makes 32 MB blocks slow), and per-job
+//!   setup/cleanup (what makes Grep's "others" phase big).
+//!
+//! Wall-clock phase times come from the discrete-event wave scheduler
+//! ([`crate::cluster`]); power comes from the machine's CV²f model sampled
+//! by the simulated Wattsup meter with idle subtraction.
+
+use hhsim_accel::AccelConfig;
+use hhsim_arch::{ComputeProfile, Frequency, MachineModel};
+use hhsim_energy::{CostMetrics, MeterReading, PowerMeter, PowerTrace};
+use hhsim_hdfs::{BlockSize, DiskModel};
+use hhsim_mapreduce::{JobConfig, PhaseBreakdown};
+use hhsim_workloads::AppId;
+use serde::{Deserialize, Serialize};
+
+use crate::cluster::{makespan, TaskSet};
+use crate::ratios::AppRatios;
+
+/// Framework instructions charged per task launch (JVM spin-up, split
+/// bookkeeping, heartbeats).
+const TASK_OVERHEAD_INSTR: f64 = 2.0e9;
+/// Serial master-side instructions per task (job tracker bookkeeping).
+const MASTER_INSTR_PER_TASK: f64 = 0.2e9;
+/// Per-job setup and cleanup wall time, seconds. Dominated by the job
+/// client's submission/poll protocol and fixed framework sleeps, so it is
+/// machine-independent (paper: significant for Grep, which runs two jobs).
+const JOB_SETUP_S: f64 = 4.5;
+const JOB_CLEANUP_S: f64 = 3.2;
+/// NIC bandwidth per node, bytes/s (1 GbE, the paper's era).
+const NET_BYTES_PER_S: f64 = 117.0e6;
+/// Replication factor charged on final output writes.
+const OUTPUT_REPLICATION: f64 = 2.0;
+
+/// One experiment point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Application under test.
+    pub app: AppId,
+    /// Machine model (Xeon or Atom preset, possibly modified).
+    pub machine: MachineModel,
+    /// DVFS operating frequency.
+    pub frequency: Frequency,
+    /// HDFS block size.
+    pub block_size: BlockSize,
+    /// Input data per node, bytes (paper: 1 GB micro / 10 GB real world,
+    /// swept to 20 GB in §3.3).
+    pub data_per_node_bytes: u64,
+    /// Cluster size (paper: 3 nodes).
+    pub nodes: usize,
+    /// Map slots per node; `None` = all cores of the machine. The paper's
+    /// Table 3 sets mappers = cores and sweeps 2–8.
+    pub mappers_per_node: Option<usize>,
+    /// Engine knobs (sort buffer, merge factor).
+    pub job: JobConfig,
+    /// Optional FPGA offload of the map phase (§3.4).
+    pub accel: Option<AccelConfig>,
+}
+
+impl SimConfig {
+    /// A paper-default configuration: 3 nodes, 1 GB/node for micro-
+    /// benchmarks or 10 GB/node for real-world applications, 512 MB
+    /// blocks, 1.8 GHz.
+    pub fn new(app: AppId, machine: MachineModel) -> Self {
+        let data = if app.is_real_world() { 10u64 << 30 } else { 1u64 << 30 };
+        SimConfig {
+            app,
+            machine,
+            frequency: Frequency::GHZ_1_8,
+            block_size: BlockSize::MB_512,
+            data_per_node_bytes: data,
+            nodes: 3,
+            mappers_per_node: None,
+            job: JobConfig::default(),
+            accel: None,
+        }
+    }
+
+    /// Sets the DVFS point.
+    pub fn frequency(mut self, f: Frequency) -> Self {
+        self.frequency = f;
+        self
+    }
+
+    /// Sets the HDFS block size.
+    pub fn block_size(mut self, b: BlockSize) -> Self {
+        self.block_size = b;
+        self
+    }
+
+    /// Sets the per-node input size in bytes.
+    pub fn data_per_node(mut self, bytes: u64) -> Self {
+        self.data_per_node_bytes = bytes;
+        self
+    }
+
+    /// Sets map slots per node (the scheduling study's M).
+    pub fn mappers(mut self, m: usize) -> Self {
+        self.mappers_per_node = Some(m);
+        self
+    }
+
+    /// Installs a map-phase accelerator.
+    pub fn accelerator(mut self, a: AccelConfig) -> Self {
+        self.accel = Some(a);
+        self
+    }
+
+    fn slots_per_node(&self) -> usize {
+        self.mappers_per_node.unwrap_or(self.machine.num_cores).max(1)
+    }
+}
+
+/// Time and power of one phase on one node.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct PhaseCost {
+    /// Wall-clock seconds of the phase.
+    pub seconds: f64,
+    /// Dynamic (above idle) node power during the phase, watts.
+    pub dynamic_watts: f64,
+    /// CPU share of one task's time (diagnostics/ablation).
+    pub cpu_seconds_per_task: f64,
+    /// Raw (pre-overlap) disk+network share of one task's time.
+    pub io_seconds_per_task: f64,
+}
+
+impl PhaseCost {
+    /// Dynamic energy of the phase across `nodes` nodes, joules.
+    pub fn energy_j(&self, nodes: usize) -> f64 {
+        self.seconds * self.dynamic_watts * nodes as f64
+    }
+}
+
+/// Everything measured for one experiment point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Measurement {
+    /// Configuration echo (app/machine identifiers for reports).
+    pub app: AppId,
+    /// Machine name.
+    pub machine_name: String,
+    /// Wall-clock phase breakdown.
+    pub breakdown: PhaseBreakdown,
+    /// Map phase detail.
+    pub map: PhaseCost,
+    /// Reduce phase detail.
+    pub reduce: PhaseCost,
+    /// Others (setup/cleanup/master) detail.
+    pub others: PhaseCost,
+    /// Simulated Wattsup reading over the whole run (one node).
+    pub reading: MeterReading,
+    /// Total dynamic energy over all nodes, joules.
+    pub energy_j: f64,
+    /// Whole-application cost metrics (energy, delay, engaged area).
+    pub cost: CostMetrics,
+    /// Map-phase-only cost metrics.
+    pub map_cost: CostMetrics,
+    /// Reduce-phase-only cost metrics.
+    pub reduce_cost: CostMetrics,
+    /// IPC the core model sustains on this app's map profile (Fig. 1).
+    pub map_ipc: f64,
+}
+
+/// Memoized trace-driven stall split: the cache simulation is expensive
+/// (hundreds of thousands of accesses) and depends only on (machine,
+/// profile), not on frequency or data size.
+fn stall_split_cached(machine: &MachineModel, profile: &ComputeProfile) -> (f64, f64) {
+    use std::collections::HashMap;
+    use std::sync::{Mutex, OnceLock};
+    static CACHE: OnceLock<Mutex<HashMap<(String, String), (f64, f64)>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let key = (machine.name.clone(), profile.name.clone());
+    if let Some(v) = cache.lock().expect("stall cache").get(&key) {
+        return *v;
+    }
+    let v = machine.stall_split(profile);
+    cache.lock().expect("stall cache").insert(key, v);
+    v
+}
+
+/// Memory-pressure multiplier on I/O time: footprint beyond DRAM divides
+/// the page cache's hit rate. The big core's deeper queues and smarter
+/// prefetch absorb pressure far better (§3.3: Atom's execution time grows
+/// much faster with data size).
+fn memory_pressure(machine: &MachineModel, footprint_bytes: f64) -> f64 {
+    let mem = machine.memory_gb * (1u64 << 30) as f64;
+    let over = (footprint_bytes / mem - 0.35).max(0.0);
+    let sensitivity = match machine.core.kind {
+        hhsim_arch::CoreKind::Big => 0.08,
+        hhsim_arch::CoreKind::Little => 0.32,
+    };
+    (1.0 + sensitivity * over).min(2.5)
+}
+
+/// Seconds of CPU time for `instructions` of `profile` on `machine` at
+/// `f`, using memoizable stalls.
+fn cpu_seconds(
+    machine: &MachineModel,
+    profile: &ComputeProfile,
+    stalls: (f64, f64),
+    f: Frequency,
+    instructions: f64,
+) -> f64 {
+    instructions * machine.cpi_with_stalls(profile, f, stalls.0, stalls.1) / f.hz()
+}
+
+/// Per-job intermediate totals used to assemble the measurement.
+struct JobPhases {
+    map_wall: f64,
+    reduce_wall: f64,
+    map_cpu_task: f64,
+    map_io_task: f64,
+    red_cpu_task: f64,
+    red_io_task: f64,
+    map_task_s: f64,
+    red_task_s: f64,
+    n_map: usize,
+    n_red: usize,
+}
+
+/// Runs the full model for one experiment point.
+///
+/// # Panics
+///
+/// Panics if the configuration is degenerate (zero nodes or zero data).
+pub fn simulate(cfg: &SimConfig) -> Measurement {
+    assert!(cfg.nodes > 0, "need at least one node");
+    assert!(cfg.data_per_node_bytes > 0, "need input data");
+    let m = &cfg.machine;
+    let f = cfg.frequency;
+    let ratios = AppRatios::of(cfg.app);
+    let disk = DiskModel::sata_7200();
+    let slots = cfg.slots_per_node();
+    let total_slots = slots * cfg.nodes;
+    let block = cfg.block_size.bytes();
+    let data_total = cfg.data_per_node_bytes * cfg.nodes as u64;
+
+    // Stall splits are frequency-independent: compute once per profile.
+    let map_prof = cfg.app.map_profile();
+    let red_prof = cfg.app.reduce_profile();
+    let map_stalls = stall_split_cached(m, &map_prof);
+    let red_stalls = stall_split_cached(m, &red_prof);
+    let hadoop_avg = ComputeProfile::hadoop_average();
+    let hadoop_stalls = stall_split_cached(m, &hadoop_avg);
+    // Task launch (JVM spin-up) penalizes the little core beyond its CPI
+    // gap: cold-start code is branchy, serial and cache-hostile.
+    let overhead_factor = match m.core.kind {
+        hhsim_arch::CoreKind::Big => 1.0,
+        hhsim_arch::CoreKind::Little => 1.8,
+    };
+    let t_task_overhead =
+        cpu_seconds(m, &hadoop_avg, hadoop_stalls, f, TASK_OVERHEAD_INSTR) * overhead_factor;
+
+    let mut phases: Vec<JobPhases> = Vec::with_capacity(ratios.jobs.len());
+    for job in &ratios.jobs {
+        // ------------------------------------------------------------------
+        // Map phase of this job.
+        // ------------------------------------------------------------------
+        let job_input = (data_total as f64 * job.input_fraction).max(1.0);
+        let n_map = ((job_input / block as f64).ceil() as usize).max(1);
+        let task_input = job_input / n_map as f64;
+
+        // Spill/merge structure at target scale. The materialized volume
+        // of any spill or merge is capped by the distinct key space when a
+        // combiner runs (duplicates collapse), which makes combining far
+        // more effective at production buffer sizes than at MB scale.
+        let emitted = task_input * job.map_selectivity;
+        let spills = (emitted / cfg.job.sort_buffer_bytes as f64).ceil().max(1.0);
+        let merge_passes = cfg.job.merge_passes(spills as usize) as f64;
+        let key_cap_task = job.distinct_key_bytes_at(task_input).max(1.0);
+        let (materialized, spill_write) = if job.has_combiner {
+            let per_spill = (emitted / spills).min(cfg.job.sort_buffer_bytes as f64);
+            // One spill sees only `task_input / spills` of input, so its
+            // combiner output is capped by *that slice's* key space.
+            let key_cap_spill = job.distinct_key_bytes_at(task_input / spills).max(1.0);
+            let spill_out = per_spill.min(key_cap_spill);
+            // The combiner reruns during the merge: the final task output
+            // is again capped by the whole task's key space.
+            (emitted.min(key_cap_task), spills * spill_out)
+        } else {
+            (emitted * job.combine_ratio, emitted * job.combine_ratio)
+        };
+        let merge_io = (spill_write + materialized) * merge_passes;
+
+        let map_io_bytes = task_input + spill_write + merge_io;
+        let t_cpu_map =
+            cpu_seconds(m, &map_prof, map_stalls, f, task_input * map_prof.instr_per_byte)
+                + m.core.io_path_seconds(map_io_bytes, f);
+
+        let map_concurrency = slots.min(n_map.div_ceil(cfg.nodes)).max(1) as f64;
+        // Concurrent task streams interleave on the node disk: the
+        // effective sequential chunk shrinks with concurrency — why small
+        // blocks hurt I/O-bound jobs most (§3.1.1).
+        let read_chunk = (block / map_concurrency as u64).max(1 << 20);
+        let write_chunk = ((32 << 20) / map_concurrency as u64).max(1 << 20);
+        let footprint = cfg.data_per_node_bytes as f64 * job.input_fraction
+            * (1.0 + job.map_selectivity.min(1.5));
+        let pressure = memory_pressure(m, footprint);
+        let mut t_disk_map = (disk.read_seconds(task_input as u64, read_chunk)
+            + disk.write_seconds((spill_write + merge_io) as u64, write_chunk))
+            * map_concurrency
+            * pressure;
+
+        // Shuffle/output volumes.
+        let shuffle_total = if job.has_reduce {
+            materialized * n_map as f64
+        } else {
+            0.0
+        };
+        let output_total = if job.has_combiner {
+            (job_input * job.output_selectivity)
+                .min(job.distinct_key_bytes_at(job_input) * 2.0)
+        } else {
+            job_input * job.output_selectivity
+        };
+
+        // Map-only jobs write their output from the map task.
+        let mut t_cpu_map = t_cpu_map;
+        if !job.has_reduce && output_total > 0.0 {
+            let out_per_task = output_total / n_map as f64 * OUTPUT_REPLICATION;
+            t_disk_map +=
+                disk.write_seconds(out_per_task as u64, write_chunk) * map_concurrency * pressure;
+            t_cpu_map += m.core.io_path_seconds(out_per_task, f);
+        }
+        let map_task_s = t_cpu_map + t_disk_map * (1.0 - m.core.io_overlap);
+        let map_wall = makespan(
+            &TaskSet {
+                tasks: n_map,
+                task_seconds: map_task_s,
+                overhead_seconds: t_task_overhead,
+            },
+            total_slots,
+        );
+
+        // ------------------------------------------------------------------
+        // Reduce phase of this job.
+        // ------------------------------------------------------------------
+        let n_red = if job.has_reduce { (total_slots / 2).max(1) } else { 0 };
+        let (red_task_s, t_cpu_red, t_io_red_raw, reduce_wall) = if n_red > 0 {
+            let red_input = shuffle_total / n_red as f64 * job.reduce_skew.min(1.5);
+            let red_concurrency = slots.min(n_red.div_ceil(cfg.nodes)).max(1) as f64;
+            // Cross-node shuffle transfer (the local share stays on-node).
+            let cross = red_input * (cfg.nodes as f64 - 1.0) / cfg.nodes as f64;
+            let t_net = cross / NET_BYTES_PER_S * red_concurrency;
+            // Reduce-side merge passes over n_map segments.
+            let passes = {
+                let mut segs = n_map;
+                let mut p = 0u32;
+                while segs > cfg.job.merge_factor {
+                    segs = segs.div_ceil(cfg.job.merge_factor);
+                    p += 1;
+                }
+                p as f64
+            };
+            let merge_bytes = red_input * passes * 2.0;
+            let out_bytes = output_total / n_red as f64 * OUTPUT_REPLICATION;
+            let io_bytes = red_input + merge_bytes + out_bytes;
+            let t_cpu =
+                cpu_seconds(m, &red_prof, red_stalls, f, red_input * red_prof.instr_per_byte)
+                    + m.core.io_path_seconds(io_bytes, f);
+            let red_chunk = ((32 << 20) / red_concurrency as u64).max(1 << 20);
+            let t_disk = (disk.write_seconds((merge_bytes + out_bytes) as u64, red_chunk)
+                + disk.read_seconds(red_input as u64, red_chunk))
+                * red_concurrency
+                * pressure;
+            let t_io_raw = t_disk + t_net;
+            let task_s = t_cpu + t_io_raw * (1.0 - m.core.io_overlap);
+            let wall = makespan(
+                &TaskSet {
+                    tasks: n_red,
+                    task_seconds: task_s,
+                    overhead_seconds: t_task_overhead,
+                },
+                total_slots,
+            );
+            (task_s, t_cpu, t_io_raw, wall)
+        } else {
+            (0.0, 0.0, 0.0, 0.0)
+        };
+
+        phases.push(JobPhases {
+            map_wall,
+            reduce_wall,
+            map_cpu_task: t_cpu_map,
+            map_io_task: t_disk_map,
+            red_cpu_task: t_cpu_red,
+            red_io_task: t_io_red_raw,
+            map_task_s,
+            red_task_s,
+            n_map,
+            n_red,
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Aggregate phases across chained jobs.
+    // ------------------------------------------------------------------
+    let map_wall: f64 = phases.iter().map(|p| p.map_wall).sum();
+    let reduce_wall: f64 = phases.iter().map(|p| p.reduce_wall).sum();
+    let n_map_total: usize = phases.iter().map(|p| p.n_map).sum();
+    let n_red_total: usize = phases.iter().map(|p| p.n_red).sum();
+
+    // Others: per-job setup/cleanup (fixed protocol time) + serial master
+    // bookkeeping (scales with task count and core speed).
+    let others_wall = ratios.jobs.len() as f64 * (JOB_SETUP_S + JOB_CLEANUP_S)
+        + cpu_seconds(
+            m,
+            &hadoop_avg,
+            hadoop_stalls,
+            f,
+            MASTER_INSTR_PER_TASK * (n_map_total + n_red_total) as f64 / cfg.nodes as f64,
+        );
+
+    // ------------------------------------------------------------------
+    // Optional map-phase acceleration (§3.4): only the hotspot map (the
+    // chained job with the largest map wall) is offloaded — the paper
+    // profiles for the hotspot region and assumes *those* map tasks move
+    // to the FPGA; auxiliary jobs' maps stay on the CPU.
+    // ------------------------------------------------------------------
+    let mut breakdown = PhaseBreakdown::new(map_wall, reduce_wall, others_wall);
+    if let Some(acc) = &cfg.accel {
+        let hotspot = phases
+            .iter()
+            .map(|p| p.map_wall)
+            .fold(0.0f64, f64::max);
+        let rest_map = map_wall - hotspot;
+        let primary = ratios.primary();
+        let transfer = (data_total as f64 * (1.0 + primary.map_selectivity.min(1.5)))
+            / cfg.nodes as f64
+            / slots as f64;
+        let hot_accel = hhsim_accel::accelerate(
+            &PhaseBreakdown::new(hotspot, 0.0, 0.0),
+            transfer as u64,
+            acc,
+        );
+        breakdown = PhaseBreakdown::new(
+            hot_accel.map_s + rest_map,
+            reduce_wall,
+            others_wall,
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Power and energy. Phase power uses the dominant (first) job's task
+    // mix; utilization reflects how many slots the waves actually fill.
+    // ------------------------------------------------------------------
+    let op = m.operating_point(f);
+    let dominant = &phases[0];
+    let map_util = (n_map_total as f64 / total_slots as f64).min(1.0);
+    let active_map = ((slots as f64 * map_util).round() as usize).max(1);
+    let io_frac_map = (dominant.map_io_task / dominant.map_task_s.max(1e-9)).clamp(0.0, 1.0);
+    let p_map = m.power.node_power(
+        op,
+        active_map,
+        m.num_cores,
+        map_prof.activity,
+        mem_intensity(&map_prof),
+        io_frac_map,
+    );
+
+    let red_util = if n_red_total > 0 {
+        (n_red_total as f64 / total_slots as f64).min(1.0)
+    } else {
+        0.0
+    };
+    let active_red =
+        ((slots as f64 * red_util).round() as usize).max(if n_red_total > 0 { 1 } else { 0 });
+    let red_task_s: f64 = phases.iter().map(|p| p.red_task_s).sum();
+    let red_io_task: f64 = phases.iter().map(|p| p.red_io_task).sum();
+    let io_frac_red = if red_task_s > 0.0 {
+        (red_io_task / red_task_s).clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
+    let p_red = m.power.node_power(
+        op,
+        active_red,
+        m.num_cores,
+        red_prof.activity,
+        mem_intensity(&red_prof),
+        io_frac_red,
+    );
+    let p_oth = m.power.node_power(op, 1, m.num_cores, 0.35, 0.2, 0.1);
+
+    let mut trace = PowerTrace::new();
+    trace.push(breakdown.map_s, p_map.total());
+    trace.push(breakdown.reduce_s, p_red.total());
+    trace.push(breakdown.others_s, p_oth.total());
+    let reading = PowerMeter::default().measure(&trace);
+    let idle = m.power.node_idle_w;
+
+    let map_cost_detail = PhaseCost {
+        seconds: breakdown.map_s,
+        dynamic_watts: p_map.dynamic(),
+        cpu_seconds_per_task: dominant.map_cpu_task,
+        io_seconds_per_task: dominant.map_io_task,
+    };
+    let red_cost_detail = PhaseCost {
+        seconds: breakdown.reduce_s,
+        dynamic_watts: p_red.dynamic(),
+        cpu_seconds_per_task: phases.iter().map(|p| p.red_cpu_task).sum(),
+        io_seconds_per_task: red_io_task,
+    };
+    let oth_cost_detail = PhaseCost {
+        seconds: breakdown.others_s,
+        dynamic_watts: p_oth.dynamic(),
+        cpu_seconds_per_task: 0.0,
+        io_seconds_per_task: 0.0,
+    };
+
+    let energy_j = reading.dynamic_energy_j(idle) * cfg.nodes as f64;
+    let area = slots as f64 * m.area_mm2;
+    let cost = CostMetrics::new(energy_j, breakdown.total(), area);
+    let map_cost = CostMetrics::new(
+        map_cost_detail.energy_j(cfg.nodes),
+        breakdown.map_s.max(1e-9),
+        area,
+    );
+    let reduce_cost = CostMetrics::new(
+        red_cost_detail.energy_j(cfg.nodes),
+        breakdown.reduce_s.max(1e-9),
+        area,
+    );
+
+    Measurement {
+        app: cfg.app,
+        machine_name: m.name.clone(),
+        breakdown,
+        map: map_cost_detail,
+        reduce: red_cost_detail,
+        others: oth_cost_detail,
+        reading,
+        energy_j,
+        cost,
+        map_cost,
+        reduce_cost,
+        map_ipc: 1.0 / m.cpi_with_stalls(&map_prof, f, map_stalls.0, map_stalls.1),
+    }
+}
+
+/// DRAM-intensity knob for the power model, derived from the profile's
+/// non-resident access fractions.
+fn mem_intensity(p: &ComputeProfile) -> f64 {
+    ((1.0 - p.mem.hot_fraction) * 1.8 + 0.15).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hhsim_arch::presets;
+
+    fn base(app: AppId, m: MachineModel) -> SimConfig {
+        SimConfig::new(app, m)
+    }
+
+    #[test]
+    fn xeon_is_faster_everywhere() {
+        for app in AppId::ALL {
+            let x = simulate(&base(app, presets::xeon_e5_2420()));
+            let a = simulate(&base(app, presets::atom_c2758()));
+            assert!(
+                x.breakdown.total() < a.breakdown.total(),
+                "{app}: xeon {} vs atom {}",
+                x.breakdown.total(),
+                a.breakdown.total()
+            );
+        }
+    }
+
+    #[test]
+    fn atom_draws_much_less_power() {
+        for app in AppId::ALL {
+            let x = simulate(&base(app, presets::xeon_e5_2420()));
+            let a = simulate(&base(app, presets::atom_c2758()));
+            assert!(
+                x.map.dynamic_watts > 3.0 * a.map.dynamic_watts,
+                "{app}: {} vs {}",
+                x.map.dynamic_watts,
+                a.map.dynamic_watts
+            );
+        }
+    }
+
+    #[test]
+    fn frequency_helps_performance() {
+        for m in [presets::xeon_e5_2420(), presets::atom_c2758()] {
+            let lo = simulate(&base(AppId::WordCount, m.clone()).frequency(Frequency::GHZ_1_2));
+            let hi = simulate(&base(AppId::WordCount, m).frequency(Frequency::GHZ_1_8));
+            assert!(hi.breakdown.total() < lo.breakdown.total());
+        }
+    }
+
+    #[test]
+    fn block_size_has_an_interior_optimum() {
+        // §3.1.1: 32 MB pays task overhead, 512 MB pays spills and lost
+        // parallelism; the optimum sits in between.
+        let t = |b: BlockSize| {
+            simulate(&base(AppId::WordCount, presets::xeon_e5_2420()).block_size(b))
+                .breakdown
+                .total()
+        };
+        let t32 = t(BlockSize::MB_32);
+        let t128 = t(BlockSize::MB_128);
+        let t512 = t(BlockSize::MB_512);
+        assert!(t32 > t128, "tiny blocks pay task overhead ({t32} vs {t128})");
+        assert!(t512 > t128, "huge blocks pay spills/waves ({t512} vs {t128})");
+    }
+
+    #[test]
+    fn execution_time_scales_with_data() {
+        // §3.3: time grows with data, and grows faster on the little core.
+        let grow = |m: MachineModel| {
+            let one = simulate(&base(AppId::Grep, m.clone()).data_per_node(1 << 30));
+            let twenty = simulate(&base(AppId::Grep, m).data_per_node(20 << 30));
+            twenty.breakdown.total() / one.breakdown.total()
+        };
+        let gx = grow(presets::xeon_e5_2420());
+        let ga = grow(presets::atom_c2758());
+        assert!(gx > 2.5, "20x data must be much slower on Xeon, got {gx}");
+        assert!(ga > gx, "Atom must degrade faster ({ga} vs {gx})");
+    }
+
+    #[test]
+    fn accelerator_shrinks_map_only() {
+        let plain = simulate(&base(AppId::WordCount, presets::atom_c2758()));
+        let acc = simulate(
+            &base(AppId::WordCount, presets::atom_c2758())
+                .accelerator(AccelConfig::fpga(50.0)),
+        );
+        assert!(acc.breakdown.map_s < plain.breakdown.map_s);
+        assert!((acc.breakdown.reduce_s - plain.breakdown.reduce_s).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_mappers_speed_up_compute_bound_apps() {
+        let m2 = simulate(&base(AppId::NaiveBayes, presets::atom_c2758()).mappers(2));
+        let m8 = simulate(&base(AppId::NaiveBayes, presets::atom_c2758()).mappers(8));
+        assert!(m8.breakdown.total() < m2.breakdown.total());
+        // But power grows with cores.
+        assert!(m8.map.dynamic_watts > m2.map.dynamic_watts);
+    }
+
+    #[test]
+    fn sort_has_no_reduce_time() {
+        let st = simulate(&base(AppId::Sort, presets::xeon_e5_2420()));
+        assert_eq!(st.breakdown.reduce_s, 0.0);
+        assert!(st.breakdown.map_s > 0.0);
+    }
+
+    #[test]
+    fn measurement_is_deterministic() {
+        let a = simulate(&base(AppId::TeraSort, presets::atom_c2758()));
+        let b = simulate(&base(AppId::TeraSort, presets::atom_c2758()));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,22 @@
+//! End-to-end calibration: every headline claim of the paper must hold in
+//! the simulation. This is the repository's acceptance test.
+
+use hhsim_core::calibration::{check_all, report};
+
+#[test]
+fn all_paper_claims_hold() {
+    let targets = check_all();
+    let rendered = report(&targets);
+    println!("{rendered}");
+    let failing: Vec<_> = targets.iter().filter(|t| !t.holds).collect();
+    assert!(
+        failing.is_empty(),
+        "{} calibration claims failed:\n{}",
+        failing.len(),
+        failing
+            .iter()
+            .map(|t| format!("  [{}] {} (paper {:.3}, measured {:.3})", t.artifact, t.claim, t.paper, t.measured))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

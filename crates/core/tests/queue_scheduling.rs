@@ -1,0 +1,94 @@
+//! Integration: the multi-job queue scheduler driven by real
+//! characterization tables from the timing model.
+
+use hhsim_core::arch::presets;
+use hhsim_core::energy::MetricKind;
+use hhsim_core::figures::SCHED_BLOCK;
+use hhsim_core::sched::queue::{run_queue, JobRequest, Policy, PoolConfig};
+use hhsim_core::sched::{CoreAllocation, CostTable, JobClass, CORE_COUNTS};
+use hhsim_core::workloads::{AppClass, AppId};
+use hhsim_core::{simulate, SimConfig};
+
+fn characterize(app: AppId) -> CostTable {
+    let mut table = CostTable::new();
+    for m in presets::both() {
+        for cores in CORE_COUNTS {
+            let meas = simulate(
+                &SimConfig::new(app, m.clone())
+                    .block_size(SCHED_BLOCK)
+                    .mappers(cores),
+            );
+            table.insert(
+                CoreAllocation {
+                    kind: m.core.kind,
+                    cores,
+                },
+                meas.cost,
+            );
+        }
+    }
+    table
+}
+
+fn mixed_jobs() -> Vec<JobRequest> {
+    AppId::MICRO
+        .iter()
+        .enumerate()
+        .map(|(i, app)| JobRequest {
+            name: app.full_name().to_string(),
+            class: match app.class() {
+                AppClass::Compute => JobClass::Compute,
+                AppClass::Io => JobClass::Io,
+                AppClass::Hybrid => JobClass::Hybrid,
+            },
+            arrival_s: i as f64 * 2.0,
+            table: characterize(*app),
+        })
+        .collect()
+}
+
+#[test]
+fn mixed_queue_trades_makespan_for_energy() {
+    let pool = PoolConfig {
+        big_cores: 8,
+        little_cores: 8,
+    };
+    let jobs = mixed_jobs();
+    let paper = run_queue(pool, &jobs, Policy::PaperClassDriven(MetricKind::Edp));
+    let maxperf = run_queue(pool, &jobs, Policy::MaxPerformance);
+    assert_eq!(paper.completions.len(), jobs.len());
+    assert_eq!(maxperf.completions.len(), jobs.len());
+    assert!(
+        paper.total_energy_j < maxperf.total_energy_j,
+        "class-driven scheduling must save energy: {} vs {}",
+        paper.total_energy_j,
+        maxperf.total_energy_j
+    );
+    assert!(
+        maxperf.makespan_s <= paper.makespan_s * 1.05,
+        "the all-Xeon baseline buys latency: {} vs {}",
+        maxperf.makespan_s,
+        paper.makespan_s
+    );
+}
+
+#[test]
+fn exhaustive_policy_never_loses_to_pseudo_code_on_its_goal() {
+    let pool = PoolConfig {
+        big_cores: 8,
+        little_cores: 8,
+    };
+    let jobs = mixed_jobs();
+    for goal in MetricKind::ALL {
+        let pseudo = run_queue(pool, &jobs, Policy::PaperClassDriven(goal));
+        let optimal = run_queue(pool, &jobs, Policy::ExhaustiveOptimal(goal));
+        // Energy under the goal-directed exhaustive policy is within the
+        // pseudo-code's (it optimizes per job on real tables).
+        assert!(
+            optimal.total_energy_j <= pseudo.total_energy_j * 1.6,
+            "{goal}: optimal {} vs pseudo {}",
+            optimal.total_energy_j,
+            pseudo.total_energy_j
+        );
+    }
+}

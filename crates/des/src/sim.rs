@@ -1,0 +1,288 @@
+//! The event calendar and execution loop.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+use crate::SimTime;
+
+/// Identifier of a scheduled event, usable for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId(u64);
+
+type EventFn = Box<dyn FnOnce(&mut Simulation)>;
+
+struct Scheduled {
+    at: SimTime,
+    seq: u64,
+    id: EventId,
+    action: Option<EventFn>,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first. Sequence number breaks ties deterministically (FIFO).
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A deterministic discrete-event simulation.
+///
+/// Events are closures scheduled at absolute or relative virtual times and
+/// executed in `(time, insertion order)` order. The closure receives the
+/// simulation itself so it can schedule follow-up events.
+///
+/// # Examples
+///
+/// ```
+/// use hhsim_des::{SimTime, Simulation};
+///
+/// let mut sim = Simulation::new();
+/// sim.schedule_in(SimTime::from_secs(1), |sim| {
+///     sim.schedule_in(SimTime::from_secs(1), |_| {});
+/// });
+/// assert_eq!(sim.run(), SimTime::from_secs(2));
+/// ```
+pub struct Simulation {
+    now: SimTime,
+    queue: BinaryHeap<Scheduled>,
+    next_seq: u64,
+    executed: u64,
+    cancelled: Vec<EventId>,
+}
+
+impl fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Simulation")
+            .field("now", &self.now)
+            .field("pending", &self.queue.len())
+            .field("executed", &self.executed)
+            .finish()
+    }
+}
+
+impl Default for Simulation {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Simulation {
+    /// Creates an empty simulation at time zero.
+    pub fn new() -> Self {
+        Simulation {
+            now: SimTime::ZERO,
+            queue: BinaryHeap::new(),
+            next_seq: 0,
+            executed: 0,
+            cancelled: Vec::new(),
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    pub fn executed_events(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events still pending (including cancelled tombstones).
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules `action` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current time: scheduling into the
+    /// past would silently reorder causality.
+    pub fn schedule_at<F>(&mut self, at: SimTime, action: F) -> EventId
+    where
+        F: FnOnce(&mut Simulation) + 'static,
+    {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: now={} at={}",
+            self.now,
+            at
+        );
+        let id = EventId(self.next_seq);
+        self.queue.push(Scheduled {
+            at,
+            seq: self.next_seq,
+            id,
+            action: Some(Box::new(action)),
+        });
+        self.next_seq += 1;
+        id
+    }
+
+    /// Schedules `action` after a relative delay.
+    pub fn schedule_in<F>(&mut self, delay: SimTime, action: F) -> EventId
+    where
+        F: FnOnce(&mut Simulation) + 'static,
+    {
+        self.schedule_at(self.now + delay, action)
+    }
+
+    /// Cancels a previously scheduled event. Cancelling an already-executed
+    /// or unknown event is a no-op (returns `false`).
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        // Tombstone approach: we cannot remove from a BinaryHeap, so remember
+        // the id and skip it when popped.
+        if self.cancelled.contains(&id) {
+            return false;
+        }
+        if id.0 >= self.next_seq {
+            return false;
+        }
+        self.cancelled.push(id);
+        true
+    }
+
+    /// Executes the next pending event, advancing the clock. Returns `false`
+    /// when the calendar is empty.
+    pub fn step(&mut self) -> bool {
+        while let Some(mut ev) = self.queue.pop() {
+            if let Some(pos) = self.cancelled.iter().position(|c| *c == ev.id) {
+                self.cancelled.swap_remove(pos);
+                continue;
+            }
+            debug_assert!(ev.at >= self.now);
+            self.now = ev.at;
+            let action = ev.action.take().expect("event executed twice");
+            action(self);
+            self.executed += 1;
+            return true;
+        }
+        false
+    }
+
+    /// Runs until the calendar drains; returns the final virtual time.
+    pub fn run(&mut self) -> SimTime {
+        while self.step() {}
+        self.now
+    }
+
+    /// Runs while events exist with `time <= until`; the clock never passes
+    /// `until`. Returns the final virtual time.
+    pub fn run_until(&mut self, until: SimTime) -> SimTime {
+        loop {
+            match self.queue.peek() {
+                Some(ev) if ev.at <= until => {
+                    self.step();
+                }
+                _ => break,
+            }
+        }
+        if self.now < until && !self.queue.is_empty() {
+            self.now = until;
+        }
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let order = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Simulation::new();
+        for (label, t) in [("c", 3u64), ("a", 1), ("b", 2)] {
+            let order = order.clone();
+            sim.schedule_at(SimTime::from_secs(t), move |_| {
+                order.borrow_mut().push(label);
+            });
+        }
+        sim.run();
+        assert_eq!(*order.borrow(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let order = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Simulation::new();
+        for label in ["first", "second", "third"] {
+            let order = order.clone();
+            sim.schedule_at(SimTime::from_secs(5), move |_| {
+                order.borrow_mut().push(label);
+            });
+        }
+        sim.run();
+        assert_eq!(*order.borrow(), vec!["first", "second", "third"]);
+    }
+
+    #[test]
+    fn events_can_schedule_events() {
+        let mut sim = Simulation::new();
+        sim.schedule_in(SimTime::from_secs(1), |sim| {
+            sim.schedule_in(SimTime::from_secs(4), |_| {});
+        });
+        assert_eq!(sim.run(), SimTime::from_secs(5));
+        assert_eq!(sim.executed_events(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_the_past_panics() {
+        let mut sim = Simulation::new();
+        sim.schedule_at(SimTime::from_secs(10), |sim| {
+            sim.schedule_at(SimTime::from_secs(1), |_| {});
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn cancel_prevents_execution() {
+        let fired = Rc::new(RefCell::new(false));
+        let mut sim = Simulation::new();
+        let f = fired.clone();
+        let id = sim.schedule_in(SimTime::from_secs(1), move |_| {
+            *f.borrow_mut() = true;
+        });
+        assert!(sim.cancel(id));
+        assert!(!sim.cancel(id), "double-cancel reports false");
+        sim.run();
+        assert!(!*fired.borrow());
+        assert_eq!(sim.executed_events(), 0);
+    }
+
+    #[test]
+    fn run_until_stops_at_boundary() {
+        let mut sim = Simulation::new();
+        sim.schedule_at(SimTime::from_secs(1), |_| {});
+        sim.schedule_at(SimTime::from_secs(10), |_| {});
+        sim.run_until(SimTime::from_secs(5));
+        assert_eq!(sim.now(), SimTime::from_secs(5));
+        assert_eq!(sim.executed_events(), 1);
+        sim.run();
+        assert_eq!(sim.now(), SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn empty_run_stays_at_zero() {
+        let mut sim = Simulation::new();
+        assert_eq!(sim.run(), SimTime::ZERO);
+        assert!(!sim.step());
+    }
+}

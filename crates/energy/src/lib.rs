@@ -1,0 +1,33 @@
+//! Power measurement and cost metrics for `hhsim`.
+//!
+//! Reproduces the paper's §1.1/§1.2 methodology:
+//!
+//! * a simulated **Wattsup PRO** meter ([`PowerMeter`]) samples whole-system
+//!   power once per (virtual) second over a [`PowerTrace`] and reports the
+//!   average; the idle floor is subtracted to isolate dynamic dissipation;
+//! * **operational cost** is measured by Energy-Delay^X products (EDP,
+//!   ED²P, ED³P) and **capital cost** by Energy-Delay^X-Area products
+//!   (EDAP, ED²AP), with chip areas from Intel datasheets (Atom 160 mm²,
+//!   Xeon 216 mm²) — see [`CostMetrics`].
+//!
+//! # Examples
+//!
+//! ```
+//! use hhsim_energy::{CostMetrics, PowerMeter, PowerTrace};
+//!
+//! let mut trace = PowerTrace::new();
+//! trace.push(10.0, 150.0); // 10 s at 150 W
+//! trace.push(5.0, 90.0);   // 5 s at 90 W
+//! let reading = PowerMeter::default().measure(&trace);
+//! assert!((reading.average_watts - 130.0).abs() < 1.0);
+//!
+//! let m = CostMetrics::new(1000.0, 20.0, 216.0);
+//! assert_eq!(m.edp(), 20_000.0);
+//! assert_eq!(m.edxp(2), 400_000.0);
+//! ```
+
+mod meter;
+mod metrics;
+
+pub use meter::{MeterReading, PowerMeter, PowerTrace};
+pub use metrics::{CostMetrics, MetricKind};

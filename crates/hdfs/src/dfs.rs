@@ -1,0 +1,369 @@
+//! The filesystem proper: namenode metadata plus in-memory block storage.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+use crate::block::{BlockId, BlockMeta, BlockSize, NodeId};
+
+/// DFS-wide configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DfsConfig {
+    /// Block size for newly created files.
+    pub block_size: BlockSize,
+    /// Replicas per block (clamped to the node count).
+    pub replication: usize,
+    /// Number of datanodes (the paper uses 3-node clusters).
+    pub num_nodes: usize,
+}
+
+impl Default for DfsConfig {
+    /// Hadoop-like defaults on the paper's 3-node cluster: 64 MB blocks,
+    /// 3-way replication.
+    fn default() -> Self {
+        DfsConfig {
+            block_size: BlockSize::MB_64,
+            replication: 3,
+            num_nodes: 3,
+        }
+    }
+}
+
+/// Errors returned by [`Dfs`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DfsError {
+    /// Path already exists.
+    AlreadyExists(String),
+    /// Path does not exist.
+    NotFound(String),
+}
+
+impl fmt::Display for DfsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DfsError::AlreadyExists(p) => write!(f, "path already exists: {p}"),
+            DfsError::NotFound(p) => write!(f, "path not found: {p}"),
+        }
+    }
+}
+
+impl std::error::Error for DfsError {}
+
+/// Per-file metadata held by the namenode.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FileMeta {
+    /// Total file length in bytes.
+    pub len: u64,
+    /// Block size the file was written with.
+    pub block_size: BlockSize,
+    /// Ordered block placements.
+    pub blocks: Vec<BlockMeta>,
+}
+
+/// Namenode: path → metadata, plus round-robin placement state.
+#[derive(Debug, Clone, Default)]
+pub struct NameNode {
+    files: BTreeMap<String, FileMeta>,
+    next_block: u64,
+    next_node: usize,
+}
+
+impl NameNode {
+    /// Registers a new file of `len` bytes and assigns block placements.
+    fn register(
+        &mut self,
+        path: &str,
+        len: u64,
+        block_size: BlockSize,
+        replication: usize,
+        num_nodes: usize,
+    ) -> Result<&FileMeta, DfsError> {
+        if self.files.contains_key(path) {
+            return Err(DfsError::AlreadyExists(path.to_string()));
+        }
+        let replicas_per_block = replication.clamp(1, num_nodes);
+        let mut blocks = Vec::new();
+        let mut remaining = len;
+        while remaining > 0 {
+            let blen = remaining.min(block_size.bytes());
+            let mut replicas = Vec::with_capacity(replicas_per_block);
+            for r in 0..replicas_per_block {
+                replicas.push(NodeId((self.next_node + r) % num_nodes));
+            }
+            self.next_node = (self.next_node + 1) % num_nodes;
+            blocks.push(BlockMeta {
+                id: BlockId(self.next_block),
+                len: blen,
+                replicas,
+            });
+            self.next_block += 1;
+            remaining -= blen;
+        }
+        let meta = FileMeta {
+            len,
+            block_size,
+            blocks,
+        };
+        Ok(self.files.entry(path.to_string()).or_insert(meta))
+    }
+
+    /// Metadata for `path`.
+    pub fn lookup(&self, path: &str) -> Result<&FileMeta, DfsError> {
+        self.files
+            .get(path)
+            .ok_or_else(|| DfsError::NotFound(path.to_string()))
+    }
+
+    /// All registered paths, sorted.
+    pub fn paths(&self) -> impl Iterator<Item = &str> {
+        self.files.keys().map(String::as_str)
+    }
+}
+
+/// The distributed filesystem: metadata plus real in-memory payloads.
+///
+/// # Examples
+///
+/// ```
+/// use hhsim_hdfs::{BlockSize, Dfs, DfsConfig};
+/// use bytes::Bytes;
+///
+/// let mut dfs = Dfs::new(DfsConfig::default());
+/// dfs.create("/a", Bytes::from_static(b"hello world"))?;
+/// assert_eq!(&dfs.read("/a")?[..], b"hello world");
+/// # Ok::<(), hhsim_hdfs::DfsError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dfs {
+    config: DfsConfig,
+    namenode: NameNode,
+    /// Block payloads; `Bytes` slices of the original buffer (zero-copy).
+    store: BTreeMap<BlockId, Bytes>,
+}
+
+impl Dfs {
+    /// Creates an empty filesystem.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has zero nodes or zero replication.
+    pub fn new(config: DfsConfig) -> Self {
+        assert!(config.num_nodes > 0, "need at least one datanode");
+        assert!(config.replication > 0, "need at least one replica");
+        Dfs {
+            config,
+            namenode: NameNode::default(),
+            store: BTreeMap::new(),
+        }
+    }
+
+    /// Filesystem configuration.
+    pub fn config(&self) -> DfsConfig {
+        self.config
+    }
+
+    /// Read-only access to the namenode.
+    pub fn namenode(&self) -> &NameNode {
+        &self.namenode
+    }
+
+    /// Creates `path` holding `data`, split into blocks of the configured
+    /// size.
+    ///
+    /// # Errors
+    ///
+    /// [`DfsError::AlreadyExists`] if the path is taken.
+    pub fn create(&mut self, path: &str, data: Bytes) -> Result<(), DfsError> {
+        self.create_with_block_size(path, data, self.config.block_size)
+    }
+
+    /// Creates `path` with an explicit per-file block size (Hadoop allows
+    /// this per file; the paper's sweeps rely on it).
+    ///
+    /// # Errors
+    ///
+    /// [`DfsError::AlreadyExists`] if the path is taken.
+    pub fn create_with_block_size(
+        &mut self,
+        path: &str,
+        data: Bytes,
+        block_size: BlockSize,
+    ) -> Result<(), DfsError> {
+        let meta = self
+            .namenode
+            .register(
+                path,
+                data.len() as u64,
+                block_size,
+                self.config.replication,
+                self.config.num_nodes,
+            )?
+            .clone();
+        let mut offset = 0usize;
+        for b in &meta.blocks {
+            let end = offset + b.len as usize;
+            self.store.insert(b.id, data.slice(offset..end));
+            offset = end;
+        }
+        Ok(())
+    }
+
+    /// Block placements of `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`DfsError::NotFound`] if the path does not exist.
+    pub fn blocks(&self, path: &str) -> Result<&[BlockMeta], DfsError> {
+        Ok(&self.namenode.lookup(path)?.blocks)
+    }
+
+    /// Payload of one block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was never stored (placement and storage are kept in
+    /// lockstep by `create`).
+    pub fn read_block(&self, id: BlockId) -> Bytes {
+        self.store
+            .get(&id)
+            .cloned()
+            .expect("block registered but not stored")
+    }
+
+    /// Reassembles the whole file.
+    ///
+    /// # Errors
+    ///
+    /// [`DfsError::NotFound`] if the path does not exist.
+    pub fn read(&self, path: &str) -> Result<Bytes, DfsError> {
+        let meta = self.namenode.lookup(path)?;
+        let mut out = Vec::with_capacity(meta.len as usize);
+        for b in &meta.blocks {
+            out.extend_from_slice(&self.read_block(b.id));
+        }
+        Ok(Bytes::from(out))
+    }
+
+    /// Fraction of `path`'s blocks with a replica on `node` — the map-task
+    /// locality a scheduler can achieve.
+    ///
+    /// # Errors
+    ///
+    /// [`DfsError::NotFound`] if the path does not exist.
+    pub fn locality(&self, path: &str, node: NodeId) -> Result<f64, DfsError> {
+        let blocks = self.blocks(path)?;
+        if blocks.is_empty() {
+            return Ok(1.0);
+        }
+        let local = blocks.iter().filter(|b| b.is_local_to(node)).count();
+        Ok(local as f64 / blocks.len() as f64)
+    }
+
+    /// Total bytes stored across all blocks.
+    pub fn used_bytes(&self) -> u64 {
+        self.store.values().map(|b| b.len() as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> DfsConfig {
+        DfsConfig {
+            block_size: BlockSize::from_bytes(10),
+            replication: 2,
+            num_nodes: 3,
+        }
+    }
+
+    #[test]
+    fn create_and_read_round_trips() {
+        let mut dfs = Dfs::new(small_cfg());
+        let payload = Bytes::from((0u8..=255).collect::<Vec<u8>>());
+        dfs.create("/f", payload.clone()).unwrap();
+        assert_eq!(dfs.read("/f").unwrap(), payload);
+    }
+
+    #[test]
+    fn splits_into_correct_blocks() {
+        let mut dfs = Dfs::new(small_cfg());
+        dfs.create("/f", Bytes::from(vec![1u8; 25])).unwrap();
+        let blocks = dfs.blocks("/f").unwrap();
+        assert_eq!(blocks.len(), 3);
+        assert_eq!(blocks[0].len, 10);
+        assert_eq!(blocks[1].len, 10);
+        assert_eq!(blocks[2].len, 5, "tail block is short");
+        assert_eq!(dfs.used_bytes(), 25);
+    }
+
+    #[test]
+    fn empty_file_has_no_blocks() {
+        let mut dfs = Dfs::new(small_cfg());
+        dfs.create("/empty", Bytes::new()).unwrap();
+        assert!(dfs.blocks("/empty").unwrap().is_empty());
+        assert_eq!(dfs.read("/empty").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn duplicate_create_rejected() {
+        let mut dfs = Dfs::new(small_cfg());
+        dfs.create("/f", Bytes::from_static(b"x")).unwrap();
+        assert_eq!(
+            dfs.create("/f", Bytes::from_static(b"y")),
+            Err(DfsError::AlreadyExists("/f".into()))
+        );
+    }
+
+    #[test]
+    fn missing_path_errors() {
+        let dfs = Dfs::new(small_cfg());
+        assert_eq!(dfs.read("/nope").unwrap_err(), DfsError::NotFound("/nope".into()));
+    }
+
+    #[test]
+    fn replication_spreads_round_robin() {
+        let mut dfs = Dfs::new(small_cfg());
+        dfs.create("/f", Bytes::from(vec![0u8; 30])).unwrap();
+        let blocks = dfs.blocks("/f").unwrap();
+        for b in blocks {
+            assert_eq!(b.replicas.len(), 2);
+            assert_ne!(b.replicas[0], b.replicas[1]);
+        }
+        // Primaries rotate across nodes.
+        let primaries: Vec<_> = blocks.iter().map(|b| b.replicas[0]).collect();
+        assert_eq!(primaries, vec![NodeId(0), NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn replication_clamped_to_node_count() {
+        let mut dfs = Dfs::new(DfsConfig {
+            block_size: BlockSize::from_bytes(10),
+            replication: 5,
+            num_nodes: 2,
+        });
+        dfs.create("/f", Bytes::from(vec![0u8; 10])).unwrap();
+        assert_eq!(dfs.blocks("/f").unwrap()[0].replicas.len(), 2);
+    }
+
+    #[test]
+    fn locality_counts_replica_coverage() {
+        let mut dfs = Dfs::new(small_cfg());
+        dfs.create("/f", Bytes::from(vec![0u8; 30])).unwrap();
+        // 3 blocks x 2 replicas over 3 nodes: each node holds 2 of 3.
+        for n in 0..3 {
+            let frac = dfs.locality("/f", NodeId(n)).unwrap();
+            assert!((frac - 2.0 / 3.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn per_file_block_size_override() {
+        let mut dfs = Dfs::new(small_cfg());
+        dfs.create_with_block_size("/big", Bytes::from(vec![0u8; 25]), BlockSize::from_bytes(25))
+            .unwrap();
+        assert_eq!(dfs.blocks("/big").unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,41 @@
+//! Simulated HDFS for `hhsim`.
+//!
+//! A functional, in-memory distributed filesystem with the pieces of HDFS
+//! that matter to the paper's experiments:
+//!
+//! * **real block splitting** — files written through [`Dfs`] are split
+//!   into [`BlockSize`]-sized blocks (the paper sweeps 32–512 MB), because
+//!   `number of map tasks = input size / HDFS block size` (§3.1.1) drives
+//!   every block-size result;
+//! * **placement & replication** — a [`NameNode`] places replicas
+//!   round-robin across datanodes, so task locality can be computed;
+//! * **a disk timing model** — [`DiskModel`] charges a seek per sequential
+//!   chunk plus bandwidth-proportional transfer time, which is what makes
+//!   large blocks cheaper per byte to scan.
+//!
+//! Data is stored for real (as [`bytes::Bytes`] slices), so the MapReduce
+//! engine on top executes genuine jobs over genuine bytes.
+//!
+//! # Examples
+//!
+//! ```
+//! use hhsim_hdfs::{BlockSize, Dfs, DfsConfig};
+//! use bytes::Bytes;
+//!
+//! let mut dfs = Dfs::new(DfsConfig {
+//!     block_size: BlockSize::MB_64,
+//!     replication: 2,
+//!     num_nodes: 3,
+//! });
+//! dfs.create("/data/input.txt", Bytes::from(vec![7u8; 200 << 20]))?;
+//! assert_eq!(dfs.blocks("/data/input.txt")?.len(), 4); // ceil(200/64)
+//! # Ok::<(), hhsim_hdfs::DfsError>(())
+//! ```
+
+mod block;
+mod dfs;
+mod disk;
+
+pub use block::{BlockId, BlockMeta, BlockSize, NodeId};
+pub use dfs::{Dfs, DfsConfig, DfsError, FileMeta, NameNode};
+pub use disk::DiskModel;

@@ -1,0 +1,89 @@
+//! Output collector handed to mappers, combiners and reducers.
+
+use crate::kv::Datum;
+
+/// Collects emitted `(key, value)` records and accounts their bytes.
+///
+/// # Examples
+///
+/// ```
+/// use hhsim_mapreduce::Emitter;
+///
+/// let mut out = Emitter::new();
+/// out.emit("key".to_string(), 10u64);
+/// assert_eq!(out.records(), 1);
+/// assert_eq!(out.bytes(), 11); // 3 + 8
+/// ```
+#[derive(Debug, Clone)]
+pub struct Emitter<K, V> {
+    buf: Vec<(K, V)>,
+    bytes: u64,
+}
+
+impl<K: Datum, V: Datum> Emitter<K, V> {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        Emitter {
+            buf: Vec::new(),
+            bytes: 0,
+        }
+    }
+
+    /// Emits one record.
+    pub fn emit(&mut self, key: K, value: V) {
+        self.bytes += (key.size_bytes() + value.size_bytes()) as u64;
+        self.buf.push((key, value));
+    }
+
+    /// Records emitted so far (since the last drain).
+    pub fn records(&self) -> u64 {
+        self.buf.len() as u64
+    }
+
+    /// Bytes emitted so far (since the last drain).
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Removes and returns the buffered records, resetting the counters.
+    pub fn drain(&mut self) -> Vec<(K, V)> {
+        self.bytes = 0;
+        std::mem::take(&mut self.buf)
+    }
+
+    /// True if nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+impl<K: Datum, V: Datum> Default for Emitter<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accounts_records_and_bytes() {
+        let mut e = Emitter::new();
+        e.emit("ab".to_string(), 1u64);
+        e.emit("c".to_string(), 2u64);
+        assert_eq!(e.records(), 2);
+        assert_eq!(e.bytes(), 2 + 8 + 1 + 8);
+    }
+
+    #[test]
+    fn drain_resets() {
+        let mut e = Emitter::new();
+        e.emit(1u64, 2u64);
+        let got = e.drain();
+        assert_eq!(got, vec![(1, 2)]);
+        assert!(e.is_empty());
+        assert_eq!(e.bytes(), 0);
+        assert_eq!(e.records(), 0);
+    }
+}

@@ -1,0 +1,448 @@
+//! The execution engine: map → spill/sort/combine → merge → shuffle →
+//! merge → reduce, with full dataflow accounting.
+
+use crate::config::JobConfig;
+use crate::emit::Emitter;
+use crate::kv::Datum;
+use crate::partition::{hash_partition, Partitioner};
+use crate::stats::{JobStats, TaskIo};
+use crate::task::{Mapper, Reducer};
+
+/// A fully specified job: mapper, reducer, optional combiner, partitioner
+/// and engine configuration.
+///
+/// The combiner is a boxed reduce-like function (`(key, values) → pairs`)
+/// so jobs with and without combining share one type.
+pub struct JobSpec<M, R>
+where
+    M: Mapper,
+    R: Reducer<KIn = M::KOut, VIn = M::VOut>,
+{
+    mapper: M,
+    reducer: R,
+    combiner: Option<CombineFn<M::KOut, M::VOut>>,
+    partitioner: Partitioner<M::KOut>,
+    config: JobConfig,
+}
+
+type CombineFn<K, V> = std::sync::Arc<dyn Fn(&K, &[V]) -> Vec<(K, V)> + Send + Sync>;
+
+impl<M, R> JobSpec<M, R>
+where
+    M: Mapper,
+    R: Reducer<KIn = M::KOut, VIn = M::VOut>,
+{
+    /// Creates a job with the default configuration and hash partitioning.
+    pub fn new(mapper: M, reducer: R) -> Self {
+        JobSpec {
+            mapper,
+            reducer,
+            combiner: None,
+            partitioner: hash_partition::<M::KOut>(),
+            config: JobConfig::default(),
+        }
+    }
+
+    /// Replaces the engine configuration.
+    pub fn config(mut self, config: JobConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Installs a combiner function run over every spill and final merge,
+    /// Hadoop-style. Must be associative/commutative and type-preserving.
+    pub fn combiner<F>(mut self, f: F) -> Self
+    where
+        F: Fn(&M::KOut, &[M::VOut]) -> Vec<(M::KOut, M::VOut)> + Send + Sync + 'static,
+    {
+        self.combiner = Some(std::sync::Arc::new(f));
+        self
+    }
+
+    /// Replaces the partitioner (e.g. with a total-order range partitioner).
+    pub fn partitioner(mut self, p: Partitioner<M::KOut>) -> Self {
+        self.partitioner = p;
+        self
+    }
+
+    /// Current configuration.
+    pub fn job_config(&self) -> JobConfig {
+        self.config
+    }
+}
+
+/// Everything a finished job produces: final records plus statistics.
+#[derive(Debug, Clone)]
+pub struct JobResult<K, V> {
+    /// All output records, concatenated in reducer order (each reducer's
+    /// output is sorted by key because reducers consume merged runs).
+    pub output: Vec<(K, V)>,
+    /// Dataflow statistics.
+    pub stats: JobStats,
+}
+
+/// Sorted output of one map task for one partition.
+pub(crate) struct MapOutput<K, V> {
+    pub(crate) partitions: Vec<Vec<(K, V)>>,
+}
+
+/// Crate-internal alias used by the parallel runner.
+pub(crate) type MapTaskOutput<K, V> = MapOutput<K, V>;
+
+/// Crate-internal entry point for the parallel runner: executes one map
+/// task, accumulating into `stats`.
+pub(crate) fn run_map_task_public<M, R>(
+    job: &JobSpec<M, R>,
+    split: Vec<(M::KIn, M::VIn)>,
+    stats: &mut JobStats,
+) -> MapOutput<M::KOut, M::VOut>
+where
+    M: Mapper,
+    R: Reducer<KIn = M::KOut, VIn = M::VOut>,
+{
+    run_map_task(job, split, stats)
+}
+
+/// Crate-internal: shuffle + reduce over already-computed map outputs.
+pub(crate) fn finish_job<M, R>(
+    job: &JobSpec<M, R>,
+    map_outputs: Vec<MapOutput<M::KOut, M::VOut>>,
+    mut stats: JobStats,
+) -> JobResult<R::KOut, R::VOut>
+where
+    M: Mapper,
+    R: Reducer<KIn = M::KOut, VIn = M::VOut>,
+{
+    let nred = job.config.num_reducers;
+    let mut reduce_inputs: Vec<Vec<Vec<(M::KOut, M::VOut)>>> =
+        (0..nred).map(|_| Vec::new()).collect();
+    for mo in map_outputs {
+        for (p, segment) in mo.partitions.into_iter().enumerate() {
+            if segment.is_empty() {
+                continue;
+            }
+            let seg_bytes: u64 = segment
+                .iter()
+                .map(|(k, v)| (k.size_bytes() + v.size_bytes()) as u64)
+                .sum();
+            stats.shuffle_bytes += seg_bytes;
+            reduce_inputs[p].push(segment);
+        }
+    }
+    let mut output = Vec::new();
+    for segments in reduce_inputs {
+        run_reduce_task(job, segments, &mut stats, &mut output);
+    }
+    JobResult { output, stats }
+}
+
+/// Runs `job` over `splits` (one inner `Vec` per map task) and returns the
+/// output and statistics.
+///
+/// # Panics
+///
+/// Panics if `num_reducers == 0`; use [`run_map_only_job`] for map-only
+/// jobs, whose output carries the *mapper's* output types.
+pub fn run_job<M, R>(
+    job: &JobSpec<M, R>,
+    splits: Vec<Vec<(M::KIn, M::VIn)>>,
+) -> JobResult<R::KOut, R::VOut>
+where
+    M: Mapper,
+    R: Reducer<KIn = M::KOut, VIn = M::VOut>,
+{
+    let cfg = job.config;
+    let nred = cfg.num_reducers;
+    assert!(nred > 0, "run_job needs reducers; use run_map_only_job");
+    let mut stats = JobStats {
+        map_tasks: splits.len(),
+        reduce_tasks: nred,
+        ..JobStats::default()
+    };
+
+    // ------------------------------------------------------------------
+    // Map phase: one task per split.
+    // ------------------------------------------------------------------
+    let mut map_outputs: Vec<MapOutput<M::KOut, M::VOut>> = Vec::with_capacity(splits.len());
+    for split in splits {
+        let out = run_map_task(job, split, &mut stats);
+        map_outputs.push(out);
+    }
+
+    // Shuffle + reduce.
+    finish_job(job, map_outputs, stats)
+}
+
+/// Runs a map-only job (`num_reducers` is ignored): map outputs, sorted
+/// within each task, are the job output — like Hadoop with zero reduces
+/// writing map output straight to HDFS.
+pub fn run_map_only_job<M, R>(
+    job: &JobSpec<M, R>,
+    splits: Vec<Vec<(M::KIn, M::VIn)>>,
+) -> JobResult<M::KOut, M::VOut>
+where
+    M: Mapper,
+    R: Reducer<KIn = M::KOut, VIn = M::VOut>,
+{
+    let mut stats = JobStats {
+        map_tasks: splits.len(),
+        reduce_tasks: 0,
+        ..JobStats::default()
+    };
+    let mut output = Vec::new();
+    for split in splits {
+        let mo = run_map_task(job, split, &mut stats);
+        for part in mo.partitions {
+            for (k, v) in part {
+                stats.output_records += 1;
+                stats.output_bytes += (k.size_bytes() + v.size_bytes()) as u64;
+                output.push((k, v));
+            }
+        }
+    }
+    JobResult { output, stats }
+}
+
+fn run_map_task<M, R>(
+    job: &JobSpec<M, R>,
+    split: Vec<(M::KIn, M::VIn)>,
+    stats: &mut JobStats,
+) -> MapOutput<M::KOut, M::VOut>
+where
+    M: Mapper,
+    R: Reducer<KIn = M::KOut, VIn = M::VOut>,
+{
+    let cfg = job.config;
+    let nparts = cfg.num_reducers.max(1);
+    let mut mapper = job.mapper.clone();
+    let mut emitter: Emitter<M::KOut, M::VOut> = Emitter::new();
+    let mut task_io = TaskIo::default();
+
+    // Sorted spill segments: each is per-partition sorted runs.
+    let mut segments: Vec<Vec<Vec<(M::KOut, M::VOut)>>> = Vec::new();
+
+    let spill =
+        |emitter: &mut Emitter<M::KOut, M::VOut>, stats: &mut JobStats, segments: &mut Vec<_>| {
+            let records = emitter.drain();
+            if records.is_empty() {
+                return;
+            }
+            let (parts, in_recs, out_recs, out_bytes) =
+                sort_and_combine::<M>(records, nparts, &job.partitioner, job.combiner.as_ref());
+            if job.combiner.is_some() {
+                stats.combine_input_records += in_recs;
+                stats.combine_output_records += out_recs;
+            }
+            stats.spills += 1;
+            stats.spill_write_bytes += out_bytes;
+            stats.map_materialized_records += out_recs;
+            stats.map_materialized_bytes += out_bytes;
+            segments.push(parts);
+        };
+
+    for (k, v) in split {
+        task_io.input_records += 1;
+        task_io.input_bytes += (k.size_bytes() + v.size_bytes()) as u64;
+        mapper.map(&k, &v, &mut emitter);
+        if emitter.bytes() >= cfg.sort_buffer_bytes {
+            stats.map_output_records += emitter.records();
+            stats.map_output_bytes += emitter.bytes();
+            spill(&mut emitter, stats, &mut segments);
+        }
+    }
+    mapper.finish(&mut emitter);
+    stats.map_output_records += emitter.records();
+    stats.map_output_bytes += emitter.bytes();
+    spill(&mut emitter, stats, &mut segments);
+
+    stats.map_input_records += task_io.input_records;
+    stats.map_input_bytes += task_io.input_bytes;
+
+    // Merge spill segments per partition (accounting multi-pass cost).
+    let nsegs = segments.len();
+    if nsegs > 1 {
+        stats.map_merge_passes += cfg.merge_passes(nsegs) as u64;
+    }
+    let mut partitions: Vec<Vec<Vec<(M::KOut, M::VOut)>>> =
+        (0..nparts).map(|_| Vec::new()).collect();
+    let mut merged_bytes = 0u64;
+    for seg in segments {
+        for (p, run) in seg.into_iter().enumerate() {
+            merged_bytes += run
+                .iter()
+                .map(|(k, v)| (k.size_bytes() + v.size_bytes()) as u64)
+                .sum::<u64>();
+            partitions[p].push(run);
+        }
+    }
+    if nsegs > 1 {
+        // Every extra pass rewrites the whole materialized output.
+        stats.map_merge_bytes += merged_bytes * cfg.merge_passes(nsegs) as u64;
+    }
+    let partitions: Vec<Vec<(M::KOut, M::VOut)>> = partitions
+        .into_iter()
+        .map(|runs| merge_runs(runs))
+        .collect();
+
+    for part in &partitions {
+        task_io.output_records += part.len() as u64;
+        task_io.output_bytes += part
+            .iter()
+            .map(|(k, v)| (k.size_bytes() + v.size_bytes()) as u64)
+            .sum::<u64>();
+    }
+    stats.map_task_io.push(task_io);
+    MapOutput { partitions }
+}
+
+/// Sorts a buffer by (partition, key), optionally combining per key group.
+/// Returns per-partition sorted runs plus (combine-in, combine-out,
+/// materialized-bytes) counters.
+#[allow(clippy::type_complexity)]
+fn sort_and_combine<M: Mapper>(
+    mut records: Vec<(M::KOut, M::VOut)>,
+    nparts: usize,
+    partitioner: &Partitioner<M::KOut>,
+    combiner: Option<&CombineFn<M::KOut, M::VOut>>,
+) -> (Vec<Vec<(M::KOut, M::VOut)>>, u64, u64, u64) {
+    records.sort_by(|a, b| {
+        let pa = partitioner(&a.0, nparts);
+        let pb = partitioner(&b.0, nparts);
+        pa.cmp(&pb).then_with(|| a.0.cmp(&b.0))
+    });
+    let in_records = records.len() as u64;
+    let mut parts: Vec<Vec<(M::KOut, M::VOut)>> = (0..nparts).map(|_| Vec::new()).collect();
+    match combiner {
+        None => {
+            for (k, v) in records {
+                parts[partitioner(&k, nparts)].push((k, v));
+            }
+        }
+        Some(comb) => {
+            let mut i = 0;
+            while i < records.len() {
+                let mut j = i + 1;
+                while j < records.len() && records[j].0 == records[i].0 {
+                    j += 1;
+                }
+                let key = records[i].0.clone();
+                let values: Vec<M::VOut> = records[i..j].iter().map(|(_, v)| v.clone()).collect();
+                for (k, v) in comb(&key, &values) {
+                    parts[partitioner(&k, nparts)].push((k, v));
+                }
+                i = j;
+            }
+            // Combining may emit keys out of order within a partition if the
+            // combiner rewrites keys; re-sort each run to keep the invariant.
+            for p in &mut parts {
+                p.sort_by(|a, b| a.0.cmp(&b.0));
+            }
+        }
+    }
+    let out_records: u64 = parts.iter().map(|p| p.len() as u64).sum();
+    let out_bytes: u64 = parts
+        .iter()
+        .flat_map(|p| p.iter())
+        .map(|(k, v)| (k.size_bytes() + v.size_bytes()) as u64)
+        .sum();
+    (parts, in_records, out_records, out_bytes)
+}
+
+/// K-way merge of sorted runs into one sorted run (stable across equal
+/// keys: earlier runs first).
+fn merge_runs<K: Datum, V: Datum>(mut runs: Vec<Vec<(K, V)>>) -> Vec<(K, V)> {
+    runs.retain(|r| !r.is_empty());
+    match runs.len() {
+        0 => Vec::new(),
+        1 => runs.pop().expect("len checked"),
+        _ => {
+            let total: usize = runs.iter().map(Vec::len).sum();
+            let mut out = Vec::with_capacity(total);
+            let mut cursors = vec![0usize; runs.len()];
+            for _ in 0..total {
+                let mut best: Option<usize> = None;
+                for (ri, run) in runs.iter().enumerate() {
+                    if cursors[ri] >= run.len() {
+                        continue;
+                    }
+                    best = match best {
+                        None => Some(ri),
+                        Some(b) => {
+                            if run[cursors[ri]].0 < runs[b][cursors[b]].0 {
+                                Some(ri)
+                            } else {
+                                Some(b)
+                            }
+                        }
+                    };
+                }
+                let b = best.expect("total counted");
+                out.push(runs[b][cursors[b]].clone());
+                cursors[b] += 1;
+            }
+            out
+        }
+    }
+}
+
+fn run_reduce_task<M, R>(
+    job: &JobSpec<M, R>,
+    segments: Vec<Vec<(M::KOut, M::VOut)>>,
+    stats: &mut JobStats,
+    output: &mut Vec<(R::KOut, R::VOut)>,
+) where
+    M: Mapper,
+    R: Reducer<KIn = M::KOut, VIn = M::VOut>,
+{
+    let cfg = job.config;
+    let mut task_io = TaskIo::default();
+    let nsegs = segments.len();
+    let seg_bytes: u64 = segments
+        .iter()
+        .flat_map(|s| s.iter())
+        .map(|(k, v)| (k.size_bytes() + v.size_bytes()) as u64)
+        .sum();
+    task_io.input_bytes = seg_bytes;
+    task_io.input_records = segments.iter().map(|s| s.len() as u64).sum();
+
+    // Extra merge passes beyond the final streaming merge: Hadoop merges
+    // down to `merge_factor` runs on disk, then streams the last merge into
+    // the reducer.
+    if nsegs > cfg.merge_factor {
+        let mut segs = nsegs;
+        let mut passes = 0u64;
+        while segs > cfg.merge_factor {
+            segs = segs.div_ceil(cfg.merge_factor);
+            passes += 1;
+        }
+        stats.reduce_merge_passes += passes;
+        stats.reduce_merge_bytes += seg_bytes * passes;
+    }
+
+    let merged = merge_runs(segments);
+    let mut reducer = job.reducer.clone();
+    let mut emitter: Emitter<R::KOut, R::VOut> = Emitter::new();
+
+    let mut i = 0;
+    while i < merged.len() {
+        let mut j = i + 1;
+        while j < merged.len() && merged[j].0 == merged[i].0 {
+            j += 1;
+        }
+        let key = merged[i].0.clone();
+        let values: Vec<M::VOut> = merged[i..j].iter().map(|(_, v)| v.clone()).collect();
+        stats.reduce_input_groups += 1;
+        stats.reduce_input_records += (j - i) as u64;
+        reducer.reduce(&key, &values, &mut emitter);
+        i = j;
+    }
+    let records = emitter.drain();
+    for (k, v) in records {
+        task_io.output_records += 1;
+        task_io.output_bytes += (k.size_bytes() + v.size_bytes()) as u64;
+        stats.output_records += 1;
+        stats.output_bytes += (k.size_bytes() + v.size_bytes()) as u64;
+        output.push((k, v));
+    }
+    stats.reduce_task_io.push(task_io);
+}

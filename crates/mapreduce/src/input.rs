@@ -1,0 +1,166 @@
+//! Text input format over the simulated HDFS.
+//!
+//! Faithful to Hadoop's `TextInputFormat` record-reader contract: one split
+//! per block; a reader whose split does not start at byte 0 skips the first
+//! (partial) line, and every reader keeps reading past its split end to
+//! finish its final line. Records are `(byte offset, line)` pairs; every
+//! line of the file is read by exactly one task even when lines straddle
+//! block boundaries.
+
+use bytes::Bytes;
+use hhsim_hdfs::{Dfs, DfsError};
+
+/// One input split: records of `(file offset, line)`.
+pub type TextSplit = Vec<(u64, String)>;
+
+/// Builds per-block text splits for `path` in `dfs`.
+///
+/// # Errors
+///
+/// Returns [`DfsError::NotFound`] if the path does not exist.
+///
+/// # Examples
+///
+/// ```
+/// use bytes::Bytes;
+/// use hhsim_hdfs::{BlockSize, Dfs, DfsConfig};
+/// use hhsim_mapreduce::text_splits;
+///
+/// let mut dfs = Dfs::new(DfsConfig {
+///     block_size: BlockSize::from_bytes(8),
+///     replication: 1,
+///     num_nodes: 1,
+/// });
+/// dfs.create("/t", Bytes::from_static(b"alpha\nbravo charlie\nx\n"))?;
+/// let splits = text_splits(&dfs, "/t")?;
+/// let lines: Vec<String> = splits.concat().into_iter().map(|(_, l)| l).collect();
+/// assert_eq!(lines, vec!["alpha", "bravo charlie", "x"]);
+/// # Ok::<(), hhsim_hdfs::DfsError>(())
+/// ```
+pub fn text_splits(dfs: &Dfs, path: &str) -> Result<Vec<TextSplit>, DfsError> {
+    let data = dfs.read(path)?;
+    let block_size = dfs
+        .namenode()
+        .lookup(path)?
+        .block_size
+        .bytes();
+    Ok(text_splits_from_bytes(&data, block_size))
+}
+
+/// Splits raw bytes into per-block line records (exposed for tests and for
+/// generators that bypass the DFS).
+pub fn text_splits_from_bytes(data: &Bytes, block_size: u64) -> Vec<TextSplit> {
+    let len = data.len() as u64;
+    if len == 0 {
+        return Vec::new();
+    }
+    let nblocks = len.div_ceil(block_size);
+    let mut splits = Vec::with_capacity(nblocks as usize);
+    for b in 0..nblocks {
+        let start = b * block_size;
+        let end = ((b + 1) * block_size).min(len);
+        splits.push(read_split(data, start, end));
+    }
+    splits
+}
+
+/// Reads the records belonging to split `[start, end)` per the Hadoop
+/// record-reader contract.
+fn read_split(data: &Bytes, start: u64, end: u64) -> TextSplit {
+    let bytes = &data[..];
+    let len = bytes.len() as u64;
+    let mut pos = start;
+    // Skip the partial first line unless we start the file.
+    if start > 0 {
+        while pos < len && bytes[(pos - 1) as usize] != b'\n' {
+            pos += 1;
+        }
+    }
+    let mut records = Vec::new();
+    // Read lines while the line *starts* inside the split.
+    while pos < len && pos < end {
+        let line_start = pos;
+        let mut line_end = pos;
+        while line_end < len && bytes[line_end as usize] != b'\n' {
+            line_end += 1;
+        }
+        let line = String::from_utf8_lossy(&bytes[line_start as usize..line_end as usize])
+            .into_owned();
+        records.push((line_start, line));
+        pos = line_end + 1; // past the newline (or EOF)
+    }
+    records
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn split_lines(text: &str, block: u64) -> Vec<Vec<String>> {
+        text_splits_from_bytes(&Bytes::from(text.to_string()), block)
+            .into_iter()
+            .map(|s| s.into_iter().map(|(_, l)| l).collect())
+            .collect()
+    }
+
+    #[test]
+    fn empty_input_no_splits() {
+        assert!(split_lines("", 8).is_empty());
+    }
+
+    #[test]
+    fn single_block_reads_all_lines() {
+        let s = split_lines("a\nbb\nccc\n", 100);
+        assert_eq!(s, vec![vec!["a", "bb", "ccc"]]);
+    }
+
+    #[test]
+    fn line_straddling_boundary_read_once() {
+        // Block size 4: "hello\nworld\n" splits at 4 and 8; the line
+        // "hello" straddles the first boundary and belongs to split 0.
+        let s = split_lines("hello\nworld\n", 4);
+        let all: Vec<String> = s.concat();
+        assert_eq!(all, vec!["hello", "world"]);
+        // No duplicates, no losses.
+        assert_eq!(s.iter().map(Vec::len).sum::<usize>(), 2);
+    }
+
+    #[test]
+    fn every_line_exactly_once_for_many_block_sizes() {
+        let text = "one\ntwo two\nthree three three\nfour\nfive5\n\nseven\n";
+        let expect: Vec<&str> = text.lines().collect();
+        for block in 1..=(text.len() as u64 + 2) {
+            let got: Vec<String> = split_lines(text, block).concat();
+            assert_eq!(got, expect, "block size {block}");
+        }
+    }
+
+    #[test]
+    fn no_trailing_newline_still_reads_last_line() {
+        let s = split_lines("alpha\nbeta", 4);
+        assert_eq!(s.concat(), vec!["alpha", "beta"]);
+    }
+
+    #[test]
+    fn offsets_are_file_absolute() {
+        let splits = text_splits_from_bytes(&Bytes::from_static(b"ab\ncd\nef\n"), 3);
+        let offsets: Vec<u64> = splits.concat().iter().map(|(o, _)| *o).collect();
+        assert_eq!(offsets, vec![0, 3, 6]);
+    }
+
+    #[test]
+    fn dfs_round_trip() {
+        use hhsim_hdfs::{BlockSize, DfsConfig};
+        let mut dfs = Dfs::new(DfsConfig {
+            block_size: BlockSize::from_bytes(16),
+            replication: 1,
+            num_nodes: 3,
+        });
+        let text = "the quick brown fox\njumps over\nthe lazy dog\n";
+        dfs.create("/in", Bytes::from(text.to_string())).unwrap();
+        let splits = text_splits(&dfs, "/in").unwrap();
+        assert_eq!(splits.len(), 3); // 45 bytes / 16
+        let lines: Vec<String> = splits.concat().into_iter().map(|(_, l)| l).collect();
+        assert_eq!(lines, text.lines().collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,150 @@
+//! Key/value datum trait: what the engine needs from record types.
+
+/// A type usable as a MapReduce key or value.
+///
+/// Beyond ordering (for the sort phase) and cloning (for spills), the engine
+/// needs a **byte size** — spill and shuffle accounting is in bytes, exactly
+/// like Hadoop's counters — and a **stable hash** for deterministic default
+/// partitioning across runs and platforms.
+///
+/// # Examples
+///
+/// ```
+/// use hhsim_mapreduce::Datum;
+///
+/// assert_eq!("hello".to_string().size_bytes(), 5);
+/// assert_eq!(42u64.size_bytes(), 8);
+/// assert_eq!(("k".to_string(), 1u64).size_bytes(), 9);
+/// // Stable across calls:
+/// assert_eq!(7u64.stable_hash(), 7u64.stable_hash());
+/// ```
+pub trait Datum: Clone + Ord + std::fmt::Debug + Send + Sync + 'static {
+    /// Serialized size in bytes, as charged to buffers, spills and shuffle.
+    fn size_bytes(&self) -> usize;
+
+    /// Deterministic, platform-independent hash (used by the default
+    /// partitioner).
+    fn stable_hash(&self) -> u64;
+}
+
+/// FNV-1a over a byte slice — deterministic everywhere.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// SplitMix64 finalizer — good avalanche for integer keys.
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl Datum for String {
+    fn size_bytes(&self) -> usize {
+        self.len()
+    }
+    fn stable_hash(&self) -> u64 {
+        fnv1a(self.as_bytes())
+    }
+}
+
+impl Datum for Vec<u8> {
+    fn size_bytes(&self) -> usize {
+        self.len()
+    }
+    fn stable_hash(&self) -> u64 {
+        fnv1a(self)
+    }
+}
+
+impl Datum for u64 {
+    fn size_bytes(&self) -> usize {
+        8
+    }
+    fn stable_hash(&self) -> u64 {
+        splitmix(*self)
+    }
+}
+
+impl Datum for i64 {
+    fn size_bytes(&self) -> usize {
+        8
+    }
+    fn stable_hash(&self) -> u64 {
+        splitmix(*self as u64)
+    }
+}
+
+impl Datum for u32 {
+    fn size_bytes(&self) -> usize {
+        4
+    }
+    fn stable_hash(&self) -> u64 {
+        splitmix(*self as u64)
+    }
+}
+
+impl Datum for () {
+    fn size_bytes(&self) -> usize {
+        0
+    }
+    fn stable_hash(&self) -> u64 {
+        0
+    }
+}
+
+impl<A: Datum, B: Datum> Datum for (A, B) {
+    fn size_bytes(&self) -> usize {
+        self.0.size_bytes() + self.1.size_bytes()
+    }
+    fn stable_hash(&self) -> u64 {
+        splitmix(self.0.stable_hash() ^ self.1.stable_hash().rotate_left(17))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_match_serialized_widths() {
+        assert_eq!(String::new().size_bytes(), 0);
+        assert_eq!("abc".to_string().size_bytes(), 3);
+        assert_eq!(vec![0u8; 10].size_bytes(), 10);
+        assert_eq!(0u64.size_bytes(), 8);
+        assert_eq!((-5i64).size_bytes(), 8);
+        assert_eq!(1u32.size_bytes(), 4);
+        assert_eq!(().size_bytes(), 0);
+        assert_eq!(("ab".to_string(), 3u64).size_bytes(), 10);
+    }
+
+    #[test]
+    fn hashes_are_stable_and_spread() {
+        assert_eq!("x".to_string().stable_hash(), "x".to_string().stable_hash());
+        assert_ne!("x".to_string().stable_hash(), "y".to_string().stable_hash());
+        assert_ne!(1u64.stable_hash(), 2u64.stable_hash());
+        // Pair hash depends on both components.
+        assert_ne!(
+            ("a".to_string(), 1u64).stable_hash(),
+            ("a".to_string(), 2u64).stable_hash()
+        );
+        assert_ne!(
+            ("a".to_string(), 1u64).stable_hash(),
+            ("b".to_string(), 1u64).stable_hash()
+        );
+    }
+
+    #[test]
+    fn integer_hash_avalanches() {
+        // Consecutive integers should land in different buckets mod small n.
+        let buckets: std::collections::HashSet<u64> =
+            (0u64..16).map(|i| i.stable_hash() % 4).collect();
+        assert!(buckets.len() > 1, "hash must not collapse consecutive keys");
+    }
+}

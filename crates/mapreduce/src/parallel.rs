@@ -1,0 +1,138 @@
+//! Parallel job execution: map tasks fan out across OS threads.
+//!
+//! The functional engine is deterministic regardless of execution order —
+//! each map task is independent and the shuffle regroups by partition — so
+//! the parallel runner produces *bit-identical* output and statistics to
+//! [`crate::run_job`], just faster on multi-core hosts. Used by the bench
+//! harness when regenerating many figures.
+
+use crossbeam::thread;
+
+use crate::engine::{JobResult, JobSpec, MapTaskOutput};
+use crate::kv::Datum;
+use crate::stats::JobStats;
+use crate::task::{Mapper, Reducer};
+
+/// Runs `job` like [`crate::run_job`], executing map tasks on up to
+/// `threads` worker threads.
+///
+/// # Panics
+///
+/// Panics if `threads` is zero, if `num_reducers` is zero, or if a worker
+/// thread panics (the panic is propagated).
+pub fn run_job_parallel<M, R>(
+    job: &JobSpec<M, R>,
+    splits: Vec<Vec<(M::KIn, M::VIn)>>,
+    threads: usize,
+) -> JobResult<R::KOut, R::VOut>
+where
+    M: Mapper + Sync,
+    R: Reducer<KIn = M::KOut, VIn = M::VOut> + Sync,
+    M::KIn: Datum,
+    M::VIn: Datum,
+{
+    assert!(threads > 0, "need at least one worker thread");
+    let cfg = job.job_config();
+    assert!(cfg.num_reducers > 0, "run_job_parallel needs reducers");
+
+    let n = splits.len();
+    let mut indexed: Vec<(usize, Vec<(M::KIn, M::VIn)>)> = splits.into_iter().enumerate().collect();
+    let mut outputs: Vec<Option<(MapTaskOutput<M::KOut, M::VOut>, JobStats)>> =
+        (0..n).map(|_| None).collect();
+
+    // Fan out: workers steal (index, split) pairs off a shared stack and
+    // write results into their slot; order of execution is irrelevant
+    // because results are reassembled by index.
+    let work = std::sync::Mutex::new(&mut indexed);
+    let sink = std::sync::Mutex::new(&mut outputs);
+    thread::scope(|scope| {
+        for _ in 0..threads.min(n.max(1)) {
+            scope.spawn(|_| loop {
+                let item = work.lock().expect("work queue").pop();
+                let Some((idx, split)) = item else { break };
+                let mut stats = JobStats::default();
+                let out = crate::engine::run_map_task_public(job, split, &mut stats);
+                sink.lock().expect("sink")[idx] = Some((out, stats));
+            });
+        }
+    })
+    .expect("map worker panicked");
+
+    // Deterministic reassembly in task order.
+    let mut stats = JobStats {
+        map_tasks: n,
+        reduce_tasks: cfg.num_reducers,
+        ..JobStats::default()
+    };
+    let mut map_outputs = Vec::with_capacity(n);
+    for slot in outputs {
+        let (out, task_stats) = slot.expect("every task executed");
+        crate::stats::merge_into(&mut stats, task_stats);
+        map_outputs.push(out);
+    }
+    crate::engine::finish_job(job, map_outputs, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::emit::Emitter;
+    use crate::{run_job, JobConfig};
+
+    #[derive(Clone)]
+    struct Tok;
+    impl Mapper for Tok {
+        type KIn = u64;
+        type VIn = String;
+        type KOut = String;
+        type VOut = u64;
+        fn map(&mut self, _k: &u64, line: &String, out: &mut Emitter<String, u64>) {
+            for w in line.split_whitespace() {
+                out.emit(w.to_string(), 1);
+            }
+        }
+    }
+    #[derive(Clone)]
+    struct Sum;
+    impl Reducer for Sum {
+        type KIn = String;
+        type VIn = u64;
+        type KOut = String;
+        type VOut = u64;
+        fn reduce(&mut self, k: &String, vs: &[u64], out: &mut Emitter<String, u64>) {
+            out.emit(k.clone(), vs.iter().sum());
+        }
+    }
+
+    fn splits(n: usize) -> Vec<Vec<(u64, String)>> {
+        (0..n)
+            .map(|i| vec![(0u64, format!("w{} shared w{} shared", i % 7, (i + 1) % 7))])
+            .collect()
+    }
+
+    #[test]
+    fn parallel_matches_sequential_exactly() {
+        let job = JobSpec::new(Tok, Sum).config(JobConfig::default().num_reducers(3));
+        let seq = run_job(&job, splits(40));
+        for threads in [1, 2, 4, 8] {
+            let par = run_job_parallel(&job, splits(40), threads);
+            assert_eq!(par.output, seq.output, "threads={threads}");
+            assert_eq!(par.stats, seq.stats, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_handles_empty_splits() {
+        let job = JobSpec::new(Tok, Sum).config(JobConfig::default().num_reducers(2));
+        let par = run_job_parallel(&job, vec![vec![], vec![(0, "a".into())]], 4);
+        assert_eq!(par.output, vec![("a".to_string(), 1)]);
+        assert_eq!(par.stats.map_tasks, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker thread")]
+    fn zero_threads_rejected() {
+        let job = JobSpec::new(Tok, Sum);
+        let _ = run_job_parallel(&job, splits(1), 0);
+    }
+}

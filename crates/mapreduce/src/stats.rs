@@ -1,0 +1,196 @@
+//! Job- and task-level dataflow statistics (Hadoop counter equivalents).
+
+use serde::{Deserialize, Serialize};
+
+/// Input/output volume of one task — the per-task skew feeds straggler
+/// modelling in the cluster simulator.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskIo {
+    /// Bytes consumed by the task.
+    pub input_bytes: u64,
+    /// Records consumed by the task.
+    pub input_records: u64,
+    /// Bytes produced by the task.
+    pub output_bytes: u64,
+    /// Records produced by the task.
+    pub output_records: u64,
+}
+
+/// Aggregated dataflow statistics of one executed job.
+///
+/// Field names follow Hadoop's job counters; all byte counts use the
+/// [`crate::Datum::size_bytes`] serialization model.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct JobStats {
+    /// Number of map tasks (= input splits).
+    pub map_tasks: usize,
+    /// Number of reduce tasks.
+    pub reduce_tasks: usize,
+
+    /// Bytes read by all mappers.
+    pub map_input_bytes: u64,
+    /// Records read by all mappers.
+    pub map_input_records: u64,
+    /// Records emitted by all mappers (before the combiner).
+    pub map_output_records: u64,
+    /// Bytes emitted by all mappers (before the combiner).
+    pub map_output_bytes: u64,
+    /// Records written to map outputs after combining.
+    pub map_materialized_records: u64,
+    /// Bytes written to map outputs after combining — this is what shuffles.
+    pub map_materialized_bytes: u64,
+
+    /// Records entering the combiner.
+    pub combine_input_records: u64,
+    /// Records leaving the combiner.
+    pub combine_output_records: u64,
+
+    /// Number of spills across all map tasks.
+    pub spills: u64,
+    /// Bytes written by spills (first write of each segment).
+    pub spill_write_bytes: u64,
+    /// Bytes re-read and re-written by extra map-side merge passes.
+    pub map_merge_bytes: u64,
+    /// Total extra map-side merge passes.
+    pub map_merge_passes: u64,
+
+    /// Bytes moved from map outputs to reducers.
+    pub shuffle_bytes: u64,
+    /// Bytes re-read and re-written by reduce-side merge passes beyond the
+    /// streaming final merge.
+    pub reduce_merge_bytes: u64,
+    /// Total reduce-side merge passes.
+    pub reduce_merge_passes: u64,
+
+    /// Distinct key groups seen by reducers.
+    pub reduce_input_groups: u64,
+    /// Records consumed by reducers.
+    pub reduce_input_records: u64,
+    /// Records produced by reducers (or by map tasks for map-only jobs).
+    pub output_records: u64,
+    /// Bytes produced by reducers (or map output bytes for map-only jobs).
+    pub output_bytes: u64,
+
+    /// Per-map-task I/O (skew information).
+    pub map_task_io: Vec<TaskIo>,
+    /// Per-reduce-task I/O (skew information).
+    pub reduce_task_io: Vec<TaskIo>,
+}
+
+impl JobStats {
+    /// Map selectivity: output bytes per input byte (before combining).
+    pub fn map_selectivity(&self) -> f64 {
+        if self.map_input_bytes == 0 {
+            0.0
+        } else {
+            self.map_output_bytes as f64 / self.map_input_bytes as f64
+        }
+    }
+
+    /// Combiner reduction ratio: materialized / emitted bytes (1.0 when no
+    /// combiner ran).
+    pub fn combine_ratio(&self) -> f64 {
+        if self.map_output_bytes == 0 {
+            1.0
+        } else {
+            self.map_materialized_bytes as f64 / self.map_output_bytes as f64
+        }
+    }
+
+    /// Shuffle bytes per map input byte.
+    pub fn shuffle_selectivity(&self) -> f64 {
+        if self.map_input_bytes == 0 {
+            0.0
+        } else {
+            self.shuffle_bytes as f64 / self.map_input_bytes as f64
+        }
+    }
+
+    /// Largest reduce-task input divided by the mean — the reduce skew
+    /// factor (1.0 = perfectly balanced).
+    pub fn reduce_skew(&self) -> f64 {
+        if self.reduce_task_io.is_empty() {
+            return 1.0;
+        }
+        let inputs: Vec<u64> = self.reduce_task_io.iter().map(|t| t.input_bytes).collect();
+        let max = *inputs.iter().max().expect("non-empty") as f64;
+        let mean = inputs.iter().sum::<u64>() as f64 / inputs.len() as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
+    }
+}
+
+/// Adds every counter of `src` into `dst` (task I/O vectors are
+/// concatenated in order). Used to merge per-task and per-job statistics.
+pub fn merge_into(dst: &mut JobStats, src: JobStats) {
+    dst.map_input_bytes += src.map_input_bytes;
+    dst.map_input_records += src.map_input_records;
+    dst.map_output_records += src.map_output_records;
+    dst.map_output_bytes += src.map_output_bytes;
+    dst.map_materialized_records += src.map_materialized_records;
+    dst.map_materialized_bytes += src.map_materialized_bytes;
+    dst.combine_input_records += src.combine_input_records;
+    dst.combine_output_records += src.combine_output_records;
+    dst.spills += src.spills;
+    dst.spill_write_bytes += src.spill_write_bytes;
+    dst.map_merge_bytes += src.map_merge_bytes;
+    dst.map_merge_passes += src.map_merge_passes;
+    dst.shuffle_bytes += src.shuffle_bytes;
+    dst.reduce_merge_bytes += src.reduce_merge_bytes;
+    dst.reduce_merge_passes += src.reduce_merge_passes;
+    dst.reduce_input_groups += src.reduce_input_groups;
+    dst.reduce_input_records += src.reduce_input_records;
+    dst.output_records += src.output_records;
+    dst.output_bytes += src.output_bytes;
+    dst.map_task_io.extend(src.map_task_io);
+    dst.reduce_task_io.extend(src.reduce_task_io);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_handle_empty_jobs() {
+        let s = JobStats::default();
+        assert_eq!(s.map_selectivity(), 0.0);
+        assert_eq!(s.combine_ratio(), 1.0);
+        assert_eq!(s.shuffle_selectivity(), 0.0);
+        assert_eq!(s.reduce_skew(), 1.0);
+    }
+
+    #[test]
+    fn ratios_compute() {
+        let s = JobStats {
+            map_input_bytes: 100,
+            map_output_bytes: 150,
+            map_materialized_bytes: 75,
+            shuffle_bytes: 75,
+            ..JobStats::default()
+        };
+        assert_eq!(s.map_selectivity(), 1.5);
+        assert_eq!(s.combine_ratio(), 0.5);
+        assert_eq!(s.shuffle_selectivity(), 0.75);
+    }
+
+    #[test]
+    fn skew_is_max_over_mean() {
+        let s = JobStats {
+            reduce_task_io: vec![
+                TaskIo {
+                    input_bytes: 10,
+                    ..TaskIo::default()
+                },
+                TaskIo {
+                    input_bytes: 30,
+                    ..TaskIo::default()
+                },
+            ],
+            ..JobStats::default()
+        };
+        assert_eq!(s.reduce_skew(), 1.5);
+    }
+}

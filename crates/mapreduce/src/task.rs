@@ -1,0 +1,139 @@
+//! The user-facing mapper/reducer/combiner traits.
+
+use crate::emit::Emitter;
+use crate::kv::Datum;
+
+/// A map function: `(KIn, VIn) → list of (KOut, VOut)`.
+///
+/// Mappers are `Clone` because the engine instantiates one per map task,
+/// exactly as Hadoop spins up a fresh `Mapper` per task attempt. State kept
+/// inside the mapper is therefore task-local.
+pub trait Mapper: Clone + Send {
+    /// Input key type (e.g. byte offset for text input).
+    type KIn: Datum;
+    /// Input value type (e.g. the line).
+    type VIn: Datum;
+    /// Intermediate key type.
+    type KOut: Datum;
+    /// Intermediate value type.
+    type VOut: Datum;
+
+    /// Processes one input record.
+    fn map(&mut self, key: &Self::KIn, value: &Self::VIn, out: &mut Emitter<Self::KOut, Self::VOut>);
+
+    /// Called once per task after the last record — the place to flush
+    /// in-mapper aggregation state. Default: nothing.
+    fn finish(&mut self, _out: &mut Emitter<Self::KOut, Self::VOut>) {}
+}
+
+/// A reduce function: `(KIn, [VIn]) → list of (KOut, VOut)`.
+pub trait Reducer: Clone + Send {
+    /// Intermediate key type (must match the mapper's `KOut`).
+    type KIn: Datum;
+    /// Intermediate value type (must match the mapper's `VOut`).
+    type VIn: Datum;
+    /// Output key type.
+    type KOut: Datum;
+    /// Output value type.
+    type VOut: Datum;
+
+    /// Processes one key group. `values` contains every value for `key`,
+    /// in the order produced by the merge.
+    fn reduce(
+        &mut self,
+        key: &Self::KIn,
+        values: &[Self::VIn],
+        out: &mut Emitter<Self::KOut, Self::VOut>,
+    );
+}
+
+/// A combiner is a reducer whose output types equal its input types, so it
+/// can run on map-side spills any number of times without changing the
+/// result (Hadoop's contract).
+pub trait Combiner:
+    Reducer<KOut = <Self as Reducer>::KIn, VOut = <Self as Reducer>::VIn>
+{
+}
+
+impl<T> Combiner for T where T: Reducer<KOut = <T as Reducer>::KIn, VOut = <T as Reducer>::VIn> {}
+
+/// The identity mapper: passes records through unchanged (used by Sort and
+/// TeraSort, whose real work happens in the framework's sort/shuffle).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IdentityMapper<K, V> {
+    _marker: std::marker::PhantomData<fn() -> (K, V)>,
+}
+
+impl<K, V> IdentityMapper<K, V> {
+    /// Creates the identity mapper.
+    pub fn new() -> Self {
+        IdentityMapper {
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<K: Datum, V: Datum> Mapper for IdentityMapper<K, V> {
+    type KIn = K;
+    type VIn = V;
+    type KOut = K;
+    type VOut = V;
+    fn map(&mut self, key: &K, value: &V, out: &mut Emitter<K, V>) {
+        out.emit(key.clone(), value.clone());
+    }
+}
+
+/// The identity reducer: emits each (key, value) pair unchanged.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IdentityReducer<K, V> {
+    _marker: std::marker::PhantomData<fn() -> (K, V)>,
+}
+
+impl<K, V> IdentityReducer<K, V> {
+    /// Creates the identity reducer.
+    pub fn new() -> Self {
+        IdentityReducer {
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<K: Datum, V: Datum> Reducer for IdentityReducer<K, V> {
+    type KIn = K;
+    type VIn = V;
+    type KOut = K;
+    type VOut = V;
+    fn reduce(&mut self, key: &K, values: &[V], out: &mut Emitter<K, V>) {
+        for v in values {
+            out.emit(key.clone(), v.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_mapper_passes_through() {
+        let mut m = IdentityMapper::<u64, String>::new();
+        let mut out = Emitter::new();
+        m.map(&1, &"v".to_string(), &mut out);
+        assert_eq!(out.drain(), vec![(1, "v".to_string())]);
+    }
+
+    #[test]
+    fn identity_reducer_preserves_multiplicity() {
+        let mut r = IdentityReducer::<String, u64>::new();
+        let mut out = Emitter::new();
+        r.reduce(&"k".to_string(), &[1, 2, 2], &mut out);
+        assert_eq!(
+            out.drain(),
+            vec![
+                ("k".to_string(), 1),
+                ("k".to_string(), 2),
+                ("k".to_string(), 2)
+            ]
+        );
+    }
+}

@@ -1,0 +1,240 @@
+//! Integration tests of the MapReduce engine: dataflow correctness and
+//! Hadoop-counter semantics under spills, combiners and partitioners.
+
+use hhsim_mapreduce::{
+    hash_partition, range_partition, run_job, run_map_only_job, Emitter, IdentityMapper,
+    IdentityReducer, JobConfig, JobSpec, Mapper, Reducer,
+};
+use proptest::prelude::*;
+
+#[derive(Clone)]
+struct Tokenize;
+impl Mapper for Tokenize {
+    type KIn = u64;
+    type VIn = String;
+    type KOut = String;
+    type VOut = u64;
+    fn map(&mut self, _k: &u64, line: &String, out: &mut Emitter<String, u64>) {
+        for w in line.split_whitespace() {
+            out.emit(w.to_string(), 1);
+        }
+    }
+}
+
+#[derive(Clone)]
+struct Sum;
+impl Reducer for Sum {
+    type KIn = String;
+    type VIn = u64;
+    type KOut = String;
+    type VOut = u64;
+    fn reduce(&mut self, k: &String, vs: &[u64], out: &mut Emitter<String, u64>) {
+        out.emit(k.clone(), vs.iter().sum());
+    }
+}
+
+fn wc_job() -> JobSpec<Tokenize, Sum> {
+    JobSpec::new(Tokenize, Sum)
+}
+
+fn lines(ls: &[&str]) -> Vec<(u64, String)> {
+    ls.iter()
+        .enumerate()
+        .map(|(i, l)| (i as u64, l.to_string()))
+        .collect()
+}
+
+#[test]
+fn wordcount_counts_across_splits() {
+    let splits = vec![
+        lines(&["a b c a", "b b"]),
+        lines(&["c a"]),
+        lines(&[]),
+    ];
+    let res = run_job(&wc_job().config(JobConfig::default().num_reducers(3)), splits);
+    let mut out = res.output;
+    out.sort();
+    assert_eq!(
+        out,
+        vec![
+            ("a".to_string(), 3),
+            ("b".to_string(), 3),
+            ("c".to_string(), 2)
+        ]
+    );
+    assert_eq!(res.stats.map_tasks, 3);
+    assert_eq!(res.stats.reduce_tasks, 3);
+    assert_eq!(res.stats.map_input_records, 3);
+    assert_eq!(res.stats.map_output_records, 8);
+    assert_eq!(res.stats.reduce_input_records, 8);
+    assert_eq!(res.stats.reduce_input_groups, 3);
+    assert_eq!(res.stats.output_records, 3);
+}
+
+#[test]
+fn combiner_shrinks_shuffle_but_not_answer() {
+    let splits = vec![lines(&["x x x x y", "x y"]); 4];
+    let no_comb = run_job(&wc_job().config(JobConfig::default().num_reducers(2)), splits.clone());
+    let comb = run_job(
+        &wc_job()
+            .config(JobConfig::default().num_reducers(2))
+            .combiner(|k: &String, vs: &[u64]| vec![(k.clone(), vs.iter().sum())]),
+        splits,
+    );
+    let (mut a, mut b) = (no_comb.output.clone(), comb.output.clone());
+    a.sort();
+    b.sort();
+    assert_eq!(a, b, "combiner must not change results");
+    assert!(comb.stats.shuffle_bytes < no_comb.stats.shuffle_bytes);
+    assert!(comb.stats.map_materialized_records < no_comb.stats.map_materialized_records);
+    assert_eq!(comb.stats.combine_input_records, 28); // 7 words x 4 splits
+    assert_eq!(comb.stats.combine_output_records, 8); // 2 keys x 4 splits
+}
+
+#[test]
+fn tiny_sort_buffer_forces_spills() {
+    let splits = vec![lines(&["w w", "w w", "w w", "w w", "w w", "w w"]); 2];
+    let big_buf = run_job(&wc_job(), splits.clone());
+    assert_eq!(big_buf.stats.spills, 2, "one final spill per map task");
+    assert_eq!(big_buf.stats.map_merge_passes, 0);
+
+    let small = run_job(
+        &wc_job().config(JobConfig::default().sort_buffer_bytes(20).merge_factor(2)),
+        splits,
+    );
+    assert!(small.stats.spills > 2, "tiny buffer must spill repeatedly");
+    assert!(small.stats.map_merge_passes > 0, "multiple spills need merges");
+    assert!(small.stats.map_merge_bytes > 0);
+    // Same answer regardless.
+    let (mut a, mut b) = (big_buf.output.clone(), small.output.clone());
+    a.sort();
+    b.sort();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn map_only_job_returns_mapper_output() {
+    let splits = vec![lines(&["b a", "c"])];
+    let res = run_map_only_job(&wc_job(), splits);
+    // Output is sorted within the task (map outputs are sorted runs).
+    let keys: Vec<&str> = res.output.iter().map(|(k, _)| k.as_str()).collect();
+    assert_eq!(keys, vec!["a", "b", "c"]);
+    assert_eq!(res.stats.reduce_tasks, 0);
+    assert_eq!(res.stats.shuffle_bytes, 0);
+    assert_eq!(res.stats.output_records, 3);
+}
+
+#[test]
+fn range_partitioner_gives_globally_sorted_output() {
+    // TeraSort-style: identity map/reduce with range partitioning.
+    let mut records: Vec<(u64, u64)> = (0..100u64).map(|i| (i * 37 % 101, i)).collect();
+    let job = JobSpec::new(IdentityMapper::<u64, u64>::new(), IdentityReducer::new())
+        .config(JobConfig::default().num_reducers(4))
+        .partitioner(range_partition(vec![25u64, 50, 75]));
+    let res = run_job(&job, vec![records.clone()]);
+    let keys: Vec<u64> = res.output.iter().map(|(k, _)| *k).collect();
+    let mut expect: Vec<u64> = records.drain(..).map(|(k, _)| k).collect();
+    expect.sort();
+    assert_eq!(keys, expect, "concatenated reducer outputs must be sorted");
+}
+
+#[test]
+fn hash_partitioner_balances_roughly() {
+    let splits = vec![(0..2000u64)
+        .map(|i| (i, format!("word{i}")))
+        .collect::<Vec<_>>()];
+    let job = JobSpec::new(IdentityMapper::<u64, String>::new(), IdentityReducer::new())
+        .config(JobConfig::default().num_reducers(4))
+        .partitioner(hash_partition());
+    let res = run_job(&job, splits);
+    assert!(res.stats.reduce_skew() < 1.25, "skew {}", res.stats.reduce_skew());
+}
+
+#[test]
+fn stats_bytes_are_consistent() {
+    let splits = vec![lines(&["aa bb aa", "cc"]); 3];
+    let res = run_job(&wc_job().config(JobConfig::default().num_reducers(2)), splits);
+    let s = &res.stats;
+    // No combiner: materialized == emitted == shuffled.
+    assert_eq!(s.map_materialized_bytes, s.map_output_bytes);
+    assert_eq!(s.shuffle_bytes, s.map_materialized_bytes);
+    assert_eq!(s.spill_write_bytes, s.map_materialized_bytes);
+    // Per-task IO sums to job totals.
+    let task_in: u64 = s.map_task_io.iter().map(|t| t.input_bytes).sum();
+    assert_eq!(task_in, s.map_input_bytes);
+    let red_in: u64 = s.reduce_task_io.iter().map(|t| t.input_bytes).sum();
+    assert_eq!(red_in, s.shuffle_bytes);
+}
+
+#[test]
+fn deterministic_across_runs() {
+    let splits = vec![lines(&["q w e r t y u i o p", "a s d f g"]); 5];
+    let r1 = run_job(&wc_job().config(JobConfig::default().num_reducers(3)), splits.clone());
+    let r2 = run_job(&wc_job().config(JobConfig::default().num_reducers(3)), splits);
+    assert_eq!(r1.output, r2.output);
+    assert_eq!(r1.stats, r2.stats);
+}
+
+proptest! {
+    /// Word counts from the engine always match a straightforward HashMap
+    /// count, regardless of split shapes, reducer counts or buffer sizes.
+    #[test]
+    fn prop_wordcount_matches_reference(
+        docs in proptest::collection::vec(
+            proptest::collection::vec("[a-d]{1,3}", 0..12),
+            1..6
+        ),
+        nred in 1usize..5,
+        buf in 8u64..200,
+    ) {
+        let splits: Vec<Vec<(u64, String)>> = docs
+            .iter()
+            .map(|words| vec![(0u64, words.join(" "))])
+            .collect();
+        let mut expect = std::collections::BTreeMap::new();
+        for w in docs.iter().flatten() {
+            *expect.entry(w.clone()).or_insert(0u64) += 1;
+        }
+        let res = run_job(
+            &wc_job().config(JobConfig::default().num_reducers(nred).sort_buffer_bytes(buf)),
+            splits,
+        );
+        let got: std::collections::BTreeMap<String, u64> = res.output.into_iter().collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Identity sort through the engine equals std sort.
+    #[test]
+    fn prop_engine_sort_matches_std(
+        keys in proptest::collection::vec(0u64..1000, 0..200),
+        nred in 1usize..4,
+    ) {
+        let records: Vec<(u64, u64)> = keys.iter().map(|&k| (k, k ^ 0xff)).collect();
+        let cuts = vec![333u64, 666];
+        let job = JobSpec::new(IdentityMapper::<u64, u64>::new(), IdentityReducer::new())
+            .config(JobConfig::default().num_reducers(nred.max(cuts.len() + 1)))
+            .partitioner(range_partition(cuts));
+        let res = run_job(&job, vec![records]);
+        let got: Vec<u64> = res.output.iter().map(|(k, _)| *k).collect();
+        let mut expect = keys;
+        expect.sort();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Total records are conserved through an identity job: reduce input
+    /// records equal map output records equal input records.
+    #[test]
+    fn prop_identity_conserves_records(
+        n in 0usize..300,
+        nred in 1usize..6,
+    ) {
+        let records: Vec<(u64, u64)> = (0..n as u64).map(|i| (i % 17, i)).collect();
+        let job = JobSpec::new(IdentityMapper::<u64, u64>::new(), IdentityReducer::new())
+            .config(JobConfig::default().num_reducers(nred));
+        let res = run_job(&job, vec![records]);
+        prop_assert_eq!(res.stats.map_output_records, n as u64);
+        prop_assert_eq!(res.stats.reduce_input_records, n as u64);
+        prop_assert_eq!(res.stats.output_records, n as u64);
+        prop_assert_eq!(res.output.len(), n);
+    }
+}

@@ -1,0 +1,400 @@
+//! Multi-job scheduling on a shared heterogeneous pool.
+//!
+//! The paper's §1.3 motivates the study with clusters that "host a variety
+//! of big data applications running concurrently"; §3.5 derives per-job
+//! allocations. This module closes the loop: a stream of jobs arrives at a
+//! pool of X big and Y little cores, a [`Policy`] picks each job's
+//! allocation (the paper's pseudo-code, exhaustive search, or the
+//! max-performance baseline), and the event-driven queue simulation
+//! reports makespan, energy and total cost — the provider-vs-user
+//! trade-off made measurable.
+
+use hhsim_arch::CoreKind;
+use hhsim_energy::MetricKind;
+use serde::{Deserialize, Serialize};
+
+use crate::{paper_schedule, CoreAllocation, CostTable, JobClass};
+
+/// Available cores of each kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PoolConfig {
+    /// Big (Xeon) cores in the pool.
+    pub big_cores: usize,
+    /// Little (Atom) cores in the pool.
+    pub little_cores: usize,
+}
+
+impl PoolConfig {
+    fn capacity(&self, kind: CoreKind) -> usize {
+        match kind {
+            CoreKind::Big => self.big_cores,
+            CoreKind::Little => self.little_cores,
+        }
+    }
+}
+
+/// One job submitted to the queue: its class, arrival time, and the
+/// characterized cost of every candidate allocation.
+#[derive(Debug, Clone)]
+pub struct JobRequest {
+    /// Label for reports.
+    pub name: String,
+    /// Compute/Io/Hybrid class (drives the paper's pseudo-code).
+    pub class: JobClass,
+    /// Submission time, seconds.
+    pub arrival_s: f64,
+    /// Characterization table (allocation → energy/delay/area).
+    pub table: CostTable,
+}
+
+/// How allocations are chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Policy {
+    /// The paper's §3.5 class-driven pseudo-code, minimizing `goal`.
+    PaperClassDriven(MetricKind),
+    /// Exhaustive search over the characterized allocations for `goal`.
+    ExhaustiveOptimal(MetricKind),
+    /// The user-expectation baseline: as many big cores as the pool has
+    /// (capped at the largest characterized allocation).
+    MaxPerformance,
+}
+
+impl Policy {
+    fn choose(&self, job: &JobRequest, pool: &PoolConfig) -> CoreAllocation {
+        let clamp = |a: CoreAllocation| CoreAllocation {
+            kind: a.kind,
+            cores: a.cores.min(pool.capacity(a.kind)).max(1),
+        };
+        match self {
+            Policy::PaperClassDriven(goal) => clamp(paper_schedule(job.class, *goal)),
+            Policy::ExhaustiveOptimal(goal) => clamp(
+                job.table
+                    .optimal(*goal)
+                    .map(|(a, _)| a)
+                    .unwrap_or(CoreAllocation {
+                        kind: CoreKind::Little,
+                        cores: 1,
+                    }),
+            ),
+            Policy::MaxPerformance => clamp(
+                job.table
+                    .max_performance_baseline()
+                    .unwrap_or(CoreAllocation {
+                        kind: CoreKind::Big,
+                        cores: 1,
+                    }),
+            ),
+        }
+    }
+}
+
+/// Outcome of one job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobCompletion {
+    /// Job label.
+    pub name: String,
+    /// Allocation the policy picked.
+    pub allocation: CoreAllocation,
+    /// When the job started running, seconds.
+    pub start_s: f64,
+    /// When it finished, seconds.
+    pub finish_s: f64,
+    /// Energy it consumed, joules.
+    pub energy_j: f64,
+}
+
+impl JobCompletion {
+    /// Time spent waiting in the queue.
+    pub fn wait_s(&self, arrival_s: f64) -> f64 {
+        self.start_s - arrival_s
+    }
+}
+
+/// Aggregate outcome of a queue run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueueOutcome {
+    /// Per-job results in completion order.
+    pub completions: Vec<JobCompletion>,
+    /// Time the last job finished.
+    pub makespan_s: f64,
+    /// Total energy across jobs, joules.
+    pub total_energy_j: f64,
+}
+
+/// Runs `jobs` through the pool under `policy` (FIFO admission: a queued
+/// job blocks later jobs needing the same core kind until it fits).
+///
+/// # Panics
+///
+/// Panics if the pool is empty, if a job's chosen allocation was never
+/// characterized in its table, or if arrivals are not sorted.
+pub fn run_queue(pool: PoolConfig, jobs: &[JobRequest], policy: Policy) -> QueueOutcome {
+    assert!(
+        pool.big_cores + pool.little_cores > 0,
+        "pool must have cores"
+    );
+    assert!(
+        jobs.windows(2).all(|w| w[0].arrival_s <= w[1].arrival_s),
+        "jobs must be sorted by arrival"
+    );
+
+    struct Pending {
+        idx: usize,
+        alloc: CoreAllocation,
+        duration: f64,
+        energy: f64,
+    }
+    struct Running {
+        idx: usize,
+        alloc: CoreAllocation,
+        finish: f64,
+        energy: f64,
+        start: f64,
+    }
+
+    let pending: Vec<Pending> = jobs
+        .iter()
+        .enumerate()
+        .map(|(idx, j)| {
+            let alloc = policy.choose(j, &pool);
+            let cost = j
+                .table
+                .get(alloc)
+                .unwrap_or_else(|| panic!("{}: allocation {alloc} not characterized", j.name));
+            Pending {
+                idx,
+                alloc,
+                duration: cost.delay_s,
+                energy: cost.energy_j,
+            }
+        })
+        .collect();
+
+    let mut free_big = pool.big_cores;
+    let mut free_little = pool.little_cores;
+    let mut queue: Vec<usize> = Vec::new(); // indices into `pending`, FIFO
+    let mut running: Vec<Running> = Vec::new();
+    let mut completions = Vec::new();
+    let mut next_arrival = 0usize;
+    let mut now = 0.0f64;
+
+    loop {
+        // Admit from the head of the queue while resources allow.
+        while let Some(&qidx) = queue.first() {
+            let p = &pending[qidx];
+            let free = match p.alloc.kind {
+                CoreKind::Big => &mut free_big,
+                CoreKind::Little => &mut free_little,
+            };
+            if p.alloc.cores <= *free {
+                *free -= p.alloc.cores;
+                running.push(Running {
+                    idx: p.idx,
+                    alloc: p.alloc,
+                    finish: now + p.duration,
+                    energy: p.energy,
+                    start: now,
+                });
+                queue.remove(0);
+            } else {
+                break;
+            }
+        }
+
+        // Next event: arrival or completion.
+        let next_finish = running
+            .iter()
+            .map(|r| r.finish)
+            .fold(f64::INFINITY, f64::min);
+        let next_arr = jobs
+            .get(next_arrival)
+            .map(|j| j.arrival_s)
+            .unwrap_or(f64::INFINITY);
+        if next_finish.is_infinite() && next_arr.is_infinite() {
+            break;
+        }
+        if next_arr <= next_finish {
+            now = next_arr;
+            queue.push(next_arrival);
+            next_arrival += 1;
+        } else {
+            now = next_finish;
+            let pos = running
+                .iter()
+                .position(|r| r.finish == next_finish)
+                .expect("finish event exists");
+            let r = running.swap_remove(pos);
+            match r.alloc.kind {
+                CoreKind::Big => free_big += r.alloc.cores,
+                CoreKind::Little => free_little += r.alloc.cores,
+            }
+            completions.push(JobCompletion {
+                name: jobs[r.idx].name.clone(),
+                allocation: r.alloc,
+                start_s: r.start,
+                finish_s: r.finish,
+                energy_j: r.energy,
+            });
+        }
+    }
+
+    let makespan_s = completions.iter().map(|c| c.finish_s).fold(0.0, f64::max);
+    let total_energy_j = completions.iter().map(|c| c.energy_j).sum();
+    QueueOutcome {
+        completions,
+        makespan_s,
+        total_energy_j,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hhsim_energy::CostMetrics;
+
+    /// A synthetic compute-bound cost table: Atom slow but cheap.
+    fn table(atom_t: f64, xeon_t: f64) -> CostTable {
+        let mut t = CostTable::new();
+        for cores in crate::CORE_COUNTS {
+            let speed = cores as f64 / 2.0;
+            t.insert(
+                CoreAllocation {
+                    kind: CoreKind::Big,
+                    cores,
+                },
+                CostMetrics::new(60.0 * xeon_t / speed, xeon_t / speed, 216.0 * cores as f64),
+            );
+            t.insert(
+                CoreAllocation {
+                    kind: CoreKind::Little,
+                    cores,
+                },
+                CostMetrics::new(10.0 * atom_t / speed, atom_t / speed, 160.0 * cores as f64),
+            );
+        }
+        t
+    }
+
+    fn jobs(n: usize, class: JobClass) -> Vec<JobRequest> {
+        (0..n)
+            .map(|i| JobRequest {
+                name: format!("job{i}"),
+                class,
+                arrival_s: i as f64 * 1.0,
+                table: table(100.0, 55.0),
+            })
+            .collect()
+    }
+
+    const POOL: PoolConfig = PoolConfig {
+        big_cores: 8,
+        little_cores: 8,
+    };
+
+    #[test]
+    fn all_jobs_complete_exactly_once() {
+        for policy in [
+            Policy::PaperClassDriven(MetricKind::Edp),
+            Policy::ExhaustiveOptimal(MetricKind::Edp),
+            Policy::MaxPerformance,
+        ] {
+            let js = jobs(6, JobClass::Compute);
+            let out = run_queue(POOL, &js, policy);
+            assert_eq!(out.completions.len(), 6, "{policy:?}");
+            let mut names: Vec<&str> = out.completions.iter().map(|c| c.name.as_str()).collect();
+            names.sort();
+            names.dedup();
+            assert_eq!(names.len(), 6);
+        }
+    }
+
+    #[test]
+    fn capacity_is_never_exceeded() {
+        let js = jobs(10, JobClass::Compute);
+        let out = run_queue(POOL, &js, Policy::PaperClassDriven(MetricKind::Edp));
+        // Paper policy sends compute jobs to 8 Atom cores: strictly serial
+        // on an 8-little pool. Starts must therefore never overlap runs.
+        let mut intervals: Vec<(f64, f64)> = out
+            .completions
+            .iter()
+            .map(|c| (c.start_s, c.finish_s))
+            .collect();
+        intervals.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+        for w in intervals.windows(2) {
+            assert!(w[1].0 >= w[0].1 - 1e-9, "overlap: {w:?}");
+        }
+    }
+
+    #[test]
+    fn paper_policy_saves_energy_vs_max_performance() {
+        let js = jobs(8, JobClass::Compute);
+        let paper = run_queue(POOL, &js, Policy::PaperClassDriven(MetricKind::Edp));
+        let maxperf = run_queue(POOL, &js, Policy::MaxPerformance);
+        assert!(
+            paper.total_energy_j < maxperf.total_energy_j / 2.0,
+            "paper {} vs baseline {}",
+            paper.total_energy_j,
+            maxperf.total_energy_j
+        );
+        // ... at a makespan cost, which is the provider/user trade-off.
+        assert!(paper.makespan_s > maxperf.makespan_s);
+    }
+
+    #[test]
+    fn io_jobs_go_to_big_cores() {
+        let js = jobs(2, JobClass::Io);
+        let out = run_queue(POOL, &js, Policy::PaperClassDriven(MetricKind::Edp));
+        for c in &out.completions {
+            assert_eq!(c.allocation.kind, CoreKind::Big);
+            assert_eq!(c.allocation.cores, 4);
+        }
+    }
+
+    #[test]
+    fn allocation_clamped_to_pool() {
+        let tiny = PoolConfig {
+            big_cores: 2,
+            little_cores: 2,
+        };
+        let js = jobs(1, JobClass::Compute);
+        let out = run_queue(tiny, &js, Policy::PaperClassDriven(MetricKind::Edp));
+        assert_eq!(out.completions[0].allocation.cores, 2, "clamped from 8");
+    }
+
+    #[test]
+    fn queueing_delays_are_visible() {
+        // Two compute jobs arriving together on an 8-little pool: the
+        // second waits for the first.
+        let mut js = jobs(2, JobClass::Compute);
+        js[1].arrival_s = 0.0;
+        let out = run_queue(POOL, &js, Policy::PaperClassDriven(MetricKind::Edp));
+        let waited = out
+            .completions
+            .iter()
+            .filter(|c| c.wait_s(0.0) > 1.0)
+            .count();
+        assert_eq!(waited, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted by arrival")]
+    fn unsorted_arrivals_rejected() {
+        let mut js = jobs(2, JobClass::Compute);
+        js[0].arrival_s = 5.0;
+        js[1].arrival_s = 0.0;
+        let _ = run_queue(POOL, &js, Policy::MaxPerformance);
+    }
+
+    #[test]
+    #[should_panic(expected = "pool must have cores")]
+    fn empty_pool_rejected() {
+        let _ = run_queue(
+            PoolConfig {
+                big_cores: 0,
+                little_cores: 0,
+            },
+            &jobs(1, JobClass::Compute),
+            Policy::MaxPerformance,
+        );
+    }
+}

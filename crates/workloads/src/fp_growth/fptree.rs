@@ -1,0 +1,240 @@
+//! A real FP-tree: prefix-tree with header links, mined recursively via
+//! conditional pattern bases (Han et al.'s algorithm).
+
+use std::collections::HashMap;
+
+/// One FP-tree node.
+#[derive(Debug, Clone)]
+struct Node {
+    item: u32,
+    count: u64,
+    parent: usize,
+    children: HashMap<u32, usize>,
+}
+
+/// A frequent-pattern tree over rank-encoded transactions.
+///
+/// Items are `u32` ranks (0 = globally most frequent); transactions must be
+/// sorted ascending by rank, which is how [`crate::fp_growth::GroupMapper`]
+/// serializes them.
+///
+/// # Examples
+///
+/// ```
+/// use hhsim_workloads::fp_growth::FpTree;
+///
+/// let txs = vec![vec![0, 1], vec![0, 1, 2], vec![0, 2]];
+/// let tree = FpTree::build(&txs);
+/// let mut patterns = Vec::new();
+/// tree.mine(2, &mut patterns);
+/// // {0} appears 3 times; {0,1} and {0,2} twice each.
+/// assert!(patterns.contains(&(vec![0], 3)));
+/// assert!(patterns.contains(&(vec![0, 1], 2)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct FpTree {
+    nodes: Vec<Node>,
+    /// item → node indices holding that item (header table).
+    header: HashMap<u32, Vec<usize>>,
+}
+
+impl FpTree {
+    /// Builds the tree from rank-sorted transactions, each with count 1.
+    pub fn build(transactions: &[Vec<u32>]) -> Self {
+        Self::build_weighted(transactions.iter().map(|t| (t.as_slice(), 1)))
+    }
+
+    /// Builds from `(transaction, count)` pairs (used for conditional
+    /// trees, where paths carry accumulated counts).
+    pub fn build_weighted<'a, I>(transactions: I) -> Self
+    where
+        I: IntoIterator<Item = (&'a [u32], u64)>,
+    {
+        let mut tree = FpTree {
+            nodes: vec![Node {
+                item: u32::MAX,
+                count: 0,
+                parent: usize::MAX,
+                children: HashMap::new(),
+            }],
+            header: HashMap::new(),
+        };
+        for (tx, count) in transactions {
+            tree.insert(tx, count);
+        }
+        tree
+    }
+
+    fn insert(&mut self, tx: &[u32], count: u64) {
+        let mut cur = 0usize;
+        for &item in tx {
+            let next = match self.nodes[cur].children.get(&item) {
+                Some(&n) => {
+                    self.nodes[n].count += count;
+                    n
+                }
+                None => {
+                    let n = self.nodes.len();
+                    self.nodes.push(Node {
+                        item,
+                        count,
+                        parent: cur,
+                        children: HashMap::new(),
+                    });
+                    self.nodes[cur].children.insert(item, n);
+                    self.header.entry(item).or_default().push(n);
+                    n
+                }
+            };
+            cur = next;
+        }
+    }
+
+    /// Number of nodes excluding the root.
+    pub fn len(&self) -> usize {
+        self.nodes.len() - 1
+    }
+
+    /// True when the tree holds no transactions.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total support of `item` in this tree.
+    pub fn item_support(&self, item: u32) -> u64 {
+        self.header
+            .get(&item)
+            .map(|ns| ns.iter().map(|&n| self.nodes[n].count).sum())
+            .unwrap_or(0)
+    }
+
+    /// Mines all itemsets with support ≥ `min_support` into `out` as
+    /// `(ascending rank vec, support)` pairs.
+    pub fn mine(&self, min_support: u64, out: &mut Vec<(Vec<u32>, u64)>) {
+        self.mine_suffix(min_support, &mut Vec::new(), out);
+    }
+
+    fn mine_suffix(
+        &self,
+        min_support: u64,
+        suffix: &mut Vec<u32>,
+        out: &mut Vec<(Vec<u32>, u64)>,
+    ) {
+        // Deterministic order: mine items deepest-rank first.
+        let mut items: Vec<u32> = self.header.keys().copied().collect();
+        items.sort_unstable_by(|a, b| b.cmp(a));
+        for item in items {
+            let support = self.item_support(item);
+            if support < min_support {
+                continue;
+            }
+            let mut pattern = vec![item];
+            pattern.extend_from_slice(suffix);
+            pattern.sort_unstable();
+            out.push((pattern, support));
+
+            // Conditional pattern base: prefix paths of every `item` node.
+            let mut paths: Vec<(Vec<u32>, u64)> = Vec::new();
+            for &n in &self.header[&item] {
+                let count = self.nodes[n].count;
+                let mut path = Vec::new();
+                let mut p = self.nodes[n].parent;
+                while p != usize::MAX && p != 0 {
+                    path.push(self.nodes[p].item);
+                    p = self.nodes[p].parent;
+                }
+                if !path.is_empty() {
+                    path.reverse();
+                    paths.push((path, count));
+                }
+            }
+            if paths.is_empty() {
+                continue;
+            }
+            let cond =
+                FpTree::build_weighted(paths.iter().map(|(p, c)| (p.as_slice(), *c)));
+            suffix.insert(0, item);
+            cond.mine_suffix(min_support, suffix, out);
+            suffix.remove(0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn mine_map(txs: &[Vec<u32>], min_support: u64) -> BTreeMap<Vec<u32>, u64> {
+        let tree = FpTree::build(txs);
+        let mut out = Vec::new();
+        tree.mine(min_support, &mut out);
+        out.into_iter().collect()
+    }
+
+    #[test]
+    fn empty_tree() {
+        let tree = FpTree::build(&[]);
+        assert!(tree.is_empty());
+        let mut out = Vec::new();
+        tree.mine(1, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn shared_prefixes_share_nodes() {
+        let tree = FpTree::build(&[vec![0, 1, 2], vec![0, 1, 3], vec![0, 4]]);
+        // Nodes: 0,1,2,3,4 -> 5 nodes (prefix 0 and 0-1 shared).
+        assert_eq!(tree.len(), 5);
+        assert_eq!(tree.item_support(0), 3);
+        assert_eq!(tree.item_support(1), 2);
+    }
+
+    #[test]
+    fn textbook_example() {
+        // Han's classic example (rank-encoded).
+        let txs = vec![
+            vec![0, 1, 3],
+            vec![0, 2],
+            vec![0, 1, 4],
+            vec![0, 1, 2],
+            vec![1, 2],
+        ];
+        let got = mine_map(&txs, 2);
+        assert_eq!(got[&vec![0]], 4);
+        assert_eq!(got[&vec![1]], 4);
+        assert_eq!(got[&vec![0, 1]], 3);
+        assert_eq!(got[&vec![1, 2]], 2);
+        assert_eq!(got[&vec![0, 2]], 2);
+        assert!(!got.contains_key(&vec![3]), "support 1 pruned");
+    }
+
+    #[test]
+    fn pattern_supports_are_antimonotone() {
+        let txs: Vec<Vec<u32>> = (0..40u32)
+            .map(|i| (0..=(i % 5)).collect())
+            .collect();
+        let got = mine_map(&txs, 3);
+        for (pattern, support) in &got {
+            for sub_idx in 0..pattern.len() {
+                let mut sub = pattern.clone();
+                sub.remove(sub_idx);
+                if sub.is_empty() {
+                    continue;
+                }
+                assert!(
+                    got[&sub] >= *support,
+                    "subset {sub:?} must be at least as frequent as {pattern:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_build_accumulates_counts() {
+        let paths: Vec<(Vec<u32>, u64)> = vec![(vec![0, 1], 5), (vec![0], 2)];
+        let tree = FpTree::build_weighted(paths.iter().map(|(p, c)| (p.as_slice(), *c)));
+        assert_eq!(tree.item_support(0), 7);
+        assert_eq!(tree.item_support(1), 5);
+    }
+}

@@ -1,0 +1,45 @@
+//! The studied Hadoop applications (Table 2 of the paper), implemented for
+//! real on the `hhsim` MapReduce engine.
+//!
+//! | Benchmark | Domain | Class |
+//! |---|---|---|
+//! | WordCount (WC) | micro | CPU intensive |
+//! | Sort (ST) | micro | I/O intensive |
+//! | Grep (GP) | micro | hybrid (search + sort jobs) |
+//! | TeraSort (TS) | micro | hybrid |
+//! | Naive Bayes (NB) | classification (Mahout-style) | CPU intensive |
+//! | FP-Growth (FP) | association rule mining (Mahout-style) | CPU intensive |
+//!
+//! Each application ships its mappers/reducers, a deterministic input
+//! generator, per-phase [`hhsim_arch::ComputeProfile`]s, and a
+//! [`catalog::AppId::run_functional`] entry point that executes the job(s)
+//! over generated data and returns merged [`hhsim_mapreduce::JobStats`] —
+//! the structural statistics the timing model extrapolates from.
+//!
+//! # Examples
+//!
+//! ```
+//! use hhsim_workloads::{AppId, FunctionalConfig};
+//!
+//! let run = AppId::WordCount.run_functional(&FunctionalConfig {
+//!     input_bytes: 64 << 10,
+//!     block_bytes: 16 << 10,
+//!     sort_buffer_bytes: 8 << 10,
+//!     num_reducers: 2,
+//!     seed: 1,
+//! });
+//! assert!(run.stats.map_tasks >= 4);
+//! assert!(run.stats.output_records > 0);
+//! ```
+
+pub mod catalog;
+pub mod datagen;
+pub mod fp_growth;
+pub mod grep;
+pub mod naive_bayes;
+pub mod profiles;
+pub mod sort;
+pub mod terasort;
+pub mod wordcount;
+
+pub use catalog::{AppClass, AppId, FunctionalConfig, FunctionalRun};

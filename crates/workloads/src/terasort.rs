@@ -1,0 +1,132 @@
+//! TeraSort (TS) — the scalable MapReduce sort. Mirrors the Hadoop
+//! implementation: the client first *samples* the input to compute the
+//! key-range quantiles (one cut per reducer boundary — "a sorted list of
+//! N−1 sampled keys defines the key range for each reduce", §1.3.1), then
+//! runs identity map/reduce under a total-order range partitioner so that
+//! concatenated reducer outputs are globally sorted.
+
+use bytes::Bytes;
+use hhsim_mapreduce::{
+    range_partition, run_job, text_splits_from_bytes, Emitter, JobConfig, JobResult, JobSpec,
+    Mapper, Reducer,
+};
+
+/// Keys each TeraGen row by its 10-character key prefix.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TeraKeyMapper;
+
+impl Mapper for TeraKeyMapper {
+    type KIn = u64;
+    type VIn = String;
+    type KOut = String;
+    type VOut = String;
+    fn map(&mut self, _offset: &u64, row: &String, out: &mut Emitter<String, String>) {
+        match row.split_once('\t') {
+            Some((k, v)) => out.emit(k.to_string(), v.to_string()),
+            None => out.emit(row.clone(), String::new()),
+        }
+    }
+}
+
+/// Identity reducer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TeraReducer;
+
+impl Reducer for TeraReducer {
+    type KIn = String;
+    type VIn = String;
+    type KOut = String;
+    type VOut = String;
+    fn reduce(&mut self, key: &String, values: &[String], out: &mut Emitter<String, String>) {
+        for v in values {
+            out.emit(key.clone(), v.clone());
+        }
+    }
+}
+
+/// Samples `samples_per_split` keys from each split and returns the
+/// `num_reducers − 1` quantile cut points (TeraInputFormat's partition
+/// file).
+pub fn sample_cut_points(
+    splits: &[Vec<(u64, String)>],
+    num_reducers: usize,
+    samples_per_split: usize,
+) -> Vec<String> {
+    let mut samples: Vec<String> = Vec::new();
+    for split in splits {
+        let n = split.len();
+        if n == 0 {
+            continue;
+        }
+        let step = (n / samples_per_split.max(1)).max(1);
+        for (_, row) in split.iter().step_by(step).take(samples_per_split) {
+            let key = row.split_once('\t').map(|(k, _)| k).unwrap_or(row);
+            samples.push(key.to_string());
+        }
+    }
+    samples.sort();
+    if num_reducers <= 1 || samples.is_empty() {
+        return Vec::new();
+    }
+    let mut cuts = Vec::with_capacity(num_reducers - 1);
+    for i in 1..num_reducers {
+        let idx = i * samples.len() / num_reducers;
+        cuts.push(samples[idx.min(samples.len() - 1)].clone());
+    }
+    cuts.dedup();
+    cuts
+}
+
+/// Runs TeraSort (sampling + total-order sort) over `input`.
+pub fn run(input: &Bytes, block_bytes: u64, cfg: JobConfig) -> JobResult<String, String> {
+    let splits = text_splits_from_bytes(input, block_bytes);
+    let cuts = sample_cut_points(&splits, cfg.num_reducers, 32);
+    let job = JobSpec::new(TeraKeyMapper, TeraReducer)
+        .config(cfg)
+        .partitioner(range_partition(cuts));
+    run_job(&job, splits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datagen;
+
+    #[test]
+    fn output_is_globally_sorted() {
+        let input = datagen::teragen(40 << 10, 3);
+        let res = run(&input, 8 << 10, JobConfig::default().num_reducers(4));
+        let keys: Vec<&String> = res.output.iter().map(|(k, _)| k).collect();
+        assert!(
+            keys.windows(2).all(|w| w[0] <= w[1]),
+            "range partitioning must give a total order across reducers"
+        );
+        assert_eq!(res.output.len() as u64, res.stats.map_input_records);
+    }
+
+    #[test]
+    fn sampling_balances_reducers() {
+        let input = datagen::teragen(100 << 10, 4);
+        let res = run(&input, 20 << 10, JobConfig::default().num_reducers(4));
+        assert!(
+            res.stats.reduce_skew() < 1.6,
+            "quantile cuts should balance partitions, skew {}",
+            res.stats.reduce_skew()
+        );
+    }
+
+    #[test]
+    fn cut_points_are_sorted_and_bounded() {
+        let splits = text_splits_from_bytes(&datagen::teragen(20 << 10, 5), 4 << 10);
+        let cuts = sample_cut_points(&splits, 5, 16);
+        assert!(cuts.len() <= 4);
+        assert!(cuts.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn single_reducer_needs_no_cuts() {
+        let splits = text_splits_from_bytes(&datagen::teragen(4 << 10, 6), 1 << 10);
+        assert!(sample_cut_points(&splits, 1, 8).is_empty());
+        assert!(sample_cut_points(&[], 4, 8).is_empty());
+    }
+}

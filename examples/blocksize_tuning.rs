@@ -1,0 +1,54 @@
+//! HDFS block-size and DVFS tuning study (paper §3.1): sweeps the two
+//! knobs for a chosen application and shows that fine-tuning the system
+//! parameters shrinks the big/little performance gap — the paper's
+//! "configuration parameters reduce the reliance on many little cores".
+//!
+//! ```text
+//! cargo run --release -p hhsim-core --example blocksize_tuning [WC|ST|GP|TS|NB|FP]
+//! ```
+
+use hhsim_core::arch::{presets, Frequency};
+use hhsim_core::hdfs::BlockSize;
+use hhsim_core::workloads::AppId;
+use hhsim_core::{simulate, SimConfig};
+
+fn main() {
+    let tag = std::env::args().nth(1).unwrap_or_else(|| "WC".to_string());
+    let app = AppId::ALL
+        .into_iter()
+        .find(|a| a.short_name().eq_ignore_ascii_case(&tag))
+        .unwrap_or_else(|| {
+            eprintln!("unknown app `{tag}`; use WC, ST, GP, TS, NB or FP");
+            std::process::exit(2);
+        });
+
+    println!("Block-size x frequency sweep for {} ({:?})\n", app.full_name(), app.class());
+    for m in presets::both() {
+        println!("{}:", m.name);
+        print!("{:>10}", "block \\ f");
+        for f in Frequency::SWEEP {
+            print!("{:>10}", format!("{:.1}GHz", f.ghz()));
+        }
+        println!();
+        let mut best = (f64::MAX, String::new());
+        for b in BlockSize::SWEEP {
+            print!("{:>10}", b.to_string());
+            for f in Frequency::SWEEP {
+                let t = simulate(&SimConfig::new(app, m.clone()).block_size(b).frequency(f))
+                    .breakdown
+                    .total();
+                if t < best.0 {
+                    best = (t, format!("{b} @ {f}"));
+                }
+                print!("{:>10.1}", t);
+            }
+            println!();
+        }
+        println!("  best: {:.1}s at {}\n", best.0, best.1);
+    }
+    println!(
+        "Note the paper's findings: the optimum block size is interior\n\
+         (task overhead at 32 MB, spills and lost parallelism at 512 MB),\n\
+         and the little core is the more sensitive machine to both knobs."
+    );
+}
