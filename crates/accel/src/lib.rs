@@ -177,7 +177,10 @@ mod tests {
             .map(|c| speedup_ratio(&atom, &xeon, 1 << 30, 1 << 30, c))
             .collect();
         for w in ratios.windows(2) {
-            assert!(w[1] <= w[0] + 1e-9, "ratio must not rise with rate: {ratios:?}");
+            assert!(
+                w[1] <= w[0] + 1e-9,
+                "ratio must not rise with rate: {ratios:?}"
+            );
         }
     }
 

@@ -2,10 +2,21 @@ use hhsim_arch::{presets, ComputeProfile, Frequency};
 fn main() {
     let f = Frequency::GHZ_1_8;
     for m in presets::both() {
-        for p in [ComputeProfile::spec_average(), ComputeProfile::parsec_average(), ComputeProfile::hadoop_average()] {
+        for p in [
+            ComputeProfile::spec_average(),
+            ComputeProfile::parsec_average(),
+            ComputeProfile::hadoop_average(),
+        ] {
             let (oc, dn) = m.stall_split(&p);
-            println!("{:<22} {:<12} ipc={:.3} on_chip={:.2}cyc dram={:.2}ns cpi={:.3}",
-                m.name, p.name, m.effective_ipc(&p, f), oc, dn, m.cpi(&p, f));
+            println!(
+                "{:<22} {:<12} ipc={:.3} on_chip={:.2}cyc dram={:.2}ns cpi={:.3}",
+                m.name,
+                p.name,
+                m.effective_ipc(&p, f),
+                oc,
+                dn,
+                m.cpi(&p, f)
+            );
         }
     }
 }

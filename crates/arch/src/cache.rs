@@ -70,7 +70,10 @@ impl CacheConfig {
         latency_cycles: f64,
     ) -> Self {
         assert!(size_bytes > 0 && associativity > 0 && line_bytes > 0);
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(
             size_bytes % (associativity * line_bytes) == 0,
             "size must be divisible by associativity * line size"
@@ -440,9 +443,7 @@ mod tests {
         // 2-way set: fill A, B; touch A; insert C. LRU keeps A, FIFO
         // evicts A (oldest fill) despite the touch.
         let run = |policy: Replacement| {
-            let mut c = Cache::new(
-                CacheConfig::new("t", 512, 2, 64, 1.0).with_replacement(policy),
-            );
+            let mut c = Cache::new(CacheConfig::new("t", 512, 2, 64, 1.0).with_replacement(policy));
             c.access(0); // A
             c.access(256); // B
             c.access(0); // touch A

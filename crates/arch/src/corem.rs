@@ -160,11 +160,8 @@ impl MachineModel {
         dram_stall_ns: f64,
     ) -> f64 {
         let base = 1.0 / self.core.issue_ipc(profile.ilp);
-        let stall_per_access =
-            on_chip_stall_cycles + dram_stall_ns * f.ghz();
-        let stall = profile.mem.accesses_per_instr
-            * stall_per_access
-            * (1.0 - self.core.mem_hide);
+        let stall_per_access = on_chip_stall_cycles + dram_stall_ns * f.ghz();
+        let stall = profile.mem.accesses_per_instr * stall_per_access * (1.0 - self.core.mem_hide);
         base + stall
     }
 
@@ -228,8 +225,16 @@ mod tests {
 
         // Hadoop IPC is much lower than traditional on both machines, and
         // the drop is bigger on the big core (paper: 2.16x vs 1.55x).
-        assert!(x_spec / x_had > 1.6, "xeon spec/hadoop = {}", x_spec / x_had);
-        assert!(a_spec / a_had > 1.2, "atom spec/hadoop = {}", a_spec / a_had);
+        assert!(
+            x_spec / x_had > 1.6,
+            "xeon spec/hadoop = {}",
+            x_spec / x_had
+        );
+        assert!(
+            a_spec / a_had > 1.2,
+            "atom spec/hadoop = {}",
+            a_spec / a_had
+        );
         assert!(
             x_spec / x_had > a_spec / a_had,
             "IPC drop must be larger on the big core"

@@ -136,7 +136,10 @@ mod tests {
 
     #[test]
     fn voltage_scales_with_frequency() {
-        let curve = VoltageCurve { v0: 0.6, slope: 0.2 };
+        let curve = VoltageCurve {
+            v0: 0.6,
+            slope: 0.2,
+        };
         let lo = OperatingPoint::on_curve(curve, Frequency::GHZ_1_2);
         let hi = OperatingPoint::on_curve(curve, Frequency::GHZ_1_8);
         assert!((lo.voltage - 0.84).abs() < 1e-9);

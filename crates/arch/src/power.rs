@@ -189,7 +189,10 @@ mod tests {
     #[should_panic(expected = "outside [0, 1]")]
     fn rejects_bad_utilization() {
         let m = presets::atom_c2758();
-        let curve = VoltageCurve { v0: 0.6, slope: 0.2 };
+        let curve = VoltageCurve {
+            v0: 0.6,
+            slope: 0.2,
+        };
         let _ = m.power.node_power(
             OperatingPoint::on_curve(curve, Frequency::GHZ_1_2),
             1,

@@ -20,7 +20,10 @@ use crate::power::ChipPowerModel;
 /// per-chip (216 mm², §1.2) and the scheduling study scales core counts
 /// 2–8 via `SimConfig::mappers`.
 pub fn xeon_e5_2420() -> MachineModel {
-    let voltage_curve = VoltageCurve { v0: 0.875, slope: 0.08 };
+    let voltage_curve = VoltageCurve {
+        v0: 0.875,
+        slope: 0.08,
+    };
     let nominal_v2f = {
         let v = voltage_curve.v0 + voltage_curve.slope * 1.8;
         v * v * 1.8
@@ -59,7 +62,10 @@ pub fn xeon_e5_2420() -> MachineModel {
 
 /// The little core: Intel Atom C2758 node (8 Silvermont cores).
 pub fn atom_c2758() -> MachineModel {
-    let voltage_curve = VoltageCurve { v0: 0.77, slope: 0.07 };
+    let voltage_curve = VoltageCurve {
+        v0: 0.77,
+        slope: 0.07,
+    };
     let nominal_v2f = {
         let v = voltage_curve.v0 + voltage_curve.slope * 1.8;
         v * v * 1.8

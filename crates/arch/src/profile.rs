@@ -39,6 +39,8 @@ impl MemoryProfile {
     /// be in `[0, 1]` and sum to at most 1, sizes and density positive.
     pub fn validate(&self) -> Result<(), String> {
         let frac_ok = |f: f64| (0.0..=1.0).contains(&f);
+        // `!(x > 0.0)` also rejects NaN; `x <= 0.0` would let NaN through.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
         if !(self.accesses_per_instr > 0.0) {
             return Err("accesses_per_instr must be positive".into());
         }
@@ -152,7 +154,9 @@ mod tests {
             ComputeProfile::parsec_average(),
             ComputeProfile::hadoop_average(),
         ] {
-            p.mem.validate().unwrap_or_else(|e| panic!("{}: {e}", p.name));
+            p.mem
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", p.name));
             assert!(p.instr_per_byte > 0.0);
             assert!(p.ilp >= 1.0);
             assert!((0.0..=1.0).contains(&p.activity));

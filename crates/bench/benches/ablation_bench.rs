@@ -54,7 +54,13 @@ fn bench_combiner_ablation(c: &mut Criterion) {
     g.sample_size(10);
     let input = hhsim_core::workloads::datagen::text(256 << 10, 9);
     g.bench_function("wordcount_with_combiner", |b| {
-        b.iter(|| black_box(wordcount::run(&input, 32 << 10, JobConfig::default().num_reducers(4))))
+        b.iter(|| {
+            black_box(wordcount::run(
+                &input,
+                32 << 10,
+                JobConfig::default().num_reducers(4),
+            ))
+        })
     });
     g.bench_function("wordcount_without_combiner", |b| {
         b.iter(|| {
@@ -77,7 +83,9 @@ fn bench_trace_length(c: &mut Criterion) {
     g.sample_size(10);
     let m = presets::atom_c2758();
     let p = AppId::FpGrowth.map_profile();
-    g.bench_function("stall_split_full", |b| b.iter(|| black_box(m.stall_split(&p))));
+    g.bench_function("stall_split_full", |b| {
+        b.iter(|| black_box(m.stall_split(&p)))
+    });
     g.finish();
 }
 

@@ -11,7 +11,12 @@ use hhsim_core::workloads::{AppId, FunctionalConfig};
 fn bench_mapreduce_engine(c: &mut Criterion) {
     let mut g = c.benchmark_group("engine/functional");
     g.sample_size(10);
-    for app in [AppId::WordCount, AppId::Sort, AppId::TeraSort, AppId::FpGrowth] {
+    for app in [
+        AppId::WordCount,
+        AppId::Sort,
+        AppId::TeraSort,
+        AppId::FpGrowth,
+    ] {
         let cfg = FunctionalConfig {
             input_bytes: 256 << 10,
             block_bytes: 32 << 10,

@@ -7,41 +7,63 @@ use std::hint::black_box;
 fn bench_characterization(c: &mut Criterion) {
     let mut g = c.benchmark_group("figures/characterization");
     g.sample_size(10);
-    g.bench_function("fig1_ipc", |b| b.iter(|| black_box(hhsim_core::figures::fig1())));
-    g.bench_function("fig2_edxp_suites", |b| b.iter(|| black_box(hhsim_core::figures::fig2())));
+    g.bench_function("fig1_ipc", |b| {
+        b.iter(|| black_box(hhsim_core::figures::fig1()))
+    });
+    g.bench_function("fig2_edxp_suites", |b| {
+        b.iter(|| black_box(hhsim_core::figures::fig2()))
+    });
     g.finish();
 }
 
 fn bench_exec_time(c: &mut Criterion) {
     let mut g = c.benchmark_group("figures/execution");
     g.sample_size(10);
-    g.bench_function("fig3_micro_sweep", |b| b.iter(|| black_box(hhsim_core::figures::fig3())));
-    g.bench_function("fig4_real_sweep", |b| b.iter(|| black_box(hhsim_core::figures::fig4())));
+    g.bench_function("fig3_micro_sweep", |b| {
+        b.iter(|| black_box(hhsim_core::figures::fig3()))
+    });
+    g.bench_function("fig4_real_sweep", |b| {
+        b.iter(|| black_box(hhsim_core::figures::fig4()))
+    });
     g.finish();
 }
 
 fn bench_energy(c: &mut Criterion) {
     let mut g = c.benchmark_group("figures/energy");
     g.sample_size(10);
-    g.bench_function("fig6_edp_micro", |b| b.iter(|| black_box(hhsim_core::figures::fig6())));
-    g.bench_function("fig7_phase_edp", |b| b.iter(|| black_box(hhsim_core::figures::fig7())));
-    g.bench_function("fig9_edp_blocksize", |b| b.iter(|| black_box(hhsim_core::figures::fig9())));
-    g.bench_function("fig12_edp_datasize", |b| b.iter(|| black_box(hhsim_core::figures::fig12())));
+    g.bench_function("fig6_edp_micro", |b| {
+        b.iter(|| black_box(hhsim_core::figures::fig6()))
+    });
+    g.bench_function("fig7_phase_edp", |b| {
+        b.iter(|| black_box(hhsim_core::figures::fig7()))
+    });
+    g.bench_function("fig9_edp_blocksize", |b| {
+        b.iter(|| black_box(hhsim_core::figures::fig9()))
+    });
+    g.bench_function("fig12_edp_datasize", |b| {
+        b.iter(|| black_box(hhsim_core::figures::fig12()))
+    });
     g.finish();
 }
 
 fn bench_acceleration(c: &mut Criterion) {
     let mut g = c.benchmark_group("figures/acceleration");
     g.sample_size(10);
-    g.bench_function("fig14_accel_sweep", |b| b.iter(|| black_box(hhsim_core::figures::fig14())));
+    g.bench_function("fig14_accel_sweep", |b| {
+        b.iter(|| black_box(hhsim_core::figures::fig14()))
+    });
     g.finish();
 }
 
 fn bench_scheduling(c: &mut Criterion) {
     let mut g = c.benchmark_group("figures/scheduling");
     g.sample_size(10);
-    g.bench_function("table3_costs", |b| b.iter(|| black_box(hhsim_core::figures::table3())));
-    g.bench_function("fig17_spider", |b| b.iter(|| black_box(hhsim_core::figures::fig17())));
+    g.bench_function("table3_costs", |b| {
+        b.iter(|| black_box(hhsim_core::figures::table3()))
+    });
+    g.bench_function("fig17_spider", |b| {
+        b.iter(|| black_box(hhsim_core::figures::fig17()))
+    });
     g.finish();
 }
 

@@ -1,0 +1,61 @@
+//! Benchmarks of the parallel memoized sweep harness itself: the same
+//! grid at different worker counts (the `--jobs` axis) and the cost of a
+//! cold simulation cache vs a warm one.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use hhsim_core::arch::{presets, Frequency};
+use hhsim_core::hdfs::BlockSize;
+use hhsim_core::workloads::AppId;
+use hhsim_core::{harness, SimCache, SimConfig};
+
+/// A representative mid-size grid: both machines × 4 micro apps ×
+/// 4 frequencies × 5 block sizes = 160 points.
+fn grid() -> Vec<SimConfig> {
+    let mut v = Vec::new();
+    for m in presets::both() {
+        for app in AppId::MICRO {
+            for f in Frequency::SWEEP {
+                for b in BlockSize::SWEEP {
+                    v.push(SimConfig::new(app, m.clone()).frequency(f).block_size(b));
+                }
+            }
+        }
+    }
+    v
+}
+
+fn bench_jobs_scaling(c: &mut Criterion) {
+    let g0 = grid();
+    let mut g = c.benchmark_group("harness/jobs");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(g0.len() as u64));
+    for workers in [1usize, 2, 4] {
+        g.bench_function(format!("grid160_jobs{workers}"), |b| {
+            b.iter(|| black_box(harness::run_grid_with(&g0, workers)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_cache_temperature(c: &mut Criterion) {
+    let g0 = grid();
+    let mut g = c.benchmark_group("harness/cache");
+    g.sample_size(10);
+    g.bench_function("grid160_cold", |b| {
+        b.iter(|| {
+            SimCache::global().clear();
+            black_box(harness::run_grid_with(&g0, 1))
+        })
+    });
+    // Warm the cache once, then measure pure hits.
+    let _ = harness::run_grid_with(&g0, 1);
+    g.bench_function("grid160_warm", |b| {
+        b.iter(|| black_box(harness::run_grid_with(&g0, 1)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_jobs_scaling, bench_cache_temperature);
+criterion_main!(benches);

@@ -1,18 +1,52 @@
 //! Regenerates the paper's tables and figures as CSV.
 //!
 //! ```text
-//! cargo run --release -p hhsim-bench --bin figures            # everything
-//! cargo run --release -p hhsim-bench --bin figures -- fig3    # one artifact
+//! cargo run --release -p hhsim-bench --bin figures              # everything
+//! cargo run --release -p hhsim-bench --bin figures -- fig3      # one artifact
+//! cargo run --release -p hhsim-bench --bin figures -- --jobs 4  # 4 workers
 //! cargo run --release -p hhsim-bench --bin figures -- calibration
 //! ```
 //!
 //! CSVs land in `results/`; the calibration report prints to stdout.
+//! `--jobs N` sets the sweep harness's worker count (default: all
+//! available cores; `--jobs 1` forces serial execution — the output CSVs
+//! are byte-identical either way). Each artifact line reports the grid
+//! size, wall time and simulation-cache hit rate observed while
+//! rendering it.
 
 use std::fs;
 use std::path::Path;
+use std::time::Instant;
+
+use hhsim_core::{harness, SimCache};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+
+    // --jobs N (or --jobs=N): worker count for the sweep harness.
+    if let Some(i) = args
+        .iter()
+        .position(|a| a == "--jobs" || a.starts_with("--jobs="))
+    {
+        let value = if args[i] == "--jobs" {
+            if i + 1 >= args.len() {
+                eprintln!("--jobs requires a worker count");
+                std::process::exit(2);
+            }
+            args.remove(i + 1)
+        } else {
+            args[i].trim_start_matches("--jobs=").to_string()
+        };
+        args.remove(i);
+        match value.parse::<usize>() {
+            Ok(n) if n >= 1 => harness::set_jobs(n),
+            _ => {
+                eprintln!("invalid --jobs value `{value}` (need an integer >= 1)");
+                std::process::exit(2);
+            }
+        }
+    }
+
     let out_dir = Path::new("results");
     fs::create_dir_all(out_dir).expect("create results/");
 
@@ -29,17 +63,60 @@ fn main() {
     } else {
         args.iter().map(String::as_str).collect()
     };
+
+    println!(
+        "sweep harness: {} worker(s) ({} cores available)",
+        harness::jobs(),
+        harness::available_jobs()
+    );
+    let run_started = Instant::now();
+    let cache_start = SimCache::global().stats();
+    let harness_start = harness::snapshot();
+
     for id in wanted {
+        let fig_started = Instant::now();
+        let cache_before = SimCache::global().stats();
+        let harness_before = harness::snapshot();
         match hhsim_bench::render(id) {
             Some((id, csv)) => {
                 let path = out_dir.join(format!("{id}.csv"));
                 fs::write(&path, &csv).expect("write figure CSV");
-                println!("wrote {} ({} rows)", path.display(), csv.lines().count() - 2);
+                let cache = SimCache::global().stats().since(&cache_before);
+                let grid = harness::snapshot().since(&harness_before);
+                println!(
+                    "wrote {} ({} rows): {} points in {:.2?}, cache {}/{} hits ({:.0}%)",
+                    path.display(),
+                    csv.lines().count() - 2,
+                    grid.points,
+                    fig_started.elapsed(),
+                    cache.hits,
+                    cache.lookups(),
+                    cache.hit_rate() * 100.0,
+                );
             }
             None => {
-                eprintln!("unknown artifact `{id}`; known: {:?}", hhsim_bench::artifact_ids());
+                eprintln!(
+                    "unknown artifact `{id}`; known: {:?}",
+                    hhsim_bench::artifact_ids()
+                );
                 std::process::exit(2);
             }
         }
     }
+
+    let cache = SimCache::global().stats().since(&cache_start);
+    let grids = harness::snapshot().since(&harness_start);
+    println!(
+        "total: {} points over {} grids in {:.2?} ({} workers); \
+         cache {}/{} hits ({:.1}%), {} stall + {} run entries",
+        grids.points,
+        grids.grids,
+        run_started.elapsed(),
+        harness::jobs(),
+        cache.hits,
+        cache.lookups(),
+        cache.hit_rate() * 100.0,
+        cache.stall_entries,
+        cache.run_entries,
+    );
 }

@@ -19,7 +19,10 @@ pub fn render(id: &str) -> Option<(String, String)> {
 
 /// All artifact ids, in paper order.
 pub fn artifact_ids() -> Vec<&'static str> {
-    hhsim_core::figures::all().into_iter().map(|(id, _)| id).collect()
+    hhsim_core::figures::all()
+        .into_iter()
+        .map(|(id, _)| id)
+        .collect()
 }
 
 /// Renders every artifact.

@@ -5,8 +5,10 @@ use hhsim_core::workloads::AppId;
 use hhsim_core::{simulate, SimConfig};
 
 fn main() {
-    println!("{:<4} {:>9} {:>9} {:>6} | {:>8} {:>8} {:>6} | map/red/oth X | map/red/oth A | W_x W_a", 
-        "app", "t_xeon", "t_atom", "A/X", "edp_x", "edp_a", "X/A");
+    println!(
+        "{:<4} {:>9} {:>9} {:>6} | {:>8} {:>8} {:>6} | map/red/oth X | map/red/oth A | W_x W_a",
+        "app", "t_xeon", "t_atom", "A/X", "edp_x", "edp_a", "X/A"
+    );
     for app in AppId::ALL {
         let x = simulate(&SimConfig::new(app, presets::xeon_e5_2420()));
         let a = simulate(&SimConfig::new(app, presets::atom_c2758()));
@@ -32,24 +34,52 @@ fn main() {
         for m in [presets::xeon_e5_2420(), presets::atom_c2758()] {
             let lo = simulate(&SimConfig::new(app, m.clone()).frequency(Frequency::GHZ_1_2));
             let hi = simulate(&SimConfig::new(app, m.clone()).frequency(Frequency::GHZ_1_8));
-            println!("freq sens {} {}: 1.2->1.8 improves {:.1}%", app.short_name(), m.name,
-                (1.0 - hi.breakdown.total()/lo.breakdown.total())*100.0);
+            println!(
+                "freq sens {} {}: 1.2->1.8 improves {:.1}%",
+                app.short_name(),
+                m.name,
+                (1.0 - hi.breakdown.total() / lo.breakdown.total()) * 100.0
+            );
         }
     }
     // block size sensitivity WC on Xeon
     for m in [presets::xeon_e5_2420(), presets::atom_c2758()] {
         for app in [AppId::WordCount, AppId::Sort] {
-            let t: Vec<f64> = BlockSize::SWEEP.iter().map(|b|
-                simulate(&SimConfig::new(app, m.clone()).block_size(*b)).breakdown.total()).collect();
-            println!("block sweep {} {}: {:?}", app.short_name(), m.name, t.iter().map(|v| (v*10.0).round()/10.0).collect::<Vec<_>>());
+            let t: Vec<f64> = BlockSize::SWEEP
+                .iter()
+                .map(|b| {
+                    simulate(&SimConfig::new(app, m.clone()).block_size(*b))
+                        .breakdown
+                        .total()
+                })
+                .collect();
+            println!(
+                "block sweep {} {}: {:?}",
+                app.short_name(),
+                m.name,
+                t.iter()
+                    .map(|v| (v * 10.0).round() / 10.0)
+                    .collect::<Vec<_>>()
+            );
         }
     }
     // data size
     for app in [AppId::Grep, AppId::WordCount] {
         for m in [presets::xeon_e5_2420(), presets::atom_c2758()] {
-            let t1 = simulate(&SimConfig::new(app, m.clone()).data_per_node(1<<30)).breakdown.total();
-            let t20 = simulate(&SimConfig::new(app, m.clone()).data_per_node(20<<30)).breakdown.total();
-            println!("datasize {} {}: 1GB {:.0}s 20GB {:.0}s ratio {:.2}", app.short_name(), m.name, t1, t20, t20/t1);
+            let t1 = simulate(&SimConfig::new(app, m.clone()).data_per_node(1 << 30))
+                .breakdown
+                .total();
+            let t20 = simulate(&SimConfig::new(app, m.clone()).data_per_node(20 << 30))
+                .breakdown
+                .total();
+            println!(
+                "datasize {} {}: 1GB {:.0}s 20GB {:.0}s ratio {:.2}",
+                app.short_name(),
+                m.name,
+                t1,
+                t20,
+                t20 / t1
+            );
         }
     }
 }

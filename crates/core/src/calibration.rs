@@ -28,7 +28,13 @@ pub struct Target {
 }
 
 impl Target {
-    fn new(artifact: &'static str, claim: impl Into<String>, paper: f64, measured: f64, holds: bool) -> Self {
+    fn new(
+        artifact: &'static str,
+        claim: impl Into<String>,
+        paper: f64,
+        measured: f64,
+        holds: bool,
+    ) -> Self {
         Target {
             artifact,
             claim: claim.into(),
@@ -64,9 +70,27 @@ pub fn check_all() -> Vec<Target> {
     let xh = f1.value("Xeon", "Avg_Hadoop").expect("fig1 xeon hadoop");
     let as_ = f1.value("Atom", "Avg_Spec").expect("fig1 atom spec");
     let ah = f1.value("Atom", "Avg_Hadoop").expect("fig1 atom hadoop");
-    t.push(Target::new("fig1", "Hadoop IPC drop vs SPEC on big core (x lower)", 2.16, xs / xh, xs / xh > 1.5));
-    t.push(Target::new("fig1", "Hadoop IPC drop vs SPEC on little core", 1.55, as_ / ah, as_ / ah > 1.2));
-    t.push(Target::new("fig1", "Xeon/Atom IPC ratio on Hadoop", 1.43, xh / ah, (1.2..1.8).contains(&(xh / ah))));
+    t.push(Target::new(
+        "fig1",
+        "Hadoop IPC drop vs SPEC on big core (x lower)",
+        2.16,
+        xs / xh,
+        xs / xh > 1.5,
+    ));
+    t.push(Target::new(
+        "fig1",
+        "Hadoop IPC drop vs SPEC on little core",
+        1.55,
+        as_ / ah,
+        as_ / ah > 1.2,
+    ));
+    t.push(Target::new(
+        "fig1",
+        "Xeon/Atom IPC ratio on Hadoop",
+        1.43,
+        xh / ah,
+        (1.2..1.8).contains(&(xh / ah)),
+    ));
     t.push(Target::new(
         "fig1",
         "IPC drop larger on big than little core",
@@ -81,7 +105,13 @@ pub fn check_all() -> Vec<Target> {
     let spec3 = f2.value("ED3P", "Avg_Spec").expect("fig2");
     let had1 = f2.value("ED1P", "Avg_Hadoop").expect("fig2");
     let had3 = f2.value("ED3P", "Avg_Hadoop").expect("fig2");
-    t.push(Target::new("fig2", "EDP favours Atom for all suites (ratio > 1)", f64::NAN, had1.min(spec1), spec1 > 1.0 && had1 > 1.0));
+    t.push(Target::new(
+        "fig2",
+        "EDP favours Atom for all suites (ratio > 1)",
+        f64::NAN,
+        had1.min(spec1),
+        spec1 > 1.0 && had1 > 1.0,
+    ));
     t.push(Target::new(
         "fig2",
         "performance constraints (ED3P) favour the big core more than EDP does",
@@ -100,7 +130,10 @@ pub fn check_all() -> Vec<Target> {
         let r = exec_ratio(app);
         t.push(Target::new(
             "fig3",
-            format!("{} exec-time ratio Atom/Xeon (Xeon faster)", app.short_name()),
+            format!(
+                "{} exec-time ratio Atom/Xeon (Xeon faster)",
+                app.short_name()
+            ),
             paper,
             r,
             r > 1.0,
@@ -125,7 +158,13 @@ pub fn check_all() -> Vec<Target> {
         ));
     }
     let st = edp_ratio(AppId::Sort);
-    t.push(Target::new("fig5/6", "ST EDP winner is Xeon (Xeon/Atom < 1)", f64::NAN, st, st < 1.0));
+    t.push(Target::new(
+        "fig5/6",
+        "ST EDP winner is Xeon (Xeon/Atom < 1)",
+        f64::NAN,
+        st,
+        st < 1.0,
+    ));
 
     // EDP falls as frequency rises (entire app), both machines.
     let f6 = figures::fig6();
@@ -143,7 +182,13 @@ pub fn check_all() -> Vec<Target> {
             }
         }
     }
-    t.push(Target::new("fig6", "raising frequency lowers whole-app EDP everywhere", f64::NAN, f64::NAN, edp_freq_ok));
+    t.push(Target::new(
+        "fig6",
+        "raising frequency lowers whole-app EDP everywhere",
+        f64::NAN,
+        f64::NAN,
+        edp_freq_ok,
+    ));
 
     // ---------------- Figs. 7/8: phase preferences -------------------
     let mut map_prefers_atom = 0;
@@ -211,19 +256,35 @@ pub fn check_all() -> Vec<Target> {
     let mut edp_grows = true;
     for who in ["Xeon", "Atom"] {
         for app in AppId::ALL {
-            let one = f12.value(&format!("{}/{}", who, app.short_name()), "1GB").expect("fig12");
-            let twenty = f12.value(&format!("{}/{}", who, app.short_name()), "20GB").expect("fig12");
+            let one = f12
+                .value(&format!("{}/{}", who, app.short_name()), "1GB")
+                .expect("fig12");
+            let twenty = f12
+                .value(&format!("{}/{}", who, app.short_name()), "20GB")
+                .expect("fig12");
             if twenty <= one {
                 edp_grows = false;
             }
         }
     }
-    t.push(Target::new("fig12", "EDP rises with input size on both machines", f64::NAN, f64::NAN, edp_grows));
+    t.push(Target::new(
+        "fig12",
+        "EDP rises with input size on both machines",
+        f64::NAN,
+        f64::NAN,
+        edp_grows,
+    ));
 
     // ---------------- Figs. 14–16: acceleration ----------------------
     let f14 = figures::fig14();
     let all_below_one = f14.rows.iter().all(|r| r.value <= 1.02);
-    t.push(Target::new("fig14", "post-acceleration speedup ratio ≤ 1 for every app", f64::NAN, f64::NAN, all_below_one));
+    t.push(Target::new(
+        "fig14",
+        "post-acceleration speedup ratio ≤ 1 for every app",
+        f64::NAN,
+        f64::NAN,
+        all_below_one,
+    ));
     let ts100 = f14.value("TeraSort", "100x").expect("fig14");
     let gp100 = f14.value("Grep", "100x").expect("fig14");
     let wc100 = f14.value("WordCount", "100x").expect("fig14");

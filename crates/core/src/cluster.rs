@@ -46,8 +46,7 @@ pub fn makespan(set: &TaskSet, slots: usize) -> f64 {
     let pool = SlotPool::shared("slots", slots);
     let end = Rc::new(RefCell::new(SimTime::ZERO));
     for i in 0..set.tasks {
-        let dur =
-            SimTime::from_secs_f64(set.task_seconds * jitter(i) + set.overhead_seconds);
+        let dur = SimTime::from_secs_f64(set.task_seconds * jitter(i) + set.overhead_seconds);
         let end = end.clone();
         SlotPool::acquire(&pool, &mut sim, move |sim, guard| {
             sim.schedule_in(dur, move |sim| {

@@ -5,6 +5,13 @@
 //! units; the *shapes* — who wins, by what factor, where crossovers fall —
 //! are the reproduction targets, checked against
 //! [`crate::calibration`].
+//!
+//! Every simulation-backed generator flattens its nested loops into a
+//! [`Sweep`] grid: points are registered first (capturing their indices
+//! in row specs), the whole grid runs on the parallel memoized harness
+//! ([`crate::harness`]), and rows are assembled from the returned
+//! measurements in registration order. Output is therefore identical for
+//! any `--jobs` worker count.
 
 use hhsim_accel::AccelConfig;
 use hhsim_arch::{presets, ComputeProfile, Frequency, MachineModel};
@@ -12,7 +19,8 @@ use hhsim_energy::MetricKind;
 use hhsim_hdfs::BlockSize;
 use hhsim_workloads::AppId;
 
-use crate::model::{simulate, Measurement, SimConfig};
+use crate::harness::Sweep;
+use crate::model::{Measurement, SimConfig};
 use crate::report::FigureData;
 
 /// Per-node data size used for micro-benchmarks (1 GB, §3).
@@ -32,6 +40,25 @@ fn label(m: &MachineModel) -> &'static str {
     match m.core.kind {
         hhsim_arch::CoreKind::Big => "Xeon",
         hhsim_arch::CoreKind::Little => "Atom",
+    }
+}
+
+/// The paper's data size for `app` (1 GB micro / 10 GB real world).
+fn data_for(app: AppId) -> u64 {
+    if app.is_real_world() {
+        REAL_DATA
+    } else {
+        MICRO_DATA
+    }
+}
+
+/// The paper's block-size sweep for `app` (§3.1.1 uses 64–512 MB on the
+/// real-world applications).
+fn blocks_for(app: AppId) -> &'static [BlockSize] {
+    if app.is_real_world() {
+        &BlockSize::SWEEP_REAL
+    } else {
+        &BlockSize::SWEEP
     }
 }
 
@@ -121,26 +148,38 @@ pub fn fig2() -> FigureData {
 }
 
 /// Shared sweep: execution time over block sizes × frequencies.
-fn exec_sweep(id: &str, title: &str, apps: &[AppId], blocks: &[BlockSize], data: u64) -> FigureData {
-    let mut f = FigureData::new(id, title, "seconds");
+fn exec_sweep(
+    id: &str,
+    title: &str,
+    apps: &[AppId],
+    blocks: &[BlockSize],
+    data: u64,
+) -> FigureData {
+    let mut sweep = Sweep::new();
+    let mut rows = Vec::new();
     for m in machines() {
         for app in apps {
             for freq in Frequency::SWEEP {
                 for b in blocks {
-                    let meas = simulate(
-                        &cfg(*app, &m)
+                    let p = sweep.point(
+                        cfg(*app, &m)
                             .frequency(freq)
                             .block_size(*b)
                             .data_per_node(data),
                     );
-                    f.push(
+                    rows.push((
                         format!("{}/{}", label(&m), app.short_name()),
                         format!("{}MB@{:.1}GHz", b.mib(), freq.ghz()),
-                        meas.breakdown.total(),
-                    );
+                        p,
+                    ));
                 }
             }
         }
+    }
+    let meas = sweep.run();
+    let mut f = FigureData::new(id, title, "seconds");
+    for (series, x, p) in rows {
+        f.push(series, x, meas[p].breakdown.total());
     }
     f
 }
@@ -172,69 +211,88 @@ pub fn fig4() -> FigureData {
 /// Shared sweep: whole-application EDP vs frequency, normalized to Atom @
 /// 1.2 GHz (the paper's Figs. 5/6 normalization).
 fn edp_sweep(id: &str, title: &str, apps: &[AppId], data: u64) -> FigureData {
-    let mut f = FigureData::new(id, title, "edp_norm");
+    let mut sweep = Sweep::new();
+    let mut rows = Vec::new();
     for app in apps {
-        let base = simulate(
-            &cfg(*app, &presets::atom_c2758())
+        let base = sweep.point(
+            cfg(*app, &presets::atom_c2758())
                 .frequency(Frequency::GHZ_1_2)
                 .data_per_node(data),
-        )
-        .cost
-        .edp();
+        );
         for m in machines() {
             for freq in Frequency::SWEEP {
-                let meas = simulate(&cfg(*app, &m).frequency(freq).data_per_node(data));
-                f.push(
+                let p = sweep.point(cfg(*app, &m).frequency(freq).data_per_node(data));
+                rows.push((
                     format!("{}/{}", label(&m), app.short_name()),
                     format!("{:.1}GHz", freq.ghz()),
-                    meas.cost.edp() / base,
-                );
+                    p,
+                    base,
+                ));
             }
         }
+    }
+    let meas = sweep.run();
+    let mut f = FigureData::new(id, title, "edp_norm");
+    for (series, x, p, base) in rows {
+        f.push(series, x, meas[p].cost.edp() / meas[base].cost.edp());
     }
     f
 }
 
 /// Fig. 5: EDP of the entire real-world applications vs frequency.
 pub fn fig5() -> FigureData {
-    edp_sweep("fig5", "EDP of entire real-world apps vs frequency", &AppId::REAL, REAL_DATA)
+    edp_sweep(
+        "fig5",
+        "EDP of entire real-world apps vs frequency",
+        &AppId::REAL,
+        REAL_DATA,
+    )
 }
 
 /// Fig. 6: EDP of the entire micro-benchmarks vs frequency.
 pub fn fig6() -> FigureData {
-    edp_sweep("fig6", "EDP of entire micro-benchmarks vs frequency", &AppId::MICRO, MICRO_DATA)
+    edp_sweep(
+        "fig6",
+        "EDP of entire micro-benchmarks vs frequency",
+        &AppId::MICRO,
+        MICRO_DATA,
+    )
 }
 
 /// Shared sweep: per-phase EDP vs frequency (Figs. 7/8), normalized to the
 /// Atom 1.2 GHz map phase.
 fn phase_edp_sweep(id: &str, title: &str, apps: &[AppId], data: u64) -> FigureData {
-    let mut f = FigureData::new(id, title, "edp_norm");
+    let mut sweep = Sweep::new();
+    let mut rows = Vec::new();
     for app in apps {
-        let base = simulate(
-            &cfg(*app, &presets::atom_c2758())
+        let base = sweep.point(
+            cfg(*app, &presets::atom_c2758())
                 .frequency(Frequency::GHZ_1_2)
                 .data_per_node(data),
-        )
-        .map_cost
-        .edp()
-        .max(1e-12);
+        );
         for m in machines() {
             for freq in Frequency::SWEEP {
-                let meas = simulate(&cfg(*app, &m).frequency(freq).data_per_node(data));
-                let x = format!("{:.1}GHz", freq.ghz());
-                f.push(
-                    format!("{}/{} map", label(&m), app.short_name()),
-                    x.clone(),
-                    meas.map_cost.edp() / base,
-                );
-                if app.has_reduce() {
-                    f.push(
-                        format!("{}/{} reduce", label(&m), app.short_name()),
-                        x,
-                        meas.reduce_cost.edp() / base,
-                    );
-                }
+                let p = sweep.point(cfg(*app, &m).frequency(freq).data_per_node(data));
+                rows.push((*app, label(&m), freq, p, base));
             }
+        }
+    }
+    let meas = sweep.run();
+    let mut f = FigureData::new(id, title, "edp_norm");
+    for (app, who, freq, p, base) in rows {
+        let norm = meas[base].map_cost.edp().max(1e-12);
+        let x = format!("{:.1}GHz", freq.ghz());
+        f.push(
+            format!("{}/{} map", who, app.short_name()),
+            x.clone(),
+            meas[p].map_cost.edp() / norm,
+        );
+        if app.has_reduce() {
+            f.push(
+                format!("{}/{} reduce", who, app.short_name()),
+                x,
+                meas[p].reduce_cost.edp() / norm,
+            );
         }
     }
     f
@@ -242,34 +300,45 @@ fn phase_edp_sweep(id: &str, title: &str, apps: &[AppId], data: u64) -> FigureDa
 
 /// Fig. 7: map/reduce-phase EDP of the micro-benchmarks vs frequency.
 pub fn fig7() -> FigureData {
-    phase_edp_sweep("fig7", "Phase EDP, micro-benchmarks", &AppId::MICRO, MICRO_DATA)
+    phase_edp_sweep(
+        "fig7",
+        "Phase EDP, micro-benchmarks",
+        &AppId::MICRO,
+        MICRO_DATA,
+    )
 }
 
 /// Fig. 8: map/reduce-phase EDP of the real-world applications.
 pub fn fig8() -> FigureData {
-    phase_edp_sweep("fig8", "Phase EDP, real-world applications", &AppId::REAL, REAL_DATA)
+    phase_edp_sweep(
+        "fig8",
+        "Phase EDP, real-world applications",
+        &AppId::REAL,
+        REAL_DATA,
+    )
 }
 
 /// Fig. 9: EDP ratio (Xeon/Atom) vs HDFS block size at 1.8 GHz.
 pub fn fig9() -> FigureData {
-    let mut f = FigureData::new("fig9", "EDP ratio Xeon/Atom vs block size @1.8GHz", "ratio");
     let [xeon, atom] = machines();
+    let mut sweep = Sweep::new();
+    let mut rows = Vec::new();
     for app in AppId::ALL {
-        let data = if app.is_real_world() { REAL_DATA } else { MICRO_DATA };
-        let blocks: &[BlockSize] = if app.is_real_world() {
-            &BlockSize::SWEEP_REAL
-        } else {
-            &BlockSize::SWEEP
-        };
-        for b in blocks {
-            let x = simulate(&cfg(app, &xeon).block_size(*b).data_per_node(data));
-            let a = simulate(&cfg(app, &atom).block_size(*b).data_per_node(data));
-            f.push(
-                app.full_name(),
-                format!("{}MB", b.mib()),
-                x.cost.edp() / a.cost.edp(),
-            );
+        let data = data_for(app);
+        for b in blocks_for(app) {
+            let px = sweep.point(cfg(app, &xeon).block_size(*b).data_per_node(data));
+            let pa = sweep.point(cfg(app, &atom).block_size(*b).data_per_node(data));
+            rows.push((app, *b, px, pa));
         }
+    }
+    let meas = sweep.run();
+    let mut f = FigureData::new("fig9", "EDP ratio Xeon/Atom vs block size @1.8GHz", "ratio");
+    for (app, b, px, pa) in rows {
+        f.push(
+            app.full_name(),
+            format!("{}MB", b.mib()),
+            meas[px].cost.edp() / meas[pa].cost.edp(),
+        );
     }
     f
 }
@@ -279,18 +348,24 @@ const DATA_SIZES: [(u64, &str); 3] = [(1 << 30, "1GB"), (10 << 30, "10GB"), (20 
 
 /// Shared sweep: execution-time breakdown and total vs input size.
 fn datasize_breakdown(id: &str, title: &str, apps: &[AppId]) -> FigureData {
-    let mut f = FigureData::new(id, title, "seconds");
+    let mut sweep = Sweep::new();
+    let mut rows = Vec::new();
     for m in machines() {
         for app in apps {
             for (bytes, lbl) in DATA_SIZES {
-                let meas = simulate(&cfg(*app, &m).data_per_node(bytes));
-                let s = format!("{}/{}", label(&m), app.short_name());
-                f.push(format!("{s} map"), lbl, meas.breakdown.map_s);
-                f.push(format!("{s} reduce"), lbl, meas.breakdown.reduce_s);
-                f.push(format!("{s} others"), lbl, meas.breakdown.others_s);
-                f.push(format!("{s} total"), lbl, meas.breakdown.total());
+                let p = sweep.point(cfg(*app, &m).data_per_node(bytes));
+                rows.push((format!("{}/{}", label(&m), app.short_name()), lbl, p));
             }
         }
+    }
+    let meas = sweep.run();
+    let mut f = FigureData::new(id, title, "seconds");
+    for (s, lbl, p) in rows {
+        let b = &meas[p].breakdown;
+        f.push(format!("{s} map"), lbl, b.map_s);
+        f.push(format!("{s} reduce"), lbl, b.reduce_s);
+        f.push(format!("{s} others"), lbl, b.others_s);
+        f.push(format!("{s} total"), lbl, b.total());
     }
     f
 }
@@ -316,20 +391,26 @@ pub fn fig11() -> FigureData {
 /// Fig. 12: whole-application EDP vs input size (normalized per app to
 /// Atom @ 1 GB).
 pub fn fig12() -> FigureData {
-    let mut f = FigureData::new("fig12", "EDP of entire application vs data size", "edp_norm");
     let [xeon, atom] = machines();
+    let mut sweep = Sweep::new();
+    let mut rows = Vec::new();
     for app in AppId::ALL {
-        let base = simulate(&cfg(app, &atom).data_per_node(1 << 30)).cost.edp();
+        let base = sweep.point(cfg(app, &atom).data_per_node(1 << 30));
         for (m, who) in [(&atom, "Atom"), (&xeon, "Xeon")] {
             for (bytes, lbl) in DATA_SIZES {
-                let meas = simulate(&cfg(app, m).data_per_node(bytes));
-                f.push(
-                    format!("{}/{}", who, app.short_name()),
-                    lbl,
-                    meas.cost.edp() / base,
-                );
+                let p = sweep.point(cfg(app, m).data_per_node(bytes));
+                rows.push((format!("{}/{}", who, app.short_name()), lbl, p, base));
             }
         }
+    }
+    let meas = sweep.run();
+    let mut f = FigureData::new(
+        "fig12",
+        "EDP of entire application vs data size",
+        "edp_norm",
+    );
+    for (series, lbl, p, base) in rows {
+        f.push(series, lbl, meas[p].cost.edp() / meas[base].cost.edp());
     }
     f
 }
@@ -337,104 +418,174 @@ pub fn fig12() -> FigureData {
 /// Fig. 13: map/reduce-phase EDP vs input size (normalized per app to the
 /// Atom 1 GB map phase).
 pub fn fig13() -> FigureData {
-    let mut f = FigureData::new("fig13", "Phase EDP vs data size", "edp_norm");
     let [xeon, atom] = machines();
+    let mut sweep = Sweep::new();
+    let mut rows = Vec::new();
     for app in AppId::ALL {
-        let base = simulate(&cfg(app, &atom).data_per_node(1 << 30))
-            .map_cost
-            .edp()
-            .max(1e-12);
+        let base = sweep.point(cfg(app, &atom).data_per_node(1 << 30));
         for (m, who) in [(&atom, "Atom"), (&xeon, "Xeon")] {
             for (bytes, lbl) in DATA_SIZES {
-                let meas = simulate(&cfg(app, m).data_per_node(bytes));
-                f.push(
-                    format!("{}/{} map", who, app.short_name()),
-                    lbl,
-                    meas.map_cost.edp() / base,
-                );
-                if app.has_reduce() {
-                    f.push(
-                        format!("{}/{} reduce", who, app.short_name()),
-                        lbl,
-                        meas.reduce_cost.edp() / base,
-                    );
-                }
+                let p = sweep.point(cfg(app, m).data_per_node(bytes));
+                rows.push((app, who, lbl, p, base));
             }
+        }
+    }
+    let meas = sweep.run();
+    let mut f = FigureData::new("fig13", "Phase EDP vs data size", "edp_norm");
+    for (app, who, lbl, p, base) in rows {
+        let norm = meas[base].map_cost.edp().max(1e-12);
+        f.push(
+            format!("{}/{} map", who, app.short_name()),
+            lbl,
+            meas[p].map_cost.edp() / norm,
+        );
+        if app.has_reduce() {
+            f.push(
+                format!("{}/{} reduce", who, app.short_name()),
+                lbl,
+                meas[p].reduce_cost.edp() / norm,
+            );
         }
     }
     f
 }
 
-/// Eq. (1): the Atom→Xeon speedup ratio after vs before acceleration for
-/// one (app, accelerator, frequency, block) point.
-fn accel_ratio(app: AppId, acc: &AccelConfig, freq: Frequency, block: BlockSize) -> f64 {
+/// Point indices of one Eq. (1) ratio: the Atom→Xeon speedup ratio after
+/// vs before acceleration. `before_*` points may be shared between rows
+/// that sweep only the accelerator.
+struct AccelSpec {
+    before_xeon: usize,
+    before_atom: usize,
+    after_xeon: usize,
+    after_atom: usize,
+}
+
+impl AccelSpec {
+    /// Eq. (1) from the measurements of this spec's four points.
+    fn ratio(&self, meas: &[Measurement]) -> f64 {
+        let t = |p: usize| meas[p].breakdown.total();
+        let before = t(self.before_atom) / t(self.before_xeon);
+        let after = t(self.after_atom) / t(self.after_xeon);
+        after / before
+    }
+}
+
+/// Registers the (xeon, atom) pair for one accelerated-or-not point.
+fn accel_pair(
+    sweep: &mut Sweep,
+    app: AppId,
+    freq: Frequency,
+    block: BlockSize,
+    accel: Option<AccelConfig>,
+) -> (usize, usize) {
     let [xeon, atom] = machines();
-    let data = if app.is_real_world() { REAL_DATA } else { MICRO_DATA };
-    let mk = |m: &MachineModel, accel: Option<AccelConfig>| -> Measurement {
-        let mut c = cfg(app, m).frequency(freq).block_size(block).data_per_node(data);
+    let mk = |m: &MachineModel| {
+        let mut c = cfg(app, m)
+            .frequency(freq)
+            .block_size(block)
+            .data_per_node(data_for(app));
         if let Some(a) = accel {
             c = c.accelerator(a);
         }
-        simulate(&c)
+        c
     };
-    let before = mk(&atom, None).breakdown.total() / mk(&xeon, None).breakdown.total();
-    let after =
-        mk(&atom, Some(*acc)).breakdown.total() / mk(&xeon, Some(*acc)).breakdown.total();
-    after / before
+    (sweep.point(mk(&xeon)), sweep.point(mk(&atom)))
 }
 
 /// Fig. 14: speedup ratio (Eq. 1) vs mapper acceleration rate 1–100×.
 pub fn fig14() -> FigureData {
+    let mut sweep = Sweep::new();
+    let mut rows = Vec::new();
+    for app in AppId::ALL {
+        // The unaccelerated baseline is independent of the rate: register
+        // it once per app and share it across the sweep's rows.
+        let (bx, ba) = accel_pair(&mut sweep, app, Frequency::GHZ_1_8, BlockSize::MB_512, None);
+        for acc in AccelConfig::sweep() {
+            let (ax, aa) = accel_pair(
+                &mut sweep,
+                app,
+                Frequency::GHZ_1_8,
+                BlockSize::MB_512,
+                Some(acc),
+            );
+            rows.push((
+                app,
+                format!("{:.0}x", acc.rate),
+                AccelSpec {
+                    before_xeon: bx,
+                    before_atom: ba,
+                    after_xeon: ax,
+                    after_atom: aa,
+                },
+            ));
+        }
+    }
+    let meas = sweep.run();
     let mut f = FigureData::new(
         "fig14",
         "Atom vs Xeon speedup after/before acceleration vs rate",
         "ratio",
     );
-    for app in AppId::ALL {
-        for acc in AccelConfig::sweep() {
-            f.push(
-                app.full_name(),
-                format!("{:.0}x", acc.rate),
-                accel_ratio(app, &acc, Frequency::GHZ_1_8, BlockSize::MB_512),
-            );
-        }
+    for (app, x, spec) in rows {
+        f.push(app.full_name(), x, spec.ratio(&meas));
     }
     f
 }
 
 /// Fig. 15: speedup ratio (Eq. 1) at 20× acceleration vs frequency.
 pub fn fig15() -> FigureData {
-    let mut f = FigureData::new("fig15", "Acceleration ratio vs frequency", "ratio");
     let acc = AccelConfig::fpga(20.0);
+    let mut sweep = Sweep::new();
+    let mut rows = Vec::new();
     for app in AppId::ALL {
         for freq in Frequency::SWEEP {
-            f.push(
-                app.full_name(),
+            let (bx, ba) = accel_pair(&mut sweep, app, freq, BlockSize::MB_512, None);
+            let (ax, aa) = accel_pair(&mut sweep, app, freq, BlockSize::MB_512, Some(acc));
+            rows.push((
+                app,
                 format!("{:.1}GHz", freq.ghz()),
-                accel_ratio(app, &acc, freq, BlockSize::MB_512),
-            );
+                AccelSpec {
+                    before_xeon: bx,
+                    before_atom: ba,
+                    after_xeon: ax,
+                    after_atom: aa,
+                },
+            ));
         }
+    }
+    let meas = sweep.run();
+    let mut f = FigureData::new("fig15", "Acceleration ratio vs frequency", "ratio");
+    for (app, x, spec) in rows {
+        f.push(app.full_name(), x, spec.ratio(&meas));
     }
     f
 }
 
 /// Fig. 16: speedup ratio (Eq. 1) at 20× acceleration vs block size.
 pub fn fig16() -> FigureData {
-    let mut f = FigureData::new("fig16", "Acceleration ratio vs block size", "ratio");
     let acc = AccelConfig::fpga(20.0);
+    let mut sweep = Sweep::new();
+    let mut rows = Vec::new();
     for app in AppId::ALL {
-        let blocks: &[BlockSize] = if app.is_real_world() {
-            &BlockSize::SWEEP_REAL
-        } else {
-            &BlockSize::SWEEP
-        };
-        for b in blocks {
-            f.push(
-                app.full_name(),
+        for b in blocks_for(app) {
+            let (bx, ba) = accel_pair(&mut sweep, app, Frequency::GHZ_1_8, *b, None);
+            let (ax, aa) = accel_pair(&mut sweep, app, Frequency::GHZ_1_8, *b, Some(acc));
+            rows.push((
+                app,
                 format!("{}MB", b.mib()),
-                accel_ratio(app, &acc, Frequency::GHZ_1_8, *b),
-            );
+                AccelSpec {
+                    before_xeon: bx,
+                    before_atom: ba,
+                    after_xeon: ax,
+                    after_atom: aa,
+                },
+            ));
         }
+    }
+    let meas = sweep.run();
+    let mut f = FigureData::new("fig16", "Acceleration ratio vs block size", "ratio");
+    for (app, x, spec) in rows {
+        f.push(app.full_name(), x, spec.ratio(&meas));
     }
     f
 }
@@ -453,24 +604,29 @@ pub const SCHED_BLOCK: BlockSize = BlockSize::MB_256;
 /// Table 3: operational (ED^xP) and capital (ED^xAP) cost for 2–8 cores
 /// on both machines, 512 MB blocks @ 1.8 GHz (§3.5).
 pub fn table3() -> FigureData {
-    let mut f = FigureData::new("table3", "Operational and capital cost vs cores", "value");
+    let mut sweep = Sweep::new();
+    let mut rows = Vec::new();
     for m in machines() {
         for app in AppId::ALL {
-            let data = if app.is_real_world() { REAL_DATA } else { MICRO_DATA };
             for cores in CORE_SWEEP {
-                let meas = simulate(
-                    &cfg(app, &m)
-                        .data_per_node(data)
+                let p = sweep.point(
+                    cfg(app, &m)
+                        .data_per_node(data_for(app))
                         .block_size(SCHED_BLOCK)
                         .mappers(cores),
                 );
-                let x = format!("{}/M{}", label(&m), cores);
-                f.push(format!("EDP/{}", app.short_name()), x.clone(), meas.cost.edp());
-                f.push(format!("ED2P/{}", app.short_name()), x.clone(), meas.cost.ed2p());
-                f.push(format!("EDAP/{}", app.short_name()), x.clone(), meas.cost.edap());
-                f.push(format!("ED2AP/{}", app.short_name()), x, meas.cost.ed2ap());
+                rows.push((app, format!("{}/M{}", label(&m), cores), p));
             }
         }
+    }
+    let meas = sweep.run();
+    let mut f = FigureData::new("table3", "Operational and capital cost vs cores", "value");
+    for (app, x, p) in rows {
+        let cost = &meas[p].cost;
+        f.push(format!("EDP/{}", app.short_name()), x.clone(), cost.edp());
+        f.push(format!("ED2P/{}", app.short_name()), x.clone(), cost.ed2p());
+        f.push(format!("EDAP/{}", app.short_name()), x.clone(), cost.edap());
+        f.push(format!("ED2AP/{}", app.short_name()), x, cost.ed2ap());
     }
     f
 }
@@ -478,42 +634,50 @@ pub fn table3() -> FigureData {
 /// Fig. 17: spider-chart data — the four cost metrics normalized to the
 /// 8-Xeon-core configuration of each application.
 pub fn fig17() -> FigureData {
-    let mut f = FigureData::new("fig17", "Costs normalized to 8 Xeon cores", "norm");
     let [xeon, atom] = machines();
+    let mut sweep = Sweep::new();
+    let mut rows = Vec::new();
     for app in AppId::ALL {
-        let data = if app.is_real_world() { REAL_DATA } else { MICRO_DATA };
-        let base = simulate(
-            &cfg(app, &xeon)
+        let data = data_for(app);
+        let base = sweep.point(
+            cfg(app, &xeon)
                 .data_per_node(data)
                 .block_size(SCHED_BLOCK)
                 .mappers(8),
-        )
-        .cost;
+        );
         for (m, who) in [(&atom, "A"), (&xeon, "X")] {
             for cores in CORE_SWEEP {
-                let meas = simulate(
-                    &cfg(app, m)
+                let p = sweep.point(
+                    cfg(app, m)
                         .data_per_node(data)
                         .block_size(SCHED_BLOCK)
                         .mappers(cores),
                 );
-                for k in MetricKind::ALL {
-                    f.push(
-                        format!("{}/{}{}", app.short_name(), cores, who),
-                        k.to_string(),
-                        meas.cost.get(k) / base.get(k),
-                    );
-                }
+                rows.push((app, who, cores, p, base));
             }
+        }
+    }
+    let meas = sweep.run();
+    let mut f = FigureData::new("fig17", "Costs normalized to 8 Xeon cores", "norm");
+    for (app, who, cores, p, base) in rows {
+        for k in MetricKind::ALL {
+            f.push(
+                format!("{}/{}{}", app.short_name(), cores, who),
+                k.to_string(),
+                meas[p].cost.get(k) / meas[base].cost.get(k),
+            );
         }
     }
     f
 }
 
+/// A figure/table generator: produces one artifact's data from scratch.
+pub type Generator = fn() -> FigureData;
+
 /// Every generator keyed by id, for the CLI harness.
-pub fn all() -> Vec<(&'static str, fn() -> FigureData)> {
+pub fn all() -> Vec<(&'static str, Generator)> {
     vec![
-        ("table1", table1 as fn() -> FigureData),
+        ("table1", table1 as Generator),
         ("table2", table2),
         ("fig1", fig1),
         ("fig2", fig2),

@@ -1,0 +1,230 @@
+//! Parallel, memoized sweep harness for the figure generators.
+//!
+//! Every artifact in [`crate::figures`] is a grid of independent
+//! [`SimConfig`] points. A [`Sweep`] flattens the generator's nested
+//! loops into that grid: callers register points with [`Sweep::point`]
+//! (receiving a stable index), then [`Sweep::run`] evaluates all points
+//! on a scoped worker pool and returns measurements **in registration
+//! order** — results land by point index, so the output is byte-identical
+//! whatever the worker count or scheduling interleaving. Shared expensive
+//! state (stall splits, functional runs) goes through
+//! [`SimCache::global`](crate::SimCache::global), whose per-key
+//! once-cells guarantee all workers observe identical values.
+//!
+//! The worker count defaults to the machine's available parallelism and
+//! is set process-wide with [`set_jobs`] (the `figures` binary's
+//! `--jobs N` flag). Cumulative counters — points evaluated, grids run,
+//! busy wall time — are exposed via [`snapshot`] for observability.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+use crate::model::{simulate, Measurement, SimConfig};
+
+/// Requested worker count; 0 means "auto" (available parallelism).
+static JOBS: AtomicUsize = AtomicUsize::new(0);
+/// Points evaluated by `run_grid` since process start.
+static POINTS: AtomicU64 = AtomicU64::new(0);
+/// Grids executed since process start.
+static GRIDS: AtomicU64 = AtomicU64::new(0);
+/// Nanoseconds spent inside `run_grid` since process start.
+static BUSY_NANOS: AtomicU64 = AtomicU64::new(0);
+
+/// The number of workers the harness would use when jobs is "auto".
+pub fn available_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Sets the process-wide worker count (0 restores "auto").
+pub fn set_jobs(n: usize) {
+    JOBS.store(n, Ordering::SeqCst);
+}
+
+/// The effective worker count used by [`Sweep::run`].
+pub fn jobs() -> usize {
+    match JOBS.load(Ordering::SeqCst) {
+        0 => available_jobs(),
+        n => n,
+    }
+}
+
+/// Cumulative harness counters (since process start).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HarnessSnapshot {
+    /// Simulation points evaluated through the harness.
+    pub points: u64,
+    /// Grids (Sweep::run invocations) executed.
+    pub grids: u64,
+    /// Wall time spent executing grids.
+    pub busy: Duration,
+}
+
+impl HarnessSnapshot {
+    /// Difference relative to an earlier snapshot.
+    pub fn since(&self, earlier: &HarnessSnapshot) -> HarnessSnapshot {
+        HarnessSnapshot {
+            points: self.points.saturating_sub(earlier.points),
+            grids: self.grids.saturating_sub(earlier.grids),
+            busy: self.busy.saturating_sub(earlier.busy),
+        }
+    }
+}
+
+/// Reads the cumulative counters.
+pub fn snapshot() -> HarnessSnapshot {
+    HarnessSnapshot {
+        points: POINTS.load(Ordering::Relaxed),
+        grids: GRIDS.load(Ordering::Relaxed),
+        busy: Duration::from_nanos(BUSY_NANOS.load(Ordering::Relaxed)),
+    }
+}
+
+/// Evaluates a flat grid of points with the configured worker count.
+/// Results are returned in input order regardless of which worker
+/// computed each point.
+pub fn run_grid(configs: &[SimConfig]) -> Vec<Measurement> {
+    run_grid_with(configs, jobs())
+}
+
+/// [`run_grid`] with an explicit worker count (tests and benches).
+pub fn run_grid_with(configs: &[SimConfig], workers: usize) -> Vec<Measurement> {
+    let started = Instant::now();
+    let n = configs.len();
+    let out: Vec<Measurement> = if workers <= 1 || n <= 1 {
+        configs.iter().map(simulate).collect()
+    } else {
+        // Work-stealing over a shared index; each point's result lands in
+        // its own slot, so output order equals input order by construction.
+        let slots: Vec<OnceLock<Measurement>> = (0..n).map(|_| OnceLock::new()).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers.min(n) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let m = simulate(&configs[i]);
+                    slots[i].set(m).expect("each slot is filled exactly once");
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|s| s.into_inner().expect("worker pool covered every point"))
+            .collect()
+    };
+    POINTS.fetch_add(n as u64, Ordering::Relaxed);
+    GRIDS.fetch_add(1, Ordering::Relaxed);
+    BUSY_NANOS.fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    out
+}
+
+/// A grid of simulation points under construction.
+///
+/// ```
+/// use hhsim_core::harness::Sweep;
+/// use hhsim_core::{arch::presets, workloads::AppId, SimConfig};
+///
+/// let mut sweep = Sweep::new();
+/// let a = sweep.point(SimConfig::new(AppId::Sort, presets::atom_c2758()));
+/// let b = sweep.point(SimConfig::new(AppId::Sort, presets::xeon_e5_2420()));
+/// let meas = sweep.run();
+/// assert!(meas[a].breakdown.total() > meas[b].breakdown.total());
+/// ```
+#[derive(Default)]
+pub struct Sweep {
+    configs: Vec<SimConfig>,
+}
+
+impl Sweep {
+    /// An empty grid.
+    pub fn new() -> Self {
+        Sweep::default()
+    }
+
+    /// Registers one point, returning its index into [`Sweep::run`]'s
+    /// result vector.
+    pub fn point(&mut self, cfg: SimConfig) -> usize {
+        self.configs.push(cfg);
+        self.configs.len() - 1
+    }
+
+    /// Number of registered points.
+    pub fn len(&self) -> usize {
+        self.configs.len()
+    }
+
+    /// Whether the grid is empty.
+    pub fn is_empty(&self) -> bool {
+        self.configs.is_empty()
+    }
+
+    /// Evaluates every point with the configured worker count; result
+    /// `i` corresponds to the `i`-th registered point.
+    pub fn run(self) -> Vec<Measurement> {
+        run_grid(&self.configs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hhsim_arch::{presets, Frequency};
+    use hhsim_workloads::AppId;
+
+    fn grid() -> Vec<SimConfig> {
+        let mut v = Vec::new();
+        for m in presets::both() {
+            for app in [AppId::WordCount, AppId::Sort, AppId::Grep] {
+                for f in Frequency::SWEEP {
+                    v.push(SimConfig::new(app, m.clone()).frequency(f));
+                }
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn parallel_equals_serial() {
+        let g = grid();
+        let serial = run_grid_with(&g, 1);
+        let par = run_grid_with(&g, 4);
+        assert_eq!(serial, par, "worker count must not affect results");
+    }
+
+    #[test]
+    fn order_is_registration_order() {
+        let mut sweep = Sweep::new();
+        let mut expect = Vec::new();
+        for cfg in grid() {
+            expect.push((cfg.app, cfg.machine.name.clone()));
+            sweep.point(cfg);
+        }
+        let meas = sweep.run();
+        assert_eq!(meas.len(), expect.len());
+        for (m, (app, machine)) in meas.iter().zip(&expect) {
+            assert_eq!(m.app, *app);
+            assert_eq!(&m.machine_name, machine);
+        }
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let before = snapshot();
+        let g = grid();
+        let _ = run_grid_with(&g, 2);
+        let delta = snapshot().since(&before);
+        assert!(delta.points >= g.len() as u64);
+        assert!(delta.grids >= 1);
+    }
+
+    #[test]
+    fn empty_grid_is_fine() {
+        assert!(run_grid_with(&[], 4).is_empty());
+        assert!(Sweep::new().is_empty());
+    }
+}

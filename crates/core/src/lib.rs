@@ -40,14 +40,18 @@
 pub mod calibration;
 pub mod cluster;
 pub mod figures;
+pub mod harness;
 pub mod model;
 pub mod ratios;
 pub mod report;
+pub mod simcache;
 
 pub use cluster::{makespan, TaskSet};
-pub use model::{simulate, Measurement, PhaseCost, SimConfig};
+pub use harness::{run_grid, run_grid_with, set_jobs, HarnessSnapshot, Sweep};
+pub use model::{simulate, simulate_with, Measurement, PhaseCost, SimConfig};
 pub use ratios::AppRatios;
 pub use report::{FigureData, Row};
+pub use simcache::{CacheStats, SimCache};
 
 // Substrate re-exports: `hhsim_core` is the facade downstream users take.
 pub use hhsim_accel as accel;

@@ -34,7 +34,7 @@ use hhsim_workloads::AppId;
 use serde::{Deserialize, Serialize};
 
 use crate::cluster::{makespan, TaskSet};
-use crate::ratios::AppRatios;
+use crate::simcache::SimCache;
 
 /// Framework instructions charged per task launch (JVM spin-up, split
 /// bookkeeping, heartbeats).
@@ -81,7 +81,11 @@ impl SimConfig {
     /// benchmarks or 10 GB/node for real-world applications, 512 MB
     /// blocks, 1.8 GHz.
     pub fn new(app: AppId, machine: MachineModel) -> Self {
-        let data = if app.is_real_world() { 10u64 << 30 } else { 1u64 << 30 };
+        let data = if app.is_real_world() {
+            10u64 << 30
+        } else {
+            1u64 << 30
+        };
         SimConfig {
             app,
             machine,
@@ -126,7 +130,9 @@ impl SimConfig {
     }
 
     fn slots_per_node(&self) -> usize {
-        self.mappers_per_node.unwrap_or(self.machine.num_cores).max(1)
+        self.mappers_per_node
+            .unwrap_or(self.machine.num_cores)
+            .max(1)
     }
 }
 
@@ -179,23 +185,6 @@ pub struct Measurement {
     pub map_ipc: f64,
 }
 
-/// Memoized trace-driven stall split: the cache simulation is expensive
-/// (hundreds of thousands of accesses) and depends only on (machine,
-/// profile), not on frequency or data size.
-fn stall_split_cached(machine: &MachineModel, profile: &ComputeProfile) -> (f64, f64) {
-    use std::collections::HashMap;
-    use std::sync::{Mutex, OnceLock};
-    static CACHE: OnceLock<Mutex<HashMap<(String, String), (f64, f64)>>> = OnceLock::new();
-    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
-    let key = (machine.name.clone(), profile.name.clone());
-    if let Some(v) = cache.lock().expect("stall cache").get(&key) {
-        return *v;
-    }
-    let v = machine.stall_split(profile);
-    cache.lock().expect("stall cache").insert(key, v);
-    v
-}
-
 /// Memory-pressure multiplier on I/O time: footprint beyond DRAM divides
 /// the page cache's hit rate. The big core's deeper queues and smarter
 /// prefetch absorb pressure far better (§3.3: Atom's execution time grows
@@ -236,17 +225,25 @@ struct JobPhases {
     n_red: usize,
 }
 
-/// Runs the full model for one experiment point.
+/// Runs the full model for one experiment point, memoizing shared state
+/// (stall splits, functional runs) in the process-wide [`SimCache`].
 ///
 /// # Panics
 ///
 /// Panics if the configuration is degenerate (zero nodes or zero data).
 pub fn simulate(cfg: &SimConfig) -> Measurement {
+    simulate_with(cfg, SimCache::global())
+}
+
+/// [`simulate`] against an explicit cache. Passing a fresh
+/// [`SimCache::new`] gives a fully uncached evaluation — the reference
+/// the cache-consistency property tests compare against.
+pub fn simulate_with(cfg: &SimConfig, cache: &SimCache) -> Measurement {
     assert!(cfg.nodes > 0, "need at least one node");
     assert!(cfg.data_per_node_bytes > 0, "need input data");
     let m = &cfg.machine;
     let f = cfg.frequency;
-    let ratios = AppRatios::of(cfg.app);
+    let ratios = cache.ratios(cfg.app);
     let disk = DiskModel::sata_7200();
     let slots = cfg.slots_per_node();
     let total_slots = slots * cfg.nodes;
@@ -256,10 +253,10 @@ pub fn simulate(cfg: &SimConfig) -> Measurement {
     // Stall splits are frequency-independent: compute once per profile.
     let map_prof = cfg.app.map_profile();
     let red_prof = cfg.app.reduce_profile();
-    let map_stalls = stall_split_cached(m, &map_prof);
-    let red_stalls = stall_split_cached(m, &red_prof);
+    let map_stalls = cache.stall_split(m, &map_prof);
+    let red_stalls = cache.stall_split(m, &red_prof);
     let hadoop_avg = ComputeProfile::hadoop_average();
-    let hadoop_stalls = stall_split_cached(m, &hadoop_avg);
+    let hadoop_stalls = cache.stall_split(m, &hadoop_avg);
     // Task launch (JVM spin-up) penalizes the little core beyond its CPI
     // gap: cold-start code is branchy, serial and cache-hostile.
     let overhead_factor = match m.core.kind {
@@ -301,9 +298,13 @@ pub fn simulate(cfg: &SimConfig) -> Measurement {
         let merge_io = (spill_write + materialized) * merge_passes;
 
         let map_io_bytes = task_input + spill_write + merge_io;
-        let t_cpu_map =
-            cpu_seconds(m, &map_prof, map_stalls, f, task_input * map_prof.instr_per_byte)
-                + m.core.io_path_seconds(map_io_bytes, f);
+        let t_cpu_map = cpu_seconds(
+            m,
+            &map_prof,
+            map_stalls,
+            f,
+            task_input * map_prof.instr_per_byte,
+        ) + m.core.io_path_seconds(map_io_bytes, f);
 
         let map_concurrency = slots.min(n_map.div_ceil(cfg.nodes)).max(1) as f64;
         // Concurrent task streams interleave on the node disk: the
@@ -311,7 +312,8 @@ pub fn simulate(cfg: &SimConfig) -> Measurement {
         // blocks hurt I/O-bound jobs most (§3.1.1).
         let read_chunk = (block / map_concurrency as u64).max(1 << 20);
         let write_chunk = ((32 << 20) / map_concurrency as u64).max(1 << 20);
-        let footprint = cfg.data_per_node_bytes as f64 * job.input_fraction
+        let footprint = cfg.data_per_node_bytes as f64
+            * job.input_fraction
             * (1.0 + job.map_selectivity.min(1.5));
         let pressure = memory_pressure(m, footprint);
         let mut t_disk_map = (disk.read_seconds(task_input as u64, read_chunk)
@@ -326,8 +328,7 @@ pub fn simulate(cfg: &SimConfig) -> Measurement {
             0.0
         };
         let output_total = if job.has_combiner {
-            (job_input * job.output_selectivity)
-                .min(job.distinct_key_bytes_at(job_input) * 2.0)
+            (job_input * job.output_selectivity).min(job.distinct_key_bytes_at(job_input) * 2.0)
         } else {
             job_input * job.output_selectivity
         };
@@ -353,7 +354,11 @@ pub fn simulate(cfg: &SimConfig) -> Measurement {
         // ------------------------------------------------------------------
         // Reduce phase of this job.
         // ------------------------------------------------------------------
-        let n_red = if job.has_reduce { (total_slots / 2).max(1) } else { 0 };
+        let n_red = if job.has_reduce {
+            (total_slots / 2).max(1)
+        } else {
+            0
+        };
         let (red_task_s, t_cpu_red, t_io_red_raw, reduce_wall) = if n_red > 0 {
             let red_input = shuffle_total / n_red as f64 * job.reduce_skew.min(1.5);
             let red_concurrency = slots.min(n_red.div_ceil(cfg.nodes)).max(1) as f64;
@@ -373,9 +378,13 @@ pub fn simulate(cfg: &SimConfig) -> Measurement {
             let merge_bytes = red_input * passes * 2.0;
             let out_bytes = output_total / n_red as f64 * OUTPUT_REPLICATION;
             let io_bytes = red_input + merge_bytes + out_bytes;
-            let t_cpu =
-                cpu_seconds(m, &red_prof, red_stalls, f, red_input * red_prof.instr_per_byte)
-                    + m.core.io_path_seconds(io_bytes, f);
+            let t_cpu = cpu_seconds(
+                m,
+                &red_prof,
+                red_stalls,
+                f,
+                red_input * red_prof.instr_per_byte,
+            ) + m.core.io_path_seconds(io_bytes, f);
             let red_chunk = ((32 << 20) / red_concurrency as u64).max(1 << 20);
             let t_disk = (disk.write_seconds((merge_bytes + out_bytes) as u64, red_chunk)
                 + disk.read_seconds(red_input as u64, red_chunk))
@@ -437,10 +446,7 @@ pub fn simulate(cfg: &SimConfig) -> Measurement {
     // ------------------------------------------------------------------
     let mut breakdown = PhaseBreakdown::new(map_wall, reduce_wall, others_wall);
     if let Some(acc) = &cfg.accel {
-        let hotspot = phases
-            .iter()
-            .map(|p| p.map_wall)
-            .fold(0.0f64, f64::max);
+        let hotspot = phases.iter().map(|p| p.map_wall).fold(0.0f64, f64::max);
         let rest_map = map_wall - hotspot;
         let primary = ratios.primary();
         let transfer = (data_total as f64 * (1.0 + primary.map_selectivity.min(1.5)))
@@ -451,11 +457,7 @@ pub fn simulate(cfg: &SimConfig) -> Measurement {
             transfer as u64,
             acc,
         );
-        breakdown = PhaseBreakdown::new(
-            hot_accel.map_s + rest_map,
-            reduce_wall,
-            others_wall,
-        );
+        breakdown = PhaseBreakdown::new(hot_accel.map_s + rest_map, reduce_wall, others_wall);
     }
 
     // ------------------------------------------------------------------
@@ -620,8 +622,14 @@ mod tests {
         let t32 = t(BlockSize::MB_32);
         let t128 = t(BlockSize::MB_128);
         let t512 = t(BlockSize::MB_512);
-        assert!(t32 > t128, "tiny blocks pay task overhead ({t32} vs {t128})");
-        assert!(t512 > t128, "huge blocks pay spills/waves ({t512} vs {t128})");
+        assert!(
+            t32 > t128,
+            "tiny blocks pay task overhead ({t32} vs {t128})"
+        );
+        assert!(
+            t512 > t128,
+            "huge blocks pay spills/waves ({t512} vs {t128})"
+        );
     }
 
     #[test]
@@ -642,8 +650,7 @@ mod tests {
     fn accelerator_shrinks_map_only() {
         let plain = simulate(&base(AppId::WordCount, presets::atom_c2758()));
         let acc = simulate(
-            &base(AppId::WordCount, presets::atom_c2758())
-                .accelerator(AccelConfig::fpga(50.0)),
+            &base(AppId::WordCount, presets::atom_c2758()).accelerator(AccelConfig::fpga(50.0)),
         );
         assert!(acc.breakdown.map_s < plain.breakdown.map_s);
         assert!((acc.breakdown.reduce_s - plain.breakdown.reduce_s).abs() < 1e-9);

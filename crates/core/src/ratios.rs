@@ -13,9 +13,6 @@
 //! second job consumes a tiny match table, while FP-Growth's second job
 //! re-reads the full input and does the expensive mining in its reducers.
 
-use std::collections::HashMap;
-use std::sync::{Mutex, OnceLock};
-
 use hhsim_mapreduce::JobStats;
 use hhsim_workloads::{AppId, FunctionalConfig, FunctionalRun};
 use serde::{Deserialize, Serialize};
@@ -141,31 +138,42 @@ impl AppRatios {
         }
     }
 
-    /// Ratios of `app`, computed once per process and memoized (the
-    /// functional runs are deterministic).
-    pub fn of(app: AppId) -> AppRatios {
-        static CACHE: OnceLock<Mutex<HashMap<AppId, AppRatios>>> = OnceLock::new();
-        let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
-        if let Some(r) = cache.lock().expect("ratio cache").get(&app) {
-            return r.clone();
-        }
-        let reference = app.run_functional(&FunctionalConfig {
+    /// The reference-scale functional configuration the ratios are
+    /// measured at.
+    pub fn reference_config() -> FunctionalConfig {
+        FunctionalConfig {
             input_bytes: REF_INPUT_BYTES,
             block_bytes: REF_BLOCK_BYTES,
             sort_buffer_bytes: REF_SORT_BUFFER,
             num_reducers: REF_REDUCERS,
             seed: REF_SEED,
-        });
-        let small = app.run_functional(&FunctionalConfig {
+        }
+    }
+
+    /// The secondary (smaller) scale used to fit the Heaps' exponent.
+    pub fn small_config() -> FunctionalConfig {
+        FunctionalConfig {
             input_bytes: SMALL_INPUT_BYTES,
             block_bytes: REF_BLOCK_BYTES / 2,
             sort_buffer_bytes: REF_SORT_BUFFER / 2,
             num_reducers: REF_REDUCERS,
             seed: REF_SEED + 1,
-        });
-        let ratios = AppRatios::from_runs(&reference, &small);
-        cache.lock().expect("ratio cache").insert(app, ratios.clone());
-        ratios
+        }
+    }
+
+    /// Computes `app`'s ratios from scratch (no memoization): executes
+    /// both reference functional runs and derives the ratios.
+    pub fn compute(app: AppId) -> AppRatios {
+        let reference = app.run_functional(&Self::reference_config());
+        let small = app.run_functional(&Self::small_config());
+        AppRatios::from_runs(&reference, &small)
+    }
+
+    /// Ratios of `app`, memoized process-wide in the shared
+    /// [`SimCache`](crate::SimCache) (the functional runs are
+    /// deterministic, so every caller sees identical values).
+    pub fn of(app: AppId) -> AppRatios {
+        crate::SimCache::global().ratios(app)
     }
 
     /// First (primary) job's ratios.

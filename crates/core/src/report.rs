@@ -61,7 +61,10 @@ impl FigureData {
 
     /// Renders as CSV (`series,x,value` with a header).
     pub fn to_csv(&self) -> String {
-        let mut out = format!("# {} — {}\nseries,x,{}\n", self.id, self.title, self.value_label);
+        let mut out = format!(
+            "# {} — {}\nseries,x,{}\n",
+            self.id, self.title, self.value_label
+        );
         for r in &self.rows {
             out.push_str(&format!("{},{},{:.6}\n", r.series, r.x, r.value));
         }

@@ -1,0 +1,241 @@
+//! Unified memoization for the expensive, reusable pieces of a
+//! simulation: trace-driven stall splits and functional MapReduce runs
+//! (plus the dataflow ratios derived from them).
+//!
+//! The figure generators sweep thousands of [`crate::SimConfig`] points,
+//! but only a handful of distinct (machine, profile) stall splits and
+//! (app, functional-config) runs exist underneath them. This cache makes
+//! those computations safe and cheap to share across a pool of worker
+//! threads (see [`crate::harness`]): each entry is a `OnceLock` cell, so
+//! concurrent requests for the *same* key compute the value exactly once
+//! while requests for *different* keys proceed in parallel, and every
+//! caller observes the identical value — a prerequisite for the harness's
+//! determinism guarantee.
+//!
+//! The process-wide instance is [`SimCache::global`]; tests that need an
+//! uncached reference can construct private instances with
+//! [`SimCache::new`] and run [`crate::simulate_with`] against them.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use hhsim_arch::{ComputeProfile, MachineModel};
+use hhsim_workloads::{AppId, FunctionalConfig, FunctionalRun};
+use parking_lot::Mutex;
+
+use crate::ratios::AppRatios;
+
+/// (machine name, profile name): stall splits depend on nothing else.
+type StallKey = (String, String);
+/// Every field of [`FunctionalConfig`] plus the app: functional runs are
+/// deterministic functions of exactly this tuple.
+type RunKey = (AppId, u64, u64, u64, usize, u64);
+
+/// One memoization table. Values sit behind per-key `OnceLock` cells so
+/// a miss computes outside the map lock (no convoying) and concurrent
+/// misses on one key deduplicate into a single computation.
+type Table<K, V> = Mutex<HashMap<K, Arc<OnceLock<V>>>>;
+
+/// Counters and sizes describing cache effectiveness at a point in time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from an already-computed entry.
+    pub hits: u64,
+    /// Lookups that had to compute (or wait for) a fresh entry.
+    pub misses: u64,
+    /// Distinct (machine, profile) stall splits held.
+    pub stall_entries: usize,
+    /// Distinct functional runs held.
+    pub run_entries: usize,
+    /// Distinct per-app ratio sets held.
+    pub ratio_entries: usize,
+}
+
+impl CacheStats {
+    /// Total lookups.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of lookups served from cache (0 when unused).
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups() as f64
+        }
+    }
+
+    /// Counter difference since an earlier snapshot (entry counts are
+    /// reported as-is: they are already absolute).
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            ..*self
+        }
+    }
+}
+
+/// Thread-safe memo of stall splits, functional runs and app ratios.
+#[derive(Default)]
+pub struct SimCache {
+    stalls: Table<StallKey, (f64, f64)>,
+    runs: Table<RunKey, Arc<FunctionalRun>>,
+    ratios: Table<AppId, AppRatios>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SimCache {
+    /// An empty private cache (for tests and uncached references).
+    pub fn new() -> Self {
+        SimCache::default()
+    }
+
+    /// The process-wide cache shared by [`crate::simulate`] and the
+    /// sweep harness.
+    pub fn global() -> &'static SimCache {
+        static GLOBAL: OnceLock<SimCache> = OnceLock::new();
+        GLOBAL.get_or_init(SimCache::new)
+    }
+
+    /// Core memoization step: fetch-or-create the key's cell, then
+    /// initialize it outside the map lock. Exactly one caller runs
+    /// `compute` per key; latecomers block on the cell and count a hit
+    /// (they did no work).
+    fn memo<K, V>(&self, table: &Table<K, V>, key: K, compute: impl FnOnce() -> V) -> V
+    where
+        K: Eq + Hash,
+        V: Clone,
+    {
+        let cell = Arc::clone(table.lock().entry(key).or_default());
+        let mut computed = false;
+        let value = cell
+            .get_or_init(|| {
+                computed = true;
+                compute()
+            })
+            .clone();
+        if computed {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        value
+    }
+
+    /// Memoized trace-driven stall split: the cache simulation replays
+    /// hundreds of thousands of accesses but depends only on (machine,
+    /// profile), never on frequency or data size.
+    pub fn stall_split(&self, machine: &MachineModel, profile: &ComputeProfile) -> (f64, f64) {
+        self.memo(
+            &self.stalls,
+            (machine.name.clone(), profile.name.clone()),
+            || machine.stall_split(profile),
+        )
+    }
+
+    /// Memoized functional MapReduce run of `app` under `cfg`. The run
+    /// executes the real engine at MB scale, so it is by far the most
+    /// expensive cacheable unit; [`JobStats`](hhsim_mapreduce::JobStats)
+    /// land behind an `Arc` to keep hits allocation-free.
+    pub fn functional_run(&self, app: AppId, cfg: &FunctionalConfig) -> Arc<FunctionalRun> {
+        let key = (
+            app,
+            cfg.input_bytes,
+            cfg.block_bytes,
+            cfg.sort_buffer_bytes,
+            cfg.num_reducers,
+            cfg.seed,
+        );
+        self.memo(&self.runs, key, || Arc::new(app.run_functional(cfg)))
+    }
+
+    /// Memoized dataflow ratios of `app`, built from the two reference
+    /// functional runs (which are themselves cached individually).
+    pub fn ratios(&self, app: AppId) -> AppRatios {
+        self.memo(&self.ratios, app, || {
+            let reference = self.functional_run(app, &AppRatios::reference_config());
+            let small = self.functional_run(app, &AppRatios::small_config());
+            AppRatios::from_runs(&reference, &small)
+        })
+    }
+
+    /// Current counters and per-table entry counts.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            stall_entries: self.stalls.lock().len(),
+            run_entries: self.runs.lock().len(),
+            ratio_entries: self.ratios.lock().len(),
+        }
+    }
+
+    /// Drops every entry and zeroes the counters (benchmarks use this to
+    /// measure cold-cache behaviour without a fresh process).
+    pub fn clear(&self) {
+        self.stalls.lock().clear();
+        self.runs.lock().clear();
+        self.ratios.lock().clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hhsim_arch::presets;
+
+    #[test]
+    fn stall_split_hits_after_first_miss() {
+        let c = SimCache::new();
+        let m = presets::atom_c2758();
+        let p = ComputeProfile::hadoop_average();
+        let a = c.stall_split(&m, &p);
+        let b = c.stall_split(&m, &p);
+        assert_eq!(a, b);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.stall_entries), (1, 1, 1));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratios_match_direct_computation() {
+        let c = SimCache::new();
+        let cached = c.ratios(AppId::WordCount);
+        let direct = AppRatios::compute(AppId::WordCount);
+        assert_eq!(cached, direct);
+        // The two reference runs landed in the run table.
+        assert_eq!(c.stats().run_entries, 2);
+        assert_eq!(c.stats().ratio_entries, 1);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let c = SimCache::new();
+        c.ratios(AppId::Sort);
+        c.clear();
+        let s = c.stats();
+        assert_eq!(s, CacheStats::default());
+    }
+
+    #[test]
+    fn concurrent_same_key_computes_once() {
+        let c = SimCache::new();
+        let m = presets::xeon_e5_2420();
+        let p = ComputeProfile::hadoop_average();
+        let splits: Vec<(f64, f64)> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8).map(|_| s.spawn(|| c.stall_split(&m, &p))).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(splits.windows(2).all(|w| w[0] == w[1]));
+        let s = c.stats();
+        assert_eq!(s.misses, 1, "one computation for eight lookups");
+        assert_eq!(s.hits, 7);
+    }
+}

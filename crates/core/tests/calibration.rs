@@ -15,7 +15,10 @@ fn all_paper_claims_hold() {
         failing.len(),
         failing
             .iter()
-            .map(|t| format!("  [{}] {} (paper {:.3}, measured {:.3})", t.artifact, t.claim, t.paper, t.measured))
+            .map(|t| format!(
+                "  [{}] {} (paper {:.3}, measured {:.3})",
+                t.artifact, t.claim, t.paper, t.measured
+            ))
             .collect::<Vec<_>>()
             .join("\n")
     );

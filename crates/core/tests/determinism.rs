@@ -1,0 +1,37 @@
+//! The harness's central guarantee: the `--jobs` worker count affects
+//! only wall time, never a single output byte. Results land by point
+//! index, and every shared computation goes through per-key once-cells
+//! in [`hhsim_core::SimCache`], so any scheduling interleaving produces
+//! the identical CSV.
+
+use hhsim_core::{figures, harness};
+
+/// Exercised artifacts: an execution-time sweep (fig3), a two-point
+/// ratio figure (fig9) and the scheduling table (table3) — together they
+/// cover shared-base rows, paired points and multi-metric assembly.
+///
+/// Kept as ONE test function: the jobs setting is process-global, so
+/// flipping it from concurrently running `#[test]`s in this binary would
+/// race. (Other integration-test files are separate processes and are
+/// unaffected.)
+#[test]
+fn jobs_count_never_changes_output_bytes() {
+    let generators: [(&str, figures::Generator); 3] = [
+        ("fig3", figures::fig3),
+        ("fig9", figures::fig9),
+        ("table3", figures::table3),
+    ];
+    for (id, generate) in generators {
+        harness::set_jobs(1);
+        let serial = generate().to_csv();
+        harness::set_jobs(4);
+        let parallel = generate().to_csv();
+        // Re-run serial after parallel: cache population order must not
+        // matter either.
+        harness::set_jobs(1);
+        let serial_again = generate().to_csv();
+        harness::set_jobs(0);
+        assert_eq!(serial, parallel, "{id}: --jobs 4 diverged from --jobs 1");
+        assert_eq!(serial, serial_again, "{id}: rerun diverged");
+    }
+}

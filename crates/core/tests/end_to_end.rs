@@ -21,7 +21,10 @@ fn every_app_produces_consistent_measurements() {
             assert!(r.energy_j > 0.0);
             // Meter consistency: average power within [idle, idle + max dyn].
             let max_dyn = r.map.dynamic_watts.max(r.reduce.dynamic_watts);
-            assert!(r.reading.average_watts >= m.power.node_idle_w * 0.99, "{app}");
+            assert!(
+                r.reading.average_watts >= m.power.node_idle_w * 0.99,
+                "{app}"
+            );
             assert!(
                 r.reading.average_watts <= m.power.node_idle_w + max_dyn + 1.0,
                 "{app}/{}: {} vs idle {} + {}",
@@ -90,7 +93,10 @@ fn scheduler_pseudo_code_is_near_optimal() {
                     MetricKind::Edp,
                 )
                 .expect("present");
-            assert!(pseudo < baseline, "{app}: pseudo {pseudo} vs baseline {baseline}");
+            assert!(
+                pseudo < baseline,
+                "{app}: pseudo {pseudo} vs baseline {baseline}"
+            );
         }
     }
 }
@@ -101,8 +107,7 @@ fn acceleration_monotone_in_rate() {
         let mut last = f64::MAX;
         for rate in [1.0, 5.0, 25.0, 100.0] {
             let t = simulate(
-                &SimConfig::new(app, presets::atom_c2758())
-                    .accelerator(AccelConfig::fpga(rate)),
+                &SimConfig::new(app, presets::atom_c2758()).accelerator(AccelConfig::fpga(rate)),
             )
             .breakdown
             .total();

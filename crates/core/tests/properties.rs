@@ -1,89 +1,105 @@
 //! Property-based tests over the experiment space: model invariants must
-//! hold for *every* configuration, not just the paper's grid.
+//! hold for *every* configuration, not just the paper's grid. Driven by
+//! the in-repo deterministic testkit (offline replacement for proptest).
 
 use hhsim_core::arch::{presets, Frequency};
 use hhsim_core::hdfs::BlockSize;
 use hhsim_core::workloads::AppId;
 use hhsim_core::{simulate, SimConfig};
-use proptest::prelude::*;
+use hhsim_testkit::{check, Gen};
 
-fn arb_app() -> impl Strategy<Value = AppId> {
-    prop_oneof![
-        Just(AppId::WordCount),
-        Just(AppId::Sort),
-        Just(AppId::Grep),
-        Just(AppId::TeraSort),
-    ]
+const APPS: [AppId; 4] = [AppId::WordCount, AppId::Sort, AppId::Grep, AppId::TeraSort];
+const FREQS: [Frequency; 4] = [
+    Frequency::GHZ_1_2,
+    Frequency::GHZ_1_4,
+    Frequency::GHZ_1_6,
+    Frequency::GHZ_1_8,
+];
+const BLOCKS: [BlockSize; 5] = [
+    BlockSize::MB_32,
+    BlockSize::MB_64,
+    BlockSize::MB_128,
+    BlockSize::MB_256,
+    BlockSize::MB_512,
+];
+
+fn arb_app(g: &mut Gen) -> AppId {
+    *g.pick(&APPS)
 }
 
-fn arb_freq() -> impl Strategy<Value = Frequency> {
-    prop_oneof![
-        Just(Frequency::GHZ_1_2),
-        Just(Frequency::GHZ_1_4),
-        Just(Frequency::GHZ_1_6),
-        Just(Frequency::GHZ_1_8),
-    ]
+fn arb_freq(g: &mut Gen) -> Frequency {
+    *g.pick(&FREQS)
 }
 
-fn arb_block() -> impl Strategy<Value = BlockSize> {
-    prop_oneof![
-        Just(BlockSize::MB_32),
-        Just(BlockSize::MB_64),
-        Just(BlockSize::MB_128),
-        Just(BlockSize::MB_256),
-        Just(BlockSize::MB_512),
-    ]
+fn arb_block(g: &mut Gen) -> BlockSize {
+    *g.pick(&BLOCKS)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// Whatever the configuration, the big core is faster and the
-    /// measurement is internally consistent.
-    #[test]
-    fn big_core_always_faster(
-        app in arb_app(),
-        f in arb_freq(),
-        b in arb_block(),
-        data_gb in 1u64..4,
-        mappers in 2usize..8,
-    ) {
+/// Whatever the configuration, the big core is faster and the
+/// measurement is internally consistent.
+#[test]
+fn big_core_always_faster() {
+    check(12, |g| {
+        let app = arb_app(g);
+        let f = arb_freq(g);
+        let b = arb_block(g);
+        let data_gb = g.u64(1..4);
+        let mappers = g.usize(2..8);
         let mk = |m| {
-            simulate(&SimConfig::new(app, m)
-                .frequency(f)
-                .block_size(b)
-                .data_per_node(data_gb << 30)
-                .mappers(mappers))
+            simulate(
+                &SimConfig::new(app, m)
+                    .frequency(f)
+                    .block_size(b)
+                    .data_per_node(data_gb << 30)
+                    .mappers(mappers),
+            )
         };
         let x = mk(presets::xeon_e5_2420());
         let a = mk(presets::atom_c2758());
-        prop_assert!(x.breakdown.total() > 0.0);
-        prop_assert!(x.breakdown.total() < a.breakdown.total());
-        prop_assert!(x.energy_j > 0.0 && a.energy_j > 0.0);
+        assert!(x.breakdown.total() > 0.0);
+        assert!(x.breakdown.total() < a.breakdown.total());
+        assert!(x.energy_j > 0.0 && a.energy_j > 0.0);
         // The big node never draws less dynamic power at equal settings.
-        prop_assert!(x.map.dynamic_watts > a.map.dynamic_watts);
-    }
+        assert!(x.map.dynamic_watts > a.map.dynamic_watts);
+    });
+}
 
-    /// More input data never makes a job faster, on either machine.
-    #[test]
-    fn time_monotone_in_data(
-        app in arb_app(),
-        b in arb_block(),
-    ) {
+/// More input data never makes a job faster, on either machine.
+#[test]
+fn time_monotone_in_data() {
+    check(12, |g| {
+        let app = arb_app(g);
+        let b = arb_block(g);
         for m in presets::both() {
-            let small = simulate(&SimConfig::new(app, m.clone()).block_size(b).data_per_node(1 << 30));
+            let small = simulate(
+                &SimConfig::new(app, m.clone())
+                    .block_size(b)
+                    .data_per_node(1 << 30),
+            );
             let large = simulate(&SimConfig::new(app, m).block_size(b).data_per_node(3 << 30));
-            prop_assert!(large.breakdown.total() >= small.breakdown.total() * 0.999);
+            assert!(large.breakdown.total() >= small.breakdown.total() * 0.999);
         }
-    }
+    });
+}
 
-    /// Raising only the frequency never slows the job down.
-    #[test]
-    fn time_monotone_in_frequency(app in arb_app(), b in arb_block()) {
+/// Raising only the frequency never slows the job down.
+#[test]
+fn time_monotone_in_frequency() {
+    check(12, |g| {
+        let app = arb_app(g);
+        let b = arb_block(g);
         for m in presets::both() {
-            let lo = simulate(&SimConfig::new(app, m.clone()).block_size(b).frequency(Frequency::GHZ_1_2));
-            let hi = simulate(&SimConfig::new(app, m).block_size(b).frequency(Frequency::GHZ_1_8));
-            prop_assert!(hi.breakdown.total() <= lo.breakdown.total() * 1.001);
+            let lo = simulate(
+                &SimConfig::new(app, m.clone())
+                    .block_size(b)
+                    .frequency(Frequency::GHZ_1_2),
+            );
+            let hi = simulate(
+                &SimConfig::new(app, m)
+                    .block_size(b)
+                    .frequency(Frequency::GHZ_1_8),
+            );
+            assert!(hi.breakdown.total() <= lo.breakdown.total() * 1.001);
         }
-    }
+    });
 }

@@ -1,16 +1,18 @@
-//! Property-based tests of the DES kernel invariants.
+//! Property-based tests of the DES kernel invariants, driven by the
+//! in-repo deterministic testkit (offline replacement for proptest).
 
 use std::cell::RefCell;
 use std::rc::Rc;
 
 use hhsim_des::{SimTime, Simulation, SlotPool};
-use proptest::prelude::*;
+use hhsim_testkit::check;
 
-proptest! {
-    /// Events always execute in non-decreasing time order, whatever order
-    /// they were scheduled in.
-    #[test]
-    fn events_execute_in_time_order(times in proptest::collection::vec(0u64..10_000, 1..200)) {
+/// Events always execute in non-decreasing time order, whatever order
+/// they were scheduled in.
+#[test]
+fn events_execute_in_time_order() {
+    check(64, |g| {
+        let times = g.vec(1..200, |g| g.u64(0..10_000));
         let fired: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
         let mut sim = Simulation::new();
         for t in &times {
@@ -22,26 +24,36 @@ proptest! {
         }
         sim.run();
         let got = fired.borrow();
-        prop_assert_eq!(got.len(), times.len());
-        prop_assert!(got.windows(2).all(|w| w[0] <= w[1]));
-    }
+        assert_eq!(got.len(), times.len());
+        assert!(got.windows(2).all(|w| w[0] <= w[1]));
+    });
+}
 
-    /// The clock never moves backwards and ends at the latest event.
-    #[test]
-    fn clock_is_monotone(times in proptest::collection::vec(0u64..1_000_000, 1..100)) {
+/// The clock never moves backwards and ends at the latest event.
+#[test]
+fn clock_is_monotone() {
+    check(64, |g| {
+        let times = g.vec(1..100, |g| g.u64(0..1_000_000));
         let mut sim = Simulation::new();
         for t in &times {
             sim.schedule_at(SimTime::from_nanos(*t), |_| {});
         }
         let end = sim.run();
-        prop_assert_eq!(end, SimTime::from_nanos(*times.iter().max().expect("non-empty")));
-    }
+        assert_eq!(
+            end,
+            SimTime::from_nanos(*times.iter().max().expect("non-empty"))
+        );
+    });
+}
 
-    /// Slot-pool makespan: with capacity c and n identical unit tasks the
-    /// makespan is exactly ceil(n/c) — the waves law the cluster model
-    /// relies on.
-    #[test]
-    fn slot_pool_waves_law(n in 1usize..60, cap in 1usize..10) {
+/// Slot-pool makespan: with capacity c and n identical unit tasks the
+/// makespan is exactly ceil(n/c) — the waves law the cluster model
+/// relies on.
+#[test]
+fn slot_pool_waves_law() {
+    check(64, |g| {
+        let n = g.usize(1..60);
+        let cap = g.usize(1..10);
         let mut sim = Simulation::new();
         let pool = SlotPool::shared("p", cap);
         for _ in 0..n {
@@ -50,16 +62,25 @@ proptest! {
             });
         }
         let end = sim.run();
-        prop_assert_eq!(end, SimTime::from_secs(n.div_ceil(cap) as u64));
-    }
+        assert_eq!(end, SimTime::from_secs(n.div_ceil(cap) as u64));
+    });
+}
 
-    /// SimTime arithmetic: addition is commutative/associative over the
-    /// safe range and Display round-trips seconds.
-    #[test]
-    fn simtime_addition_laws(a in 0u64..u64::MAX / 4, b in 0u64..u64::MAX / 4, c in 0u64..u64::MAX / 4) {
-        let (ta, tb, tc) = (SimTime::from_nanos(a), SimTime::from_nanos(b), SimTime::from_nanos(c));
-        prop_assert_eq!(ta + tb, tb + ta);
-        prop_assert_eq!((ta + tb) + tc, ta + (tb + tc));
-        prop_assert_eq!((ta + tb).saturating_sub(tb), ta);
-    }
+/// SimTime arithmetic: addition is commutative/associative over the
+/// safe range and subtraction undoes addition.
+#[test]
+fn simtime_addition_laws() {
+    check(128, |g| {
+        let a = g.u64(0..u64::MAX / 4);
+        let b = g.u64(0..u64::MAX / 4);
+        let c = g.u64(0..u64::MAX / 4);
+        let (ta, tb, tc) = (
+            SimTime::from_nanos(a),
+            SimTime::from_nanos(b),
+            SimTime::from_nanos(c),
+        );
+        assert_eq!(ta + tb, tb + ta);
+        assert_eq!((ta + tb) + tc, ta + (tb + tc));
+        assert_eq!((ta + tb).saturating_sub(tb), ta);
+    });
 }

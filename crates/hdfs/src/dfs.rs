@@ -320,7 +320,10 @@ mod tests {
     #[test]
     fn missing_path_errors() {
         let dfs = Dfs::new(small_cfg());
-        assert_eq!(dfs.read("/nope").unwrap_err(), DfsError::NotFound("/nope".into()));
+        assert_eq!(
+            dfs.read("/nope").unwrap_err(),
+            DfsError::NotFound("/nope".into())
+        );
     }
 
     #[test]
@@ -362,8 +365,12 @@ mod tests {
     #[test]
     fn per_file_block_size_override() {
         let mut dfs = Dfs::new(small_cfg());
-        dfs.create_with_block_size("/big", Bytes::from(vec![0u8; 25]), BlockSize::from_bytes(25))
-            .unwrap();
+        dfs.create_with_block_size(
+            "/big",
+            Bytes::from(vec![0u8; 25]),
+            BlockSize::from_bytes(25),
+        )
+        .unwrap();
         assert_eq!(dfs.blocks("/big").unwrap().len(), 1);
     }
 }

@@ -1,19 +1,19 @@
-//! Property-based tests of the simulated HDFS.
+//! Property-based tests of the simulated HDFS, driven by the in-repo
+//! deterministic testkit (offline replacement for proptest).
 
 use bytes::Bytes;
 use hhsim_hdfs::{BlockSize, Dfs, DfsConfig, DiskModel, NodeId};
-use proptest::prelude::*;
+use hhsim_testkit::check;
 
-proptest! {
-    /// Files always round-trip byte-exactly, whatever the block size,
-    /// replication or payload.
-    #[test]
-    fn create_read_round_trip(
-        data in proptest::collection::vec(any::<u8>(), 0..4096),
-        block in 1u64..512,
-        replication in 1usize..5,
-        nodes in 1usize..6,
-    ) {
+/// Files always round-trip byte-exactly, whatever the block size,
+/// replication or payload.
+#[test]
+fn create_read_round_trip() {
+    check(64, |g| {
+        let data = g.bytes(0..4096);
+        let block = g.u64(1..512);
+        let replication = g.usize(1..5);
+        let nodes = g.usize(1..6);
         let mut dfs = Dfs::new(DfsConfig {
             block_size: BlockSize::from_bytes(block),
             replication,
@@ -21,25 +21,29 @@ proptest! {
         });
         let payload = Bytes::from(data.clone());
         dfs.create("/f", payload).unwrap();
-        prop_assert_eq!(&dfs.read("/f").unwrap()[..], &data[..]);
+        assert_eq!(&dfs.read("/f").unwrap()[..], &data[..]);
         // Block count and sizes are exact.
         let blocks = dfs.blocks("/f").unwrap();
-        prop_assert_eq!(blocks.len() as u64, BlockSize::from_bytes(block).blocks_for(data.len() as u64));
+        assert_eq!(
+            blocks.len() as u64,
+            BlockSize::from_bytes(block).blocks_for(data.len() as u64)
+        );
         let total: u64 = blocks.iter().map(|b| b.len).sum();
-        prop_assert_eq!(total, data.len() as u64);
+        assert_eq!(total, data.len() as u64);
         for b in blocks {
-            prop_assert!(b.len <= block);
-            prop_assert_eq!(b.replicas.len(), replication.min(nodes));
+            assert!(b.len <= block);
+            assert_eq!(b.replicas.len(), replication.min(nodes));
         }
-    }
+    });
+}
 
-    /// Locality fractions are consistent: each block contributes to
-    /// exactly `replication` nodes, so locality sums to replication.
-    #[test]
-    fn locality_sums_to_replication(
-        file_blocks in 1u64..20,
-        replication in 1usize..4,
-    ) {
+/// Locality fractions are consistent: each block contributes to
+/// exactly `replication` nodes, so locality sums to replication.
+#[test]
+fn locality_sums_to_replication() {
+    check(64, |g| {
+        let file_blocks = g.u64(1..20);
+        let replication = g.usize(1..4);
         let nodes = 4usize;
         let block = 64u64;
         let mut dfs = Dfs::new(DfsConfig {
@@ -47,25 +51,27 @@ proptest! {
             replication,
             num_nodes: nodes,
         });
-        dfs.create("/f", Bytes::from(vec![0u8; (file_blocks * block) as usize])).unwrap();
+        dfs.create("/f", Bytes::from(vec![0u8; (file_blocks * block) as usize]))
+            .unwrap();
         let sum: f64 = (0..nodes)
             .map(|n| dfs.locality("/f", NodeId(n)).unwrap())
             .sum();
-        prop_assert!((sum - replication.min(nodes) as f64).abs() < 1e-9);
-    }
+        assert!((sum - replication.min(nodes) as f64).abs() < 1e-9);
+    });
+}
 
-    /// Disk timing is monotone: more bytes never read faster, larger
-    /// chunks never read slower.
-    #[test]
-    fn disk_monotonicity(
-        a in 1u64..1_000_000_000,
-        b in 1u64..1_000_000_000,
-        chunk in 1u64..64_000_000,
-    ) {
+/// Disk timing is monotone: more bytes never read faster, larger
+/// chunks never read slower.
+#[test]
+fn disk_monotonicity() {
+    check(128, |g| {
+        let a = g.u64(1..1_000_000_000);
+        let b = g.u64(1..1_000_000_000);
+        let chunk = g.u64(1..64_000_000);
         let d = DiskModel::sata_7200();
         let (lo, hi) = (a.min(b), a.max(b));
-        prop_assert!(d.read_seconds(lo, chunk) <= d.read_seconds(hi, chunk));
-        prop_assert!(d.read_seconds(hi, chunk) <= d.read_seconds(hi, (chunk / 2).max(1)) + 1e-12);
-        prop_assert!(d.write_seconds(hi, chunk) >= d.read_seconds(hi, chunk));
-    }
+        assert!(d.read_seconds(lo, chunk) <= d.read_seconds(hi, chunk));
+        assert!(d.read_seconds(hi, chunk) <= d.read_seconds(hi, (chunk / 2).max(1)) + 1e-12);
+        assert!(d.write_seconds(hi, chunk) >= d.read_seconds(hi, chunk));
+    });
 }

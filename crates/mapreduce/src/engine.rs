@@ -114,6 +114,7 @@ where
     R: Reducer<KIn = M::KOut, VIn = M::VOut>,
 {
     let nred = job.config.num_reducers;
+    #[allow(clippy::type_complexity)]
     let mut reduce_inputs: Vec<Vec<Vec<(M::KOut, M::VOut)>>> =
         (0..nred).map(|_| Vec::new()).collect();
     for mo in map_outputs {
@@ -219,6 +220,7 @@ where
     let mut task_io = TaskIo::default();
 
     // Sorted spill segments: each is per-partition sorted runs.
+    #[allow(clippy::type_complexity)]
     let mut segments: Vec<Vec<Vec<(M::KOut, M::VOut)>>> = Vec::new();
 
     let spill =
@@ -263,6 +265,7 @@ where
     if nsegs > 1 {
         stats.map_merge_passes += cfg.merge_passes(nsegs) as u64;
     }
+    #[allow(clippy::type_complexity)]
     let mut partitions: Vec<Vec<Vec<(M::KOut, M::VOut)>>> =
         (0..nparts).map(|_| Vec::new()).collect();
     let mut merged_bytes = 0u64;
@@ -279,10 +282,7 @@ where
         // Every extra pass rewrites the whole materialized output.
         stats.map_merge_bytes += merged_bytes * cfg.merge_passes(nsegs) as u64;
     }
-    let partitions: Vec<Vec<(M::KOut, M::VOut)>> = partitions
-        .into_iter()
-        .map(|runs| merge_runs(runs))
-        .collect();
+    let partitions: Vec<Vec<(M::KOut, M::VOut)>> = partitions.into_iter().map(merge_runs).collect();
 
     for part in &partitions {
         task_io.output_records += part.len() as u64;

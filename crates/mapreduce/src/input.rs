@@ -39,11 +39,7 @@ pub type TextSplit = Vec<(u64, String)>;
 /// ```
 pub fn text_splits(dfs: &Dfs, path: &str) -> Result<Vec<TextSplit>, DfsError> {
     let data = dfs.read(path)?;
-    let block_size = dfs
-        .namenode()
-        .lookup(path)?
-        .block_size
-        .bytes();
+    let block_size = dfs.namenode().lookup(path)?.block_size.bytes();
     Ok(text_splits_from_bytes(&data, block_size))
 }
 
@@ -84,8 +80,8 @@ fn read_split(data: &Bytes, start: u64, end: u64) -> TextSplit {
         while line_end < len && bytes[line_end as usize] != b'\n' {
             line_end += 1;
         }
-        let line = String::from_utf8_lossy(&bytes[line_start as usize..line_end as usize])
-            .into_owned();
+        let line =
+            String::from_utf8_lossy(&bytes[line_start as usize..line_end as usize]).into_owned();
         records.push((line_start, line));
         pos = line_end + 1; // past the newline (or EOF)
     }

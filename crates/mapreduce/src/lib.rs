@@ -69,9 +69,9 @@ mod task;
 pub use config::JobConfig;
 pub use emit::Emitter;
 pub use engine::{run_job, run_map_only_job, JobResult, JobSpec};
-pub use parallel::run_job_parallel;
 pub use input::{text_splits, text_splits_from_bytes};
 pub use kv::Datum;
+pub use parallel::run_job_parallel;
 pub use partition::{hash_partition, range_partition, Partitioner};
 pub use phase::{Phase, PhaseBreakdown};
 pub use stats::{JobStats, TaskIo};

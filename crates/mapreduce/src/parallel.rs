@@ -6,8 +6,6 @@
 //! [`crate::run_job`], just faster on multi-core hosts. Used by the bench
 //! harness when regenerating many figures.
 
-use crossbeam::thread;
-
 use crate::engine::{JobResult, JobSpec, MapTaskOutput};
 use crate::kv::Datum;
 use crate::stats::JobStats;
@@ -36,7 +34,9 @@ where
     assert!(cfg.num_reducers > 0, "run_job_parallel needs reducers");
 
     let n = splits.len();
+    #[allow(clippy::type_complexity)]
     let mut indexed: Vec<(usize, Vec<(M::KIn, M::VIn)>)> = splits.into_iter().enumerate().collect();
+    #[allow(clippy::type_complexity)]
     let mut outputs: Vec<Option<(MapTaskOutput<M::KOut, M::VOut>, JobStats)>> =
         (0..n).map(|_| None).collect();
 
@@ -45,9 +45,9 @@ where
     // because results are reassembled by index.
     let work = std::sync::Mutex::new(&mut indexed);
     let sink = std::sync::Mutex::new(&mut outputs);
-    thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads.min(n.max(1)) {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let item = work.lock().expect("work queue").pop();
                 let Some((idx, split)) = item else { break };
                 let mut stats = JobStats::default();
@@ -55,8 +55,7 @@ where
                 sink.lock().expect("sink")[idx] = Some((out, stats));
             });
         }
-    })
-    .expect("map worker panicked");
+    });
 
     // Deterministic reassembly in task order.
     let mut stats = JobStats {

@@ -64,7 +64,10 @@ impl PhaseBreakdown {
     /// Panics if any component is negative or non-finite.
     pub fn new(map_s: f64, reduce_s: f64, others_s: f64) -> Self {
         for (n, v) in [("map", map_s), ("reduce", reduce_s), ("others", others_s)] {
-            assert!(v.is_finite() && v >= 0.0, "{n} time must be finite and >= 0, got {v}");
+            assert!(
+                v.is_finite() && v >= 0.0,
+                "{n} time must be finite and >= 0, got {v}"
+            );
         }
         PhaseBreakdown {
             map_s,

@@ -19,7 +19,12 @@ pub trait Mapper: Clone + Send {
     type VOut: Datum;
 
     /// Processes one input record.
-    fn map(&mut self, key: &Self::KIn, value: &Self::VIn, out: &mut Emitter<Self::KOut, Self::VOut>);
+    fn map(
+        &mut self,
+        key: &Self::KIn,
+        value: &Self::VIn,
+        out: &mut Emitter<Self::KOut, Self::VOut>,
+    );
 
     /// Called once per task after the last record — the place to flush
     /// in-mapper aggregation state. Default: nothing.
@@ -50,10 +55,7 @@ pub trait Reducer: Clone + Send {
 /// A combiner is a reducer whose output types equal its input types, so it
 /// can run on map-side spills any number of times without changing the
 /// result (Hadoop's contract).
-pub trait Combiner:
-    Reducer<KOut = <Self as Reducer>::KIn, VOut = <Self as Reducer>::VIn>
-{
-}
+pub trait Combiner: Reducer<KOut = <Self as Reducer>::KIn, VOut = <Self as Reducer>::VIn> {}
 
 impl<T> Combiner for T where T: Reducer<KOut = <T as Reducer>::KIn, VOut = <T as Reducer>::VIn> {}
 

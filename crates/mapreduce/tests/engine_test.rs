@@ -5,7 +5,7 @@ use hhsim_mapreduce::{
     hash_partition, range_partition, run_job, run_map_only_job, Emitter, IdentityMapper,
     IdentityReducer, JobConfig, JobSpec, Mapper, Reducer,
 };
-use proptest::prelude::*;
+use hhsim_testkit::check;
 
 #[derive(Clone)]
 struct Tokenize;
@@ -46,12 +46,11 @@ fn lines(ls: &[&str]) -> Vec<(u64, String)> {
 
 #[test]
 fn wordcount_counts_across_splits() {
-    let splits = vec![
-        lines(&["a b c a", "b b"]),
-        lines(&["c a"]),
-        lines(&[]),
-    ];
-    let res = run_job(&wc_job().config(JobConfig::default().num_reducers(3)), splits);
+    let splits = vec![lines(&["a b c a", "b b"]), lines(&["c a"]), lines(&[])];
+    let res = run_job(
+        &wc_job().config(JobConfig::default().num_reducers(3)),
+        splits,
+    );
     let mut out = res.output;
     out.sort();
     assert_eq!(
@@ -74,7 +73,10 @@ fn wordcount_counts_across_splits() {
 #[test]
 fn combiner_shrinks_shuffle_but_not_answer() {
     let splits = vec![lines(&["x x x x y", "x y"]); 4];
-    let no_comb = run_job(&wc_job().config(JobConfig::default().num_reducers(2)), splits.clone());
+    let no_comb = run_job(
+        &wc_job().config(JobConfig::default().num_reducers(2)),
+        splits.clone(),
+    );
     let comb = run_job(
         &wc_job()
             .config(JobConfig::default().num_reducers(2))
@@ -103,7 +105,10 @@ fn tiny_sort_buffer_forces_spills() {
         splits,
     );
     assert!(small.stats.spills > 2, "tiny buffer must spill repeatedly");
-    assert!(small.stats.map_merge_passes > 0, "multiple spills need merges");
+    assert!(
+        small.stats.map_merge_passes > 0,
+        "multiple spills need merges"
+    );
     assert!(small.stats.map_merge_bytes > 0);
     // Same answer regardless.
     let (mut a, mut b) = (big_buf.output.clone(), small.output.clone());
@@ -147,13 +152,20 @@ fn hash_partitioner_balances_roughly() {
         .config(JobConfig::default().num_reducers(4))
         .partitioner(hash_partition());
     let res = run_job(&job, splits);
-    assert!(res.stats.reduce_skew() < 1.25, "skew {}", res.stats.reduce_skew());
+    assert!(
+        res.stats.reduce_skew() < 1.25,
+        "skew {}",
+        res.stats.reduce_skew()
+    );
 }
 
 #[test]
 fn stats_bytes_are_consistent() {
     let splits = vec![lines(&["aa bb aa", "cc"]); 3];
-    let res = run_job(&wc_job().config(JobConfig::default().num_reducers(2)), splits);
+    let res = run_job(
+        &wc_job().config(JobConfig::default().num_reducers(2)),
+        splits,
+    );
     let s = &res.stats;
     // No combiner: materialized == emitted == shuffled.
     assert_eq!(s.map_materialized_bytes, s.map_output_bytes);
@@ -169,24 +181,28 @@ fn stats_bytes_are_consistent() {
 #[test]
 fn deterministic_across_runs() {
     let splits = vec![lines(&["q w e r t y u i o p", "a s d f g"]); 5];
-    let r1 = run_job(&wc_job().config(JobConfig::default().num_reducers(3)), splits.clone());
-    let r2 = run_job(&wc_job().config(JobConfig::default().num_reducers(3)), splits);
+    let r1 = run_job(
+        &wc_job().config(JobConfig::default().num_reducers(3)),
+        splits.clone(),
+    );
+    let r2 = run_job(
+        &wc_job().config(JobConfig::default().num_reducers(3)),
+        splits,
+    );
     assert_eq!(r1.output, r2.output);
     assert_eq!(r1.stats, r2.stats);
 }
 
-proptest! {
-    /// Word counts from the engine always match a straightforward HashMap
-    /// count, regardless of split shapes, reducer counts or buffer sizes.
-    #[test]
-    fn prop_wordcount_matches_reference(
-        docs in proptest::collection::vec(
-            proptest::collection::vec("[a-d]{1,3}", 0..12),
-            1..6
-        ),
-        nred in 1usize..5,
-        buf in 8u64..200,
-    ) {
+/// Word counts from the engine always match a straightforward HashMap
+/// count, regardless of split shapes, reducer counts or buffer sizes.
+#[test]
+fn prop_wordcount_matches_reference() {
+    check(64, |g| {
+        let docs: Vec<Vec<String>> = g.vec(1..6, |g| {
+            g.vec(0..12, |g| g.string(1..=3, &['a', 'b', 'c', 'd']))
+        });
+        let nred = g.usize(1..5);
+        let buf = g.u64(8..200);
         let splits: Vec<Vec<(u64, String)>> = docs
             .iter()
             .map(|words| vec![(0u64, words.join(" "))])
@@ -196,19 +212,24 @@ proptest! {
             *expect.entry(w.clone()).or_insert(0u64) += 1;
         }
         let res = run_job(
-            &wc_job().config(JobConfig::default().num_reducers(nred).sort_buffer_bytes(buf)),
+            &wc_job().config(
+                JobConfig::default()
+                    .num_reducers(nred)
+                    .sort_buffer_bytes(buf),
+            ),
             splits,
         );
         let got: std::collections::BTreeMap<String, u64> = res.output.into_iter().collect();
-        prop_assert_eq!(got, expect);
-    }
+        assert_eq!(got, expect);
+    });
+}
 
-    /// Identity sort through the engine equals std sort.
-    #[test]
-    fn prop_engine_sort_matches_std(
-        keys in proptest::collection::vec(0u64..1000, 0..200),
-        nred in 1usize..4,
-    ) {
+/// Identity sort through the engine equals std sort.
+#[test]
+fn prop_engine_sort_matches_std() {
+    check(64, |g| {
+        let keys = g.vec(0..200, |g| g.u64(0..1000));
+        let nred = g.usize(1..4);
         let records: Vec<(u64, u64)> = keys.iter().map(|&k| (k, k ^ 0xff)).collect();
         let cuts = vec![333u64, 666];
         let job = JobSpec::new(IdentityMapper::<u64, u64>::new(), IdentityReducer::new())
@@ -218,23 +239,24 @@ proptest! {
         let got: Vec<u64> = res.output.iter().map(|(k, _)| *k).collect();
         let mut expect = keys;
         expect.sort();
-        prop_assert_eq!(got, expect);
-    }
+        assert_eq!(got, expect);
+    });
+}
 
-    /// Total records are conserved through an identity job: reduce input
-    /// records equal map output records equal input records.
-    #[test]
-    fn prop_identity_conserves_records(
-        n in 0usize..300,
-        nred in 1usize..6,
-    ) {
+/// Total records are conserved through an identity job: reduce input
+/// records equal map output records equal input records.
+#[test]
+fn prop_identity_conserves_records() {
+    check(64, |g| {
+        let n = g.usize(0..300);
+        let nred = g.usize(1..6);
         let records: Vec<(u64, u64)> = (0..n as u64).map(|i| (i % 17, i)).collect();
         let job = JobSpec::new(IdentityMapper::<u64, u64>::new(), IdentityReducer::new())
             .config(JobConfig::default().num_reducers(nred));
         let res = run_job(&job, vec![records]);
-        prop_assert_eq!(res.stats.map_output_records, n as u64);
-        prop_assert_eq!(res.stats.reduce_input_records, n as u64);
-        prop_assert_eq!(res.stats.output_records, n as u64);
-        prop_assert_eq!(res.output.len(), n);
-    }
+        assert_eq!(res.stats.map_output_records, n as u64);
+        assert_eq!(res.stats.reduce_input_records, n as u64);
+        assert_eq!(res.stats.output_records, n as u64);
+        assert_eq!(res.output.len(), n);
+    });
 }

@@ -118,7 +118,10 @@ impl CostTable {
 
     /// Cost of a specific allocation, if characterized.
     pub fn get(&self, alloc: CoreAllocation) -> Option<&CostMetrics> {
-        self.entries.iter().find(|(a, _)| *a == alloc).map(|(_, m)| m)
+        self.entries
+            .iter()
+            .find(|(a, _)| *a == alloc)
+            .map(|(_, m)| m)
     }
 
     /// All characterized allocations.

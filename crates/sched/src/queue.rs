@@ -76,14 +76,12 @@ impl Policy {
                         cores: 1,
                     }),
             ),
-            Policy::MaxPerformance => clamp(
-                job.table
-                    .max_performance_baseline()
-                    .unwrap_or(CoreAllocation {
-                        kind: CoreKind::Big,
-                        cores: 1,
-                    }),
-            ),
+            Policy::MaxPerformance => clamp(job.table.max_performance_baseline().unwrap_or(
+                CoreAllocation {
+                    kind: CoreKind::Big,
+                    cores: 1,
+                },
+            )),
         }
     }
 }

@@ -147,8 +147,7 @@ impl AppId {
                 // The paper accounts Sort as map-phase only; run map-only so
                 // the statistics carry no reduce/shuffle component.
                 let job = sort::job(job_cfg);
-                let splits =
-                    hhsim_mapreduce::text_splits_from_bytes(&input, cfg.block_bytes);
+                let splits = hhsim_mapreduce::text_splits_from_bytes(&input, cfg.block_bytes);
                 let res = run_map_only_job(&job, splits);
                 FunctionalRun::single(res.stats)
             }
@@ -345,7 +344,10 @@ mod tests {
     #[test]
     fn selectivities_differentiate_classes() {
         // WordCount inflates bytes; Sort preserves; Grep shrinks.
-        let wc = AppId::WordCount.run_functional(&cfg()).stats.map_selectivity();
+        let wc = AppId::WordCount
+            .run_functional(&cfg())
+            .stats
+            .map_selectivity();
         let st = AppId::Sort.run_functional(&cfg()).stats.map_selectivity();
         let gp = AppId::Grep.run_functional(&cfg()).stats.map_selectivity();
         assert!(wc > 1.2, "WC {wc}");

@@ -202,7 +202,10 @@ mod tests {
             .map(|(_, c)| *c)
             .max()
             .unwrap_or(0);
-        assert!(the > 5 * rare, "head word must dominate tail ({the} vs {rare})");
+        assert!(
+            the > 5 * rare,
+            "head word must dominate tail ({the} vs {rare})"
+        );
     }
 
     #[test]

@@ -116,8 +116,7 @@ impl Mapper for GroupMapper {
         for idx in (0..ranks.len()).rev() {
             let g = FList::group_of(ranks[idx], self.groups);
             if seen.insert(g) {
-                let prefix: Vec<String> =
-                    ranks[..=idx].iter().map(|r| r.to_string()).collect();
+                let prefix: Vec<String> = ranks[..=idx].iter().map(|r| r.to_string()).collect();
                 out.emit(g, prefix.join(" "));
             }
         }
@@ -205,7 +204,10 @@ pub fn run(
             rank: flist.rank.clone(),
             groups,
         },
-        MineReducer { min_support, groups },
+        MineReducer {
+            min_support,
+            groups,
+        },
     )
     .config(cfg);
     let mine_res = run_job(&mine_job, splits);
@@ -235,7 +237,11 @@ mod tests {
     use std::collections::{BTreeMap, BTreeSet};
 
     /// Brute-force frequent itemsets up to `max_len` items.
-    fn brute_force(lines: &[&str], min_support: u64, max_len: usize) -> BTreeMap<BTreeSet<String>, u64> {
+    fn brute_force(
+        lines: &[&str],
+        min_support: u64,
+        max_len: usize,
+    ) -> BTreeMap<BTreeSet<String>, u64> {
         let txs: Vec<BTreeSet<String>> = lines
             .iter()
             .map(|l| l.split_whitespace().map(str::to_string).collect())
@@ -272,7 +278,15 @@ mod tests {
                 current.pop();
             }
         }
-        rec(&items, 0, &mut Vec::new(), &txs, min_support, max_len, &mut out);
+        rec(
+            &items,
+            0,
+            &mut Vec::new(),
+            &txs,
+            min_support,
+            max_len,
+            &mut out,
+        );
         out
     }
 
@@ -314,7 +328,13 @@ mod tests {
     #[test]
     fn finds_planted_bundles_in_synthetic_data() {
         let input = datagen::transactions(64 << 10, 2);
-        let res = run(&input, 50, 4, 16 << 10, JobConfig::default().num_reducers(4));
+        let res = run(
+            &input,
+            50,
+            4,
+            16 << 10,
+            JobConfig::default().num_reducers(4),
+        );
         let has_pair = res.patterns.iter().any(|(items, _)| {
             items.len() >= 2
                 && items.contains(&"bread".to_string())
@@ -344,6 +364,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "min_support must be positive")]
     fn zero_support_rejected() {
-        let _ = run(&Bytes::from_static(b"a b\n"), 0, 1, 64, JobConfig::default());
+        let _ = run(
+            &Bytes::from_static(b"a b\n"),
+            0,
+            1,
+            64,
+            JobConfig::default(),
+        );
     }
 }

@@ -114,12 +114,7 @@ impl FpTree {
         self.mine_suffix(min_support, &mut Vec::new(), out);
     }
 
-    fn mine_suffix(
-        &self,
-        min_support: u64,
-        suffix: &mut Vec<u32>,
-        out: &mut Vec<(Vec<u32>, u64)>,
-    ) {
+    fn mine_suffix(&self, min_support: u64, suffix: &mut Vec<u32>, out: &mut Vec<(Vec<u32>, u64)>) {
         // Deterministic order: mine items deepest-rank first.
         let mut items: Vec<u32> = self.header.keys().copied().collect();
         items.sort_unstable_by(|a, b| b.cmp(a));
@@ -151,8 +146,7 @@ impl FpTree {
             if paths.is_empty() {
                 continue;
             }
-            let cond =
-                FpTree::build_weighted(paths.iter().map(|(p, c)| (p.as_slice(), *c)));
+            let cond = FpTree::build_weighted(paths.iter().map(|(p, c)| (p.as_slice(), *c)));
             suffix.insert(0, item);
             cond.mine_suffix(min_support, suffix, out);
             suffix.remove(0);
@@ -211,9 +205,7 @@ mod tests {
 
     #[test]
     fn pattern_supports_are_antimonotone() {
-        let txs: Vec<Vec<u32>> = (0..40u32)
-            .map(|i| (0..=(i % 5)).collect())
-            .collect();
+        let txs: Vec<Vec<u32>> = (0..40u32).map(|i| (0..=(i % 5)).collect()).collect();
         let got = mine_map(&txs, 3);
         for (pattern, support) in &got {
             for sub_idx in 0..pattern.len() {

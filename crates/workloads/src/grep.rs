@@ -141,7 +141,10 @@ mod tests {
         let input = datagen::text(64 << 10, 6);
         let res = run(&input, "w0", 16 << 10, JobConfig::default().num_reducers(2));
         let counts: Vec<u64> = res.output.iter().map(|(_, c)| *c).collect();
-        assert!(counts.windows(2).all(|w| w[0] >= w[1]), "must be sorted desc");
+        assert!(
+            counts.windows(2).all(|w| w[0] >= w[1]),
+            "must be sorted desc"
+        );
         assert!(res.output.len() > 5, "zipf tail words w0xx must match");
     }
 

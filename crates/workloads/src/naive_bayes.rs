@@ -96,8 +96,9 @@ impl NaiveBayesModel {
         let mut classes: Vec<&String> = self.class_docs.keys().collect();
         classes.sort(); // deterministic tie-break
         for class in classes {
-            let prior =
-                (*self.class_docs.get(class).expect("key from map") as f64 / total_docs as f64).ln();
+            let prior = (*self.class_docs.get(class).expect("key from map") as f64
+                / total_docs as f64)
+                .ln();
             let tokens = *self.class_tokens.get(class).unwrap_or(&0) as f64;
             let denom = tokens + self.vocabulary as f64;
             let mut score = prior;
@@ -150,7 +151,10 @@ mod tests {
         );
         let t = train(&input, 64, JobConfig::default().num_reducers(2));
         assert_eq!(t.model.classify("buy cheap pills").as_deref(), Some("spam"));
-        assert_eq!(t.model.classify("agenda for meeting").as_deref(), Some("ham"));
+        assert_eq!(
+            t.model.classify("agenda for meeting").as_deref(),
+            Some("ham")
+        );
     }
 
     #[test]

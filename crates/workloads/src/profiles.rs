@@ -107,42 +107,12 @@ pub fn map_profile(app: AppId) -> ComputeProfile {
 /// working sets, pointer-chasing group iterators).
 pub fn reduce_profile(app: AppId) -> ComputeProfile {
     let (ipb, ilp, activity, mem) = match app {
-        AppId::WordCount => (
-            24.0,
-            1.3,
-            0.66,
-            reduce_mem(128 << 20, 0.62),
-        ),
-        AppId::Sort => (
-            8.0,
-            1.5,
-            0.52,
-            reduce_mem(512 << 20, 0.50),
-        ),
-        AppId::Grep => (
-            55.0,
-            1.25,
-            0.64,
-            reduce_mem(192 << 20, 0.55),
-        ),
-        AppId::TeraSort => (
-            22.0,
-            1.35,
-            0.58,
-            reduce_mem(384 << 20, 0.58),
-        ),
-        AppId::NaiveBayes => (
-            34.0,
-            1.25,
-            0.68,
-            reduce_mem(256 << 20, 0.52),
-        ),
-        AppId::FpGrowth => (
-            130.0,
-            1.3,
-            0.75,
-            reduce_mem(512 << 20, 0.60),
-        ),
+        AppId::WordCount => (24.0, 1.3, 0.66, reduce_mem(128 << 20, 0.62)),
+        AppId::Sort => (8.0, 1.5, 0.52, reduce_mem(512 << 20, 0.50)),
+        AppId::Grep => (55.0, 1.25, 0.64, reduce_mem(192 << 20, 0.55)),
+        AppId::TeraSort => (22.0, 1.35, 0.58, reduce_mem(384 << 20, 0.58)),
+        AppId::NaiveBayes => (34.0, 1.25, 0.68, reduce_mem(256 << 20, 0.52)),
+        AppId::FpGrowth => (130.0, 1.3, 0.75, reduce_mem(512 << 20, 0.60)),
     };
     ComputeProfile {
         name: format!("{}-reduce", app.short_name()),

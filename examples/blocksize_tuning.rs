@@ -22,7 +22,11 @@ fn main() {
             std::process::exit(2);
         });
 
-    println!("Block-size x frequency sweep for {} ({:?})\n", app.full_name(), app.class());
+    println!(
+        "Block-size x frequency sweep for {} ({:?})\n",
+        app.full_name(),
+        app.class()
+    );
     for m in presets::both() {
         println!("{}:", m.name);
         print!("{:>10}", "block \\ f");

@@ -19,7 +19,11 @@ fn main() {
     for app in AppId::ALL {
         let xeon = simulate(&SimConfig::new(app, presets::xeon_e5_2420()));
         let atom = simulate(&SimConfig::new(app, presets::atom_c2758()));
-        let winner = if atom.cost.edp() < xeon.cost.edp() { "Atom" } else { "Xeon" };
+        let winner = if atom.cost.edp() < xeon.cost.edp() {
+            "Atom"
+        } else {
+            "Xeon"
+        };
         println!(
             "{:<11} {:>10.1} {:>10.1} {:>9.2} {:>11.3e} {:>11.3e} {:>8}",
             app.full_name(),

@@ -1,0 +1,209 @@
+//! Minimal offline stand-in for [`criterion`](https://docs.rs/criterion).
+//!
+//! Implements the macro/builder surface the workspace's benches use —
+//! `criterion_group!`/`criterion_main!`, benchmark groups, `sample_size`,
+//! `throughput`, `Bencher::iter` — over a plain wall-clock harness: each
+//! benchmark runs one warm-up iteration then `sample_size` timed samples,
+//! reporting mean/min/max (and throughput when configured). No statistics
+//! engine, no HTML reports. When cargo invokes a bench target in test mode
+//! (`--test`), every benchmark runs a single iteration so `cargo test`
+//! stays fast.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Top-level harness handle passed to benchmark functions.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo passes `--test` when running bench targets under
+        // `cargo test`; honor it so benches don't dominate test time.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.to_string(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Runs one stand-alone benchmark with default settings.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.to_string();
+        run_benchmark(&id, 10, None, self.test_mode, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    c: &'a Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput denominator.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_benchmark(
+            &full,
+            self.sample_size,
+            self.throughput,
+            self.c.test_mode,
+            f,
+        );
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Timing handle handed to each benchmark closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters: usize,
+}
+
+impl Bencher {
+    /// Times `iters` executions of `routine`, recording one sample each.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        for _ in 0..self.iters {
+            let start = Instant::now();
+            let out = routine();
+            self.samples.push(start.elapsed());
+            drop(out);
+        }
+    }
+}
+
+fn run_benchmark<F>(
+    id: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    test_mode: bool,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    let iters = if test_mode { 1 } else { sample_size };
+    if !test_mode {
+        // One untimed warm-up pass.
+        let mut warm = Bencher {
+            samples: Vec::new(),
+            iters: 1,
+        };
+        f(&mut warm);
+    }
+    let mut b = Bencher {
+        samples: Vec::with_capacity(iters),
+        iters,
+    };
+    f(&mut b);
+    if test_mode {
+        println!("bench {id}: ok (test mode, 1 iter)");
+        return;
+    }
+    let n = b.samples.len().max(1);
+    let total: Duration = b.samples.iter().sum();
+    let mean = total / n as u32;
+    let min = b.samples.iter().min().copied().unwrap_or_default();
+    let max = b.samples.iter().max().copied().unwrap_or_default();
+    let rate = match throughput {
+        Some(Throughput::Bytes(bytes)) if mean.as_secs_f64() > 0.0 => {
+            format!(
+                "  {:.1} MiB/s",
+                bytes as f64 / mean.as_secs_f64() / (1 << 20) as f64
+            )
+        }
+        Some(Throughput::Elements(elems)) if mean.as_secs_f64() > 0.0 => {
+            format!("  {:.0} elem/s", elems as f64 / mean.as_secs_f64())
+        }
+        _ => String::new(),
+    };
+    println!("bench {id}: mean {mean:?} (min {min:?}, max {max:?}, n={n}){rate}");
+}
+
+/// Declares a function that runs the listed benchmark functions in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+/// Re-export matching criterion's convenience (benches here use
+/// `std::hint::black_box` directly, but the symbol is part of the API).
+pub use std::hint::black_box;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_and_reports() {
+        let mut c = Criterion { test_mode: true };
+        let mut ran = 0u32;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3).throughput(Throughput::Bytes(1024));
+            g.bench_function("inc", |b| b.iter(|| ran += 1));
+            g.finish();
+        }
+        assert!(ran >= 1);
+        c.bench_function("standalone", |b| b.iter(|| ran += 1));
+        assert!(ran >= 2);
+    }
+}

@@ -1,0 +1,261 @@
+//! Minimal offline stand-in for the [`rand`](https://docs.rs/rand) 0.9 API
+//! subset this workspace uses.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! a deterministic PRNG behind the same call surface: `StdRng`,
+//! `SeedableRng::seed_from_u64`, `Rng::{random, random_range}` and
+//! `distr::Distribution`. The generator is xoshiro256++ seeded via
+//! SplitMix64 — *not* the real `StdRng` (ChaCha12), so seeded streams
+//! differ from upstream `rand`; everything in-repo that consumes them
+//! (trace generation, input datagen) is calibrated against this
+//! implementation. Determinism and uniformity are what the simulation
+//! relies on, and both hold.
+
+/// Raw 64-bit generator interface.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seeding interface (only the `seed_from_u64` entry point is provided).
+pub trait SeedableRng: Sized {
+    /// Creates a generator deterministically from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value of `T` from its standard distribution
+    /// (`f64` ∈ [0,1), integers uniform over their full range, `bool` fair).
+    fn random<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from a (half-open or inclusive) integer range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// Types samplable by [`Rng::random`].
+pub trait Standard: Sized {
+    /// Samples one value from the type's standard distribution.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        // 53 high bits → uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+/// Integer types uniform-samplable over a sub-range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform sample from `[lo, hi)`; `hi > lo` is the caller's contract.
+    fn sample_between<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi_exclusive: Self) -> Self;
+}
+
+/// Unbiased-enough uniform draw from `[0, span)` via 128-bit multiply
+/// (Lemire's method without the rejection step; bias is < 2⁻⁶⁴·span,
+/// irrelevant for simulation workloads).
+fn mul_shift(rng: &mut (impl RngCore + ?Sized), span: u64) -> u64 {
+    ((rng.next_u64() as u128 * span as u128) >> 64) as u64
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi_exclusive: Self) -> Self {
+                let span = hi_exclusive.wrapping_sub(lo) as u64;
+                lo.wrapping_add(mul_shift(rng, span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Ranges accepted by [`Rng::random_range`].
+pub trait SampleRange<T> {
+    /// Draws one sample from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform + One> SampleRange<T> for std::ops::Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample from empty range");
+        T::sample_between(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform + One> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "cannot sample from empty range");
+        T::sample_between(rng, lo, hi.add_one_wrapping())
+    }
+}
+
+/// Helper for inclusive-range upper bounds.
+pub trait One {
+    /// `self + 1` with wrap-around (the wrapped case — an inclusive range
+    /// ending at `T::MAX` — still samples uniformly because the span wraps
+    /// to the full domain).
+    fn add_one_wrapping(self) -> Self;
+}
+
+macro_rules! impl_one {
+    ($($t:ty),*) => {$(
+        impl One for $t {
+            fn add_one_wrapping(self) -> Self { self.wrapping_add(1) }
+        }
+    )*};
+}
+
+impl_one!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256++.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion of the seed into four non-zero words,
+            // as the xoshiro authors recommend.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Distribution plumbing, mirroring `rand::distr`.
+pub mod distr {
+    use super::Rng;
+
+    /// A sampling strategy producing values of `T`.
+    pub trait Distribution<T> {
+        /// Draws one sample using `rng`.
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        let va: Vec<u64> = (0..100).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..100).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..100).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn f64_in_unit_interval_and_uniform() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn ranges_cover_and_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 26];
+        for _ in 0..2_000 {
+            let v = rng.random_range(0..26u8);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "every bucket hit");
+        for _ in 0..2_000 {
+            let v = rng.random_range(6..=12);
+            assert!((6..=12).contains(&v));
+        }
+        let hi = rng.random_range(0..u64::MAX);
+        assert!(hi < u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = rng.random_range(5..5u32);
+    }
+}

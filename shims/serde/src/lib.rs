@@ -1,0 +1,17 @@
+//! Minimal offline stand-in for [`serde`](https://docs.rs/serde).
+//!
+//! The workspace annotates model types with `#[derive(Serialize,
+//! Deserialize)]` to keep them serialization-ready, but nothing in-tree
+//! serializes through a format crate. With no crates.io access, this shim
+//! supplies the two trait names and no-op derive macros so the annotations
+//! compile unchanged. The `derive` feature exists so
+//! `features = ["derive"]` dependency declarations keep resolving.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize` (never implemented —
+/// the no-op derive emits nothing, and nothing in-tree bounds on it).
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize` (never implemented).
+pub trait Deserialize<'de>: Sized {}

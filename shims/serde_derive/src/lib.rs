@@ -1,0 +1,23 @@
+//! No-op stand-ins for serde's derive macros.
+//!
+//! The workspace only ever *derives* `Serialize`/`Deserialize` — it never
+//! serializes through a format crate (no serde_json/bincode in-tree) — so
+//! in the offline build the derives expand to nothing and the annotated
+//! types simply never implement the (empty) shim traits. If a future PR
+//! adds real serialization, restore the registry `serde` + `serde_derive`.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` (including any `#[serde(...)]` helper
+/// attributes) and expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` (including any `#[serde(...)]` helper
+/// attributes) and expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
