@@ -6,7 +6,8 @@ use std::hint::black_box;
 
 use hhsim_core::arch::{presets, ComputeProfile, TraceGenerator};
 use hhsim_core::des::{SimTime, Simulation};
-use hhsim_core::workloads::{AppId, FunctionalConfig};
+use hhsim_core::mapreduce::JobConfig;
+use hhsim_core::workloads::{sort, terasort, wordcount, AppId, FunctionalConfig};
 
 fn bench_mapreduce_engine(c: &mut Criterion) {
     let mut g = c.benchmark_group("engine/functional");
@@ -28,6 +29,57 @@ fn bench_mapreduce_engine(c: &mut Criterion) {
         g.bench_function(app.full_name(), |b| {
             b.iter(|| black_box(app.run_functional(&cfg)))
         });
+    }
+    g.finish();
+}
+
+/// Merge-heavy configurations: tiny sort buffers force many spills (so the
+/// map side merges hundreds of sorted runs per partition) and tiny blocks
+/// force many map tasks (so each reducer merges one segment per mapper).
+/// These are the configurations the heap k-way merge is built for; the
+/// speedup over the pre-overhaul linear-scan merge is recorded in
+/// `BENCH_engine.json` at the repo root.
+///
+/// Input is generated *outside* the timed loop — unlike the functional
+/// group above, these benches time the engine alone, not the data
+/// generator.
+fn bench_merge_heavy(c: &mut Criterion) {
+    const INPUT_BYTES: u64 = 256 << 10;
+    let mut g = c.benchmark_group("engine/merge_heavy");
+    g.sample_size(10);
+    // (tag, block size, sort buffer, reducers):
+    // - many_spills: one 256 KiB map task spilling every 2 KiB — >100
+    //   sorted runs merged per partition on the map side;
+    // - many_runs: 128 map tasks of 2 KiB — each reducer merges 128
+    //   shuffle segments.
+    let shapes = [
+        ("many_spills", 256u64 << 10, 2u64 << 10, 4usize),
+        ("many_runs", 2 << 10, 4 << 10, 2),
+    ];
+    for (tag, block_bytes, sort_buffer, nred) in shapes {
+        for app in [AppId::WordCount, AppId::Sort, AppId::TeraSort] {
+            let input = app.generate_input(INPUT_BYTES, 7);
+            let cfg = JobConfig::default()
+                .num_reducers(nred)
+                .sort_buffer_bytes(sort_buffer);
+            g.throughput(Throughput::Bytes(INPUT_BYTES));
+            g.bench_function(format!("{tag}/{}", app.full_name()), |b| {
+                b.iter(|| match app {
+                    AppId::WordCount => {
+                        black_box(wordcount::run(&input, block_bytes, cfg))
+                            .stats
+                            .spills
+                    }
+                    AppId::Sort => black_box(sort::run(&input, block_bytes, cfg)).stats.spills,
+                    AppId::TeraSort => {
+                        black_box(terasort::run(&input, block_bytes, cfg))
+                            .stats
+                            .spills
+                    }
+                    _ => unreachable!("only the merge-heavy trio is benched"),
+                })
+            });
+        }
     }
     g.finish();
 }
@@ -64,5 +116,11 @@ fn bench_des(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_mapreduce_engine, bench_cache_sim, bench_des);
+criterion_group!(
+    benches,
+    bench_mapreduce_engine,
+    bench_merge_heavy,
+    bench_cache_sim,
+    bench_des
+);
 criterion_main!(benches);

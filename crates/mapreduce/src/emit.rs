@@ -51,6 +51,32 @@ impl<K: Datum, V: Datum> Emitter<K, V> {
         std::mem::take(&mut self.buf)
     }
 
+    /// Moves the buffered records into `recycled` (clearing whatever it
+    /// held) and adopts its allocation as the new, empty buffer.
+    ///
+    /// The engine's spill loop swaps the same scratch `Vec` back and forth
+    /// so steady-state spilling reuses two stable allocations instead of
+    /// growing a fresh buffer from zero after every spill (which is what
+    /// [`Emitter::drain`]'s `mem::take` costs).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use hhsim_mapreduce::Emitter;
+    ///
+    /// let mut out = Emitter::new();
+    /// let mut scratch: Vec<(String, u64)> = Vec::with_capacity(64);
+    /// out.emit("k".to_string(), 1);
+    /// out.drain_reusing(&mut scratch);
+    /// assert_eq!(scratch, vec![("k".to_string(), 1)]);
+    /// assert!(out.is_empty());
+    /// ```
+    pub fn drain_reusing(&mut self, recycled: &mut Vec<(K, V)>) {
+        self.bytes = 0;
+        recycled.clear();
+        std::mem::swap(&mut self.buf, recycled);
+    }
+
     /// True if nothing is buffered.
     pub fn is_empty(&self) -> bool {
         self.buf.is_empty()
@@ -74,6 +100,22 @@ mod tests {
         e.emit("c".to_string(), 2u64);
         assert_eq!(e.records(), 2);
         assert_eq!(e.bytes(), 2 + 8 + 1 + 8);
+    }
+
+    #[test]
+    fn drain_reusing_swaps_allocations() {
+        let mut e = Emitter::new();
+        e.emit(1u64, 2u64);
+        e.emit(3u64, 4u64);
+        let mut scratch: Vec<(u64, u64)> = Vec::with_capacity(100);
+        scratch.push((9, 9)); // stale content must be cleared
+        let cap = scratch.capacity();
+        e.drain_reusing(&mut scratch);
+        assert_eq!(scratch, vec![(1, 2), (3, 4)]);
+        assert!(e.is_empty());
+        assert_eq!(e.bytes(), 0);
+        // The emitter adopted the recycled allocation.
+        assert_eq!(e.buf.capacity(), cap);
     }
 
     #[test]

@@ -1,9 +1,26 @@
 //! The execution engine: map → spill/sort/combine → merge → shuffle →
 //! merge → reduce, with full dataflow accounting.
+//!
+//! Hot-path design (see DESIGN.md for the full story):
+//!
+//! - **Precomputed partitions** — each spill decorates every record with
+//!   its partition index *once* and sorts on `(partition, key, arrival)`,
+//!   instead of calling the partitioner twice per comparison inside the
+//!   sort and once more per record on insertion.
+//! - **Columnar runs** — sorted runs keep keys and values in separate
+//!   contiguous arrays ([`crate::merge::Run`]), so key groups are real
+//!   slices: combiners and reducers receive `&vals[i..j]` with zero
+//!   cloning.
+//! - **Heap merge** — the k-way merge consumes its runs through a
+//!   `BinaryHeap` keyed on `(key, run)`: `O(n log k)` with zero clones,
+//!   stable across equal keys (earlier runs first).
+//! - **Re-sort elision** — combiner output skips the defensive
+//!   per-partition re-sort unless the combiner actually rewrote a key.
 
 use crate::config::JobConfig;
 use crate::emit::Emitter;
 use crate::kv::Datum;
+use crate::merge::{merge_runs, Run};
 use crate::partition::{hash_partition, Partitioner};
 use crate::stats::{JobStats, TaskIo};
 use crate::task::{Mapper, Reducer};
@@ -81,9 +98,9 @@ pub struct JobResult<K, V> {
     pub stats: JobStats,
 }
 
-/// Sorted output of one map task for one partition.
+/// Sorted output of one map task: one columnar run per partition.
 pub(crate) struct MapOutput<K, V> {
-    pub(crate) partitions: Vec<Vec<(K, V)>>,
+    pub(crate) partitions: Vec<Run<K, V>>,
 }
 
 /// Crate-internal alias used by the parallel runner.
@@ -103,6 +120,40 @@ where
     run_map_task(job, split, stats)
 }
 
+/// Crate-internal entry point for the parallel runner: executes one reduce
+/// task over its shuffled segments, appending to `output`.
+pub(crate) fn run_reduce_task_public<M, R>(
+    job: &JobSpec<M, R>,
+    segments: Vec<Run<M::KOut, M::VOut>>,
+    stats: &mut JobStats,
+    output: &mut Vec<(R::KOut, R::VOut)>,
+) where
+    M: Mapper,
+    R: Reducer<KIn = M::KOut, VIn = M::VOut>,
+{
+    run_reduce_task(job, segments, stats, output)
+}
+
+/// Crate-internal: groups map-output partitions by reducer, accounting
+/// shuffle bytes. Returns one segment list per reduce task.
+pub(crate) fn shuffle_map_outputs<K: Datum, V: Datum>(
+    map_outputs: Vec<MapOutput<K, V>>,
+    nred: usize,
+    stats: &mut JobStats,
+) -> Vec<Vec<Run<K, V>>> {
+    let mut reduce_inputs: Vec<Vec<Run<K, V>>> = (0..nred).map(|_| Vec::new()).collect();
+    for mo in map_outputs {
+        for (p, segment) in mo.partitions.into_iter().enumerate() {
+            if segment.is_empty() {
+                continue;
+            }
+            stats.shuffle_bytes += segment.data_bytes();
+            reduce_inputs[p].push(segment);
+        }
+    }
+    reduce_inputs
+}
+
 /// Crate-internal: shuffle + reduce over already-computed map outputs.
 pub(crate) fn finish_job<M, R>(
     job: &JobSpec<M, R>,
@@ -114,22 +165,7 @@ where
     R: Reducer<KIn = M::KOut, VIn = M::VOut>,
 {
     let nred = job.config.num_reducers;
-    #[allow(clippy::type_complexity)]
-    let mut reduce_inputs: Vec<Vec<Vec<(M::KOut, M::VOut)>>> =
-        (0..nred).map(|_| Vec::new()).collect();
-    for mo in map_outputs {
-        for (p, segment) in mo.partitions.into_iter().enumerate() {
-            if segment.is_empty() {
-                continue;
-            }
-            let seg_bytes: u64 = segment
-                .iter()
-                .map(|(k, v)| (k.size_bytes() + v.size_bytes()) as u64)
-                .sum();
-            stats.shuffle_bytes += seg_bytes;
-            reduce_inputs[p].push(segment);
-        }
-    }
+    let reduce_inputs = shuffle_map_outputs(map_outputs, nred, &mut stats);
     let mut output = Vec::new();
     for segments in reduce_inputs {
         run_reduce_task(job, segments, &mut stats, &mut output);
@@ -193,15 +229,26 @@ where
     let mut output = Vec::new();
     for split in splits {
         let mo = run_map_task(job, split, &mut stats);
-        for part in mo.partitions {
-            for (k, v) in part {
-                stats.output_records += 1;
-                stats.output_bytes += (k.size_bytes() + v.size_bytes()) as u64;
-                output.push((k, v));
-            }
-        }
+        append_map_only_output(mo, &mut stats, &mut output);
     }
     JobResult { output, stats }
+}
+
+/// Crate-internal: appends one map task's output to a map-only job's
+/// result, accounting output records/bytes. Shared with the parallel
+/// runner so both assemble results identically.
+pub(crate) fn append_map_only_output<K: Datum, V: Datum>(
+    mo: MapOutput<K, V>,
+    stats: &mut JobStats,
+    output: &mut Vec<(K, V)>,
+) {
+    for part in mo.partitions {
+        for (k, v) in part.into_pairs() {
+            stats.output_records += 1;
+            stats.output_bytes += (k.size_bytes() + v.size_bytes()) as u64;
+            output.push((k, v));
+        }
+    }
 }
 
 fn run_map_task<M, R>(
@@ -219,28 +266,36 @@ where
     let mut emitter: Emitter<M::KOut, M::VOut> = Emitter::new();
     let mut task_io = TaskIo::default();
 
+    // Recycled spill buffer: the emitter's full buffer is swapped out here
+    // on every spill and drained in place by `sort_and_combine`, so its
+    // capacity ping-pongs between the emitter and this scratch space and
+    // steady-state mapping stops reallocating.
+    let mut scratch: Vec<(M::KOut, M::VOut)> = Vec::new();
+
     // Sorted spill segments: each is per-partition sorted runs.
     #[allow(clippy::type_complexity)]
-    let mut segments: Vec<Vec<Vec<(M::KOut, M::VOut)>>> = Vec::new();
+    let mut segments: Vec<Vec<Run<M::KOut, M::VOut>>> = Vec::new();
 
-    let spill =
-        |emitter: &mut Emitter<M::KOut, M::VOut>, stats: &mut JobStats, segments: &mut Vec<_>| {
-            let records = emitter.drain();
-            if records.is_empty() {
-                return;
-            }
-            let (parts, in_recs, out_recs, out_bytes) =
-                sort_and_combine::<M>(records, nparts, &job.partitioner, job.combiner.as_ref());
-            if job.combiner.is_some() {
-                stats.combine_input_records += in_recs;
-                stats.combine_output_records += out_recs;
-            }
-            stats.spills += 1;
-            stats.spill_write_bytes += out_bytes;
-            stats.map_materialized_records += out_recs;
-            stats.map_materialized_bytes += out_bytes;
-            segments.push(parts);
-        };
+    let spill = |emitter: &mut Emitter<M::KOut, M::VOut>,
+                 scratch: &mut Vec<(M::KOut, M::VOut)>,
+                 stats: &mut JobStats,
+                 segments: &mut Vec<_>| {
+        emitter.drain_reusing(scratch);
+        if scratch.is_empty() {
+            return;
+        }
+        let (parts, in_recs, out_recs, out_bytes) =
+            sort_and_combine::<M>(scratch, nparts, &job.partitioner, job.combiner.as_ref());
+        if job.combiner.is_some() {
+            stats.combine_input_records += in_recs;
+            stats.combine_output_records += out_recs;
+        }
+        stats.spills += 1;
+        stats.spill_write_bytes += out_bytes;
+        stats.map_materialized_records += out_recs;
+        stats.map_materialized_bytes += out_bytes;
+        segments.push(parts);
+    };
 
     for (k, v) in split {
         task_io.input_records += 1;
@@ -249,13 +304,13 @@ where
         if emitter.bytes() >= cfg.sort_buffer_bytes {
             stats.map_output_records += emitter.records();
             stats.map_output_bytes += emitter.bytes();
-            spill(&mut emitter, stats, &mut segments);
+            spill(&mut emitter, &mut scratch, stats, &mut segments);
         }
     }
     mapper.finish(&mut emitter);
     stats.map_output_records += emitter.records();
     stats.map_output_bytes += emitter.bytes();
-    spill(&mut emitter, stats, &mut segments);
+    spill(&mut emitter, &mut scratch, stats, &mut segments);
 
     stats.map_input_records += task_io.input_records;
     stats.map_input_bytes += task_io.input_bytes;
@@ -266,15 +321,11 @@ where
         stats.map_merge_passes += cfg.merge_passes(nsegs) as u64;
     }
     #[allow(clippy::type_complexity)]
-    let mut partitions: Vec<Vec<Vec<(M::KOut, M::VOut)>>> =
-        (0..nparts).map(|_| Vec::new()).collect();
+    let mut partitions: Vec<Vec<Run<M::KOut, M::VOut>>> = (0..nparts).map(|_| Vec::new()).collect();
     let mut merged_bytes = 0u64;
     for seg in segments {
         for (p, run) in seg.into_iter().enumerate() {
-            merged_bytes += run
-                .iter()
-                .map(|(k, v)| (k.size_bytes() + v.size_bytes()) as u64)
-                .sum::<u64>();
+            merged_bytes += run.data_bytes();
             partitions[p].push(run);
         }
     }
@@ -282,112 +333,103 @@ where
         // Every extra pass rewrites the whole materialized output.
         stats.map_merge_bytes += merged_bytes * cfg.merge_passes(nsegs) as u64;
     }
-    let partitions: Vec<Vec<(M::KOut, M::VOut)>> = partitions.into_iter().map(merge_runs).collect();
+    let partitions: Vec<Run<M::KOut, M::VOut>> = partitions.into_iter().map(merge_runs).collect();
 
     for part in &partitions {
         task_io.output_records += part.len() as u64;
-        task_io.output_bytes += part
-            .iter()
-            .map(|(k, v)| (k.size_bytes() + v.size_bytes()) as u64)
-            .sum::<u64>();
+        task_io.output_bytes += part.data_bytes();
     }
     stats.map_task_io.push(task_io);
     MapOutput { partitions }
 }
 
-/// Sorts a buffer by (partition, key), optionally combining per key group.
-/// Returns per-partition sorted runs plus (combine-in, combine-out,
-/// materialized-bytes) counters.
+/// Sorts a spill buffer by (partition, key), optionally combining per key
+/// group, and splits it into per-partition sorted columnar runs. Returns
+/// the runs plus (combine-in, combine-out, materialized-bytes) counters.
+///
+/// `records` is drained in place — its (empty) allocation survives for the
+/// caller to recycle into the emitter.
+///
+/// The partitioner runs exactly once per input record: each record is
+/// decorated with its partition index up front, the buffer is
+/// `sort_unstable_by` on `(partition, key, arrival index)` — the arrival
+/// tie-break makes the unstable sort equivalent to the documented stable
+/// order — and the runs are then split at partition boundaries without
+/// re-hashing. Only a key-*rewriting* combiner pays for re-partitioning
+/// (of the rewritten records) and a stable per-partition re-sort.
 #[allow(clippy::type_complexity)]
 fn sort_and_combine<M: Mapper>(
-    mut records: Vec<(M::KOut, M::VOut)>,
+    records: &mut Vec<(M::KOut, M::VOut)>,
     nparts: usize,
     partitioner: &Partitioner<M::KOut>,
     combiner: Option<&CombineFn<M::KOut, M::VOut>>,
-) -> (Vec<Vec<(M::KOut, M::VOut)>>, u64, u64, u64) {
-    records.sort_by(|a, b| {
-        let pa = partitioner(&a.0, nparts);
-        let pb = partitioner(&b.0, nparts);
-        pa.cmp(&pb).then_with(|| a.0.cmp(&b.0))
-    });
+) -> (Vec<Run<M::KOut, M::VOut>>, u64, u64, u64) {
     let in_records = records.len() as u64;
-    let mut parts: Vec<Vec<(M::KOut, M::VOut)>> = (0..nparts).map(|_| Vec::new()).collect();
-    match combiner {
-        None => {
-            for (k, v) in records {
-                parts[partitioner(&k, nparts)].push((k, v));
-            }
-        }
-        Some(comb) => {
-            let mut i = 0;
-            while i < records.len() {
-                let mut j = i + 1;
-                while j < records.len() && records[j].0 == records[i].0 {
-                    j += 1;
-                }
-                let key = records[i].0.clone();
-                let values: Vec<M::VOut> = records[i..j].iter().map(|(_, v)| v.clone()).collect();
-                for (k, v) in comb(&key, &values) {
-                    parts[partitioner(&k, nparts)].push((k, v));
-                }
-                i = j;
-            }
-            // Combining may emit keys out of order within a partition if the
-            // combiner rewrites keys; re-sort each run to keep the invariant.
-            for p in &mut parts {
-                p.sort_by(|a, b| a.0.cmp(&b.0));
-            }
-        }
+    assert!(
+        records.len() <= u32::MAX as usize && nparts <= u32::MAX as usize,
+        "spill buffers and partition counts are bounded by u32"
+    );
+    let mut counts = vec![0usize; nparts];
+    let mut decorated: Vec<(u32, u32, M::KOut, M::VOut)> = Vec::with_capacity(records.len());
+    for (i, (k, v)) in records.drain(..).enumerate() {
+        let p = partitioner(&k, nparts);
+        counts[p] += 1;
+        decorated.push((p as u32, i as u32, k, v));
     }
-    let out_records: u64 = parts.iter().map(|p| p.len() as u64).sum();
-    let out_bytes: u64 = parts
-        .iter()
-        .flat_map(|p| p.iter())
-        .map(|(k, v)| (k.size_bytes() + v.size_bytes()) as u64)
-        .sum();
-    (parts, in_records, out_records, out_bytes)
-}
+    decorated.sort_unstable_by(|a, b| (a.0, &a.2, a.1).cmp(&(b.0, &b.2, b.1)));
 
-/// K-way merge of sorted runs into one sorted run (stable across equal
-/// keys: earlier runs first).
-fn merge_runs<K: Datum, V: Datum>(mut runs: Vec<Vec<(K, V)>>) -> Vec<(K, V)> {
-    runs.retain(|r| !r.is_empty());
-    match runs.len() {
-        0 => Vec::new(),
-        1 => runs.pop().expect("len checked"),
-        _ => {
-            let total: usize = runs.iter().map(Vec::len).sum();
-            let mut out = Vec::with_capacity(total);
-            let mut cursors = vec![0usize; runs.len()];
-            for _ in 0..total {
-                let mut best: Option<usize> = None;
-                for (ri, run) in runs.iter().enumerate() {
-                    if cursors[ri] >= run.len() {
-                        continue;
-                    }
-                    best = match best {
-                        None => Some(ri),
-                        Some(b) => {
-                            if run[cursors[ri]].0 < runs[b][cursors[b]].0 {
-                                Some(ri)
-                            } else {
-                                Some(b)
-                            }
-                        }
-                    };
-                }
-                let b = best.expect("total counted");
-                out.push(runs[b][cursors[b]].clone());
-                cursors[b] += 1;
-            }
-            out
-        }
+    // Split the sorted buffer at partition boundaries into columnar runs;
+    // every record's partition is already attached, so no re-hashing.
+    let mut sorted_parts: Vec<Run<M::KOut, M::VOut>> =
+        counts.iter().map(|&c| Run::with_capacity(c)).collect();
+    for (p, _, k, v) in decorated {
+        sorted_parts[p as usize].push(k, v);
     }
+
+    let parts = match combiner {
+        None => sorted_parts,
+        Some(comb) => {
+            let mut out_parts: Vec<Run<M::KOut, M::VOut>> =
+                (0..nparts).map(|_| Run::new()).collect();
+            // A partition only needs the defensive re-sort if the combiner
+            // rewrote a key into it; key-preserving output arrives in
+            // ascending key order and stays where it is.
+            let mut dirty = vec![false; nparts];
+            for (p, run) in sorted_parts.iter().enumerate() {
+                let mut i = 0;
+                while i < run.len() {
+                    let mut j = i + 1;
+                    while j < run.len() && run.keys[j] == run.keys[i] {
+                        j += 1;
+                    }
+                    for (k, v) in comb(&run.keys[i], &run.vals[i..j]) {
+                        if k == run.keys[i] {
+                            out_parts[p].push(k, v);
+                        } else {
+                            let q = partitioner(&k, nparts);
+                            dirty[q] = true;
+                            out_parts[q].push(k, v);
+                        }
+                    }
+                    i = j;
+                }
+            }
+            for (p, run) in out_parts.iter_mut().enumerate() {
+                if dirty[p] {
+                    run.sort_stable();
+                }
+            }
+            out_parts
+        }
+    };
+    let out_records: u64 = parts.iter().map(|p| p.len() as u64).sum();
+    let out_bytes: u64 = parts.iter().map(Run::data_bytes).sum();
+    (parts, in_records, out_records, out_bytes)
 }
 
 fn run_reduce_task<M, R>(
     job: &JobSpec<M, R>,
-    segments: Vec<Vec<(M::KOut, M::VOut)>>,
+    segments: Vec<Run<M::KOut, M::VOut>>,
     stats: &mut JobStats,
     output: &mut Vec<(R::KOut, R::VOut)>,
 ) where
@@ -397,11 +439,7 @@ fn run_reduce_task<M, R>(
     let cfg = job.config;
     let mut task_io = TaskIo::default();
     let nsegs = segments.len();
-    let seg_bytes: u64 = segments
-        .iter()
-        .flat_map(|s| s.iter())
-        .map(|(k, v)| (k.size_bytes() + v.size_bytes()) as u64)
-        .sum();
+    let seg_bytes: u64 = segments.iter().map(Run::data_bytes).sum();
     task_io.input_bytes = seg_bytes;
     task_io.input_records = segments.iter().map(|s| s.len() as u64).sum();
 
@@ -423,17 +461,18 @@ fn run_reduce_task<M, R>(
     let mut reducer = job.reducer.clone();
     let mut emitter: Emitter<R::KOut, R::VOut> = Emitter::new();
 
+    // Key groups are contiguous ranges of the merged columnar run, so the
+    // reducer borrows the key and receives the values as a real slice —
+    // no per-group clone.
     let mut i = 0;
     while i < merged.len() {
         let mut j = i + 1;
-        while j < merged.len() && merged[j].0 == merged[i].0 {
+        while j < merged.len() && merged.keys[j] == merged.keys[i] {
             j += 1;
         }
-        let key = merged[i].0.clone();
-        let values: Vec<M::VOut> = merged[i..j].iter().map(|(_, v)| v.clone()).collect();
         stats.reduce_input_groups += 1;
         stats.reduce_input_records += (j - i) as u64;
-        reducer.reduce(&key, &values, &mut emitter);
+        reducer.reduce(&merged.keys[i], &merged.vals[i..j], &mut emitter);
         i = j;
     }
     let records = emitter.drain();

@@ -1,18 +1,127 @@
-//! Parallel job execution: map tasks fan out across OS threads.
+//! Parallel job execution: map *and reduce* tasks fan out across OS
+//! threads.
 //!
 //! The functional engine is deterministic regardless of execution order —
-//! each map task is independent and the shuffle regroups by partition — so
-//! the parallel runner produces *bit-identical* output and statistics to
+//! each map task is independent, the shuffle regroups by partition, and
+//! each reduce task consumes only its own partition — so the parallel
+//! runner produces *bit-identical* output and statistics to
 //! [`crate::run_job`], just faster on multi-core hosts. Used by the bench
 //! harness when regenerating many figures.
+//!
+//! Both phases use the same worker-pool shape: workers steal `(index,
+//! work)` pairs off a shared stack and write results into an index-keyed
+//! slot, and the main thread reassembles slots in index order (task order
+//! for maps, partition order for reduces). Execution order therefore never
+//! leaks into the result.
 
 use crate::engine::{JobResult, JobSpec, MapTaskOutput};
 use crate::kv::Datum;
 use crate::stats::JobStats;
 use crate::task::{Mapper, Reducer};
 
-/// Runs `job` like [`crate::run_job`], executing map tasks on up to
-/// `threads` worker threads.
+/// How a job executes: on the calling thread, or fanned out across a
+/// worker pool. Both modes produce bit-identical output and statistics,
+/// so callers can thread an `Execution` through without touching
+/// correctness.
+///
+/// # Examples
+///
+/// ```
+/// use hhsim_mapreduce::Execution;
+///
+/// assert_eq!(Execution::default(), Execution::Sequential);
+/// assert_eq!(Execution::with_threads(1), Execution::Sequential);
+/// assert_eq!(Execution::with_threads(4), Execution::Threads(4));
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum Execution {
+    /// Single-threaded, on the calling thread ([`crate::run_job`]).
+    #[default]
+    Sequential,
+    /// Map and reduce tasks fan out across this many worker threads
+    /// ([`run_job_parallel`]). Must be non-zero.
+    Threads(usize),
+}
+
+impl Execution {
+    /// `Sequential` for 0 or 1 threads, `Threads(n)` otherwise — the
+    /// convenient constructor for "however many workers I was given".
+    pub fn with_threads(n: usize) -> Self {
+        if n <= 1 {
+            Execution::Sequential
+        } else {
+            Execution::Threads(n)
+        }
+    }
+
+    /// Runs `job` in this mode; see [`crate::run_job`].
+    pub fn run_job<M, R>(
+        self,
+        job: &JobSpec<M, R>,
+        splits: Vec<Vec<(M::KIn, M::VIn)>>,
+    ) -> JobResult<R::KOut, R::VOut>
+    where
+        M: Mapper + Sync,
+        R: Reducer<KIn = M::KOut, VIn = M::VOut> + Sync,
+        M::KIn: Datum,
+        M::VIn: Datum,
+    {
+        match self {
+            Execution::Sequential => crate::engine::run_job(job, splits),
+            Execution::Threads(n) => run_job_parallel(job, splits, n),
+        }
+    }
+
+    /// Runs a map-only job in this mode; see [`crate::run_map_only_job`].
+    pub fn run_map_only_job<M, R>(
+        self,
+        job: &JobSpec<M, R>,
+        splits: Vec<Vec<(M::KIn, M::VIn)>>,
+    ) -> JobResult<M::KOut, M::VOut>
+    where
+        M: Mapper + Sync,
+        R: Reducer<KIn = M::KOut, VIn = M::VOut> + Sync,
+        M::KIn: Datum,
+        M::VIn: Datum,
+    {
+        match self {
+            Execution::Sequential => crate::engine::run_map_only_job(job, splits),
+            Execution::Threads(n) => run_map_only_job_parallel(job, splits, n),
+        }
+    }
+}
+
+/// Runs every `(index, item)` through `run` on up to `threads` workers and
+/// returns the results slotted by index. Panics in workers propagate.
+fn fan_out<T, O>(
+    items: Vec<(usize, T)>,
+    slots: usize,
+    threads: usize,
+    run: impl Fn(T) -> O + Sync,
+) -> Vec<Option<O>>
+where
+    T: Send,
+    O: Send,
+{
+    let mut work_items = items;
+    let mut outputs: Vec<Option<O>> = (0..slots).map(|_| None).collect();
+    let work = std::sync::Mutex::new(&mut work_items);
+    let sink = std::sync::Mutex::new(&mut outputs);
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(slots.max(1)) {
+            scope.spawn(|| loop {
+                let item = work.lock().expect("work queue").pop();
+                let Some((idx, input)) = item else { break };
+                let out = run(input);
+                sink.lock().expect("sink")[idx] = Some(out);
+            });
+        }
+    });
+    outputs
+}
+
+/// Runs `job` like [`crate::run_job`], executing map tasks and then reduce
+/// tasks on up to `threads` worker threads each.
 ///
 /// # Panics
 ///
@@ -34,49 +143,105 @@ where
     assert!(cfg.num_reducers > 0, "run_job_parallel needs reducers");
 
     let n = splits.len();
-    #[allow(clippy::type_complexity)]
-    let mut indexed: Vec<(usize, Vec<(M::KIn, M::VIn)>)> = splits.into_iter().enumerate().collect();
-    #[allow(clippy::type_complexity)]
-    let mut outputs: Vec<Option<(MapTaskOutput<M::KOut, M::VOut>, JobStats)>> =
-        (0..n).map(|_| None).collect();
-
-    // Fan out: workers steal (index, split) pairs off a shared stack and
-    // write results into their slot; order of execution is irrelevant
-    // because results are reassembled by index.
-    let work = std::sync::Mutex::new(&mut indexed);
-    let sink = std::sync::Mutex::new(&mut outputs);
-    std::thread::scope(|scope| {
-        for _ in 0..threads.min(n.max(1)) {
-            scope.spawn(|| loop {
-                let item = work.lock().expect("work queue").pop();
-                let Some((idx, split)) = item else { break };
-                let mut stats = JobStats::default();
-                let out = crate::engine::run_map_task_public(job, split, &mut stats);
-                sink.lock().expect("sink")[idx] = Some((out, stats));
-            });
-        }
-    });
-
-    // Deterministic reassembly in task order.
     let mut stats = JobStats {
         map_tasks: n,
         reduce_tasks: cfg.num_reducers,
         ..JobStats::default()
     };
+    let map_outputs = parallel_map_phase(job, splits, threads, &mut stats);
+
+    // Shuffle on the main thread (pure regrouping), then fan the reduce
+    // tasks out; slots are reassembled in partition order, so output and
+    // per-task statistics land exactly where the sequential engine puts
+    // them.
+    let reduce_inputs =
+        crate::engine::shuffle_map_outputs(map_outputs, cfg.num_reducers, &mut stats);
+    let nred = reduce_inputs.len();
+    let indexed: Vec<_> = reduce_inputs.into_iter().enumerate().collect();
+    let reduced = fan_out(indexed, nred, threads, |segments| {
+        let mut task_stats = JobStats::default();
+        let mut task_out = Vec::new();
+        crate::engine::run_reduce_task_public(job, segments, &mut task_stats, &mut task_out);
+        (task_out, task_stats)
+    });
+
+    let mut output = Vec::new();
+    for slot in reduced {
+        let (task_out, task_stats) = slot.expect("every reduce task executed");
+        crate::stats::merge_into(&mut stats, task_stats);
+        output.extend(task_out);
+    }
+    JobResult { output, stats }
+}
+
+/// Runs a map-only job like [`crate::run_map_only_job`], executing map
+/// tasks on up to `threads` worker threads. Output and statistics are
+/// bit-identical to the sequential runner.
+///
+/// # Panics
+///
+/// Panics if `threads` is zero or a worker thread panics.
+pub fn run_map_only_job_parallel<M, R>(
+    job: &JobSpec<M, R>,
+    splits: Vec<Vec<(M::KIn, M::VIn)>>,
+    threads: usize,
+) -> JobResult<M::KOut, M::VOut>
+where
+    M: Mapper + Sync,
+    R: Reducer<KIn = M::KOut, VIn = M::VOut> + Sync,
+    M::KIn: Datum,
+    M::VIn: Datum,
+{
+    assert!(threads > 0, "need at least one worker thread");
+    let n = splits.len();
+    let mut stats = JobStats {
+        map_tasks: n,
+        reduce_tasks: 0,
+        ..JobStats::default()
+    };
+    let map_outputs = parallel_map_phase(job, splits, threads, &mut stats);
+    let mut output = Vec::new();
+    for mo in map_outputs {
+        crate::engine::append_map_only_output(mo, &mut stats, &mut output);
+    }
+    JobResult { output, stats }
+}
+
+/// Fans map tasks out across the pool and reassembles outputs and
+/// statistics deterministically in task order.
+fn parallel_map_phase<M, R>(
+    job: &JobSpec<M, R>,
+    splits: Vec<Vec<(M::KIn, M::VIn)>>,
+    threads: usize,
+    stats: &mut JobStats,
+) -> Vec<MapTaskOutput<M::KOut, M::VOut>>
+where
+    M: Mapper + Sync,
+    R: Reducer<KIn = M::KOut, VIn = M::VOut> + Sync,
+    M::KIn: Datum,
+    M::VIn: Datum,
+{
+    let n = splits.len();
+    let indexed: Vec<_> = splits.into_iter().enumerate().collect();
+    let outputs = fan_out(indexed, n, threads, |split| {
+        let mut task_stats = JobStats::default();
+        let out = crate::engine::run_map_task_public(job, split, &mut task_stats);
+        (out, task_stats)
+    });
     let mut map_outputs = Vec::with_capacity(n);
     for slot in outputs {
-        let (out, task_stats) = slot.expect("every task executed");
-        crate::stats::merge_into(&mut stats, task_stats);
+        let (out, task_stats) = slot.expect("every map task executed");
+        crate::stats::merge_into(stats, task_stats);
         map_outputs.push(out);
     }
-    crate::engine::finish_job(job, map_outputs, stats)
+    map_outputs
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::emit::Emitter;
-    use crate::{run_job, JobConfig};
+    use crate::{run_job, run_map_only_job, JobConfig};
 
     #[derive(Clone)]
     struct Tok;
@@ -121,6 +286,57 @@ mod tests {
     }
 
     #[test]
+    fn parallel_reduce_matches_sequential_under_spills() {
+        // Tiny sort buffer: many spills and merge passes on both sides,
+        // with a combiner — the reduce phase does real merging work per
+        // partition and must still reassemble bit-identically.
+        let job = JobSpec::new(Tok, Sum)
+            .config(
+                JobConfig::default()
+                    .num_reducers(5)
+                    .sort_buffer_bytes(24)
+                    .merge_factor(2),
+            )
+            .combiner(|k: &String, vs: &[u64]| vec![(k.clone(), vs.iter().sum())]);
+        let multi = |n: usize| -> Vec<Vec<(u64, String)>> {
+            (0..n)
+                .map(|i| {
+                    (0..6)
+                        .map(|l| {
+                            (
+                                l as u64,
+                                format!("w{} shared w{} t{}", (i + l) % 7, (i + 2 * l) % 7, l % 3),
+                            )
+                        })
+                        .collect()
+                })
+                .collect()
+        };
+        let seq = run_job(&job, multi(10));
+        assert!(
+            seq.stats.spills > 30,
+            "config must spill repeatedly per task"
+        );
+        assert!(seq.stats.map_merge_passes > 0, "map side must really merge");
+        for threads in [1, 2, 4, 8] {
+            let par = run_job_parallel(&job, multi(10), threads);
+            assert_eq!(par.output, seq.output, "threads={threads}");
+            assert_eq!(par.stats, seq.stats, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_map_only_matches_sequential() {
+        let job = JobSpec::new(Tok, Sum).config(JobConfig::default().sort_buffer_bytes(32));
+        let seq = run_map_only_job(&job, splits(17));
+        for threads in [1, 2, 4, 8] {
+            let par = run_map_only_job_parallel(&job, splits(17), threads);
+            assert_eq!(par.output, seq.output, "threads={threads}");
+            assert_eq!(par.stats, seq.stats, "threads={threads}");
+        }
+    }
+
+    #[test]
     fn parallel_handles_empty_splits() {
         let job = JobSpec::new(Tok, Sum).config(JobConfig::default().num_reducers(2));
         let par = run_job_parallel(&job, vec![vec![], vec![(0, "a".into())]], 4);
@@ -129,9 +345,25 @@ mod tests {
     }
 
     #[test]
+    fn more_threads_than_reducers_is_fine() {
+        let job = JobSpec::new(Tok, Sum).config(JobConfig::default().num_reducers(1));
+        let seq = run_job(&job, splits(3));
+        let par = run_job_parallel(&job, splits(3), 8);
+        assert_eq!(par.output, seq.output);
+        assert_eq!(par.stats, seq.stats);
+    }
+
+    #[test]
     #[should_panic(expected = "at least one worker thread")]
     fn zero_threads_rejected() {
         let job = JobSpec::new(Tok, Sum);
         let _ = run_job_parallel(&job, splits(1), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker thread")]
+    fn zero_threads_rejected_map_only() {
+        let job = JobSpec::new(Tok, Sum);
+        let _ = run_map_only_job_parallel(&job, splits(1), 0);
     }
 }

@@ -2,8 +2,8 @@
 //! Hadoop-counter semantics under spills, combiners and partitioners.
 
 use hhsim_mapreduce::{
-    hash_partition, range_partition, run_job, run_map_only_job, Emitter, IdentityMapper,
-    IdentityReducer, JobConfig, JobSpec, Mapper, Reducer,
+    hash_partition, range_partition, run_job, run_job_parallel, run_map_only_job, Emitter,
+    IdentityMapper, IdentityReducer, JobConfig, JobSpec, Mapper, Reducer,
 };
 use hhsim_testkit::check;
 
@@ -241,6 +241,106 @@ fn prop_engine_sort_matches_std() {
         expect.sort();
         assert_eq!(got, expect);
     });
+}
+
+/// Emits every word twice: once verbatim and once upper-cased, so a
+/// canonicalizing combiner has real rewriting to do.
+#[derive(Clone)]
+struct MixedCase;
+impl Mapper for MixedCase {
+    type KIn = u64;
+    type VIn = String;
+    type KOut = String;
+    type VOut = u64;
+    fn map(&mut self, _k: &u64, line: &String, out: &mut Emitter<String, u64>) {
+        for w in line.split_whitespace() {
+            out.emit(w.to_string(), 1);
+            out.emit(w.to_uppercase(), 1);
+        }
+    }
+}
+
+/// Lower-cases before emitting — the reference for the rewrite tests.
+#[derive(Clone)]
+struct LowerCase;
+impl Mapper for LowerCase {
+    type KIn = u64;
+    type VIn = String;
+    type KOut = String;
+    type VOut = u64;
+    fn map(&mut self, _k: &u64, line: &String, out: &mut Emitter<String, u64>) {
+        for w in line.split_whitespace() {
+            out.emit(w.to_lowercase(), 1);
+            out.emit(w.to_lowercase(), 1);
+        }
+    }
+}
+
+fn rewrite_splits() -> Vec<Vec<(u64, String)>> {
+    (0..6)
+        .map(|i| {
+            lines(&[
+                &format!("alpha bravo charlie w{i} alpha"),
+                &format!("delta w{} bravo echo", i % 3),
+            ])
+        })
+        .collect()
+}
+
+/// A combiner that *rewrites* keys (canonicalizing case) must leave every
+/// partition sorted despite the re-sort elision: rewritten records are
+/// re-partitioned and only their target partitions pay the stable re-sort,
+/// while key-preserving output keeps the elided fast path. The oracle is a
+/// job whose mapper canonicalizes up front, which never rewrites in the
+/// combiner — both must produce byte-identical final output.
+#[test]
+fn key_rewriting_combiner_keeps_partitions_sorted() {
+    // Tiny buffer: several spills per task, so rewritten runs also go
+    // through the map-side heap merge, which requires sorted inputs.
+    let cfg = JobConfig::default().num_reducers(4).sort_buffer_bytes(48);
+    let rewriting = JobSpec::new(MixedCase, Sum)
+        .config(cfg)
+        .combiner(|k: &String, vs: &[u64]| vec![(k.to_lowercase(), vs.iter().sum())]);
+    let reference = JobSpec::new(LowerCase, Sum)
+        .config(cfg)
+        .combiner(|k: &String, vs: &[u64]| vec![(k.clone(), vs.iter().sum())]);
+
+    let got = run_job(&rewriting, rewrite_splits());
+    let expect = run_job(&reference, rewrite_splits());
+    assert!(got.stats.spills > 6, "must spill repeatedly per task");
+    assert_eq!(
+        got.output, expect.output,
+        "rewritten keys must land in the same partitions, same order"
+    );
+
+    // Each reduce task's slice of the concatenated output is sorted by key
+    // — the invariant the re-sort elision must not break.
+    let mut start = 0usize;
+    for (t, io) in got.stats.reduce_task_io.iter().enumerate() {
+        let end = start + io.output_records as usize;
+        let keys: Vec<&String> = got.output[start..end].iter().map(|(k, _)| k).collect();
+        assert!(
+            keys.windows(2).all(|w| w[0] <= w[1]),
+            "reduce task {t} output must be key-sorted"
+        );
+        start = end;
+    }
+    assert_eq!(start, got.output.len(), "task IO covers the whole output");
+}
+
+/// The key-rewrite path is deterministic across the parallel runner too.
+#[test]
+fn key_rewriting_combiner_parallel_matches_sequential() {
+    let cfg = JobConfig::default().num_reducers(3).sort_buffer_bytes(48);
+    let job = JobSpec::new(MixedCase, Sum)
+        .config(cfg)
+        .combiner(|k: &String, vs: &[u64]| vec![(k.to_lowercase(), vs.iter().sum())]);
+    let seq = run_job(&job, rewrite_splits());
+    for threads in [1, 2, 4, 8] {
+        let par = run_job_parallel(&job, rewrite_splits(), threads);
+        assert_eq!(par.output, seq.output, "threads={threads}");
+        assert_eq!(par.stats, seq.stats, "threads={threads}");
+    }
 }
 
 /// Total records are conserved through an identity job: reduce input

@@ -1,0 +1,152 @@
+//! The parallel engine is an *exact* drop-in for the sequential one on
+//! every workload: for all six applications and threads ∈ {1, 2, 4, 8},
+//! output and `JobStats` must be bit-identical to the sequential run.
+//!
+//! This is the cross-workload oracle for the engine's hot-path overhaul
+//! (heap merge, precomputed partitions, zero-clone grouping, parallel
+//! reduce): any nondeterminism or ordering bug in the new paths shows up
+//! here as a diff against the sequential reference.
+
+use hhsim_mapreduce::{Execution, JobConfig};
+use hhsim_workloads::catalog::{AppId, FunctionalConfig};
+use hhsim_workloads::{fp_growth, grep, naive_bayes, sort, terasort, wordcount};
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn cfg() -> FunctionalConfig {
+    FunctionalConfig {
+        input_bytes: 48 << 10,
+        block_bytes: 8 << 10,
+        // Small sort buffer: every map task spills several times, so the
+        // parallel runs exercise the spill/merge hot paths, not just the
+        // single-run fast path.
+        sort_buffer_bytes: 4 << 10,
+        num_reducers: 3,
+        seed: 33,
+    }
+}
+
+/// Catalog-level check: merged and per-job statistics of every app are
+/// bit-identical between sequential and parallel execution.
+#[test]
+fn all_six_apps_stats_identical_across_thread_counts() {
+    for app in AppId::ALL {
+        let seq = app.run_functional(&cfg());
+        assert!(seq.stats.spills > 0, "{app}: must really spill");
+        if app == AppId::WordCount {
+            // The high-map-output app must spill repeatedly so the
+            // multi-run merge path is truly exercised.
+            assert!(seq.stats.spills > seq.stats.map_tasks as u64, "{app}");
+        }
+        for threads in THREADS {
+            let par = app.run_functional_with(&cfg(), Execution::Threads(threads));
+            assert_eq!(par, seq, "{app} threads={threads}");
+        }
+    }
+}
+
+/// Module-level checks: the actual output records (not just statistics)
+/// are bit-identical, per workload.
+#[test]
+fn wordcount_output_identical() {
+    let input = AppId::WordCount.generate_input(32 << 10, 5);
+    let cfg = JobConfig::default()
+        .num_reducers(3)
+        .sort_buffer_bytes(4 << 10);
+    let seq = wordcount::run(&input, 8 << 10, cfg);
+    for threads in THREADS {
+        let par = wordcount::run_with(&input, 8 << 10, cfg, Execution::Threads(threads));
+        assert_eq!(par.output, seq.output, "threads={threads}");
+        assert_eq!(par.stats, seq.stats, "threads={threads}");
+    }
+}
+
+#[test]
+fn sort_output_identical() {
+    let input = AppId::Sort.generate_input(32 << 10, 6);
+    let cfg = JobConfig::default()
+        .num_reducers(2)
+        .sort_buffer_bytes(4 << 10);
+    let seq = sort::run(&input, 8 << 10, cfg);
+    for threads in THREADS {
+        let par = sort::run_with(&input, 8 << 10, cfg, Execution::Threads(threads));
+        assert_eq!(par.output, seq.output, "threads={threads}");
+        assert_eq!(par.stats, seq.stats, "threads={threads}");
+    }
+    // The paper's map-only accounting path (catalog Sort) as well.
+    let job = sort::job(cfg);
+    let splits = hhsim_mapreduce::text_splits_from_bytes(&input, 8 << 10);
+    let seq_mo = hhsim_mapreduce::run_map_only_job(&job, splits.clone());
+    for threads in THREADS {
+        let par_mo = Execution::Threads(threads).run_map_only_job(&job, splits.clone());
+        assert_eq!(par_mo.output, seq_mo.output, "map-only threads={threads}");
+        assert_eq!(par_mo.stats, seq_mo.stats, "map-only threads={threads}");
+    }
+}
+
+#[test]
+fn grep_output_identical() {
+    let input = AppId::Grep.generate_input(32 << 10, 7);
+    let cfg = JobConfig::default()
+        .num_reducers(3)
+        .sort_buffer_bytes(4 << 10);
+    let seq = grep::run(&input, "w0", 8 << 10, cfg);
+    for threads in THREADS {
+        let par = grep::run_with(&input, "w0", 8 << 10, cfg, Execution::Threads(threads));
+        assert_eq!(par.output, seq.output, "threads={threads}");
+        assert_eq!(par.search_stats, seq.search_stats, "threads={threads}");
+        assert_eq!(par.sort_stats, seq.sort_stats, "threads={threads}");
+    }
+}
+
+#[test]
+fn terasort_output_identical() {
+    let input = AppId::TeraSort.generate_input(32 << 10, 8);
+    let cfg = JobConfig::default()
+        .num_reducers(4)
+        .sort_buffer_bytes(4 << 10);
+    let seq = terasort::run(&input, 8 << 10, cfg);
+    for threads in THREADS {
+        let par = terasort::run_with(&input, 8 << 10, cfg, Execution::Threads(threads));
+        assert_eq!(par.output, seq.output, "threads={threads}");
+        assert_eq!(par.stats, seq.stats, "threads={threads}");
+    }
+}
+
+#[test]
+fn naive_bayes_output_identical() {
+    let input = AppId::NaiveBayes.generate_input(32 << 10, 9);
+    let cfg = JobConfig::default()
+        .num_reducers(3)
+        .sort_buffer_bytes(4 << 10);
+    let seq = naive_bayes::train(&input, 8 << 10, cfg);
+    for threads in THREADS {
+        let par = naive_bayes::train_with(&input, 8 << 10, cfg, Execution::Threads(threads));
+        assert_eq!(par.result.output, seq.result.output, "threads={threads}");
+        assert_eq!(par.result.stats, seq.result.stats, "threads={threads}");
+        // The assembled classifier agrees too.
+        assert_eq!(
+            par.model.vocabulary, seq.model.vocabulary,
+            "threads={threads}"
+        );
+        assert_eq!(
+            par.model.class_docs, seq.model.class_docs,
+            "threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn fp_growth_output_identical() {
+    let input = AppId::FpGrowth.generate_input(32 << 10, 10);
+    let cfg = JobConfig::default()
+        .num_reducers(3)
+        .sort_buffer_bytes(4 << 10);
+    let seq = fp_growth::run(&input, 20, 3, 8 << 10, cfg);
+    for threads in THREADS {
+        let par = fp_growth::run_with(&input, 20, 3, 8 << 10, cfg, Execution::Threads(threads));
+        assert_eq!(par.patterns, seq.patterns, "threads={threads}");
+        assert_eq!(par.count_stats, seq.count_stats, "threads={threads}");
+        assert_eq!(par.mine_stats, seq.mine_stats, "threads={threads}");
+    }
+}
