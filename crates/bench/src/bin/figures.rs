@@ -81,6 +81,16 @@ fn main() {
             Some((id, csv)) => {
                 let path = out_dir.join(format!("{id}.csv"));
                 fs::write(&path, &csv).expect("write figure CSV");
+                if id == "fig18" {
+                    // Fig. 18 ships its representative cluster trace: a
+                    // Chrome-trace timeline plus per-node utilization steps.
+                    let (json, util) = hhsim_bench::fig18_trace();
+                    let tp = out_dir.join("fig18_trace.json");
+                    let up = out_dir.join("fig18_util.csv");
+                    fs::write(&tp, json).expect("write fig18 trace");
+                    fs::write(&up, util).expect("write fig18 utilization");
+                    println!("wrote {} and {}", tp.display(), up.display());
+                }
                 let cache = SimCache::global().stats().since(&cache_before);
                 let grid = harness::snapshot().since(&harness_before);
                 println!(

@@ -7,7 +7,12 @@
 //!   generators, the functional MapReduce engine and the model's ablation
 //!   knobs.
 
+use hhsim_core::arch::presets;
+use hhsim_core::energy::MetricKind;
+use hhsim_core::figures::{MICRO_DATA, SCHED_BLOCK};
 use hhsim_core::report::FigureData;
+use hhsim_core::workloads::AppId;
+use hhsim_core::{simulate_cluster, NodeMix, PlacementKind, SimConfig};
 
 /// Renders one figure with its CSV, returning `(id, csv)`.
 pub fn render(id: &str) -> Option<(String, String)> {
@@ -23,6 +28,26 @@ pub fn artifact_ids() -> Vec<&'static str> {
         .into_iter()
         .map(|(id, _)| id)
         .collect()
+}
+
+/// The representative heterogeneous run whose trace ships next to
+/// `fig18.csv`: Sort (the I/O-bound app, where the class-aware placement
+/// routes work to the big node) on 1 Xeon + 2 Atoms, EDP goal.
+pub fn fig18_trace_config() -> SimConfig {
+    SimConfig::new(AppId::Sort, presets::xeon_e5_2420())
+        .data_per_node(MICRO_DATA)
+        .block_size(SCHED_BLOCK)
+        .mix(NodeMix {
+            big: 1,
+            little: 2,
+            placement: PlacementKind::PaperClass(MetricKind::Edp),
+        })
+}
+
+/// Renders the fig. 18 trace artifacts as `(chrome_trace_json, util_csv)`.
+pub fn fig18_trace() -> (String, String) {
+    let (_, timeline) = simulate_cluster(&fig18_trace_config());
+    (timeline.to_chrome_trace_json(), timeline.utilization_csv())
 }
 
 /// Renders every artifact.
@@ -48,6 +73,30 @@ mod tests {
         let ids = artifact_ids();
         assert!(ids.contains(&"table3"));
         assert!(ids.contains(&"fig17"));
-        assert_eq!(ids.len(), 20);
+        assert!(ids.contains(&"fig18"));
+        assert_eq!(ids.len(), 21);
+    }
+
+    #[test]
+    fn fig18_trace_is_deterministic_and_well_formed() {
+        let (json, csv) = fig18_trace();
+        let (json2, csv2) = fig18_trace();
+        assert_eq!(json, json2, "trace export must be deterministic");
+        assert_eq!(csv, csv2);
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        assert!(json.contains("\"traceEvents\""));
+        assert!(csv.starts_with("node,name,time_s,active_slots\n"));
+    }
+
+    #[test]
+    fn checked_in_fig18_trace_is_current() {
+        let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+        let (json, util) = fig18_trace();
+        let disk_json = std::fs::read_to_string(format!("{root}/results/fig18_trace.json"))
+            .expect("results/fig18_trace.json is checked in");
+        let disk_util = std::fs::read_to_string(format!("{root}/results/fig18_util.csv"))
+            .expect("results/fig18_util.csv is checked in");
+        assert_eq!(json, disk_json, "regenerate with the figures binary");
+        assert_eq!(util, disk_util, "regenerate with the figures binary");
     }
 }

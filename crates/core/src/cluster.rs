@@ -1,16 +1,41 @@
-//! Discrete-event cluster scheduling: task durations → phase wall-clock.
+//! Event-driven heterogeneous cluster engine.
+//!
+//! A [`Cluster`] is a list of first-class [`Node`]s — each with its own
+//! core kind and slot count — on which a phase's tasks are placed by a
+//! pluggable [`Placement`] policy. Task durations are derived from the
+//! node a task actually lands on (a map task is slower on an Atom node
+//! than on a Xeon node in the same cluster), which is what lets the
+//! paper's §3.5 heterogeneity-aware scheduling run on the simulator
+//! instead of only on analytic cost tables.
 //!
 //! Map (and reduce) tasks run in waves over the cluster's task slots; the
 //! wave structure is what makes small HDFS blocks (many short tasks) and
-//! very large blocks (few tasks, idle slots) both lose — §3.1.1. Tasks get
-//! a deterministic ±8% duration jitter so stragglers lengthen the last
-//! wave realistically.
+//! very large blocks (few tasks, idle slots) both lose — §3.1.1. Tasks
+//! get a deterministic ±8% duration jitter so stragglers lengthen the
+//! last wave realistically.
+//!
+//! Every task records a structured [`TaskSpan`] (queued → launched →
+//! finished, node id, slot id, wave); phases compose into a
+//! [`ClusterTimeline`] that exports as Chrome-trace-viewer JSON and a
+//! per-node utilization CSV, and feeds the energy model a per-node
+//! active-slot step function.
+//!
+//! The homogeneous path (every node identical, [`FifoAnySlot`]
+//! placement) is **bit-identical** to the flat `makespan()` slot-pool
+//! model this engine replaced: same FIFO grant order, same per-task
+//! jitter, same integer-nanosecond clock arithmetic.
 
-use hhsim_des::{SimTime, Simulation, SlotPool};
+use hhsim_arch::CoreKind;
+use hhsim_des::{SimTime, Simulation};
+use hhsim_energy::MetricKind;
+use hhsim_sched::{paper_schedule, CostTable, JobClass};
+use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
 use std::rc::Rc;
 
-/// A batch of identically-shaped tasks to schedule on a slot pool.
+/// A batch of identically-shaped tasks to schedule on the cluster.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TaskSet {
     /// Number of tasks.
@@ -22,7 +47,10 @@ pub struct TaskSet {
 }
 
 /// Deterministic per-task jitter factor in `[0.92, 1.08]`.
-fn jitter(task_index: usize) -> f64 {
+///
+/// Public so out-of-crate oracles (the parity tests) can price tasks with
+/// the exact durations the engine uses.
+pub fn jitter(task_index: usize) -> f64 {
     // SplitMix-style scramble for a platform-independent pseudo-random.
     let mut x = task_index as u64 + 0x9e37_79b9;
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
@@ -31,36 +59,574 @@ fn jitter(task_index: usize) -> f64 {
     0.92 + 0.16 * u
 }
 
-/// Wall-clock seconds to drain `set` over `slots` parallel slots, computed
-/// with the discrete-event kernel.
+/// One machine of the cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    /// Display name ("xeon0", "atom1", ...).
+    pub name: String,
+    /// Which side of the big/little divide this node is on.
+    pub kind: CoreKind,
+    /// Concurrent task slots on this node.
+    pub slots: usize,
+}
+
+/// A set of first-class nodes tasks are placed on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cluster {
+    /// The nodes, in placement-preference order (node id = index).
+    pub nodes: Vec<Node>,
+}
+
+impl Cluster {
+    /// `nodes` identical machines of `kind` with `slots` slots each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cluster would have zero slots.
+    pub fn homogeneous(kind: CoreKind, nodes: usize, slots: usize) -> Self {
+        assert!(nodes > 0 && slots > 0, "need at least one slot");
+        let name = match kind {
+            CoreKind::Big => "xeon",
+            CoreKind::Little => "atom",
+        };
+        Cluster {
+            nodes: (0..nodes)
+                .map(|i| Node {
+                    name: format!("{name}{i}"),
+                    kind,
+                    slots,
+                })
+                .collect(),
+        }
+    }
+
+    /// A mixed cluster: `big` Xeon nodes (`big_slots` each) followed by
+    /// `little` Atom nodes (`little_slots` each).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cluster would have zero slots.
+    pub fn mixed(big: usize, big_slots: usize, little: usize, little_slots: usize) -> Self {
+        let mut nodes = Vec::with_capacity(big + little);
+        for i in 0..big {
+            nodes.push(Node {
+                name: format!("xeon{i}"),
+                kind: CoreKind::Big,
+                slots: big_slots,
+            });
+        }
+        for i in 0..little {
+            nodes.push(Node {
+                name: format!("atom{i}"),
+                kind: CoreKind::Little,
+                slots: little_slots,
+            });
+        }
+        let c = Cluster { nodes };
+        assert!(c.total_slots() > 0, "need at least one slot");
+        c
+    }
+
+    /// Slots across all nodes.
+    pub fn total_slots(&self) -> usize {
+        self.nodes.iter().map(|n| n.slots).sum()
+    }
+
+    /// Number of nodes of `kind`.
+    pub fn count(&self, kind: CoreKind) -> usize {
+        self.nodes.iter().filter(|n| n.kind == kind).count()
+    }
+}
+
+/// Nominal per-task timing on one node.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodeTiming {
+    /// Nominal duration of one task on this node, seconds.
+    pub task_seconds: f64,
+    /// Per-task fixed overhead on this node, seconds.
+    pub overhead_seconds: f64,
+}
+
+/// A phase's work: `tasks` tasks plus the per-node timing they would see.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseLoad {
+    /// Number of tasks to drain.
+    pub tasks: usize,
+    /// Timing per node (indexed by node id; length must match the
+    /// cluster).
+    pub timing: Vec<NodeTiming>,
+}
+
+impl PhaseLoad {
+    /// Every node sees the same timing — the homogeneous case.
+    pub fn uniform(set: &TaskSet, cluster: &Cluster) -> Self {
+        PhaseLoad {
+            tasks: set.tasks,
+            timing: vec![
+                NodeTiming {
+                    task_seconds: set.task_seconds,
+                    overhead_seconds: set.overhead_seconds,
+                };
+                cluster.nodes.len()
+            ],
+        }
+    }
+
+    /// Timing chosen per node kind — the heterogeneous case.
+    pub fn by_kind(tasks: usize, big: NodeTiming, little: NodeTiming, cluster: &Cluster) -> Self {
+        PhaseLoad {
+            tasks,
+            timing: cluster
+                .nodes
+                .iter()
+                .map(|n| match n.kind {
+                    CoreKind::Big => big,
+                    CoreKind::Little => little,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Chooses the node for the task at the head of the FIFO queue.
+///
+/// The engine is work-conserving: `place` is only called when at least
+/// one slot is free, and must return a node with a free slot.
+pub trait Placement {
+    /// Node id for `task`; `free[n]` is the free-slot count of node `n`.
+    fn place(&mut self, task: usize, cluster: &Cluster, free: &[usize]) -> usize;
+
+    /// Policy label for traces and reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Baseline: first node with a free slot, in node-id order. On a
+/// homogeneous cluster this reproduces the flat slot-pool model exactly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FifoAnySlot;
+
+impl Placement for FifoAnySlot {
+    fn place(&mut self, _task: usize, _cluster: &Cluster, free: &[usize]) -> usize {
+        free.iter().position(|&f| f > 0).expect("a slot is free")
+    }
+
+    fn name(&self) -> &'static str {
+        "fifo-any"
+    }
+}
+
+/// Heterogeneity-aware placement: prefer free slots on the node kind the
+/// paper's scheduler allocates for the job, spill onto the other kind
+/// only when the preferred kind is saturated (work-conserving, so adding
+/// a node can never slow a phase down).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KindPreferring {
+    /// The node kind tasks should land on first.
+    pub preferred: CoreKind,
+}
+
+impl KindPreferring {
+    /// The paper's §3.5 pseudo-code: compute-bound → little, I/O-bound →
+    /// big, hybrid by goal ([`paper_schedule`]).
+    pub fn for_class(class: JobClass, goal: MetricKind) -> Self {
+        KindPreferring {
+            preferred: paper_schedule(class, goal).kind,
+        }
+    }
+
+    /// Characterization-driven: the kind of [`CostTable::optimal`] under
+    /// `goal` (falls back to big on an empty table).
+    pub fn from_cost_table(table: &CostTable, goal: MetricKind) -> Self {
+        KindPreferring {
+            preferred: table
+                .optimal(goal)
+                .map(|(a, _)| a.kind)
+                .unwrap_or(CoreKind::Big),
+        }
+    }
+}
+
+impl Placement for KindPreferring {
+    fn place(&mut self, _task: usize, cluster: &Cluster, free: &[usize]) -> usize {
+        free.iter()
+            .enumerate()
+            .position(|(n, &f)| f > 0 && cluster.nodes[n].kind == self.preferred)
+            .or_else(|| free.iter().position(|&f| f > 0))
+            .expect("a slot is free")
+    }
+
+    fn name(&self) -> &'static str {
+        match self.preferred {
+            CoreKind::Big => "prefer-big",
+            CoreKind::Little => "prefer-little",
+        }
+    }
+}
+
+/// Slot admission counters of one engine run (the cluster-level analogue
+/// of [`hhsim_des::PoolStats`]), surfaced through `Measurement` so
+/// figures can report slot utilization and queueing delay per phase.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct SlotStats {
+    /// Total slots across the cluster.
+    pub capacity: usize,
+    /// Largest number of slots simultaneously busy.
+    pub peak_in_use: usize,
+    /// Cumulative seconds tasks spent waiting for a slot.
+    pub total_wait_s: f64,
+    /// Tasks that had to wait (launched after the phase start).
+    pub tasks_queued: u64,
+    /// Longest the pending queue ever got.
+    pub max_queue_len: usize,
+}
+
+impl SlotStats {
+    /// Folds another phase's counters into this one (chained jobs).
+    pub fn absorb(&mut self, other: &SlotStats) {
+        self.capacity = self.capacity.max(other.capacity);
+        self.peak_in_use = self.peak_in_use.max(other.peak_in_use);
+        self.total_wait_s += other.total_wait_s;
+        self.tasks_queued += other.tasks_queued;
+        self.max_queue_len = self.max_queue_len.max(other.max_queue_len);
+    }
+
+    /// Mean queueing delay per task that waited, seconds.
+    pub fn mean_wait_s(&self) -> f64 {
+        if self.tasks_queued == 0 {
+            0.0
+        } else {
+            self.total_wait_s / self.tasks_queued as f64
+        }
+    }
+}
+
+/// One task's structured trace record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskSpan {
+    /// Phase label ("map", "reduce", possibly suffixed per chained job).
+    pub phase: String,
+    /// Task index within its phase.
+    pub task: usize,
+    /// Node the task ran on.
+    pub node: usize,
+    /// Slot within the node.
+    pub slot: usize,
+    /// 1-based count of tasks this slot has run (wave number).
+    pub wave: usize,
+    /// When the task entered the queue, seconds.
+    pub queued_s: f64,
+    /// When it got a slot, seconds.
+    pub launched_s: f64,
+    /// When it finished, seconds.
+    pub finished_s: f64,
+}
+
+/// Result of draining one [`PhaseLoad`] through the engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseRun {
+    /// Wall-clock seconds from phase start to last task completion.
+    pub makespan_s: f64,
+    /// Per-task spans, in task order, with phase-relative times and an
+    /// empty phase label (filled in by [`ClusterTimeline::extend`]).
+    pub spans: Vec<TaskSpan>,
+    /// Slot admission counters.
+    pub slots: SlotStats,
+}
+
+/// Mutable state shared between the completion events of one run.
+#[derive(Debug)]
+struct EngineState {
+    free: Vec<usize>,
+    slot_busy: Vec<Vec<bool>>,
+    slot_waves: Vec<Vec<usize>>,
+    queue: VecDeque<usize>,
+    in_use: usize,
+    freed: Vec<(usize, usize)>,
+    max_finish: SimTime,
+    stats: SlotStats,
+}
+
+/// Drains `load` over `cluster` under `placement`, recording a span per
+/// task. All tasks are queued at phase start (time zero) in task order;
+/// a freed slot always goes to the head of the queue (FIFO admission,
+/// placement only chooses *which* free slot).
 ///
 /// # Panics
 ///
-/// Panics if `slots` is zero.
-pub fn makespan(set: &TaskSet, slots: usize) -> f64 {
-    assert!(slots > 0, "need at least one slot");
-    if set.tasks == 0 {
-        return 0.0;
+/// Panics if the cluster has no slots or `load.timing` does not match
+/// the cluster's node count.
+pub fn run_phase(cluster: &Cluster, load: &PhaseLoad, placement: &mut dyn Placement) -> PhaseRun {
+    let capacity = cluster.total_slots();
+    assert!(capacity > 0, "need at least one slot");
+    assert_eq!(
+        load.timing.len(),
+        cluster.nodes.len(),
+        "one timing entry per node"
+    );
+    let mut stats = SlotStats {
+        capacity,
+        ..SlotStats::default()
+    };
+    if load.tasks == 0 {
+        return PhaseRun {
+            makespan_s: 0.0,
+            spans: Vec::new(),
+            slots: stats,
+        };
     }
+
     let mut sim = Simulation::new();
-    let pool = SlotPool::shared("slots", slots);
-    let end = Rc::new(RefCell::new(SimTime::ZERO));
-    for i in 0..set.tasks {
-        let dur = SimTime::from_secs_f64(set.task_seconds * jitter(i) + set.overhead_seconds);
-        let end = end.clone();
-        SlotPool::acquire(&pool, &mut sim, move |sim, guard| {
+    let mut spans: Vec<Option<TaskSpan>> = vec![None; load.tasks];
+    stats.max_queue_len = load.tasks.saturating_sub(capacity);
+    let state = Rc::new(RefCell::new(EngineState {
+        free: cluster.nodes.iter().map(|n| n.slots).collect(),
+        slot_busy: cluster.nodes.iter().map(|n| vec![false; n.slots]).collect(),
+        slot_waves: cluster.nodes.iter().map(|n| vec![0; n.slots]).collect(),
+        queue: (0..load.tasks).collect(),
+        in_use: 0,
+        freed: Vec::new(),
+        max_finish: SimTime::ZERO,
+        stats,
+    }));
+
+    // Launches queued tasks while slots are free. Runs synchronously at
+    // phase start and again after every completion event, so grant order
+    // is FIFO at identical virtual times — exactly the slot-pool
+    // semantics of the flat model this engine replaced.
+    let dispatch = |sim: &mut Simulation,
+                    state: &Rc<RefCell<EngineState>>,
+                    placement: &mut dyn Placement,
+                    spans: &mut Vec<Option<TaskSpan>>| {
+        loop {
+            let task = {
+                let st = state.borrow();
+                if st.queue.is_empty() || st.free.iter().all(|&f| f == 0) {
+                    break;
+                }
+                *st.queue.front().expect("non-empty queue")
+            };
+            let node = placement.place(task, cluster, &state.borrow().free);
+            let now = sim.now();
+            let (slot, wave, dur) = {
+                let mut st = state.borrow_mut();
+                assert!(st.free[node] > 0, "placement chose a busy node");
+                st.queue.pop_front();
+                st.free[node] -= 1;
+                st.in_use += 1;
+                let in_use = st.in_use;
+                st.stats.peak_in_use = st.stats.peak_in_use.max(in_use);
+                let slot = st.slot_busy[node]
+                    .iter()
+                    .position(|b| !b)
+                    .expect("free slot exists on chosen node");
+                st.slot_busy[node][slot] = true;
+                st.slot_waves[node][slot] += 1;
+                let wave = st.slot_waves[node][slot];
+                if !now.is_zero() {
+                    st.stats.tasks_queued += 1;
+                    st.stats.total_wait_s += now.as_secs_f64();
+                }
+                let t = &load.timing[node];
+                let dur =
+                    SimTime::from_secs_f64(t.task_seconds * jitter(task) + t.overhead_seconds);
+                (slot, wave, dur)
+            };
+            let finish = now + dur;
+            spans[task] = Some(TaskSpan {
+                phase: String::new(),
+                task,
+                node,
+                slot,
+                wave,
+                queued_s: 0.0,
+                launched_s: now.as_secs_f64(),
+                finished_s: finish.as_secs_f64(),
+            });
+            let state = state.clone();
             sim.schedule_in(dur, move |sim| {
-                guard.release(sim);
-                let mut e = end.borrow_mut();
-                if sim.now() > *e {
-                    *e = sim.now();
+                let mut st = state.borrow_mut();
+                st.free[node] += 1;
+                st.in_use -= 1;
+                st.slot_busy[node][slot] = false;
+                st.freed.push((node, slot));
+                if sim.now() > st.max_finish {
+                    st.max_finish = sim.now();
                 }
             });
-        });
+        }
+    };
+
+    dispatch(&mut sim, &state, placement, &mut spans);
+    // Drive the calendar one event at a time so the placement policy
+    // (a &mut borrow that cannot move into event closures) runs between
+    // events; `Simulation::run()`'s final clock is the last completion.
+    while sim.step() {
+        dispatch(&mut sim, &state, placement, &mut spans);
     }
-    sim.run();
-    let t = end.borrow().as_secs_f64();
-    t
+
+    let st = Rc::try_unwrap(state)
+        .expect("all completion events have run")
+        .into_inner();
+    PhaseRun {
+        makespan_s: st.max_finish.as_secs_f64(),
+        spans: spans
+            .into_iter()
+            .map(|s| s.expect("every task was launched"))
+            .collect(),
+        slots: st.stats,
+    }
+}
+
+/// Flat wall-clock of a homogeneous phase — the engine's answer to the
+/// old `makespan(set, slots)` question (same FIFO waves, same jitter).
+pub fn homogeneous_makespan(set: &TaskSet, nodes: usize, slots: usize, kind: CoreKind) -> f64 {
+    let cluster = Cluster::homogeneous(kind, nodes, slots);
+    run_phase(
+        &cluster,
+        &PhaseLoad::uniform(set, &cluster),
+        &mut FifoAnySlot,
+    )
+    .makespan_s
+}
+
+/// Node metadata echoed into exports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeMeta {
+    /// Node display name.
+    pub name: String,
+    /// "Xeon" or "Atom".
+    pub kind: String,
+    /// Slot count.
+    pub slots: usize,
+}
+
+/// The per-task timeline of a whole run: successive phases' spans
+/// shifted onto one absolute clock.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ClusterTimeline {
+    /// The cluster's nodes (index = `TaskSpan::node`).
+    pub nodes: Vec<NodeMeta>,
+    /// All spans, in append order (phases in execution order, tasks in
+    /// task order within a phase).
+    pub spans: Vec<TaskSpan>,
+}
+
+impl ClusterTimeline {
+    /// An empty timeline over `cluster`.
+    pub fn new(cluster: &Cluster) -> Self {
+        ClusterTimeline {
+            nodes: cluster
+                .nodes
+                .iter()
+                .map(|n| NodeMeta {
+                    name: n.name.clone(),
+                    kind: n.kind.to_string(),
+                    slots: n.slots,
+                })
+                .collect(),
+            spans: Vec::new(),
+        }
+    }
+
+    /// Appends a phase's spans, labelled `phase`, shifted by `offset_s`.
+    pub fn extend(&mut self, phase: &str, offset_s: f64, run: &PhaseRun) {
+        for s in &run.spans {
+            let mut s = s.clone();
+            s.phase = phase.to_string();
+            s.queued_s += offset_s;
+            s.launched_s += offset_s;
+            s.finished_s += offset_s;
+            self.spans.push(s);
+        }
+    }
+
+    /// Latest task completion, seconds.
+    pub fn end_s(&self) -> f64 {
+        self.spans.iter().map(|s| s.finished_s).fold(0.0, f64::max)
+    }
+
+    /// Step function of busy slots on `node`: `(time, active)` points at
+    /// every change, starting at `(0, 0)`. Feeds the utilization-driven
+    /// power model.
+    pub fn active_steps(&self, node: usize) -> Vec<(f64, usize)> {
+        let mut events: Vec<(f64, i64)> = Vec::new();
+        for s in self.spans.iter().filter(|s| s.node == node) {
+            events.push((s.launched_s, 1));
+            events.push((s.finished_s, -1));
+        }
+        events.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let mut steps = vec![(0.0, 0usize)];
+        let mut active = 0i64;
+        let mut i = 0;
+        while i < events.len() {
+            let t = events[i].0;
+            while i < events.len() && events[i].0 == t {
+                active += events[i].1;
+                i += 1;
+            }
+            let a = usize::try_from(active.max(0)).expect("active fits usize");
+            if t == 0.0 {
+                steps[0].1 = a;
+            } else {
+                steps.push((t, a));
+            }
+        }
+        steps
+    }
+
+    /// Busy slot-seconds on `node` (integral of the active-slot curve).
+    pub fn busy_slot_seconds(&self, node: usize) -> f64 {
+        self.spans
+            .iter()
+            .filter(|s| s.node == node)
+            .map(|s| s.finished_s - s.launched_s)
+            .sum()
+    }
+
+    /// Chrome-trace-viewer JSON (`chrome://tracing`, Perfetto): one `X`
+    /// event per task span, `pid` = node, `tid` = slot, timestamps in
+    /// microseconds, plus process-name metadata per node. Output is
+    /// deterministic: spans are emitted in append order with fixed
+    /// 3-decimal microsecond formatting.
+    pub fn to_chrome_trace_json(&self) -> String {
+        let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+        for (pid, n) in self.nodes.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "{{\"ph\":\"M\",\"pid\":{pid},\"name\":\"process_name\",\
+                 \"args\":{{\"name\":\"{} ({} x{})\"}}}},",
+                n.name, n.kind, n.slots
+            );
+        }
+        for s in &self.spans {
+            let ts = s.launched_s * 1e6;
+            let dur = (s.finished_s - s.launched_s) * 1e6;
+            let wait = (s.launched_s - s.queued_s) * 1e6;
+            let _ = writeln!(
+                out,
+                "{{\"ph\":\"X\",\"pid\":{},\"tid\":{},\"ts\":{ts:.3},\"dur\":{dur:.3},\
+                 \"name\":\"{}-{}\",\"cat\":\"{}\",\
+                 \"args\":{{\"task\":{},\"wave\":{},\"wait_us\":{wait:.3}}}}},",
+                s.node, s.slot, s.phase, s.task, s.phase, s.task, s.wave
+            );
+        }
+        // Trailing comma is invalid JSON; close with a sentinel metadata
+        // event instead of tracking "first".
+        out.push_str("{\"ph\":\"M\",\"pid\":0,\"name\":\"trace_end\",\"args\":{}}\n]}\n");
+        out
+    }
+
+    /// Per-node utilization as CSV: `node,name,time_s,active_slots` step
+    /// rows (one per change point).
+    pub fn utilization_csv(&self) -> String {
+        let mut out = String::from("node,name,time_s,active_slots\n");
+        for (i, n) in self.nodes.iter().enumerate() {
+            for (t, a) in self.active_steps(i) {
+                let _ = writeln!(out, "{i},{},{t:.6},{a}", n.name);
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -73,6 +639,10 @@ mod tests {
             task_seconds: secs,
             overhead_seconds: 0.0,
         }
+    }
+
+    fn makespan(set: &TaskSet, slots: usize) -> f64 {
+        homogeneous_makespan(set, 1, slots, CoreKind::Big)
     }
 
     #[test]
@@ -112,6 +682,17 @@ mod tests {
     }
 
     #[test]
+    fn node_split_does_not_change_homogeneous_makespan() {
+        // 1 node x 8 slots and 4 nodes x 2 slots are the same flat pool
+        // when every node is identical.
+        let s = set(20, 5.0);
+        assert_eq!(
+            homogeneous_makespan(&s, 1, 8, CoreKind::Big),
+            homogeneous_makespan(&s, 4, 2, CoreKind::Big),
+        );
+    }
+
+    #[test]
     fn empty_set_is_free() {
         assert_eq!(makespan(&set(0, 5.0), 4), 0.0);
     }
@@ -127,5 +708,148 @@ mod tests {
     #[should_panic(expected = "at least one slot")]
     fn zero_slots_rejected() {
         let _ = makespan(&set(1, 1.0), 0);
+    }
+
+    fn mixed_cluster() -> Cluster {
+        Cluster::mixed(1, 2, 2, 2)
+    }
+
+    fn hetero_load(tasks: usize, cluster: &Cluster) -> PhaseLoad {
+        PhaseLoad::by_kind(
+            tasks,
+            NodeTiming {
+                task_seconds: 4.0,
+                overhead_seconds: 0.0,
+            },
+            NodeTiming {
+                task_seconds: 10.0,
+                overhead_seconds: 0.0,
+            },
+            cluster,
+        )
+    }
+
+    #[test]
+    fn duration_follows_the_landing_node() {
+        let c = mixed_cluster();
+        let run = run_phase(&c, &hetero_load(4, &c), &mut FifoAnySlot);
+        for s in &run.spans {
+            let d = s.finished_s - s.launched_s;
+            match c.nodes[s.node].kind {
+                CoreKind::Big => assert!((3.5..=4.5).contains(&d), "big task took {d}"),
+                CoreKind::Little => assert!((9.0..=11.0).contains(&d), "little task took {d}"),
+            }
+        }
+    }
+
+    #[test]
+    fn kind_preferring_lands_on_preferred_kind_first() {
+        let c = mixed_cluster();
+        let mut p = KindPreferring {
+            preferred: CoreKind::Little,
+        };
+        // 4 little slots... only 2 — cluster is 1 big x2 + 2 little x2.
+        let run = run_phase(&c, &hetero_load(4, &c), &mut p);
+        let on_little = run
+            .spans
+            .iter()
+            .filter(|s| c.nodes[s.node].kind == CoreKind::Little)
+            .count();
+        assert_eq!(on_little, 4, "all four fit on the four little slots");
+    }
+
+    #[test]
+    fn kind_preferring_spills_when_saturated() {
+        let c = mixed_cluster();
+        let mut p = KindPreferring {
+            preferred: CoreKind::Little,
+        };
+        let run = run_phase(&c, &hetero_load(6, &c), &mut p);
+        let on_big = run
+            .spans
+            .iter()
+            .filter(|s| c.nodes[s.node].kind == CoreKind::Big)
+            .count();
+        assert!(on_big > 0, "work-conserving spill onto the big node");
+    }
+
+    #[test]
+    fn placement_constructors_wire_to_sched() {
+        let p = KindPreferring::for_class(JobClass::Compute, MetricKind::Edp);
+        assert_eq!(p.preferred, CoreKind::Little);
+        let p = KindPreferring::for_class(JobClass::Io, MetricKind::Edp);
+        assert_eq!(p.preferred, CoreKind::Big);
+        assert_eq!(
+            KindPreferring::from_cost_table(&CostTable::new(), MetricKind::Edp).preferred,
+            CoreKind::Big,
+            "empty table falls back to big"
+        );
+    }
+
+    #[test]
+    fn spans_are_complete_and_ordered() {
+        let c = Cluster::homogeneous(CoreKind::Big, 2, 2);
+        let s = set(9, 3.0);
+        let run = run_phase(&c, &PhaseLoad::uniform(&s, &c), &mut FifoAnySlot);
+        assert_eq!(run.spans.len(), 9);
+        for (i, sp) in run.spans.iter().enumerate() {
+            assert_eq!(sp.task, i);
+            assert!(sp.finished_s > sp.launched_s);
+            assert!(sp.launched_s >= sp.queued_s);
+            assert!(sp.wave >= 1);
+            assert!(sp.node < 2 && sp.slot < 2);
+        }
+        let end = run.spans.iter().map(|s| s.finished_s).fold(0.0, f64::max);
+        assert_eq!(end, run.makespan_s);
+    }
+
+    #[test]
+    fn slot_stats_count_queueing() {
+        let c = Cluster::homogeneous(CoreKind::Big, 1, 2);
+        let s = set(5, 2.0);
+        let run = run_phase(&c, &PhaseLoad::uniform(&s, &c), &mut FifoAnySlot);
+        assert_eq!(run.slots.capacity, 2);
+        assert_eq!(run.slots.peak_in_use, 2);
+        assert_eq!(run.slots.tasks_queued, 3, "tasks beyond the first wave");
+        assert_eq!(run.slots.max_queue_len, 3);
+        assert!(run.slots.total_wait_s > 0.0);
+        assert!(run.slots.mean_wait_s() > 0.0);
+    }
+
+    #[test]
+    fn timeline_composes_phases_and_exports() {
+        let c = mixed_cluster();
+        let load = hetero_load(5, &c);
+        let map = run_phase(&c, &load, &mut FifoAnySlot);
+        let red = run_phase(
+            &c,
+            &hetero_load(2, &c),
+            &mut KindPreferring {
+                preferred: CoreKind::Big,
+            },
+        );
+        let mut tl = ClusterTimeline::new(&c);
+        tl.extend("map", 0.0, &map);
+        tl.extend("reduce", map.makespan_s, &red);
+        assert_eq!(tl.spans.len(), 7);
+        assert!((tl.end_s() - (map.makespan_s + red.makespan_s)).abs() < 1e-9);
+
+        let json = tl.to_chrome_trace_json();
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"cat\":\"map\""));
+        assert!(json.contains("\"cat\":\"reduce\""));
+        assert!(json.contains("process_name"));
+        assert!(!json.contains(",\n]"), "no trailing comma before array end");
+
+        let csv = tl.utilization_csv();
+        assert!(csv.starts_with("node,name,time_s,active_slots"));
+        for i in 0..c.nodes.len() {
+            let steps = tl.active_steps(i);
+            assert_eq!(steps.last().expect("steps end").1, 0, "all slots drain");
+            for w in steps.windows(2) {
+                assert!(w[1].0 > w[0].0, "strictly increasing change points");
+            }
+            assert!(tl.busy_slot_seconds(i) >= 0.0);
+        }
     }
 }

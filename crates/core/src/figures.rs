@@ -20,7 +20,7 @@ use hhsim_hdfs::BlockSize;
 use hhsim_workloads::AppId;
 
 use crate::harness::Sweep;
-use crate::model::{Measurement, SimConfig};
+use crate::model::{Measurement, NodeMix, PlacementKind, SimConfig};
 use crate::report::FigureData;
 
 /// Per-node data size used for micro-benchmarks (1 GB, §3).
@@ -671,6 +671,49 @@ pub fn fig17() -> FigureData {
     f
 }
 
+/// Heterogeneous node mixes studied in Fig. 18, as (big, little) counts —
+/// same 3-node budget as the homogeneous baselines.
+pub const MIX_SWEEP: [(usize, usize); 2] = [(1, 2), (2, 1)];
+
+/// Fig. 18 (model extension): whole-application EDP on heterogeneous
+/// big+little clusters driven by the §3.5 class-aware placement, against
+/// the homogeneous 3-node Xeon and Atom baselines (256 MB @ 1.8 GHz).
+pub fn fig18() -> FigureData {
+    let [xeon, atom] = machines();
+    let mut sweep = Sweep::new();
+    let mut rows = Vec::new();
+    for app in AppId::ALL {
+        let data = data_for(app);
+        for (m, who) in [(&xeon, "Xeon3"), (&atom, "Atom3")] {
+            let p = sweep.point(cfg(app, m).data_per_node(data).block_size(SCHED_BLOCK));
+            rows.push((who.to_string(), app, p));
+        }
+        for (big, little) in MIX_SWEEP {
+            let p = sweep.point(
+                cfg(app, &xeon)
+                    .data_per_node(data)
+                    .block_size(SCHED_BLOCK)
+                    .mix(NodeMix {
+                        big,
+                        little,
+                        placement: PlacementKind::PaperClass(MetricKind::Edp),
+                    }),
+            );
+            rows.push((format!("Mix{big}X{little}A"), app, p));
+        }
+    }
+    let meas = sweep.run();
+    let mut f = FigureData::new(
+        "fig18",
+        "EDP: mixed big+little clusters vs homogeneous baselines",
+        "edp",
+    );
+    for (series, app, p) in rows {
+        f.push(series, app.short_name(), meas[p].cost.edp());
+    }
+    f
+}
+
 /// A figure/table generator: produces one artifact's data from scratch.
 pub type Generator = fn() -> FigureData;
 
@@ -697,6 +740,7 @@ pub fn all() -> Vec<(&'static str, Generator)> {
         ("fig16", fig16),
         ("table3", table3),
         ("fig17", fig17),
+        ("fig18", fig18),
     ]
 }
 
@@ -753,6 +797,29 @@ mod tests {
 
     #[test]
     fn all_generators_are_registered() {
-        assert_eq!(all().len(), 20, "2 tables + 18 figure artifacts");
+        assert_eq!(all().len(), 21, "2 tables + 19 figure artifacts");
+    }
+
+    #[test]
+    fn fig18_mixed_cluster_beats_both_homogeneous_somewhere() {
+        let f = fig18();
+        let edp = |series: &str, app: AppId| {
+            f.rows
+                .iter()
+                .find(|r| r.series == series && r.x == app.short_name())
+                .map(|r| r.value)
+                .expect("fig18 row")
+        };
+        let wins = AppId::ALL.into_iter().any(|app| {
+            let (x, a) = (edp("Xeon3", app), edp("Atom3", app));
+            MIX_SWEEP
+                .iter()
+                .map(|(b, l)| edp(&format!("Mix{b}X{l}A"), app))
+                .any(|m| m < x && m < a)
+        });
+        assert!(
+            wins,
+            "some mixed cluster must beat both homogeneous baselines on EDP"
+        );
     }
 }

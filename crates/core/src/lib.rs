@@ -46,9 +46,15 @@ pub mod ratios;
 pub mod report;
 pub mod simcache;
 
-pub use cluster::{makespan, TaskSet};
+pub use cluster::{
+    homogeneous_makespan, run_phase, Cluster, ClusterTimeline, FifoAnySlot, KindPreferring, Node,
+    NodeTiming, PhaseLoad, PhaseRun, Placement, SlotStats, TaskSet, TaskSpan,
+};
 pub use harness::{run_grid, run_grid_with, set_jobs, HarnessSnapshot, Sweep};
-pub use model::{simulate, simulate_with, Measurement, PhaseCost, SimConfig};
+pub use model::{
+    job_class, simulate, simulate_cluster, simulate_cluster_with, simulate_with, Measurement,
+    NodeMix, PhaseCost, PlacementKind, SimConfig,
+};
 pub use ratios::AppRatios;
 pub use report::{FigureData, Row};
 pub use simcache::{CacheStats, SimCache};

@@ -1,0 +1,107 @@
+//! Golden tests for the cluster trace exports.
+//!
+//! The Chrome-trace JSON and utilization CSV are consumed by external
+//! tools (chrome://tracing, plotting scripts), so their exact bytes are
+//! pinned here. The scenario is a fixed mixed cluster running a map and a
+//! reduce phase; the engine is deterministic, so any byte change means
+//! the export schema (or the engine) changed and the goldens must be
+//! re-blessed consciously: `BLESS_GOLDEN=1 cargo test -p hhsim-core
+//! --test trace_golden`.
+
+use hhsim_core::arch::CoreKind;
+use hhsim_core::cluster::{
+    run_phase, Cluster, ClusterTimeline, FifoAnySlot, KindPreferring, NodeTiming, PhaseLoad,
+};
+
+const GOLDEN_JSON: &str = include_str!("golden/cluster_trace.json");
+const GOLDEN_CSV: &str = include_str!("golden/cluster_util.csv");
+
+/// A small but structurally rich scenario: 1 big node (2 slots) + 2
+/// little nodes (2 slots each), 7 map tasks under the kind-aware
+/// placement, then 3 reduce tasks under the greedy baseline.
+fn timeline() -> ClusterTimeline {
+    let cluster = Cluster::mixed(1, 2, 2, 2);
+    let big = NodeTiming {
+        task_seconds: 4.0,
+        overhead_seconds: 0.25,
+    };
+    let little = NodeTiming {
+        task_seconds: 11.0,
+        overhead_seconds: 0.25,
+    };
+    let map = run_phase(
+        &cluster,
+        &PhaseLoad::by_kind(7, big, little, &cluster),
+        &mut KindPreferring {
+            preferred: CoreKind::Little,
+        },
+    );
+    let red = run_phase(
+        &cluster,
+        &PhaseLoad::by_kind(3, big, little, &cluster),
+        &mut FifoAnySlot,
+    );
+    let mut tl = ClusterTimeline::new(&cluster);
+    tl.extend("map", 0.0, &map);
+    tl.extend("reduce", map.makespan_s, &red);
+    tl
+}
+
+fn bless(rel: &str, content: &str) {
+    let path = format!("{}/tests/{rel}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::write(path, content).expect("bless golden");
+}
+
+#[test]
+fn chrome_trace_json_matches_golden() {
+    let json = timeline().to_chrome_trace_json();
+    if std::env::var_os("BLESS_GOLDEN").is_some() {
+        bless("golden/cluster_trace.json", &json);
+        return;
+    }
+    assert_eq!(
+        json, GOLDEN_JSON,
+        "Chrome-trace export changed; re-bless with BLESS_GOLDEN=1 if intended"
+    );
+}
+
+#[test]
+fn utilization_csv_matches_golden() {
+    let csv = timeline().utilization_csv();
+    if std::env::var_os("BLESS_GOLDEN").is_some() {
+        bless("golden/cluster_util.csv", &csv);
+        return;
+    }
+    assert_eq!(
+        csv, GOLDEN_CSV,
+        "utilization export changed; re-bless with BLESS_GOLDEN=1 if intended"
+    );
+}
+
+#[test]
+fn exports_are_deterministic_across_runs() {
+    let a = timeline();
+    let b = timeline();
+    assert_eq!(a.to_chrome_trace_json(), b.to_chrome_trace_json());
+    assert_eq!(a.utilization_csv(), b.utilization_csv());
+}
+
+#[test]
+fn golden_json_is_structurally_sound() {
+    // Cheap structural checks that hold for any valid export, so schema
+    // drift is caught even when someone blesses blindly.
+    assert!(GOLDEN_JSON.starts_with("{\"displayTimeUnit\":\"ms\""));
+    assert!(GOLDEN_JSON.trim_end().ends_with("]}"));
+    assert_eq!(
+        GOLDEN_JSON.matches("\"ph\":\"X\"").count(),
+        10,
+        "7 map + 3 reduce complete events"
+    );
+    assert_eq!(
+        GOLDEN_JSON.matches("process_name").count(),
+        3,
+        "one metadata event per node"
+    );
+    assert!(GOLDEN_CSV.starts_with("node,name,time_s,active_slots\n"));
+    assert!(GOLDEN_CSV.lines().count() > 3);
+}

@@ -28,6 +28,6 @@ mod resource;
 mod sim;
 mod time;
 
-pub use resource::{SharedSlotPool, SlotGuard, SlotPool};
+pub use resource::{PoolStats, SharedSlotPool, SlotGuard, SlotPool};
 pub use sim::{EventId, Simulation};
 pub use time::SimTime;

@@ -60,6 +60,23 @@ impl std::fmt::Debug for Waiter {
 /// Shared handle to a [`SlotPool`]; clone freely into event closures.
 pub type SharedSlotPool = Rc<RefCell<SlotPool>>;
 
+/// Point-in-time snapshot of a pool's admission counters, cheap to copy
+/// out of the simulation for per-phase reporting (slot utilization and
+/// queueing delay end up in `Measurement` via the cluster engine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// Total number of slots.
+    pub capacity: usize,
+    /// Largest number of slots ever simultaneously held.
+    pub peak_in_use: usize,
+    /// Grants issued so far.
+    pub total_grants: u64,
+    /// Cumulative time requests spent waiting in the queue.
+    pub total_wait: SimTime,
+    /// Requests currently queued.
+    pub queued: usize,
+}
+
 /// Proof of slot ownership; release it back when the work completes.
 ///
 /// Dropping a guard without calling [`SlotGuard::release`] leaks the slot —
@@ -175,6 +192,17 @@ impl SlotPool {
     pub fn total_wait(&self) -> SimTime {
         self.total_wait
     }
+
+    /// Snapshot of the admission counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            capacity: self.capacity,
+            peak_in_use: self.peak_in_use,
+            total_grants: self.total_grants,
+            total_wait: self.total_wait,
+            queued: self.waiters.len(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -236,6 +264,28 @@ mod tests {
         assert_eq!(p.queued(), 0);
         // Two jobs waited 2 seconds each.
         assert_eq!(p.total_wait(), SimTime::from_secs(4));
+    }
+
+    #[test]
+    fn stats_snapshot_mirrors_accessors() {
+        let mut sim = Simulation::new();
+        let pool = SlotPool::shared("snap", 2);
+        for _ in 0..3 {
+            SlotPool::acquire(&pool, &mut sim, |sim, guard| {
+                sim.schedule_in(SimTime::from_secs(1), move |sim| guard.release(sim));
+            });
+        }
+        {
+            let s = pool.borrow().stats();
+            assert_eq!(s.capacity, 2);
+            assert_eq!(s.peak_in_use, 2);
+            assert_eq!(s.queued, 1, "third request waits");
+        }
+        sim.run();
+        let s = pool.borrow().stats();
+        assert_eq!(s.total_grants, 3);
+        assert_eq!(s.queued, 0);
+        assert_eq!(s.total_wait, SimTime::from_secs(1));
     }
 
     #[test]

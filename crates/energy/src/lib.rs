@@ -28,6 +28,8 @@
 
 mod meter;
 mod metrics;
+mod timeline;
 
 pub use meter::{MeterReading, PowerMeter, PowerTrace};
 pub use metrics::{CostMetrics, MetricKind};
+pub use timeline::UtilizationTimeline;

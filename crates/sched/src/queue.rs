@@ -9,7 +9,11 @@
 //! reports makespan, energy and total cost — the provider-vs-user
 //! trade-off made measurable.
 
+use std::cell::RefCell;
+use std::rc::Rc;
+
 use hhsim_arch::CoreKind;
+use hhsim_des::{SimTime, Simulation};
 use hhsim_energy::MetricKind;
 use serde::{Deserialize, Serialize};
 
@@ -119,8 +123,88 @@ pub struct QueueOutcome {
     pub total_energy_j: f64,
 }
 
+/// One job's resolved placement: what the policy picked, priced.
+struct Pending {
+    name: String,
+    alloc: CoreAllocation,
+    duration: SimTime,
+    energy: f64,
+}
+
+/// Mutable queue state shared between DES event closures.
+struct QueueState {
+    free_big: usize,
+    free_little: usize,
+    queue: Vec<usize>, // indices into `Ctx::pending`, FIFO
+    completions: Vec<JobCompletion>,
+}
+
+struct Ctx {
+    pending: Vec<Pending>,
+    state: RefCell<QueueState>,
+}
+
+/// Admits jobs from the head of the queue while resources allow,
+/// scheduling each admitted job's completion event. Called from every
+/// arrival and completion event, so admission interleaves with the event
+/// stream exactly as a live JobTracker's would.
+fn admit(sim: &mut Simulation, ctx: &Rc<Ctx>) {
+    loop {
+        let (qidx, alloc) = {
+            let st = ctx.state.borrow();
+            let Some(&qidx) = st.queue.first() else {
+                return;
+            };
+            let p = &ctx.pending[qidx];
+            let free = match p.alloc.kind {
+                CoreKind::Big => st.free_big,
+                CoreKind::Little => st.free_little,
+            };
+            if p.alloc.cores > free {
+                return; // head-of-line blocking: later jobs wait too
+            }
+            (qidx, p.alloc)
+        };
+        {
+            let mut st = ctx.state.borrow_mut();
+            st.queue.remove(0);
+            match alloc.kind {
+                CoreKind::Big => st.free_big -= alloc.cores,
+                CoreKind::Little => st.free_little -= alloc.cores,
+            }
+        }
+        let start = sim.now();
+        let finish = start + ctx.pending[qidx].duration;
+        let c = Rc::clone(ctx);
+        sim.schedule_at(finish, move |sim| {
+            let p = &c.pending[qidx];
+            {
+                let mut st = c.state.borrow_mut();
+                match p.alloc.kind {
+                    CoreKind::Big => st.free_big += p.alloc.cores,
+                    CoreKind::Little => st.free_little += p.alloc.cores,
+                }
+                st.completions.push(JobCompletion {
+                    name: p.name.clone(),
+                    allocation: p.alloc,
+                    start_s: start.as_secs_f64(),
+                    finish_s: sim.now().as_secs_f64(),
+                    energy_j: p.energy,
+                });
+            }
+            admit(sim, &c);
+        });
+    }
+}
+
 /// Runs `jobs` through the pool under `policy` (FIFO admission: a queued
 /// job blocks later jobs needing the same core kind until it fits).
+///
+/// Built directly on the [`hhsim_des`] event calendar: arrivals are
+/// pre-scheduled submission events, completions are scheduled as jobs are
+/// admitted, and the kernel's deterministic (time, sequence) ordering
+/// guarantees arrivals at time *t* are processed before completions at
+/// *t* — the same tie-break a FIFO JobTracker applies.
 ///
 /// # Panics
 ///
@@ -136,110 +220,55 @@ pub fn run_queue(pool: PoolConfig, jobs: &[JobRequest], policy: Policy) -> Queue
         "jobs must be sorted by arrival"
     );
 
-    struct Pending {
-        idx: usize,
-        alloc: CoreAllocation,
-        duration: f64,
-        energy: f64,
-    }
-    struct Running {
-        idx: usize,
-        alloc: CoreAllocation,
-        finish: f64,
-        energy: f64,
-        start: f64,
-    }
-
     let pending: Vec<Pending> = jobs
         .iter()
-        .enumerate()
-        .map(|(idx, j)| {
+        .map(|j| {
             let alloc = policy.choose(j, &pool);
             let cost = j
                 .table
                 .get(alloc)
                 .unwrap_or_else(|| panic!("{}: allocation {alloc} not characterized", j.name));
             Pending {
-                idx,
+                name: j.name.clone(),
                 alloc,
-                duration: cost.delay_s,
+                duration: SimTime::from_secs_f64(cost.delay_s),
                 energy: cost.energy_j,
             }
         })
         .collect();
 
-    let mut free_big = pool.big_cores;
-    let mut free_little = pool.little_cores;
-    let mut queue: Vec<usize> = Vec::new(); // indices into `pending`, FIFO
-    let mut running: Vec<Running> = Vec::new();
-    let mut completions = Vec::new();
-    let mut next_arrival = 0usize;
-    let mut now = 0.0f64;
+    let ctx = Rc::new(Ctx {
+        pending,
+        state: RefCell::new(QueueState {
+            free_big: pool.big_cores,
+            free_little: pool.little_cores,
+            queue: Vec::new(),
+            completions: Vec::new(),
+        }),
+    });
 
-    loop {
-        // Admit from the head of the queue while resources allow.
-        while let Some(&qidx) = queue.first() {
-            let p = &pending[qidx];
-            let free = match p.alloc.kind {
-                CoreKind::Big => &mut free_big,
-                CoreKind::Little => &mut free_little,
-            };
-            if p.alloc.cores <= *free {
-                *free -= p.alloc.cores;
-                running.push(Running {
-                    idx: p.idx,
-                    alloc: p.alloc,
-                    finish: now + p.duration,
-                    energy: p.energy,
-                    start: now,
-                });
-                queue.remove(0);
-            } else {
-                break;
-            }
-        }
-
-        // Next event: arrival or completion.
-        let next_finish = running
-            .iter()
-            .map(|r| r.finish)
-            .fold(f64::INFINITY, f64::min);
-        let next_arr = jobs
-            .get(next_arrival)
-            .map(|j| j.arrival_s)
-            .unwrap_or(f64::INFINITY);
-        if next_finish.is_infinite() && next_arr.is_infinite() {
-            break;
-        }
-        if next_arr <= next_finish {
-            now = next_arr;
-            queue.push(next_arrival);
-            next_arrival += 1;
-        } else {
-            now = next_finish;
-            let pos = running
-                .iter()
-                .position(|r| r.finish == next_finish)
-                .expect("finish event exists");
-            let r = running.swap_remove(pos);
-            match r.alloc.kind {
-                CoreKind::Big => free_big += r.alloc.cores,
-                CoreKind::Little => free_little += r.alloc.cores,
-            }
-            completions.push(JobCompletion {
-                name: jobs[r.idx].name.clone(),
-                allocation: r.alloc,
-                start_s: r.start,
-                finish_s: r.finish,
-                energy_j: r.energy,
-            });
-        }
+    let mut sim = Simulation::new();
+    // Arrivals are scheduled up front, in submission order: the kernel's
+    // sequence-number tie-break then sorts an arrival before any
+    // completion landing on the same timestamp.
+    for (idx, j) in jobs.iter().enumerate() {
+        let c = Rc::clone(&ctx);
+        sim.schedule_at(SimTime::from_secs_f64(j.arrival_s), move |sim| {
+            c.state.borrow_mut().queue.push(idx);
+            admit(sim, &c);
+        });
     }
+    // The final clock is the last completion — the makespan.
+    let makespan_s = sim.run().as_secs_f64();
 
-    let makespan_s = completions.iter().map(|c| c.finish_s).fold(0.0, f64::max);
-    let total_energy_j = completions.iter().map(|c| c.energy_j).sum();
+    let ctx =
+        Rc::try_unwrap(ctx).unwrap_or_else(|_| panic!("event closures still alive after run"));
+    let state = ctx.state.into_inner();
+    debug_assert!(state.queue.is_empty(), "all admitted");
+    debug_assert_eq!(state.completions.len(), jobs.len(), "all completed");
+    let total_energy_j = state.completions.iter().map(|c| c.energy_j).sum();
     QueueOutcome {
-        completions,
+        completions: state.completions,
         makespan_s,
         total_energy_j,
     }
