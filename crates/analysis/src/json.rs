@@ -1,0 +1,293 @@
+//! A minimal JSON reader/writer.
+//!
+//! The workspace's `serde` shim has no JSON backend (it only derives the
+//! traits), so the linter carries its own ~150-line recursive-descent
+//! parser. It supports the full JSON value grammar; the linter only ever
+//! feeds it its own baseline files and reports, both of which it also
+//! writes.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A parsed JSON value. Objects use `BTreeMap` so iteration (and therefore
+/// re-serialization) is deterministic — this crate enforces exactly that
+/// property on the rest of the workspace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (stored as f64; baselines only use small integers).
+    Num(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Value>),
+    /// Object with deterministic key order.
+    Obj(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Member lookup on objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as u64, if this is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The array payload, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The object payload, if this is an object.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+/// Escapes a string for embedding in a JSON document (no surrounding quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Parses a complete JSON document. Returns a message with the byte offset
+/// on malformed input.
+pub fn parse(src: &str) -> Result<Value, String> {
+    let bytes = src.as_bytes();
+    let mut pos = 0usize;
+    let v = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut map = BTreeMap::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Obj(map));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = match parse_value(b, pos)? {
+                    Value::Str(s) => s,
+                    _ => return Err(format!("object key must be a string at byte {pos}")),
+                };
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}"));
+                }
+                *pos += 1;
+                let val = parse_value(b, pos)?;
+                map.insert(key, val);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Obj(map));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut arr = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Arr(arr));
+            }
+            loop {
+                arr.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Arr(arr));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => {
+            *pos += 1;
+            let mut s = String::new();
+            loop {
+                match b.get(*pos) {
+                    None => return Err("unterminated string".into()),
+                    Some(b'"') => {
+                        *pos += 1;
+                        return Ok(Value::Str(s));
+                    }
+                    Some(b'\\') => {
+                        *pos += 1;
+                        match b.get(*pos) {
+                            Some(b'"') => s.push('"'),
+                            Some(b'\\') => s.push('\\'),
+                            Some(b'/') => s.push('/'),
+                            Some(b'n') => s.push('\n'),
+                            Some(b'r') => s.push('\r'),
+                            Some(b't') => s.push('\t'),
+                            Some(b'b') => s.push('\u{8}'),
+                            Some(b'f') => s.push('\u{c}'),
+                            Some(b'u') => {
+                                let hex =
+                                    b.get(*pos + 1..*pos + 5).ok_or("truncated \\u escape")?;
+                                let hex = std::str::from_utf8(hex)
+                                    .map_err(|_| "bad \\u escape".to_string())?;
+                                let code = u32::from_str_radix(hex, 16)
+                                    .map_err(|_| "bad \\u escape".to_string())?;
+                                // Surrogate pairs are not needed for our own
+                                // files; map lone surrogates to U+FFFD.
+                                s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                                *pos += 4;
+                            }
+                            _ => return Err(format!("bad escape at byte {pos}")),
+                        }
+                        *pos += 1;
+                    }
+                    Some(_) => {
+                        // Consume one UTF-8 scalar (multi-byte safe).
+                        let start = *pos;
+                        let mut end = start + 1;
+                        while end < b.len() && (b[end] & 0xC0) == 0x80 {
+                            end += 1;
+                        }
+                        s.push_str(
+                            std::str::from_utf8(&b[start..end])
+                                .map_err(|_| "invalid utf-8 in string".to_string())?,
+                        );
+                        *pos = end;
+                    }
+                }
+            }
+        }
+        Some(b't') if b[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(Value::Bool(true))
+        }
+        Some(b'f') if b[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(Value::Bool(false))
+        }
+        Some(b'n') if b[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(Value::Null)
+        }
+        Some(_) => {
+            let start = *pos;
+            if b.get(*pos) == Some(&b'-') {
+                *pos += 1;
+            }
+            while *pos < b.len()
+                && matches!(b[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+            {
+                *pos += 1;
+            }
+            let text = std::str::from_utf8(&b[start..*pos]).expect("ascii digits");
+            text.parse::<f64>()
+                .map(Value::Num)
+                .map_err(|_| format!("bad number at byte {start}"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_document() {
+        let v = parse(r#"{"a": {"b": [1, 2.5, -3]}, "s": "x\n\"y\"", "t": true, "n": null}"#)
+            .expect("valid");
+        assert_eq!(
+            v.get("a")
+                .and_then(|a| a.get("b"))
+                .and_then(|b| b.as_array())
+                .map(|a| a.len()),
+            Some(3)
+        );
+        assert_eq!(v.get("s").and_then(|s| s.as_str()), Some("x\n\"y\""));
+        assert_eq!(v.get("t"), Some(&Value::Bool(true)));
+        assert_eq!(v.get("n"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(parse("{").is_err());
+        assert!(parse("{\"a\": 1,}").is_err());
+        assert!(parse("[1 2]").is_err());
+        assert!(parse("\"open").is_err());
+        assert!(parse("{} trailing").is_err());
+    }
+
+    #[test]
+    fn escape_roundtrips_through_parse() {
+        let nasty = "a\"b\\c\nd\te\u{1}f";
+        let doc = format!("\"{}\"", escape(nasty));
+        assert_eq!(parse(&doc).expect("valid").as_str(), Some(nasty));
+    }
+
+    #[test]
+    fn integers_roundtrip_exactly() {
+        let v = parse("42").expect("valid");
+        assert_eq!(v.as_u64(), Some(42));
+        assert_eq!(parse("3.5").expect("valid").as_u64(), None);
+    }
+}

@@ -1,0 +1,111 @@
+//! `nondet-iteration`: flags `HashMap`/`HashSet` in sim-critical crates.
+//!
+//! `std` hash collections use a per-process random hasher seed, so their
+//! iteration order differs between runs. Any hash collection reachable from
+//! a simulation path is therefore a latent reproducibility bug — the moment
+//! someone iterates it (today or in a refactor), event order, float
+//! accumulation order, or output order starts varying run to run. The rule
+//! flags the *type* in sim-critical crates rather than trying to prove an
+//! iteration happens: keyed-lookup-only uses (e.g. `simcache`) are
+//! explicitly allowlisted with a written rationale, everything else should
+//! use `BTreeMap`/`BTreeSet`/`Vec`. Test-only code is exempt — a test that
+//! hashes into a set to count buckets cannot perturb simulation output.
+
+use crate::diag::Finding;
+use crate::source::SourceFile;
+
+use super::{finding_at, Rule, RuleCtx};
+
+/// See module docs.
+pub struct NondetIteration;
+
+impl Rule for NondetIteration {
+    fn name(&self) -> &'static str {
+        "nondet-iteration"
+    }
+
+    fn description(&self) -> &'static str {
+        "HashMap/HashSet in a sim-critical crate: iteration order is nondeterministic across runs"
+    }
+
+    fn check(&self, file: &SourceFile, ctx: &RuleCtx, out: &mut Vec<Finding>) {
+        if !ctx.config.is_sim_crate(&file.crate_root) {
+            return;
+        }
+        for (i, t) in file.tokens.iter().enumerate() {
+            let Some(name) = t.ident() else { continue };
+            if name != "HashMap" && name != "HashSet" {
+                continue;
+            }
+            if file.in_test_code(i) {
+                continue;
+            }
+            out.push(finding_at(
+                self.name(),
+                self.default_severity(),
+                file,
+                t.line,
+                t.col,
+                format!(
+                    "`{name}` in sim-critical crate `{}`: iteration order is randomized per process; use `BTreeMap`/`BTreeSet`/`Vec`, or allowlist keyed-lookup-only uses with a rationale",
+                    file.crate_root
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+
+    fn cfg() -> Config {
+        Config {
+            sim_crates: vec!["crates/des".into()],
+            ..Config::default()
+        }
+    }
+
+    fn run(path: &str, src: &str) -> Vec<Finding> {
+        let file = SourceFile::parse(path, src);
+        let cfg = cfg();
+        let mut out = Vec::new();
+        NondetIteration.check(&file, &RuleCtx { config: &cfg }, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_hash_collections_in_sim_crates() {
+        let hits = run(
+            "crates/des/src/x.rs",
+            "use std::collections::HashMap;\nstruct S { m: HashMap<u32, u32> }",
+        );
+        assert_eq!(hits.len(), 2, "{hits:?}");
+        assert!(hits[0].message.contains("crates/des"));
+    }
+
+    #[test]
+    fn ignores_non_sim_crates_and_btree() {
+        assert!(run(
+            "crates/workloads/src/x.rs",
+            "use std::collections::HashMap;"
+        )
+        .is_empty());
+        assert!(run(
+            "crates/des/src/x.rs",
+            "use std::collections::{BTreeMap, BTreeSet};"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn ignores_test_code() {
+        let hits = run(
+            "crates/des/src/x.rs",
+            "#[cfg(test)]\nmod tests {\n use std::collections::HashSet;\n}",
+        );
+        assert!(hits.is_empty(), "{hits:?}");
+        assert!(run("crates/des/tests/t.rs", "use std::collections::HashSet;").is_empty());
+    }
+}

@@ -1,0 +1,111 @@
+//! `unseeded-randomness`: flags RNG construction not threaded from a seed.
+//!
+//! Every random stream in the workspace must be derived from an explicit
+//! seed (`SeedableRng::seed_from_u64`) so reruns are bit-identical. The
+//! entropy-sourced constructors — `thread_rng()`, `from_entropy()`,
+//! `from_os_rng()`, `OsRng`, `rand::random()` — pull from the OS and make
+//! output irreproducible. The in-repo `rand` shim does not even provide
+//! them, but code written against upstream `rand` idioms would compile the
+//! moment the real crate returns; this rule keeps the door shut. Applies to
+//! tests as well: a test that cannot be re-run bit-identically cannot pin a
+//! golden file.
+
+use crate::diag::Finding;
+use crate::source::SourceFile;
+
+use super::{finding_at, Rule, RuleCtx};
+
+/// Entropy-sourced constructor names; any appearance is a finding.
+const FORBIDDEN: &[&str] = &[
+    "thread_rng",
+    "from_entropy",
+    "from_os_rng",
+    "OsRng",
+    "ThreadRng",
+];
+
+/// See module docs.
+pub struct UnseededRandomness;
+
+impl Rule for UnseededRandomness {
+    fn name(&self) -> &'static str {
+        "unseeded-randomness"
+    }
+
+    fn description(&self) -> &'static str {
+        "RNG constructed from OS entropy instead of an explicit seed; thread seeds through seed_from_u64"
+    }
+
+    fn check(&self, file: &SourceFile, _ctx: &RuleCtx, out: &mut Vec<Finding>) {
+        let toks = &file.tokens;
+        for (i, t) in toks.iter().enumerate() {
+            let Some(name) = t.ident() else { continue };
+            let hit = if FORBIDDEN.contains(&name) {
+                true
+            } else if name == "rand" {
+                // `rand::random()` / `rand::random::<T>()` free function.
+                toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+                    && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+                    && toks.get(i + 3).is_some_and(|t| t.is_ident("random"))
+            } else {
+                false
+            };
+            if hit {
+                out.push(finding_at(
+                    self.name(),
+                    self.default_severity(),
+                    file,
+                    t.line,
+                    t.col,
+                    format!(
+                        "`{name}` sources randomness from the OS; every RNG must be constructed with `seed_from_u64` from an explicit, recorded seed"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let file = SourceFile::parse("crates/workloads/src/x.rs", src);
+        let cfg = Config::default();
+        let mut out = Vec::new();
+        UnseededRandomness.check(&file, &RuleCtx { config: &cfg }, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_entropy_constructors() {
+        let hits = run("fn f() {\n\
+             let mut a = rand::thread_rng();\n\
+             let b = StdRng::from_entropy();\n\
+             let c: u64 = rand::random();\n\
+             let d = OsRng;\n\
+             }");
+        // thread_rng, from_entropy, rand::random, OsRng.
+        assert_eq!(hits.len(), 4, "{hits:?}");
+    }
+
+    #[test]
+    fn seeded_construction_is_fine() {
+        let hits = run("fn f(seed: u64) {\n\
+             let mut rng = StdRng::seed_from_u64(seed);\n\
+             let x: f64 = rng.random();\n\
+             let y = rng.random_range(0..10);\n\
+             }");
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn random_method_on_rng_is_not_the_free_function() {
+        // `rng.random()` draws from an already-seeded generator.
+        assert!(run("let v: u64 = rng.random();").is_empty());
+        // But `rand :: random` with odd spacing still hits.
+        assert_eq!(run("let v: u64 = rand :: random();").len(), 1);
+    }
+}

@@ -1,0 +1,100 @@
+//! `wall-clock-in-sim`: flags `Instant`/`SystemTime` outside harness/bench.
+//!
+//! A discrete-event simulation owns its clock (`hhsim_des::SimTime`);
+//! reading the host's wall clock from a sim path couples results to machine
+//! load and breaks byte-identical reruns. The rule flags any *mention* of
+//! the `std::time` clock types — holding one is as suspicious as calling
+//! `now()` — in every crate except the configured exempt list (the bench
+//! crate and the linter's own CLI) plus explicitly allowlisted harness
+//! files, whose wall-time counters are operator telemetry, not simulation
+//! state.
+
+use crate::diag::Finding;
+use crate::source::SourceFile;
+
+use super::{finding_at, Rule, RuleCtx};
+
+/// See module docs.
+pub struct WallClockInSim;
+
+impl Rule for WallClockInSim {
+    fn name(&self) -> &'static str {
+        "wall-clock-in-sim"
+    }
+
+    fn description(&self) -> &'static str {
+        "Instant/SystemTime in simulation code couples results to the host; virtual time must come from hhsim_des::SimTime"
+    }
+
+    fn check(&self, file: &SourceFile, ctx: &RuleCtx, out: &mut Vec<Finding>) {
+        if ctx
+            .config
+            .wall_clock_exempt_crates
+            .iter()
+            .any(|c| c == &file.crate_root)
+        {
+            return;
+        }
+        for t in &file.tokens {
+            let Some(name) = t.ident() else { continue };
+            if name != "Instant" && name != "SystemTime" {
+                continue;
+            }
+            out.push(finding_at(
+                self.name(),
+                self.default_severity(),
+                file,
+                t.line,
+                t.col,
+                format!(
+                    "wall-clock type `{name}` in simulation code; use virtual time (`hhsim_des::SimTime`) or move the measurement into the harness/bench layer"
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+
+    fn run(path: &str, src: &str) -> Vec<Finding> {
+        let file = SourceFile::parse(path, src);
+        let cfg = Config {
+            wall_clock_exempt_crates: vec!["crates/bench".into()],
+            ..Config::default()
+        };
+        let mut out = Vec::new();
+        WallClockInSim.check(&file, &RuleCtx { config: &cfg }, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_clock_types_anywhere_in_sim_crates() {
+        let hits = run(
+            "crates/des/src/x.rs",
+            "use std::time::Instant;\nfn f() { let t = Instant::now(); }\nfn g() -> SystemTime { SystemTime::now() }",
+        );
+        assert_eq!(hits.len(), 4, "{hits:?}");
+    }
+
+    #[test]
+    fn exempt_crates_may_time_things() {
+        assert!(run(
+            "crates/bench/src/bin/figures.rs",
+            "use std::time::Instant; fn f() { Instant::now(); }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn duration_alone_is_fine() {
+        // Duration is pure arithmetic — only the clock *sources* are flagged.
+        assert!(run(
+            "crates/des/src/x.rs",
+            "use std::time::Duration; fn f(d: Duration) -> u64 { d.as_secs() }"
+        )
+        .is_empty());
+    }
+}

@@ -1,0 +1,152 @@
+//! End-to-end CLI checks: exit codes, JSON output, and the baseline
+//! ratchet, exercised through the real binary over scratch workspaces in
+//! `target/tmp` (each test owns a uniquely named one, so they can run in
+//! parallel).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Output;
+
+fn fixture(rule_dir: &str, which: &str) -> String {
+    let path = format!(
+        "{}/tests/fixtures/{}/{}.rs",
+        env!("CARGO_MANIFEST_DIR"),
+        rule_dir,
+        which
+    );
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("missing fixture {path}: {e}"))
+}
+
+/// Builds a minimal one-crate scratch workspace whose `crates/des/src/lib.rs`
+/// holds `lib_rs`.
+fn scratch(name: &str, lib_rs: &str) -> PathBuf {
+    let root = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name);
+    if root.exists() {
+        fs::remove_dir_all(&root).expect("clear scratch dir");
+    }
+    fs::create_dir_all(root.join("crates/des/src")).expect("scratch tree");
+    fs::write(
+        root.join("Cargo.toml"),
+        "[workspace]\nmembers = [\"crates/des\"]\n",
+    )
+    .expect("scratch manifest");
+    fs::write(
+        root.join("analysis.toml"),
+        "sim_crates = [\"crates/des\"]\n",
+    )
+    .expect("scratch config");
+    fs::write(root.join("crates/des/src/lib.rs"), lib_rs).expect("scratch lib");
+    root
+}
+
+fn run(root: &Path, extra: &[&str]) -> Output {
+    std::process::Command::new(env!("CARGO_BIN_EXE_hhsim-analysis"))
+        .arg("--workspace")
+        .arg("--root")
+        .arg(root)
+        .args(extra)
+        .output()
+        .expect("linter binary runs")
+}
+
+#[test]
+fn clean_workspace_exits_zero() {
+    let root = scratch("cli-clean", &fixture("wall_clock_in_sim", "negative"));
+    let out = run(&root, &[]);
+    assert!(
+        out.status.success(),
+        "stdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn violations_exit_one_with_parseable_json() {
+    let root = scratch("cli-dirty", &fixture("float_total_order", "positive"));
+    let out = run(&root, &["--format", "json"]);
+    assert_eq!(out.status.code(), Some(1), "error findings must exit 1");
+
+    let v = hhsim_analysis::json::parse(&String::from_utf8_lossy(&out.stdout))
+        .expect("stdout is valid JSON");
+    // The fixture's unwrap/expect sites also feed the (un-baselined) panic
+    // budget, which reports a warning — so filter to error findings.
+    let errors: Vec<_> = v
+        .get("findings")
+        .and_then(|f| f.as_array())
+        .expect("findings array")
+        .iter()
+        .filter(|f| f.get("severity").and_then(|s| s.as_str()) == Some("error"))
+        .collect();
+    assert!(!errors.is_empty());
+    for f in &errors {
+        assert_eq!(
+            f.get("rule").and_then(|r| r.as_str()),
+            Some("float-total-order")
+        );
+        assert_eq!(
+            f.get("file").and_then(|p| p.as_str()),
+            Some("crates/des/src/lib.rs")
+        );
+        assert!(f.get("line").and_then(|l| l.as_u64()).unwrap_or(0) > 0);
+    }
+    let summary_errors = v
+        .get("summary")
+        .and_then(|s| s.get("errors"))
+        .and_then(|e| e.as_u64());
+    assert_eq!(summary_errors, Some(errors.len() as u64));
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    let root = scratch("cli-usage", "");
+    let out = run(&root, &["--definitely-not-a-flag"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("usage:"),
+        "stderr explains usage"
+    );
+}
+
+#[test]
+fn baseline_ratchet_round_trips_through_the_cli() {
+    let root = scratch("cli-ratchet", &fixture("panic_in_engine", "positive"));
+    let baseline_path = root.join("analysis-baseline.json");
+
+    // No baseline yet: the missing-budget warning is not an error.
+    let first = run(&root, &[]);
+    assert!(first.status.success(), "warnings alone must not fail CI");
+
+    // Record the budget, then verify the run is fully clean.
+    let update = run(&root, &["--update-baseline"]);
+    assert!(update.status.success());
+    let recorded = fs::read_to_string(&baseline_path).expect("baseline written");
+    let parsed = hhsim_analysis::parse_baseline(&recorded).expect("baseline parses");
+    assert_eq!(
+        parsed
+            .get("panic-in-engine")
+            .and_then(|m| m.get("crates/des")),
+        Some(&6u64),
+        "six countable sites in the fixture"
+    );
+    let clean = run(&root, &[]);
+    assert!(clean.status.success());
+
+    // Tighten the budget below the count: the ratchet must fail the build.
+    fs::write(
+        &baseline_path,
+        "{\n  \"panic-in-engine\": {\n    \"crates/des\": 2\n  }\n}\n",
+    )
+    .expect("tighten budget");
+    let over = run(&root, &[]);
+    assert_eq!(out_code(&over), Some(1));
+    assert!(
+        String::from_utf8_lossy(&over.stdout).contains("panic budget exceeded"),
+        "stdout: {}",
+        String::from_utf8_lossy(&over.stdout)
+    );
+}
+
+fn out_code(out: &Output) -> Option<i32> {
+    out.status.code()
+}

@@ -1,0 +1,41 @@
+//! True negative: total float orders and sound `partial_cmp` uses.
+use std::cmp::Ordering;
+
+pub fn best(costs: &[(u32, f64)]) -> Option<u32> {
+    costs
+        .iter()
+        .min_by(|x, y| x.1.total_cmp(&y.1))
+        .map(|(id, _)| *id)
+}
+
+pub fn sort_desc(v: &mut Vec<f64>) {
+    v.sort_by(|a, b| b.total_cmp(a));
+}
+
+pub fn maybe(a: f64, b: f64) -> Option<Ordering> {
+    // Propagating the Option is fine — only unwrap/expect is flagged.
+    a.partial_cmp(&b)
+}
+
+pub fn defaulted(a: f64, b: f64) -> Ordering {
+    a.partial_cmp(&b).unwrap_or(Ordering::Equal)
+}
+
+pub struct Key(u64);
+
+impl PartialEq for Key {
+    fn eq(&self, other: &Self) -> bool {
+        self.0 == other.0
+    }
+}
+impl Eq for Key {}
+impl PartialOrd for Key {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Key {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.cmp(&other.0)
+    }
+}

@@ -1,0 +1,13 @@
+//! True positive: float ordering through `partial_cmp().unwrap()/expect()` —
+//! a partial order that panics on NaN.
+
+pub fn best(costs: &[(u32, f64)]) -> Option<u32> {
+    costs
+        .iter()
+        .min_by(|x, y| x.1.partial_cmp(&y.1).expect("finite metrics"))
+        .map(|(id, _)| *id)
+}
+
+pub fn sort_desc(v: &mut Vec<f64>) {
+    v.sort_by(|a, b| b.partial_cmp(a).unwrap());
+}

@@ -1,0 +1,26 @@
+//! True negative: ordered collections in sim code, hash collections only
+//! inside test-only code.
+use std::collections::{BTreeMap, BTreeSet};
+
+pub struct SlotIndex {
+    by_node: BTreeMap<u64, usize>,
+    drained: BTreeSet<u64>,
+}
+
+pub fn busiest(idx: &SlotIndex) -> Option<u64> {
+    idx.by_node
+        .iter()
+        .filter(|(k, _)| !idx.drained.contains(k))
+        .max_by_key(|(_, &n)| n)
+        .map(|(k, _)| *k)
+}
+
+#[cfg(test)]
+mod tests {
+    // A HashSet in test code cannot perturb simulation output.
+    #[test]
+    fn buckets_are_spread() {
+        let buckets: std::collections::HashSet<u64> = (0u64..16).map(|i| i % 4).collect();
+        assert_eq!(buckets.len(), 4);
+    }
+}

@@ -1,0 +1,18 @@
+//! True positive: hash collections reachable from sim code in a
+//! sim-critical crate. Iteration order is randomized per process.
+use std::collections::{HashMap, HashSet};
+
+pub struct SlotIndex {
+    by_node: HashMap<u64, usize>,
+    drained: HashSet<u64>,
+}
+
+pub fn busiest(idx: &SlotIndex) -> Option<u64> {
+    // Iterating a HashMap: ties resolve in hash order, which differs run
+    // to run — exactly the hazard the rule exists to stop.
+    idx.by_node
+        .iter()
+        .filter(|(k, _)| !idx.drained.contains(k))
+        .max_by_key(|(_, &n)| n)
+        .map(|(k, _)| *k)
+}

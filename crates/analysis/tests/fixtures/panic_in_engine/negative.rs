@@ -1,0 +1,20 @@
+//! True negative for the panic budget: fallible handling, justified
+//! escapes, and test-only panics — all budget-free.
+
+pub fn no_sites(v: &[u64], o: Option<u64>) -> u64 {
+    let a = v.first().copied().unwrap_or(0);
+    let b = o.unwrap_or_default();
+    // hhsim: allow(panic-in-engine): index is bounds-checked by the guard above
+    let c = if v.len() > 1 { v[1] } else { 0 };
+    a + b + c
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic_freely() {
+        let v = vec![1u64, 2];
+        assert_eq!(v[0], 1);
+        v.first().unwrap();
+    }
+}

@@ -1,0 +1,14 @@
+//! True positive corpus for the panic budget: six countable sites.
+
+pub fn six_sites(v: &[u64], o: Option<u64>) -> u64 {
+    let a = v.first().unwrap(); // 1: unwrap
+    let b = o.expect("present"); // 2: expect
+    if *a > b {
+        panic!("a > b"); // 3: panic!
+    }
+    match b {
+        0 => unreachable!(), // 4: unreachable!
+        _ => {}
+    }
+    v[0] + v[v.len() - 1] // 5 + 6: two index expressions
+}

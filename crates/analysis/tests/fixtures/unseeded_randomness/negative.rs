@@ -1,0 +1,11 @@
+//! True negative: every stream is derived from an explicit, recorded seed.
+
+pub fn jitter(seed: u64) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    rng.random()
+}
+
+pub fn pick(seed: u64, n: usize) -> usize {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    rng.random_range(0..n)
+}

@@ -1,0 +1,11 @@
+//! True positive: RNGs constructed from OS entropy — irreproducible.
+
+pub fn jitter() -> f64 {
+    let mut rng = rand::thread_rng();
+    rng.random()
+}
+
+pub fn shuffle_seed() -> u64 {
+    let _rng = StdRng::from_entropy();
+    rand::random()
+}

@@ -1,0 +1,10 @@
+//! True negative: pure duration arithmetic and virtual time only.
+use std::time::Duration;
+
+pub fn service_time(bytes: u64, bytes_per_sec: u64) -> Duration {
+    Duration::from_secs_f64(bytes as f64 / bytes_per_sec as f64)
+}
+
+pub fn deadline(now_virtual_ns: u64, budget: Duration) -> u64 {
+    now_virtual_ns + budget.as_nanos() as u64
+}

@@ -1,0 +1,13 @@
+//! True positive: wall-clock reads inside simulation code.
+use std::time::{Instant, SystemTime};
+
+pub struct PhaseTimer {
+    started: Instant,
+}
+
+pub fn stamp() -> u64 {
+    SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}

@@ -14,6 +14,10 @@
 //! size, wall time and simulation-cache hit rate observed while
 //! rendering it.
 
+// The sweep binary reports wall-clock runtimes per figure; crates/bench
+// is in the wall-clock exempt list of analysis.toml for the same reason.
+#![allow(clippy::disallowed_methods)]
+
 use std::fs;
 use std::path::Path;
 use std::time::Instant;

@@ -91,6 +91,10 @@ pub fn run_grid(configs: &[SimConfig]) -> Vec<Measurement> {
 
 /// [`run_grid`] with an explicit worker count (tests and benches).
 pub fn run_grid_with(configs: &[SimConfig], workers: usize) -> Vec<Measurement> {
+    // Operator telemetry only (wall-clock spent sweeping); never feeds a
+    // simulated quantity. Mirrors the `wall-clock-in-sim` allow for this
+    // file in analysis.toml.
+    #[allow(clippy::disallowed_methods)]
     let started = Instant::now();
     let n = configs.len();
     let out: Vec<Measurement> = if workers <= 1 || n <= 1 {

@@ -16,6 +16,11 @@
 //! uncached reference can construct private instances with
 //! [`SimCache::new`] and run [`crate::simulate_with`] against them.
 
+// Keyed lookup only — entries are fetched by exact key and never
+// iterated, so hash order cannot reach simulation output. Mirrors the
+// `nondet-iteration` allow for this file in analysis.toml.
+#![allow(clippy::disallowed_types)]
+
 use std::collections::HashMap;
 use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};

@@ -1,6 +1,6 @@
 //! The event calendar and execution loop.
 
-use std::cmp::Ordering;
+use std::cmp::{Ordering, Reverse};
 use std::collections::BinaryHeap;
 use std::fmt;
 
@@ -12,16 +12,26 @@ pub struct EventId(u64);
 
 type EventFn = Box<dyn FnOnce(&mut Simulation)>;
 
-struct Scheduled {
+/// Calendar position of an event. The *derived* lexicographic order —
+/// earliest time first, insertion sequence breaking ties (FIFO) — is the
+/// kernel's entire determinism guarantee, total by construction; the
+/// max-heap inversion lives in the [`Reverse`] wrapper at the heap, not in
+/// a hand-flipped comparator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct CalendarKey {
     at: SimTime,
     seq: u64,
+}
+
+struct Scheduled {
+    key: CalendarKey,
     id: EventId,
     action: Option<EventFn>,
 }
 
 impl PartialEq for Scheduled {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+        self.key == other.key
     }
 }
 impl Eq for Scheduled {}
@@ -32,9 +42,7 @@ impl PartialOrd for Scheduled {
 }
 impl Ord for Scheduled {
     fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
-        // first. Sequence number breaks ties deterministically (FIFO).
-        (other.at, other.seq).cmp(&(self.at, self.seq))
+        self.key.cmp(&other.key)
     }
 }
 
@@ -57,7 +65,7 @@ impl Ord for Scheduled {
 /// ```
 pub struct Simulation {
     now: SimTime,
-    queue: BinaryHeap<Scheduled>,
+    queue: BinaryHeap<Reverse<Scheduled>>,
     next_seq: u64,
     executed: u64,
     cancelled: Vec<EventId>,
@@ -123,12 +131,14 @@ impl Simulation {
             at
         );
         let id = EventId(self.next_seq);
-        self.queue.push(Scheduled {
-            at,
-            seq: self.next_seq,
+        self.queue.push(Reverse(Scheduled {
+            key: CalendarKey {
+                at,
+                seq: self.next_seq,
+            },
             id,
             action: Some(Box::new(action)),
-        });
+        }));
         self.next_seq += 1;
         id
     }
@@ -159,13 +169,13 @@ impl Simulation {
     /// Executes the next pending event, advancing the clock. Returns `false`
     /// when the calendar is empty.
     pub fn step(&mut self) -> bool {
-        while let Some(mut ev) = self.queue.pop() {
+        while let Some(Reverse(mut ev)) = self.queue.pop() {
             if let Some(pos) = self.cancelled.iter().position(|c| *c == ev.id) {
                 self.cancelled.swap_remove(pos);
                 continue;
             }
-            debug_assert!(ev.at >= self.now);
-            self.now = ev.at;
+            debug_assert!(ev.key.at >= self.now);
+            self.now = ev.key.at;
             let action = ev.action.take().expect("event executed twice");
             action(self);
             self.executed += 1;
@@ -185,7 +195,7 @@ impl Simulation {
     pub fn run_until(&mut self, until: SimTime) -> SimTime {
         loop {
             match self.queue.peek() {
-                Some(ev) if ev.at <= until => {
+                Some(Reverse(ev)) if ev.key.at <= until => {
                     self.step();
                 }
                 _ => break,

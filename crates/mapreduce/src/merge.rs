@@ -10,7 +10,7 @@
 //! `&vals[i..j]` slice instead of cloning every value into a fresh `Vec`
 //! per group.
 
-use std::cmp::{Ordering, Reverse};
+use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use crate::kv::Datum;
@@ -96,35 +96,15 @@ impl<K: Datum, V: Datum> FromIterator<(K, V)> for Run<K, V> {
     }
 }
 
-/// A run's current head key in the merge heap. Ordered by `(key, run)` so
-/// that equal keys pop in run order — the documented stability guarantee.
-/// The position within the run needs no explicit tie-break: each run has
-/// at most one live head, and its iterator preserves in-run order.
+/// A run's current head key in the merge heap. The *derived* lexicographic
+/// order — field order `(key, run)` — makes equal keys pop in run order,
+/// the documented stability guarantee, total by construction. The position
+/// within the run needs no explicit tie-break: each run has at most one
+/// live head, and its iterator preserves in-run order.
+#[derive(PartialEq, Eq, PartialOrd, Ord)]
 struct Head<K> {
     key: K,
     run: usize,
-}
-
-impl<K: Ord> PartialEq for Head<K> {
-    fn eq(&self, other: &Self) -> bool {
-        self.key == other.key && self.run == other.run
-    }
-}
-
-impl<K: Ord> Eq for Head<K> {}
-
-impl<K: Ord> PartialOrd for Head<K> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl<K: Ord> Ord for Head<K> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        self.key
-            .cmp(&other.key)
-            .then_with(|| self.run.cmp(&other.run))
-    }
 }
 
 /// K-way merge of sorted runs into one sorted run, stable across equal

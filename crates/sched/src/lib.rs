@@ -131,11 +131,16 @@ impl CostTable {
 
     /// Exhaustive search: the allocation minimizing `goal`.
     /// Returns `None` on an empty table.
+    ///
+    /// Comparison uses [`f64::total_cmp`], so the search is a total order by
+    /// construction: equal costs keep insertion order (`min_by` returns the
+    /// first minimum), and a NaN cost can never win — `total_cmp` sorts NaN
+    /// above every real value instead of panicking mid-search.
     pub fn optimal(&self, goal: MetricKind) -> Option<(CoreAllocation, f64)> {
         self.entries
             .iter()
             .map(|(a, m)| (*a, m.get(goal)))
-            .min_by(|x, y| x.1.partial_cmp(&y.1).expect("finite metrics"))
+            .min_by(|x, y| x.1.total_cmp(&y.1))
     }
 
     /// The user-expectation baseline: most big cores available (maximum
@@ -231,10 +236,85 @@ mod tests {
             .max_by(|a, b| {
                 let va = t.get(*a).map(|m| m.edap()).unwrap_or(0.0);
                 let vb = t.get(*b).map(|m| m.edap()).unwrap_or(0.0);
-                va.partial_cmp(&vb).expect("finite")
+                va.total_cmp(&vb)
             })
             .expect("non-empty");
         assert!(t.regret(worst, MetricKind::Edap).expect("present") > 1.0);
+    }
+
+    /// Pins the `optimal` tie-break after the `partial_cmp().expect(..)` →
+    /// `total_cmp` migration: equal costs resolve to the first-inserted
+    /// allocation (`Iterator::min_by` keeps the first minimum), so table
+    /// construction order — not float identity quirks — decides ties.
+    #[test]
+    fn optimal_tie_break_keeps_first_inserted() {
+        let mut t = CostTable::new();
+        let first = CoreAllocation {
+            kind: CoreKind::Big,
+            cores: 4,
+        };
+        let second = CoreAllocation {
+            kind: CoreKind::Little,
+            cores: 8,
+        };
+        let same = CostMetrics::new(10.0, 2.0, 100.0);
+        t.insert(first, same);
+        t.insert(second, same);
+        let (winner, _) = t.optimal(MetricKind::Edp).expect("non-empty");
+        assert_eq!(winner, first, "ties resolve to insertion order");
+    }
+
+    /// `total_cmp` makes the search total: a NaN cost loses to every real
+    /// cost instead of panicking, and -0.0 orders below +0.0.
+    /// (`CostMetrics::new` validates finiteness, but the fields are public
+    /// and `Deserialize` bypasses the check — the search must stay total
+    /// even then.)
+    #[test]
+    fn optimal_is_total_over_nan_and_signed_zero() {
+        let mut t = CostTable::new();
+        let nan_alloc = CoreAllocation {
+            kind: CoreKind::Big,
+            cores: 2,
+        };
+        let real_alloc = CoreAllocation {
+            kind: CoreKind::Little,
+            cores: 2,
+        };
+        t.insert(
+            nan_alloc,
+            CostMetrics {
+                energy_j: f64::NAN,
+                delay_s: 1.0,
+                area_mm2: 1.0,
+            },
+        );
+        t.insert(real_alloc, CostMetrics::new(1e9, 1.0, 1.0));
+        let (winner, _) = t.optimal(MetricKind::Edp).expect("non-empty");
+        assert_eq!(winner, real_alloc, "NaN never wins under total_cmp");
+
+        let mut t = CostTable::new();
+        let pos_zero = CoreAllocation {
+            kind: CoreKind::Big,
+            cores: 4,
+        };
+        let neg_zero = CoreAllocation {
+            kind: CoreKind::Little,
+            cores: 4,
+        };
+        t.insert(pos_zero, CostMetrics::new(0.0, 1.0, 1.0));
+        t.insert(
+            neg_zero,
+            CostMetrics {
+                energy_j: -0.0,
+                delay_s: 1.0,
+                area_mm2: 1.0,
+            },
+        );
+        let (winner, _) = t.optimal(MetricKind::Edp).expect("non-empty");
+        assert_eq!(
+            winner, neg_zero,
+            "-0.0 < +0.0 under total_cmp, beating insertion order"
+        );
     }
 
     #[test]

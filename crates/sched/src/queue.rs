@@ -346,7 +346,7 @@ mod tests {
             .iter()
             .map(|c| (c.start_s, c.finish_s))
             .collect();
-        intervals.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+        intervals.sort_by(|a, b| a.0.total_cmp(&b.0));
         for w in intervals.windows(2) {
             assert!(w[1].0 >= w[0].1 - 1e-9, "overlap: {w:?}");
         }

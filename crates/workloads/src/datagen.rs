@@ -188,6 +188,9 @@ mod tests {
     }
 
     #[test]
+    // Test-only frequency histogram; only point-queried, never iterated
+    // for ordering.
+    #[allow(clippy::disallowed_types)]
     fn text_is_zipfian() {
         let data = text(200_000, 42);
         let s = String::from_utf8(data.to_vec()).unwrap();

@@ -1,6 +1,10 @@
 //! A real FP-tree: prefix-tree with header links, mined recursively via
 //! conditional pattern bases (Han et al.'s algorithm).
 
+// Tree-internal tables; mined patterns are sorted before emission, so
+// hash iteration order cannot leak into results.
+#![allow(clippy::disallowed_types)]
+
 use std::collections::HashMap;
 
 /// One FP-tree node.

@@ -4,6 +4,11 @@
 //! per-class document counts; the driver assembles a [`NaiveBayesModel`]
 //! that can classify held-out documents.
 
+// Workload-internal tables: the MapReduce engine key-sorts all emitted
+// pairs before they reach any simulation output, so hash iteration order
+// cannot leak (crates/workloads is outside the linter's sim-crate set).
+#![allow(clippy::disallowed_types)]
+
 use std::collections::HashMap;
 
 use bytes::Bytes;
