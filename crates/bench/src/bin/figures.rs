@@ -95,6 +95,16 @@ fn main() {
                     fs::write(&up, util).expect("write fig18 utilization");
                     println!("wrote {} and {}", tp.display(), up.display());
                 }
+                if id == "fig19" {
+                    // Fig. 19 ships its representative fault-injection
+                    // trace: re-executed, killed and speculated attempts.
+                    let (json, util) = hhsim_bench::fig19_trace();
+                    let tp = out_dir.join("fig19_trace.json");
+                    let up = out_dir.join("fig19_util.csv");
+                    fs::write(&tp, json).expect("write fig19 trace");
+                    fs::write(&up, util).expect("write fig19 utilization");
+                    println!("wrote {} and {}", tp.display(), up.display());
+                }
                 let cache = SimCache::global().stats().since(&cache_before);
                 let grid = harness::snapshot().since(&harness_before);
                 println!(

@@ -9,7 +9,7 @@
 
 use hhsim_core::arch::presets;
 use hhsim_core::energy::MetricKind;
-use hhsim_core::figures::{MICRO_DATA, SCHED_BLOCK};
+use hhsim_core::figures::{fig19_faults, MICRO_DATA, SCHED_BLOCK};
 use hhsim_core::report::FigureData;
 use hhsim_core::workloads::AppId;
 use hhsim_core::{simulate_cluster, NodeMix, PlacementKind, SimConfig};
@@ -50,6 +50,43 @@ pub fn fig18_trace() -> (String, String) {
     (timeline.to_chrome_trace_json(), timeline.utilization_csv())
 }
 
+/// The representative fault-injection run whose trace ships next to
+/// `fig19.csv`: WordCount on the 1 Xeon + 2 Atom mix under the Fig. 19
+/// fault model at a 6% failure rate, plus a node MTTF tuned so exactly one
+/// node crashes mid-run — the trace then shows re-executed attempts,
+/// killed work draining off the dead node, and speculative backups.
+pub fn fig19_trace_config() -> SimConfig {
+    let faults = fig19_faults(0.12, true)
+        .node_mttf(FIG19_TRACE_MTTF_S)
+        .seed(FIG19_TRACE_SEED);
+    SimConfig::new(AppId::WordCount, presets::xeon_e5_2420())
+        .data_per_node(MICRO_DATA)
+        .block_size(SCHED_BLOCK)
+        .mix(NodeMix {
+            big: 1,
+            little: 2,
+            placement: PlacementKind::PaperClass(MetricKind::Edp),
+        })
+        .faults(faults)
+}
+
+/// Node MTTF for the fig. 19 trace: long enough that only one of the
+/// three nodes dies before the job drains, short enough that it dies
+/// while work is still in flight.
+pub const FIG19_TRACE_MTTF_S: f64 = 300.0;
+
+/// Seed for the fig. 19 trace, picked (by sweeping a small grid) so the
+/// single run exercises every recovery mechanism at once: re-executed
+/// failures, a mid-run crash killing in-flight work, winning speculative
+/// backups with cancelled rivals, and one blacklisted node.
+pub const FIG19_TRACE_SEED: u64 = 6;
+
+/// Renders the fig. 19 trace artifacts as `(chrome_trace_json, util_csv)`.
+pub fn fig19_trace() -> (String, String) {
+    let (_, timeline) = simulate_cluster(&fig19_trace_config());
+    (timeline.to_chrome_trace_json(), timeline.utilization_csv())
+}
+
 /// Renders every artifact.
 pub fn render_all() -> Vec<(String, FigureData)> {
     hhsim_core::figures::all()
@@ -74,7 +111,8 @@ mod tests {
         assert!(ids.contains(&"table3"));
         assert!(ids.contains(&"fig17"));
         assert!(ids.contains(&"fig18"));
-        assert_eq!(ids.len(), 21);
+        assert!(ids.contains(&"fig19"));
+        assert_eq!(ids.len(), 22);
     }
 
     #[test]
@@ -89,6 +127,26 @@ mod tests {
     }
 
     #[test]
+    fn fig19_trace_shows_recovery_in_action() {
+        let (m, _) = simulate_cluster(&fig19_trace_config());
+        assert_eq!(m.faults.node_crashes, 1, "exactly one node dies mid-run");
+        assert!(m.faults.failed_attempts > 0, "12% rate must fail attempts");
+        assert!(
+            m.faults.killed_attempts > 0,
+            "the crash kills in-flight work"
+        );
+        assert!(m.faults.speculative_wins > 0, "some backups must win");
+        assert_eq!(m.faults.blacklisted_nodes, 1, "one node gets blacklisted");
+        let (json, csv) = fig19_trace();
+        let (json2, csv2) = fig19_trace();
+        assert_eq!(json, json2, "trace export must be deterministic");
+        assert_eq!(csv, csv2);
+        assert!(json.contains("\"outcome\":\"killed\""));
+        assert!(json.contains("\"outcome\":\"cancelled\""));
+        assert!(json.contains("\"attempt\":"));
+    }
+
+    #[test]
     fn checked_in_fig18_trace_is_current() {
         let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
         let (json, util) = fig18_trace();
@@ -96,6 +154,18 @@ mod tests {
             .expect("results/fig18_trace.json is checked in");
         let disk_util = std::fs::read_to_string(format!("{root}/results/fig18_util.csv"))
             .expect("results/fig18_util.csv is checked in");
+        assert_eq!(json, disk_json, "regenerate with the figures binary");
+        assert_eq!(util, disk_util, "regenerate with the figures binary");
+    }
+
+    #[test]
+    fn checked_in_fig19_trace_is_current() {
+        let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+        let (json, util) = fig19_trace();
+        let disk_json = std::fs::read_to_string(format!("{root}/results/fig19_trace.json"))
+            .expect("results/fig19_trace.json is checked in");
+        let disk_util = std::fs::read_to_string(format!("{root}/results/fig19_util.csv"))
+            .expect("results/fig19_util.csv is checked in");
         assert_eq!(json, disk_json, "regenerate with the figures binary");
         assert_eq!(util, disk_util, "regenerate with the figures binary");
     }

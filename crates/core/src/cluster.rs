@@ -26,8 +26,9 @@
 //! jitter, same integer-nanosecond clock arithmetic.
 
 use hhsim_arch::CoreKind;
-use hhsim_des::{SimTime, Simulation};
+use hhsim_des::{EventId, SimTime, Simulation};
 use hhsim_energy::MetricKind;
+use hhsim_faults::{AttemptOutcome, FaultStats, PhaseError, PhaseFaults, RecoveryPolicy};
 use hhsim_sched::{paper_schedule, CostTable, JobClass};
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
@@ -53,6 +54,20 @@ pub struct TaskSet {
 pub fn jitter(task_index: usize) -> f64 {
     // SplitMix-style scramble for a platform-independent pseudo-random.
     let mut x = task_index as u64 + 0x9e37_79b9;
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    let u = ((x >> 11) as f64) / ((1u64 << 53) as f64);
+    0.92 + 0.16 * u
+}
+
+/// Deterministic per-attempt jitter: attempt 1 is exactly [`jitter`]
+/// (no-fault parity); re-executions and speculative backups draw a fresh
+/// factor from the same `[0.92, 1.08]` distribution.
+pub fn attempt_jitter(task_index: usize, attempt: u32) -> f64 {
+    let shift = u64::from(attempt.saturating_sub(1)).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    let mut x = (task_index as u64)
+        .wrapping_add(shift)
+        .wrapping_add(0x9e37_79b9);
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     let u = ((x >> 11) as f64) / ((1u64 << 53) as f64);
@@ -319,6 +334,15 @@ pub struct TaskSpan {
     pub launched_s: f64,
     /// When it finished, seconds.
     pub finished_s: f64,
+    /// 1-based attempt number (> 1 only for re-executions and
+    /// speculative backups under fault injection).
+    #[serde(default)]
+    pub attempt: u32,
+    /// How this attempt ended. Spans in [`PhaseRun::spans`] are always
+    /// [`AttemptOutcome::Success`]; wasted attempts live in
+    /// [`PhaseRun::wasted`].
+    #[serde(default)]
+    pub outcome: AttemptOutcome,
 }
 
 /// Result of draining one [`PhaseLoad`] through the engine.
@@ -328,9 +352,17 @@ pub struct PhaseRun {
     pub makespan_s: f64,
     /// Per-task spans, in task order, with phase-relative times and an
     /// empty phase label (filled in by [`ClusterTimeline::extend`]).
+    /// One winning attempt per task.
     pub spans: Vec<TaskSpan>,
     /// Slot admission counters.
     pub slots: SlotStats,
+    /// Attempts that occupied a slot without winning their task (failed,
+    /// killed by a node crash, or cancelled speculative losers), in
+    /// completion order. Empty without fault injection. These feed the
+    /// timeline so the energy model charges wasted work.
+    pub wasted: Vec<TaskSpan>,
+    /// Fault and recovery counters (all zero without fault injection).
+    pub faults: FaultStats,
 }
 
 /// Mutable state shared between the completion events of one run.
@@ -372,6 +404,8 @@ pub fn run_phase(cluster: &Cluster, load: &PhaseLoad, placement: &mut dyn Placem
             makespan_s: 0.0,
             spans: Vec::new(),
             slots: stats,
+            wasted: Vec::new(),
+            faults: FaultStats::default(),
         };
     }
 
@@ -441,6 +475,8 @@ pub fn run_phase(cluster: &Cluster, load: &PhaseLoad, placement: &mut dyn Placem
                 queued_s: 0.0,
                 launched_s: now.as_secs_f64(),
                 finished_s: finish.as_secs_f64(),
+                attempt: 1,
+                outcome: AttemptOutcome::Success,
             });
             let state = state.clone();
             sim.schedule_in(dur, move |sim| {
@@ -474,6 +510,8 @@ pub fn run_phase(cluster: &Cluster, load: &PhaseLoad, placement: &mut dyn Placem
             .map(|s| s.expect("every task was launched"))
             .collect(),
         slots: st.stats,
+        wasted: Vec::new(),
+        faults: FaultStats::default(),
     }
 }
 
@@ -487,6 +525,569 @@ pub fn homogeneous_makespan(set: &TaskSet, nodes: usize, slots: usize, kind: Cor
         &mut FifoAnySlot,
     )
     .makespan_s
+}
+
+/// A task waiting for a slot, remembering when it (re-)entered the queue.
+#[derive(Debug, Clone, Copy)]
+struct QueueEntry {
+    task: usize,
+    queued: SimTime,
+}
+
+/// An attempt currently occupying a slot in the fault-aware engine.
+#[derive(Debug, Clone, Copy)]
+struct RunningAttempt {
+    attempt: u32,
+    node: usize,
+    slot: usize,
+    wave: usize,
+    queued: SimTime,
+    launched: SimTime,
+    /// Full would-be runtime on its node (failure truncates it).
+    duration: SimTime,
+    /// Progress rate estimate: 1 / full runtime in seconds.
+    rate: f64,
+    /// The pending failure-or-completion calendar event.
+    event: EventId,
+    speculative: bool,
+}
+
+/// Shared state of one fault-aware engine run.
+#[derive(Debug)]
+struct FaultState {
+    // Slot bookkeeping (mirrors the fault-free `EngineState`).
+    free: Vec<usize>,
+    slot_busy: Vec<Vec<bool>>,
+    slot_waves: Vec<Vec<usize>>,
+    queue: VecDeque<QueueEntry>,
+    in_use: usize,
+    max_finish: SimTime,
+    stats: SlotStats,
+    // Node health.
+    alive: Vec<bool>,
+    blacklisted: Vec<bool>,
+    node_failures: Vec<u32>,
+    // Per-task recovery state.
+    running: Vec<Vec<RunningAttempt>>,
+    failed: Vec<u32>,
+    next_attempt: Vec<u32>,
+    done: Vec<bool>,
+    speculated: Vec<bool>,
+    /// In the queue or in a backoff window (neither running nor done).
+    waiting: Vec<bool>,
+    pending: usize,
+    // LATE progress-rate statistics over every attempt launched so far.
+    rate_sum: f64,
+    rate_count: u64,
+    // Outputs.
+    spans: Vec<Option<TaskSpan>>,
+    wasted: Vec<TaskSpan>,
+    fstats: FaultStats,
+    policy: RecoveryPolicy,
+    error: Option<PhaseError>,
+}
+
+impl FaultState {
+    /// Free slots visible to placement: dead and blacklisted nodes are
+    /// masked to zero.
+    fn usable_free(&self) -> Vec<usize> {
+        self.free
+            .iter()
+            .zip(self.alive.iter().zip(&self.blacklisted))
+            .map(|(&f, (&alive, &black))| if alive && !black { f } else { 0 })
+            .collect()
+    }
+
+    /// Marks the first idle slot on `node` busy; returns `(slot, wave)`.
+    fn claim_slot(&mut self, node: usize) -> (usize, usize) {
+        self.free[node] -= 1;
+        self.in_use += 1;
+        let in_use = self.in_use;
+        self.stats.peak_in_use = self.stats.peak_in_use.max(in_use);
+        let busy = &mut self.slot_busy[node];
+        let slot = busy.iter().position(|b| !b);
+        assert!(slot.is_some(), "free slot exists on chosen node");
+        let slot = slot.unwrap_or_default();
+        busy[slot] = true;
+        self.slot_waves[node][slot] += 1;
+        (slot, self.slot_waves[node][slot])
+    }
+
+    /// Returns an attempt's slot to the pool (no-op free count on a node
+    /// that has since crashed: its pool is already zeroed forever).
+    fn release_slot(&mut self, node: usize, slot: usize) {
+        if self.alive[node] {
+            self.free[node] += 1;
+        }
+        self.in_use -= 1;
+        self.slot_busy[node][slot] = false;
+    }
+
+    /// True if any node other than `node` can still accept attempts.
+    /// Hadoop never blacklists its way to an empty cluster (it caps the
+    /// blacklisted fraction); we keep the last usable node schedulable.
+    fn other_usable_nodes(&self, node: usize) -> bool {
+        self.alive
+            .iter()
+            .zip(&self.blacklisted)
+            .enumerate()
+            .any(|(n, (&alive, &black))| n != node && alive && !black)
+    }
+
+    /// Detaches the running attempt `(task, attempt)`, if still present.
+    fn take_running(&mut self, task: usize, attempt: u32) -> Option<RunningAttempt> {
+        let list = &mut self.running[task];
+        let idx = list.iter().position(|r| r.attempt == attempt)?;
+        Some(list.remove(idx))
+    }
+
+    /// Records a losing attempt's span and its wasted slot-seconds.
+    fn record_wasted(
+        &mut self,
+        task: usize,
+        r: &RunningAttempt,
+        now: SimTime,
+        outcome: AttemptOutcome,
+    ) {
+        self.fstats.wasted_slot_s += now.saturating_sub(r.launched).as_secs_f64();
+        self.wasted.push(TaskSpan {
+            phase: String::new(),
+            task,
+            node: r.node,
+            slot: r.slot,
+            wave: r.wave,
+            queued_s: r.queued.as_secs_f64(),
+            launched_s: r.launched.as_secs_f64(),
+            finished_s: now.as_secs_f64(),
+            attempt: r.attempt,
+            outcome,
+        });
+    }
+}
+
+/// Starts attempt `next_attempt[task]` of `task` on `node`, scheduling
+/// its failure or completion event per the fault plan.
+#[allow(clippy::too_many_arguments)]
+fn launch_attempt(
+    sim: &mut Simulation,
+    state: &Rc<RefCell<FaultState>>,
+    load: &PhaseLoad,
+    faults: &PhaseFaults,
+    task: usize,
+    node: usize,
+    queued: SimTime,
+    speculative: bool,
+) {
+    let now = sim.now();
+    let mut st = state.borrow_mut();
+    let attempt = st.next_attempt[task];
+    st.next_attempt[task] += 1;
+    st.waiting[task] = false;
+    let (slot, wave) = st.claim_slot(node);
+    let wait = now.saturating_sub(queued);
+    if !wait.is_zero() {
+        st.stats.tasks_queued += 1;
+        st.stats.total_wait_s += wait.as_secs_f64();
+    }
+    let t = &load.timing[node];
+    let dur_s =
+        t.task_seconds * attempt_jitter(task, attempt) * faults.slowdown[node] + t.overhead_seconds;
+    let dur = SimTime::from_secs_f64(dur_s);
+    let rate = 1.0 / dur_s.max(1e-12);
+    st.rate_sum += rate;
+    st.rate_count += 1;
+    if speculative {
+        st.speculated[task] = true;
+        st.fstats.speculative_launched += 1;
+    }
+    let event = match faults.plan.attempt_failure(task, attempt) {
+        Some(frac) => {
+            let st = state.clone();
+            sim.schedule_in(SimTime::from_secs_f64(dur_s * frac), move |sim| {
+                attempt_failed(sim, &st, task, attempt);
+            })
+        }
+        None => {
+            let st = state.clone();
+            sim.schedule_in(dur, move |sim| {
+                attempt_completed(sim, &st, task, attempt);
+            })
+        }
+    };
+    st.running[task].push(RunningAttempt {
+        attempt,
+        node,
+        slot,
+        wave,
+        queued,
+        launched: now,
+        duration: dur,
+        rate,
+        event,
+        speculative,
+    });
+}
+
+/// Completion event: the first finisher wins its task; any rival attempt
+/// is cancelled (Hadoop kills the loser of a speculative race).
+fn attempt_completed(
+    sim: &mut Simulation,
+    state: &Rc<RefCell<FaultState>>,
+    task: usize,
+    attempt: u32,
+) {
+    let mut st = state.borrow_mut();
+    let now = sim.now();
+    let Some(r) = st.take_running(task, attempt) else {
+        return;
+    };
+    st.release_slot(r.node, r.slot);
+    if st.error.is_some() {
+        // Phase already failed; just drain the calendar.
+        return;
+    }
+    debug_assert!(!st.done[task], "two winners for task {task}");
+    st.done[task] = true;
+    st.pending -= 1;
+    if r.speculative {
+        st.fstats.speculative_wins += 1;
+    }
+    st.spans[task] = Some(TaskSpan {
+        phase: String::new(),
+        task,
+        node: r.node,
+        slot: r.slot,
+        wave: r.wave,
+        queued_s: r.queued.as_secs_f64(),
+        launched_s: r.launched.as_secs_f64(),
+        finished_s: now.as_secs_f64(),
+        attempt: r.attempt,
+        outcome: AttemptOutcome::Success,
+    });
+    if now > st.max_finish {
+        st.max_finish = now;
+    }
+    while let Some(rival) = st.running[task].pop() {
+        sim.cancel(rival.event);
+        st.release_slot(rival.node, rival.slot);
+        st.record_wasted(task, &rival, now, AttemptOutcome::Cancelled);
+        st.fstats.cancelled_attempts += 1;
+    }
+}
+
+/// Injected-failure event: count the failure, maybe blacklist the node,
+/// and re-queue the task after exponential backoff — or fail the phase
+/// once `max_attempts` is exhausted.
+fn attempt_failed(
+    sim: &mut Simulation,
+    state: &Rc<RefCell<FaultState>>,
+    task: usize,
+    attempt: u32,
+) {
+    let mut st = state.borrow_mut();
+    let now = sim.now();
+    let Some(r) = st.take_running(task, attempt) else {
+        return;
+    };
+    st.release_slot(r.node, r.slot);
+    if st.error.is_some() {
+        return;
+    }
+    st.record_wasted(task, &r, now, AttemptOutcome::Failed);
+    st.fstats.failed_attempts += 1;
+    st.failed[task] += 1;
+    st.node_failures[r.node] += 1;
+    let limit = st.policy.blacklist_after;
+    if limit > 0
+        && st.node_failures[r.node] >= limit
+        && st.alive[r.node]
+        && !st.blacklisted[r.node]
+        && st.other_usable_nodes(r.node)
+    {
+        st.blacklisted[r.node] = true;
+        st.fstats.blacklisted_nodes += 1;
+    }
+    if st.failed[task] >= st.policy.max_attempts {
+        st.error = Some(PhaseError::AttemptsExhausted {
+            task,
+            attempts: st.failed[task],
+        });
+        return;
+    }
+    if !st.running[task].is_empty() {
+        // A speculative rival is still in flight and may yet win.
+        return;
+    }
+    let delay = SimTime::from_secs_f64(st.policy.backoff_s(st.failed[task]));
+    st.waiting[task] = true;
+    let stc = state.clone();
+    sim.schedule_in(delay, move |sim| {
+        let mut st = stc.borrow_mut();
+        if st.error.is_none() {
+            let queued = sim.now();
+            st.queue.push_back(QueueEntry { task, queued });
+        }
+    });
+}
+
+/// Node-crash event: the node's slots disappear for the rest of the run
+/// and every in-flight attempt on it is killed. Killed attempts do not
+/// count against `max_attempts` (Hadoop's KILLED vs FAILED distinction)
+/// and re-queue immediately.
+fn crash_node(sim: &mut Simulation, state: &Rc<RefCell<FaultState>>, node: usize) {
+    let mut st = state.borrow_mut();
+    if st.error.is_some() || st.pending == 0 || !st.alive[node] {
+        // The phase is already over (the crash belongs to a later phase,
+        // handled there via `dead_at_start`) or has failed.
+        return;
+    }
+    let now = sim.now();
+    st.alive[node] = false;
+    st.free[node] = 0;
+    st.fstats.node_crashes += 1;
+    for task in 0..st.running.len() {
+        let mut i = 0;
+        while i < st.running[task].len() {
+            if st.running[task][i].node != node {
+                i += 1;
+                continue;
+            }
+            let r = st.running[task].remove(i);
+            sim.cancel(r.event);
+            st.in_use -= 1;
+            st.slot_busy[node][r.slot] = false;
+            st.record_wasted(task, &r, now, AttemptOutcome::Killed);
+            st.fstats.killed_attempts += 1;
+            if !st.done[task] && st.running[task].is_empty() && !st.waiting[task] {
+                st.waiting[task] = true;
+                st.queue.push_back(QueueEntry { task, queued: now });
+            }
+        }
+    }
+}
+
+/// LATE speculation: among tasks with a single running attempt that has
+/// run at least `spec_min_runtime_s` and progresses below
+/// `spec_rate_threshold` × the mean rate of all launched attempts, pick
+/// the slowest and duplicate it on the fastest usable node that is not
+/// the primary's — but only if the backup is expected to finish first.
+fn choose_speculation(
+    st: &FaultState,
+    load: &PhaseLoad,
+    faults: &PhaseFaults,
+    usable: &[usize],
+    now: SimTime,
+) -> Option<(usize, usize)> {
+    if st.rate_count == 0 {
+        return None;
+    }
+    let mean = st.rate_sum / st.rate_count as f64;
+    let mut cand: Option<(f64, usize)> = None;
+    for (task, attempts) in st.running.iter().enumerate() {
+        if st.done[task] || st.speculated[task] {
+            continue;
+        }
+        let [r] = attempts.as_slice() else {
+            continue;
+        };
+        if now.saturating_sub(r.launched).as_secs_f64() < st.policy.spec_min_runtime_s {
+            continue;
+        }
+        if r.rate >= st.policy.spec_rate_threshold * mean {
+            continue;
+        }
+        if cand.map_or(true, |(best, _)| r.rate < best) {
+            cand = Some((r.rate, task));
+        }
+    }
+    let (_, task) = cand?;
+    let primary = *st.running[task].first()?;
+    let aj = attempt_jitter(task, st.next_attempt[task]);
+    let mut best: Option<(f64, usize)> = None;
+    for (node, &f) in usable.iter().enumerate() {
+        if f == 0 || node == primary.node {
+            continue;
+        }
+        let t = &load.timing[node];
+        let d = t.task_seconds * aj * faults.slowdown[node] + t.overhead_seconds;
+        if best.map_or(true, |(bd, _)| d < bd) {
+            best = Some((d, node));
+        }
+    }
+    let (backup_s, node) = best?;
+    if now + SimTime::from_secs_f64(backup_s) >= primary.launched + primary.duration {
+        return None;
+    }
+    Some((task, node))
+}
+
+/// [`run_phase`] with optional fault injection: `None` (or an inert
+/// [`PhaseFaults`]) reproduces the fault-free engine exactly; with
+/// faults, tasks are re-executed per the plan's failures, node crashes
+/// and the policy's speculation/blacklisting, and the run either
+/// completes with attempt-level spans (wasted work included) or errors
+/// cleanly.
+///
+/// # Panics
+///
+/// Panics if the cluster has no slots, or `load.timing`/the fault
+/// vectors do not match the cluster's node count.
+pub fn run_phase_faulty(
+    cluster: &Cluster,
+    load: &PhaseLoad,
+    placement: &mut dyn Placement,
+    faults: Option<&PhaseFaults>,
+) -> Result<PhaseRun, PhaseError> {
+    let Some(faults) = faults else {
+        return Ok(run_phase(cluster, load, placement));
+    };
+    let nodes = cluster.nodes.len();
+    let capacity = cluster.total_slots();
+    assert!(capacity > 0, "need at least one slot");
+    assert_eq!(load.timing.len(), nodes, "one timing entry per node");
+    assert_eq!(faults.slowdown.len(), nodes, "one slowdown entry per node");
+    assert_eq!(faults.crash_at_s.len(), nodes, "one crash entry per node");
+    assert_eq!(
+        faults.dead_at_start.len(),
+        nodes,
+        "one liveness entry per node"
+    );
+    let stats = SlotStats {
+        capacity,
+        ..SlotStats::default()
+    };
+    if load.tasks == 0 {
+        return Ok(PhaseRun {
+            makespan_s: 0.0,
+            spans: Vec::new(),
+            slots: stats,
+            wasted: Vec::new(),
+            faults: FaultStats::default(),
+        });
+    }
+
+    let mut sim = Simulation::new();
+    let state = Rc::new(RefCell::new(FaultState {
+        free: cluster
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(n, nd)| if faults.dead_at_start[n] { 0 } else { nd.slots })
+            .collect(),
+        slot_busy: cluster.nodes.iter().map(|n| vec![false; n.slots]).collect(),
+        slot_waves: cluster.nodes.iter().map(|n| vec![0; n.slots]).collect(),
+        queue: (0..load.tasks)
+            .map(|task| QueueEntry {
+                task,
+                queued: SimTime::ZERO,
+            })
+            .collect(),
+        in_use: 0,
+        max_finish: SimTime::ZERO,
+        stats,
+        alive: faults.dead_at_start.iter().map(|d| !d).collect(),
+        blacklisted: vec![false; nodes],
+        node_failures: vec![0; nodes],
+        running: vec![Vec::new(); load.tasks],
+        failed: vec![0; load.tasks],
+        next_attempt: vec![1; load.tasks],
+        done: vec![false; load.tasks],
+        speculated: vec![false; load.tasks],
+        waiting: vec![true; load.tasks],
+        pending: load.tasks,
+        rate_sum: 0.0,
+        rate_count: 0,
+        spans: vec![None; load.tasks],
+        wasted: Vec::new(),
+        fstats: FaultStats::default(),
+        policy: faults.policy,
+        error: None,
+    }));
+
+    for (node, crash) in faults.crash_at_s.iter().enumerate() {
+        if let Some(t) = crash {
+            let st = state.clone();
+            sim.schedule_at(SimTime::from_secs_f64(*t), move |sim| {
+                crash_node(sim, &st, node);
+            });
+        }
+    }
+
+    // Same grant discipline as the fault-free engine — FIFO queue,
+    // placement picks the node — plus a speculation pass once the queue
+    // is empty.
+    let dispatch = |sim: &mut Simulation, placement: &mut dyn Placement| {
+        loop {
+            let usable = {
+                let st = state.borrow();
+                if st.error.is_some() {
+                    break;
+                }
+                st.usable_free()
+            };
+            if usable.iter().all(|&f| f == 0) {
+                break;
+            }
+            let front = state.borrow().queue.front().copied();
+            if let Some(entry) = front {
+                let node = placement.place(entry.task, cluster, &usable);
+                assert!(usable[node] > 0, "placement chose an unusable node");
+                state.borrow_mut().queue.pop_front();
+                launch_attempt(
+                    sim,
+                    &state,
+                    load,
+                    faults,
+                    entry.task,
+                    node,
+                    entry.queued,
+                    false,
+                );
+                continue;
+            }
+            if !faults.policy.speculation {
+                break;
+            }
+            let pick = {
+                let st = state.borrow();
+                choose_speculation(&st, load, faults, &usable, sim.now())
+            };
+            let Some((task, node)) = pick else {
+                break;
+            };
+            let now = sim.now();
+            launch_attempt(sim, &state, load, faults, task, node, now, true);
+        }
+        let mut st = state.borrow_mut();
+        let backlog = st.queue.len();
+        st.stats.max_queue_len = st.stats.max_queue_len.max(backlog);
+    };
+
+    dispatch(&mut sim, placement);
+    while sim.step() {
+        dispatch(&mut sim, placement);
+    }
+
+    let st = Rc::try_unwrap(state)
+        .expect("all calendar events have drained")
+        .into_inner();
+    if let Some(e) = st.error {
+        return Err(e);
+    }
+    if st.pending > 0 {
+        return Err(PhaseError::NoUsableSlots {
+            pending: st.pending,
+        });
+    }
+    let spans: Vec<TaskSpan> = st.spans.into_iter().flatten().collect();
+    debug_assert_eq!(spans.len(), load.tasks, "one winning span per task");
+    Ok(PhaseRun {
+        makespan_s: st.max_finish.as_secs_f64(),
+        spans,
+        slots: st.stats,
+        wasted: st.wasted,
+        faults: st.fstats,
+    })
 }
 
 /// Node metadata echoed into exports.
@@ -529,8 +1130,11 @@ impl ClusterTimeline {
     }
 
     /// Appends a phase's spans, labelled `phase`, shifted by `offset_s`.
+    /// Wasted attempts (failed/killed/cancelled) follow the winning
+    /// spans, so utilization and the energy model charge their slot time
+    /// too.
     pub fn extend(&mut self, phase: &str, offset_s: f64, run: &PhaseRun) {
-        for s in &run.spans {
+        for s in run.spans.iter().chain(&run.wasted) {
             let mut s = s.clone();
             s.phase = phase.to_string();
             s.queued_s += offset_s;
@@ -602,11 +1206,20 @@ impl ClusterTimeline {
             let ts = s.launched_s * 1e6;
             let dur = (s.finished_s - s.launched_s) * 1e6;
             let wait = (s.launched_s - s.queued_s) * 1e6;
+            // Attempt/outcome args only when non-default, so fault-free
+            // traces stay byte-identical to the pre-fault format.
+            let mut extra = String::new();
+            if s.attempt > 1 {
+                let _ = write!(extra, ",\"attempt\":{}", s.attempt);
+            }
+            if s.outcome != AttemptOutcome::Success {
+                let _ = write!(extra, ",\"outcome\":\"{}\"", s.outcome.as_str());
+            }
             let _ = writeln!(
                 out,
                 "{{\"ph\":\"X\",\"pid\":{},\"tid\":{},\"ts\":{ts:.3},\"dur\":{dur:.3},\
                  \"name\":\"{}-{}\",\"cat\":\"{}\",\
-                 \"args\":{{\"task\":{},\"wave\":{},\"wait_us\":{wait:.3}}}}},",
+                 \"args\":{{\"task\":{},\"wave\":{},\"wait_us\":{wait:.3}{extra}}}}},",
                 s.node, s.slot, s.phase, s.task, s.phase, s.task, s.wave
             );
         }
@@ -814,6 +1427,317 @@ mod tests {
         assert_eq!(run.slots.max_queue_len, 3);
         assert!(run.slots.total_wait_s > 0.0);
         assert!(run.slots.mean_wait_s() > 0.0);
+    }
+
+    use hhsim_faults::FaultPlan;
+
+    /// Task-failure-only fault layer: no crashes, no stragglers.
+    fn failure_faults(nodes: usize, rate: f64, seed: u64) -> PhaseFaults {
+        PhaseFaults {
+            plan: FaultPlan::new(seed, 0, rate),
+            crash_at_s: vec![None; nodes],
+            dead_at_start: vec![false; nodes],
+            slowdown: vec![1.0; nodes],
+            policy: RecoveryPolicy::hadoop(),
+        }
+    }
+
+    #[test]
+    fn attempt_jitter_first_attempt_matches_jitter() {
+        for task in 0..64 {
+            assert_eq!(attempt_jitter(task, 1), jitter(task));
+        }
+        assert_ne!(attempt_jitter(3, 2), attempt_jitter(3, 1));
+        let j = attempt_jitter(3, 2);
+        assert!((0.92..=1.08).contains(&j));
+    }
+
+    #[test]
+    fn inert_faults_match_fault_free_engine_exactly() {
+        let c = mixed_cluster();
+        let load = hetero_load(9, &c);
+        let plain = run_phase(&c, &load, &mut FifoAnySlot);
+        let inert = run_phase_faulty(
+            &c,
+            &load,
+            &mut FifoAnySlot,
+            Some(&PhaseFaults::inert(c.nodes.len())),
+        )
+        .expect("inert faults cannot fail the phase");
+        assert_eq!(plain, inert, "inert fault layer must be a perfect no-op");
+
+        let mut p = KindPreferring {
+            preferred: CoreKind::Little,
+        };
+        let plain = run_phase(&c, &load, &mut p);
+        let mut p = KindPreferring {
+            preferred: CoreKind::Little,
+        };
+        let inert = run_phase_faulty(&c, &load, &mut p, Some(&PhaseFaults::inert(c.nodes.len())))
+            .expect("inert faults cannot fail the phase");
+        assert_eq!(plain, inert);
+
+        let none = run_phase_faulty(&c, &load, &mut FifoAnySlot, None)
+            .expect("no faults cannot fail the phase");
+        assert_eq!(none, run_phase(&c, &load, &mut FifoAnySlot));
+    }
+
+    #[test]
+    fn failed_attempts_are_reexecuted() {
+        let c = Cluster::homogeneous(CoreKind::Big, 1, 2);
+        let load = PhaseLoad::uniform(&set(16, 10.0), &c);
+        let faults = failure_faults(1, 0.4, 7);
+        let baseline = run_phase(&c, &load, &mut FifoAnySlot);
+        let run = run_phase_faulty(&c, &load, &mut FifoAnySlot, Some(&faults))
+            .expect("recovery must absorb sub-certain failure rates");
+        assert!(
+            run.faults.failed_attempts > 0,
+            "seed 7 at rate 0.4 must inject at least one failure"
+        );
+        assert_eq!(run.spans.len(), 16, "every task still completes");
+        for s in &run.spans {
+            assert_eq!(s.outcome, AttemptOutcome::Success);
+        }
+        // Each failed attempt has a matching later, higher-numbered
+        // winning or wasted attempt for the same task.
+        for w in &run.wasted {
+            assert_eq!(w.outcome, AttemptOutcome::Failed);
+            let winner = &run.spans[w.task];
+            assert!(winner.attempt > w.attempt);
+            assert!(winner.finished_s > w.finished_s);
+        }
+        assert!(
+            run.makespan_s > baseline.makespan_s,
+            "re-execution costs wall-clock"
+        );
+        assert!(run.faults.wasted_slot_s > 0.0);
+    }
+
+    #[test]
+    fn certain_failure_exhausts_attempts() {
+        let c = Cluster::homogeneous(CoreKind::Big, 1, 2);
+        let load = PhaseLoad::uniform(&set(4, 5.0), &c);
+        let faults = failure_faults(1, 1.0, 0);
+        let err = run_phase_faulty(&c, &load, &mut FifoAnySlot, Some(&faults))
+            .expect_err("rate 1.0 can never complete");
+        match err {
+            PhaseError::AttemptsExhausted { attempts, .. } => {
+                assert_eq!(attempts, RecoveryPolicy::hadoop().max_attempts);
+            }
+            other => panic!("expected AttemptsExhausted, got {other}"),
+        }
+    }
+
+    #[test]
+    fn crash_moves_work_to_surviving_node() {
+        let c = Cluster::homogeneous(CoreKind::Big, 2, 2);
+        let load = PhaseLoad::uniform(&set(8, 10.0), &c);
+        let mut faults = PhaseFaults::inert(2);
+        faults.crash_at_s[0] = Some(5.0);
+        let run = run_phase_faulty(&c, &load, &mut FifoAnySlot, Some(&faults))
+            .expect("the surviving node finishes the phase");
+        assert_eq!(run.faults.node_crashes, 1);
+        assert!(run.faults.killed_attempts >= 1, "node0 had tasks in flight");
+        assert_eq!(run.spans.len(), 8);
+        for s in &run.spans {
+            assert!(
+                s.launched_s < 5.0 || s.node == 1,
+                "nothing launches on the dead node after the crash"
+            );
+        }
+        for w in &run.wasted {
+            assert_eq!(w.outcome, AttemptOutcome::Killed);
+            assert_eq!(w.node, 0);
+            assert!((w.finished_s - 5.0).abs() < 1e-9, "killed at crash time");
+        }
+    }
+
+    #[test]
+    fn lone_node_crash_errors_cleanly() {
+        let c = Cluster::homogeneous(CoreKind::Big, 1, 2);
+        let load = PhaseLoad::uniform(&set(6, 10.0), &c);
+        let mut faults = PhaseFaults::inert(1);
+        faults.crash_at_s[0] = Some(5.0);
+        let err = run_phase_faulty(&c, &load, &mut FifoAnySlot, Some(&faults))
+            .expect_err("zero live slots cannot finish the phase");
+        match err {
+            PhaseError::NoUsableSlots { pending } => assert_eq!(pending, 6),
+            other => panic!("expected NoUsableSlots, got {other}"),
+        }
+    }
+
+    #[test]
+    fn dead_at_start_cluster_errors_cleanly() {
+        let c = Cluster::homogeneous(CoreKind::Big, 2, 2);
+        let load = PhaseLoad::uniform(&set(3, 1.0), &c);
+        let mut faults = PhaseFaults::inert(2);
+        faults.dead_at_start = vec![true, true];
+        let err = run_phase_faulty(&c, &load, &mut FifoAnySlot, Some(&faults))
+            .expect_err("no live nodes at phase start");
+        assert_eq!(err, PhaseError::NoUsableSlots { pending: 3 });
+    }
+
+    /// Two healthy-node slots plus a 4x-degraded straggler node.
+    fn straggler_scenario(speculation: bool) -> Result<PhaseRun, PhaseError> {
+        let c = Cluster::homogeneous(CoreKind::Big, 2, 2);
+        let load = PhaseLoad::uniform(&set(4, 10.0), &c);
+        let mut faults = PhaseFaults::inert(2);
+        faults.slowdown[1] = 4.0;
+        faults.policy.speculation = speculation;
+        run_phase_faulty(&c, &load, &mut FifoAnySlot, Some(&faults))
+    }
+
+    #[test]
+    fn speculation_rescues_straggler_tasks() {
+        let slow = straggler_scenario(false).expect("stragglers still finish");
+        let spec = straggler_scenario(true).expect("speculation still finishes");
+        assert!(spec.faults.speculative_launched >= 1);
+        assert!(spec.faults.speculative_wins >= 1);
+        assert_eq!(
+            spec.faults.cancelled_attempts, spec.faults.speculative_wins,
+            "every win cancels exactly the one losing rival"
+        );
+        assert!(
+            spec.makespan_s < 0.7 * slow.makespan_s,
+            "backups on the fast node must beat the 4x straggler: {} vs {}",
+            spec.makespan_s,
+            slow.makespan_s
+        );
+        // Exactly one winner per task, no duplicate outputs.
+        assert_eq!(spec.spans.len(), 4);
+        for (i, s) in spec.spans.iter().enumerate() {
+            assert_eq!(s.task, i);
+            assert_eq!(s.outcome, AttemptOutcome::Success);
+        }
+        for w in &spec.wasted {
+            assert_eq!(w.outcome, AttemptOutcome::Cancelled);
+        }
+    }
+
+    #[test]
+    fn slot_stats_stay_consistent_under_cancellation() {
+        let spec = straggler_scenario(true).expect("speculation still finishes");
+        assert!(spec.slots.peak_in_use <= spec.slots.capacity);
+
+        // The timeline (winners + wasted) must drain every slot it opens,
+        // even though losing attempts were cancelled mid-flight.
+        let c = Cluster::homogeneous(CoreKind::Big, 2, 2);
+        let mut tl = ClusterTimeline::new(&c);
+        tl.extend("map", 0.0, &spec);
+        for node in 0..2 {
+            let steps = tl.active_steps(node);
+            assert_eq!(steps.last().expect("steps end").1, 0, "all slots drain");
+        }
+
+        // absorb() stays monotone when a faulty phase's stats fold in.
+        let mut total = SlotStats::default();
+        total.absorb(&spec.slots);
+        let before = total;
+        total.absorb(&SlotStats::default());
+        assert_eq!(total, before, "absorbing zeroes is a no-op");
+        assert_eq!(total.capacity, spec.slots.capacity);
+        assert_eq!(total.peak_in_use, spec.slots.peak_in_use);
+    }
+
+    #[test]
+    fn wasted_spans_never_outlive_the_makespan() {
+        let c = Cluster::homogeneous(CoreKind::Big, 2, 2);
+        let load = PhaseLoad::uniform(&set(12, 8.0), &c);
+        let mut faults = failure_faults(2, 0.3, 11);
+        faults.slowdown[1] = 2.5;
+        faults.crash_at_s[1] = Some(30.0);
+        let run = run_phase_faulty(&c, &load, &mut FifoAnySlot, Some(&faults))
+            .expect("node0 survives to finish the phase");
+        for w in &run.wasted {
+            assert!(
+                w.finished_s <= run.makespan_s + 1e-9,
+                "wasted attempt outlives the makespan: {} > {}",
+                w.finished_s,
+                run.makespan_s
+            );
+            assert_ne!(w.outcome, AttemptOutcome::Success);
+        }
+        let expected: f64 = run.wasted.iter().map(|w| w.finished_s - w.launched_s).sum();
+        assert!((run.faults.wasted_slot_s - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn faulty_runs_are_deterministic() {
+        let c = Cluster::homogeneous(CoreKind::Big, 2, 2);
+        let load = PhaseLoad::uniform(&set(12, 8.0), &c);
+        let mut faults = failure_faults(2, 0.3, 11);
+        faults.slowdown[1] = 2.5;
+        let a = run_phase_faulty(&c, &load, &mut FifoAnySlot, Some(&faults))
+            .expect("recovery completes");
+        let b = run_phase_faulty(&c, &load, &mut FifoAnySlot, Some(&faults))
+            .expect("recovery completes");
+        assert_eq!(a, b, "same plan, same run, bit for bit");
+    }
+
+    #[test]
+    fn faulty_trace_labels_attempts_and_outcomes() {
+        let c = Cluster::homogeneous(CoreKind::Big, 2, 2);
+        let load = PhaseLoad::uniform(&set(8, 10.0), &c);
+        let mut faults = failure_faults(2, 0.4, 7);
+        faults.crash_at_s[1] = Some(12.0);
+        let run =
+            run_phase_faulty(&c, &load, &mut FifoAnySlot, Some(&faults)).expect("node0 survives");
+        let mut tl = ClusterTimeline::new(&c);
+        tl.extend("map", 0.0, &run);
+        let json = tl.to_chrome_trace_json();
+        assert!(
+            json.contains("\"outcome\":\""),
+            "wasted attempts are labelled in the trace"
+        );
+        assert!(
+            json.contains("\"attempt\":"),
+            "re-executions carry their attempt number"
+        );
+        // Fault-free spans keep the legacy arg set.
+        let clean = run_phase(&c, &load, &mut FifoAnySlot);
+        let mut tl = ClusterTimeline::new(&c);
+        tl.extend("map", 0.0, &clean);
+        let json = tl.to_chrome_trace_json();
+        assert!(!json.contains("\"outcome\""));
+        assert!(!json.contains("\"attempt\""));
+    }
+
+    #[test]
+    fn blacklisted_node_receives_no_new_attempts() {
+        // With blacklist_after = 1, the node hosting the very first
+        // failure is blacklisted on the spot; the guard protecting the
+        // last usable node keeps the other node schedulable forever, so
+        // exactly one node is blacklisted and it is identifiable from
+        // the earliest Failed span.
+        let c = Cluster::homogeneous(CoreKind::Big, 2, 1);
+        let load = PhaseLoad::uniform(&set(10, 5.0), &c);
+        let mut faults = failure_faults(2, 0.35, 3);
+        faults.policy.blacklist_after = 1;
+        let run = run_phase_faulty(&c, &load, &mut FifoAnySlot, Some(&faults))
+            .expect("seed 3 at rate 0.35 recovers");
+        assert!(
+            run.faults.failed_attempts > 0,
+            "seed 3 must inject failures"
+        );
+        assert_eq!(
+            run.faults.blacklisted_nodes, 1,
+            "last usable node is spared"
+        );
+        let first = run
+            .wasted
+            .iter()
+            .filter(|w| w.outcome == AttemptOutcome::Failed)
+            .min_by(|a, b| a.finished_s.total_cmp(&b.finished_s))
+            .expect("failures were injected");
+        for s in run.spans.iter().chain(&run.wasted) {
+            assert!(
+                s.node != first.node || s.launched_s < first.finished_s + 1e-9,
+                "node {} blacklisted at {} but got a launch at {}",
+                first.node,
+                first.finished_s,
+                s.launched_s
+            );
+        }
     }
 
     #[test]

@@ -19,8 +19,10 @@ use hhsim_energy::MetricKind;
 use hhsim_hdfs::BlockSize;
 use hhsim_workloads::AppId;
 
+use hhsim_faults::{FaultConfig, RecoveryPolicy};
+
 use crate::harness::Sweep;
-use crate::model::{Measurement, NodeMix, PlacementKind, SimConfig};
+use crate::model::{simulate_cluster, Measurement, NodeMix, PlacementKind, SimConfig};
 use crate::report::FigureData;
 
 /// Per-node data size used for micro-benchmarks (1 GB, §3).
@@ -714,6 +716,91 @@ pub fn fig18() -> FigureData {
     f
 }
 
+/// Per-attempt failure probabilities swept in Fig. 19.
+pub const FAULT_RATES: [f64; 4] = [0.0, 0.03, 0.06, 0.12];
+
+/// Seed for every Fig. 19 fault schedule; fixed so the checked-in
+/// artifacts regenerate byte-identically.
+pub const FIG19_SEED: u64 = 0x00F1_95EE_D001;
+
+/// Block size for the Fig. 19 fault study: 64 MB keeps ~16 tasks per
+/// node, so per-attempt failure draws are numerous enough for the rate
+/// sweep to bite and tasks are fine-grained enough to re-execute.
+pub const FAULT_BLOCK: BlockSize = BlockSize::MB_64;
+
+/// The Fig. 19 fault model at one point of the failure-rate sweep:
+/// per-attempt task failures at `rate` for both phases, plus a background
+/// straggler population (40% of nodes at 2.5x) that gives speculative
+/// execution something to recover even at rate 0. The LATE minimum
+/// runtime drops to 2 s because 64 MB tasks are short.
+pub fn fig19_faults(rate: f64, speculation: bool) -> FaultConfig {
+    let mut recovery = RecoveryPolicy::hadoop();
+    recovery.speculation = speculation;
+    recovery.spec_min_runtime_s = 2.0;
+    FaultConfig::none()
+        .seed(FIG19_SEED)
+        .failure_rates(rate, rate)
+        .stragglers(0.4, 2.5)
+        .recovery(recovery)
+}
+
+/// Fig. 19 (model extension): makespan and EDP degradation vs per-attempt
+/// failure rate on the Fig. 18 clusters, with and without LATE-style
+/// speculation, normalized to each cluster's fault-free run. Every point —
+/// including the fault-free baselines — uses the event-driven cluster
+/// engine so the ratios isolate the cost of faults, not engine differences.
+pub fn fig19() -> FigureData {
+    let [xeon, atom] = machines();
+    type ClusterSpec<'a> = (&'a str, &'a MachineModel, Option<(usize, usize)>);
+    let clusters: [ClusterSpec; 3] = [
+        ("Xeon3", &xeon, None),
+        ("Atom3", &atom, None),
+        ("Mix1X2A", &xeon, Some((1, 2))),
+    ];
+    let point = |app: AppId, m: &MachineModel, mix: Option<(usize, usize)>| {
+        let mut c = cfg(app, m)
+            .data_per_node(data_for(app))
+            .block_size(FAULT_BLOCK);
+        if let Some((big, little)) = mix {
+            c = c.mix(NodeMix {
+                big,
+                little,
+                placement: PlacementKind::PaperClass(MetricKind::Edp),
+            });
+        }
+        c
+    };
+    let mut f = FigureData::new(
+        "fig19",
+        "Makespan and EDP degradation vs failure rate, with/without speculation",
+        "ratio",
+    );
+    for app in [AppId::WordCount, AppId::TeraSort] {
+        for (who, m, mix) in clusters {
+            let clean = simulate_cluster(&point(app, m, mix)).0;
+            for speculation in [true, false] {
+                let mode = if speculation { "spec" } else { "nospec" };
+                for rate in FAULT_RATES {
+                    let c = point(app, m, mix).faults(fig19_faults(rate, speculation));
+                    let meas = simulate_cluster(&c).0;
+                    let x = format!("{rate:.2}");
+                    f.push(
+                        format!("T/{who}/{}/{mode}", app.short_name()),
+                        x.clone(),
+                        meas.breakdown.total() / clean.breakdown.total(),
+                    );
+                    f.push(
+                        format!("EDP/{who}/{}/{mode}", app.short_name()),
+                        x,
+                        meas.cost.edp() / clean.cost.edp(),
+                    );
+                }
+            }
+        }
+    }
+    f
+}
+
 /// A figure/table generator: produces one artifact's data from scratch.
 pub type Generator = fn() -> FigureData;
 
@@ -741,6 +828,7 @@ pub fn all() -> Vec<(&'static str, Generator)> {
         ("table3", table3),
         ("fig17", fig17),
         ("fig18", fig18),
+        ("fig19", fig19),
     ]
 }
 
@@ -797,7 +885,7 @@ mod tests {
 
     #[test]
     fn all_generators_are_registered() {
-        assert_eq!(all().len(), 21, "2 tables + 19 figure artifacts");
+        assert_eq!(all().len(), 22, "2 tables + 20 figure artifacts");
     }
 
     #[test]
@@ -821,5 +909,50 @@ mod tests {
             wins,
             "some mixed cluster must beat both homogeneous baselines on EDP"
         );
+    }
+
+    #[test]
+    fn fig19_faults_degrade_and_speculation_recovers() {
+        let f = fig19();
+        let val = |series: &str, rate: f64| {
+            f.rows
+                .iter()
+                .find(|r| r.series == series && r.x == format!("{rate:.2}"))
+                .map(|r| r.value)
+                .expect("fig19 row")
+        };
+        // 2 apps x 3 clusters x 2 modes x 4 rates x 2 metrics.
+        assert_eq!(f.rows.len(), 96);
+        let (mut low, mut high, mut n) = (0.0, 0.0, 0.0);
+        for app in ["WC", "TS"] {
+            for who in ["Xeon3", "Atom3", "Mix1X2A"] {
+                for mode in ["spec", "nospec"] {
+                    let t = format!("T/{who}/{app}/{mode}");
+                    // Stragglers alone already cost makespan at rate 0.
+                    assert!(val(&t, 0.0) > 1.0, "{t}: stragglers must hurt");
+                    low += val(&t, 0.0);
+                    high += val(&t, 0.12);
+                    n += 1.0;
+                }
+            }
+        }
+        // Re-execution makes the worst failure rate cost more on average.
+        // (Not per-series: a task failing *on* the straggler node re-runs
+        // elsewhere, which can shorten an individual critical path.)
+        assert!(
+            high / n > low / n,
+            "mean degradation must grow with failure rate ({} vs {})",
+            high / n,
+            low / n
+        );
+        // The headline claim: on at least one workload, speculation claws
+        // back part of the straggler-induced makespan loss.
+        let recovered = ["WC", "TS"].iter().any(|app| {
+            ["Xeon3", "Atom3", "Mix1X2A"].iter().any(|who| {
+                val(&format!("T/{who}/{app}/spec"), 0.0)
+                    < val(&format!("T/{who}/{app}/nospec"), 0.0)
+            })
+        });
+        assert!(recovered, "speculation must beat no-speculation somewhere");
     }
 }

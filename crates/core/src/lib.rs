@@ -47,13 +47,15 @@ pub mod report;
 pub mod simcache;
 
 pub use cluster::{
-    homogeneous_makespan, run_phase, Cluster, ClusterTimeline, FifoAnySlot, KindPreferring, Node,
-    NodeTiming, PhaseLoad, PhaseRun, Placement, SlotStats, TaskSet, TaskSpan,
+    attempt_jitter, homogeneous_makespan, run_phase, run_phase_faulty, Cluster, ClusterTimeline,
+    FifoAnySlot, KindPreferring, Node, NodeTiming, PhaseLoad, PhaseRun, Placement, SlotStats,
+    TaskSet, TaskSpan,
 };
 pub use harness::{run_grid, run_grid_with, set_jobs, HarnessSnapshot, Sweep};
 pub use model::{
-    job_class, simulate, simulate_cluster, simulate_cluster_with, simulate_with, Measurement,
-    NodeMix, PhaseCost, PlacementKind, SimConfig,
+    job_class, simulate, simulate_cluster, simulate_cluster_with, simulate_with,
+    try_simulate_cluster, try_simulate_cluster_with, Measurement, NodeMix, PhaseCost,
+    PlacementKind, SimConfig,
 };
 pub use ratios::AppRatios;
 pub use report::{FigureData, Row};
@@ -64,6 +66,7 @@ pub use hhsim_accel as accel;
 pub use hhsim_arch as arch;
 pub use hhsim_des as des;
 pub use hhsim_energy as energy;
+pub use hhsim_faults as faults;
 pub use hhsim_hdfs as hdfs;
 pub use hhsim_mapreduce as mapreduce;
 pub use hhsim_sched as sched;

@@ -43,9 +43,11 @@ use hhsim_sched::JobClass;
 use hhsim_workloads::{AppClass, AppId};
 use serde::{Deserialize, Serialize};
 
+use hhsim_faults::{FaultConfig, FaultStats, NodeFaults, PhaseError};
+
 use crate::cluster::{
-    run_phase, Cluster, ClusterTimeline, FifoAnySlot, KindPreferring, NodeTiming, PhaseLoad,
-    PhaseRun, Placement, SlotStats, TaskSet,
+    run_phase, run_phase_faulty, Cluster, ClusterTimeline, FifoAnySlot, KindPreferring, NodeTiming,
+    PhaseLoad, PhaseRun, Placement, SlotStats, TaskSet,
 };
 use crate::ratios::JobRatios;
 use crate::simcache::SimCache;
@@ -119,6 +121,12 @@ pub struct SimConfig {
     /// cluster of `machine`.
     #[serde(default)]
     pub node_mix: Option<NodeMix>,
+    /// Optional deterministic fault injection. `None` or an inactive
+    /// config ([`FaultConfig::none`]) leaves every fault-free result
+    /// bit-identical; an active config routes the run through the
+    /// fault-aware cluster engine.
+    #[serde(default)]
+    pub faults: Option<FaultConfig>,
 }
 
 impl SimConfig {
@@ -142,6 +150,7 @@ impl SimConfig {
             job: JobConfig::default(),
             accel: None,
             node_mix: None,
+            faults: None,
         }
     }
 
@@ -179,6 +188,18 @@ impl SimConfig {
     pub fn mix(mut self, mix: NodeMix) -> Self {
         self.node_mix = Some(mix);
         self
+    }
+
+    /// Injects deterministic faults (task failures, node crashes,
+    /// stragglers) with Hadoop-style recovery.
+    pub fn faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// The fault config, if it would actually inject anything.
+    fn active_faults(&self) -> Option<FaultConfig> {
+        self.faults.filter(FaultConfig::active)
     }
 
     fn slots_per_node(&self) -> usize {
@@ -230,6 +251,10 @@ pub struct Measurement {
     /// Reduce-phase slot admission counters.
     #[serde(default)]
     pub reduce_slots: SlotStats,
+    /// Fault and recovery counters over all phases (all zero without
+    /// fault injection).
+    #[serde(default)]
+    pub faults: FaultStats,
     /// Simulated Wattsup reading over the whole run (one node).
     pub reading: MeterReading,
     /// Total dynamic energy over all nodes, joules.
@@ -490,7 +515,7 @@ pub fn simulate(cfg: &SimConfig) -> Measurement {
 /// [`SimCache::new`] gives a fully uncached evaluation — the reference
 /// the cache-consistency property tests compare against.
 pub fn simulate_with(cfg: &SimConfig, cache: &SimCache) -> Measurement {
-    if cfg.node_mix.is_some() {
+    if cfg.node_mix.is_some() || cfg.active_faults().is_some() {
         return simulate_cluster_with(cfg, cache).0;
     }
     assert!(cfg.nodes > 0, "need at least one node");
@@ -723,6 +748,7 @@ pub fn simulate_with(cfg: &SimConfig, cache: &SimCache) -> Measurement {
         others: oth_cost_detail,
         map_slots: map_slots_stats,
         reduce_slots: reduce_slots_stats,
+        faults: FaultStats::default(),
         reading,
         energy_j,
         cost,
@@ -815,7 +841,48 @@ pub fn simulate_cluster(cfg: &SimConfig) -> (Measurement, ClusterTimeline) {
 }
 
 /// [`simulate_cluster`] against an explicit cache.
+///
+/// # Panics
+///
+/// Additionally panics if fault injection makes the run unrecoverable
+/// (a task exhausting `max_attempts`, or crashes leaving no usable
+/// slots); use [`try_simulate_cluster_with`] to handle that as an error.
 pub fn simulate_cluster_with(cfg: &SimConfig, cache: &SimCache) -> (Measurement, ClusterTimeline) {
+    match try_simulate_cluster_with(cfg, cache) {
+        Ok(r) => r,
+        // hhsim: allow(panic-in-engine): infallible facade for legacy callers; fault-aware callers use try_simulate_cluster_with
+        Err(e) => panic!("cluster run failed under fault injection: {e}"),
+    }
+}
+
+/// [`try_simulate_cluster_with`] against the process-wide cache.
+///
+/// # Errors
+///
+/// Returns the [`PhaseError`] of the first phase fault injection makes
+/// unrecoverable.
+pub fn try_simulate_cluster(cfg: &SimConfig) -> Result<(Measurement, ClusterTimeline), PhaseError> {
+    try_simulate_cluster_with(cfg, SimCache::global())
+}
+
+/// Fallible [`simulate_cluster`]: with an active [`FaultConfig`] the run
+/// injects the plan's task failures, node crashes and stragglers, and
+/// recovers per the configured policy; an unrecoverable run (a task out
+/// of attempts, or no usable slots left) surfaces as `Err` — Hadoop's
+/// "job failed" — instead of a panic.
+///
+/// # Errors
+///
+/// Returns the [`PhaseError`] of the first unrecoverable phase.
+///
+/// # Panics
+///
+/// Panics on a degenerate configuration (no nodes, no data) or if an
+/// accelerator is configured (offload is not modeled per-node).
+pub fn try_simulate_cluster_with(
+    cfg: &SimConfig,
+    cache: &SimCache,
+) -> Result<(Measurement, ClusterTimeline), PhaseError> {
     assert!(cfg.data_per_node_bytes > 0, "need input data");
     assert!(
         cfg.accel.is_none(),
@@ -898,6 +965,15 @@ pub fn simulate_cluster_with(cfg: &SimConfig, cache: &SimCache) -> (Measurement,
         total_slots,
         nodes: nodes_total,
     };
+
+    // Node fate (crash times, stragglers) is sampled once per run, so a
+    // node that dies in one phase stays dead for every later phase.
+    let fault_cfg = cfg.active_faults();
+    let node_faults = fault_cfg
+        .as_ref()
+        .map(|fc| NodeFaults::sample(fc, nodes_total));
+    let mut fault_stats = FaultStats::default();
+    let mut phase_idx: u64 = 0;
 
     let mut timeline = ClusterTimeline::new(&cluster);
     let mut node_traces: Vec<PowerTrace> = vec![PowerTrace::new(); nodes_total];
@@ -987,8 +1063,15 @@ pub fn simulate_cluster_with(cfg: &SimConfig, cache: &SimCache) -> (Measurement,
             },
             &cluster,
         );
-        let map_run = run_phase(&cluster, &map_load, placement.as_mut());
+        let map_faults = fault_cfg
+            .as_ref()
+            .zip(node_faults.as_ref())
+            .map(|(fc, nf)| nf.phase(fc, phase_idx, fc.phase_rate(false), offset));
+        phase_idx += 1;
+        let map_run =
+            run_phase_faulty(&cluster, &map_load, placement.as_mut(), map_faults.as_ref())?;
         map_slots_stats.absorb(&map_run.slots);
+        fault_stats.absorb(&map_run.faults);
         timeline.extend(&label("map"), offset, &map_run);
         offset += map_run.makespan_s;
         map_wall += map_run.makespan_s;
@@ -1019,8 +1102,15 @@ pub fn simulate_cluster_with(cfg: &SimConfig, cache: &SimCache) -> (Measurement,
                 },
                 &cluster,
             );
-            let red_run = run_phase(&cluster, &red_load, placement.as_mut());
+            let red_faults = fault_cfg
+                .as_ref()
+                .zip(node_faults.as_ref())
+                .map(|(fc, nf)| nf.phase(fc, phase_idx, fc.phase_rate(true), offset));
+            phase_idx += 1;
+            let red_run =
+                run_phase_faulty(&cluster, &red_load, placement.as_mut(), red_faults.as_ref())?;
             reduce_slots_stats.absorb(&red_run.slots);
+            fault_stats.absorb(&red_run.faults);
             timeline.extend(&label("reduce"), offset, &red_run);
             offset += red_run.makespan_s;
             reduce_wall += red_run.makespan_s;
@@ -1129,6 +1219,7 @@ pub fn simulate_cluster_with(cfg: &SimConfig, cache: &SimCache) -> (Measurement,
         others: oth_cost_detail,
         map_slots: map_slots_stats,
         reduce_slots: reduce_slots_stats,
+        faults: fault_stats,
         reading,
         energy_j,
         cost,
@@ -1136,7 +1227,7 @@ pub fn simulate_cluster_with(cfg: &SimConfig, cache: &SimCache) -> (Measurement,
         reduce_cost,
         map_ipc: 1.0 / ipc_m.cpi_with_stalls(&map_prof, f, ipc_stalls.0, ipc_stalls.1),
     };
-    (measurement, timeline)
+    Ok((measurement, timeline))
 }
 
 #[cfg(test)]
@@ -1298,6 +1389,70 @@ mod tests {
         assert_eq!(m1, m2);
         assert_eq!(t1, t2);
         assert_eq!(t1.to_chrome_trace_json(), t2.to_chrome_trace_json());
+    }
+
+    #[test]
+    fn none_faults_config_is_bitwise_identical_to_no_faults() {
+        // A present-but-inactive FaultConfig must not perturb a single bit
+        // of either the analytic path or the cluster engine.
+        let plain = base(AppId::WordCount, presets::xeon_e5_2420());
+        let with_none = plain.clone().faults(FaultConfig::none());
+        assert_eq!(simulate(&plain), simulate(&with_none));
+
+        let mixed = base(AppId::Sort, presets::xeon_e5_2420()).mix(NodeMix {
+            big: 1,
+            little: 2,
+            placement: PlacementKind::PaperClass(MetricKind::Edp),
+        });
+        let mixed_none = mixed.clone().faults(FaultConfig::none());
+        let (m1, t1) = simulate_cluster(&mixed);
+        let (m2, t2) = simulate_cluster(&mixed_none);
+        assert_eq!(m1, m2);
+        assert_eq!(t1, t2);
+        assert_eq!(t1.to_chrome_trace_json(), t2.to_chrome_trace_json());
+    }
+
+    #[test]
+    fn faulty_mixed_run_is_deterministic_and_counts_faults() {
+        let faults = FaultConfig::none()
+            .seed(42)
+            .failure_rates(0.2, 0.2)
+            .stragglers(0.3, 2.5);
+        let cfg = base(AppId::WordCount, presets::xeon_e5_2420())
+            .mix(NodeMix {
+                big: 1,
+                little: 2,
+                placement: PlacementKind::PaperClass(MetricKind::Edp),
+            })
+            .faults(faults);
+        let (m1, t1) = simulate_cluster(&cfg);
+        let (m2, t2) = simulate_cluster(&cfg);
+        assert_eq!(m1, m2);
+        assert_eq!(t1, t2);
+        assert!(
+            m1.faults.failed_attempts > 0,
+            "20% failure rate must fail some attempts"
+        );
+        assert!(m1.faults.wasted_slot_s > 0.0);
+
+        let clean = simulate_cluster(&cfg.clone().faults(FaultConfig::none())).0;
+        assert!(
+            m1.breakdown.total() > clean.breakdown.total(),
+            "re-execution and stragglers must cost wall-clock time"
+        );
+        assert_eq!(clean.faults, FaultStats::default());
+    }
+
+    #[test]
+    fn cluster_wide_crash_surfaces_a_clean_error() {
+        // A sub-millisecond MTTF kills every node before the first task can
+        // finish; the fallible API reports it instead of hanging or panicking.
+        let cfg = base(AppId::WordCount, presets::xeon_e5_2420())
+            .faults(FaultConfig::none().seed(7).node_mttf(1e-3));
+        match try_simulate_cluster(&cfg) {
+            Err(PhaseError::NoUsableSlots { pending }) => assert!(pending > 0),
+            other => panic!("expected NoUsableSlots, got {other:?}"),
+        }
     }
 
     #[test]

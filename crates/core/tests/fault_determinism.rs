@@ -1,0 +1,85 @@
+//! Fault injection must not weaken the harness's determinism guarantee:
+//! the same seed produces byte-identical measurements, spans and Chrome
+//! traces whatever the `--jobs` worker count, and `FaultConfig::none()`
+//! leaves the fault-free outputs untouched.
+
+use hhsim_core::arch::presets;
+use hhsim_core::energy::MetricKind;
+use hhsim_core::faults::FaultConfig;
+use hhsim_core::workloads::AppId;
+use hhsim_core::{figures, harness, simulate_cluster, NodeMix, PlacementKind, SimConfig};
+
+/// A small grid of fault-injected points spanning both phases' failure
+/// rates, stragglers, speculation on/off and homogeneous vs mixed
+/// clusters.
+fn faulty_grid() -> Vec<SimConfig> {
+    let mut grid = Vec::new();
+    for app in [AppId::WordCount, AppId::TeraSort] {
+        for speculation in [true, false] {
+            for rate in [0.0, 0.06, 0.12] {
+                let faults = figures::fig19_faults(rate, speculation);
+                grid.push(
+                    SimConfig::new(app, presets::xeon_e5_2420())
+                        .data_per_node(figures::MICRO_DATA)
+                        .block_size(figures::SCHED_BLOCK)
+                        .faults(faults),
+                );
+                grid.push(
+                    SimConfig::new(app, presets::xeon_e5_2420())
+                        .data_per_node(figures::MICRO_DATA)
+                        .block_size(figures::SCHED_BLOCK)
+                        .mix(NodeMix {
+                            big: 1,
+                            little: 2,
+                            placement: PlacementKind::PaperClass(MetricKind::Edp),
+                        })
+                        .faults(faults),
+                );
+            }
+        }
+    }
+    grid
+}
+
+/// ONE test function: the jobs setting is process-global, so flipping it
+/// from concurrently running `#[test]`s in this binary would race (same
+/// structure as tests/determinism.rs).
+#[test]
+fn fault_outputs_are_identical_across_jobs() {
+    let grid = faulty_grid();
+
+    // Measurements through the worker pool, serial vs 4 workers.
+    let serial = harness::run_grid_with(&grid, 1);
+    let parallel = harness::run_grid_with(&grid, 4);
+    assert_eq!(serial, parallel, "--jobs 4 diverged from --jobs 1");
+
+    // The full fig19 artifact through the global jobs knob.
+    harness::set_jobs(1);
+    let csv_serial = figures::fig19().to_csv();
+    harness::set_jobs(4);
+    let csv_parallel = figures::fig19().to_csv();
+    harness::set_jobs(0);
+    assert_eq!(csv_serial, csv_parallel, "fig19 CSV diverged across --jobs");
+
+    // Spans and Chrome traces byte-identical run-to-run, and the fault
+    // schedule itself (who failed, where, which attempt) is pinned by the
+    // trace args.
+    let cfg = &grid[3];
+    let (m1, t1) = simulate_cluster(cfg);
+    let (m2, t2) = simulate_cluster(cfg);
+    assert_eq!(m1, m2);
+    assert_eq!(t1, t2);
+    assert_eq!(t1.to_chrome_trace_json(), t2.to_chrome_trace_json());
+
+    // An inactive FaultConfig is invisible: same bytes as no config.
+    let clean = SimConfig::new(AppId::Sort, presets::xeon_e5_2420()).mix(NodeMix {
+        big: 2,
+        little: 1,
+        placement: PlacementKind::PaperClass(MetricKind::Edp),
+    });
+    let with_none = clean.clone().faults(FaultConfig::none());
+    let (ma, ta) = simulate_cluster(&clean);
+    let (mb, tb) = simulate_cluster(&with_none);
+    assert_eq!(ma, mb);
+    assert_eq!(ta.to_chrome_trace_json(), tb.to_chrome_trace_json());
+}

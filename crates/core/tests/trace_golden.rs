@@ -10,11 +10,14 @@
 
 use hhsim_core::arch::CoreKind;
 use hhsim_core::cluster::{
-    run_phase, Cluster, ClusterTimeline, FifoAnySlot, KindPreferring, NodeTiming, PhaseLoad,
+    run_phase, run_phase_faulty, Cluster, ClusterTimeline, FifoAnySlot, KindPreferring, NodeTiming,
+    PhaseLoad,
 };
+use hhsim_core::faults::{FaultPlan, PhaseFaults, RecoveryPolicy};
 
 const GOLDEN_JSON: &str = include_str!("golden/cluster_trace.json");
 const GOLDEN_CSV: &str = include_str!("golden/cluster_util.csv");
+const GOLDEN_FAULTY_JSON: &str = include_str!("golden/faulty_trace.json");
 
 /// A small but structurally rich scenario: 1 big node (2 slots) + 2
 /// little nodes (2 slots each), 7 map tasks under the kind-aware
@@ -47,6 +50,39 @@ fn timeline() -> ClusterTimeline {
     tl
 }
 
+/// The faulty counterpart: the same cluster under a 30% failure rate, a
+/// mid-run crash of one little node and a straggling second little node,
+/// with Hadoop recovery — the trace pins attempt numbers and outcome
+/// labels for failed, killed, cancelled and re-executed attempts.
+fn faulty_timeline() -> ClusterTimeline {
+    let cluster = Cluster::mixed(1, 2, 2, 2);
+    let big = NodeTiming {
+        task_seconds: 4.0,
+        overhead_seconds: 0.25,
+    };
+    let little = NodeTiming {
+        task_seconds: 11.0,
+        overhead_seconds: 0.25,
+    };
+    let faults = PhaseFaults {
+        plan: FaultPlan::new(0x601D, 0, 0.3),
+        crash_at_s: vec![None, Some(9.0), None],
+        dead_at_start: vec![false; 3],
+        slowdown: vec![1.0, 1.0, 2.0],
+        policy: RecoveryPolicy::hadoop(),
+    };
+    let map = run_phase_faulty(
+        &cluster,
+        &PhaseLoad::by_kind(9, big, little, &cluster),
+        &mut FifoAnySlot,
+        Some(&faults),
+    )
+    .expect("map phase recovers");
+    let mut tl = ClusterTimeline::new(&cluster);
+    tl.extend("map", 0.0, &map);
+    tl
+}
+
 fn bless(rel: &str, content: &str) {
     let path = format!("{}/tests/{rel}", env!("CARGO_MANIFEST_DIR"));
     std::fs::write(path, content).expect("bless golden");
@@ -76,6 +112,31 @@ fn utilization_csv_matches_golden() {
         csv, GOLDEN_CSV,
         "utilization export changed; re-bless with BLESS_GOLDEN=1 if intended"
     );
+}
+
+#[test]
+fn faulty_chrome_trace_json_matches_golden() {
+    let json = faulty_timeline().to_chrome_trace_json();
+    if std::env::var_os("BLESS_GOLDEN").is_some() {
+        bless("golden/faulty_trace.json", &json);
+        return;
+    }
+    assert_eq!(
+        json, GOLDEN_FAULTY_JSON,
+        "faulty Chrome-trace export changed; re-bless with BLESS_GOLDEN=1 if intended"
+    );
+}
+
+#[test]
+fn faulty_golden_shows_recovery_vocabulary() {
+    // Attempt/outcome args only appear on re-executed or wasted attempts,
+    // so their presence here (and absence in the clean golden) pins the
+    // backward-compatible trace schema.
+    assert!(GOLDEN_FAULTY_JSON.contains("\"attempt\":"));
+    assert!(GOLDEN_FAULTY_JSON.contains("\"outcome\":\"failed\""));
+    assert!(GOLDEN_FAULTY_JSON.contains("\"outcome\":\"killed\""));
+    assert!(!GOLDEN_JSON.contains("\"attempt\":"));
+    assert!(!GOLDEN_JSON.contains("\"outcome\":"));
 }
 
 #[test]

@@ -116,8 +116,7 @@ struct Head<K> {
 pub(crate) fn merge_runs<K: Datum, V: Datum>(mut runs: Vec<Run<K, V>>) -> Run<K, V> {
     runs.retain(|r| !r.is_empty());
     match runs.len() {
-        0 => Run::new(),
-        1 => runs.pop().expect("len checked"),
+        0 | 1 => runs.pop().unwrap_or_default(),
         _ => {
             let total: usize = runs.iter().map(Run::len).sum();
             let mut out = Run::with_capacity(total);
@@ -129,17 +128,19 @@ pub(crate) fn merge_runs<K: Datum, V: Datum>(mut runs: Vec<Run<K, V>>) -> Run<K,
             }
             let mut heap = BinaryHeap::with_capacity(key_iters.len());
             for (ri, it) in key_iters.iter_mut().enumerate() {
-                let key = it.next().expect("empty runs filtered");
-                heap.push(Reverse(Head { key, run: ri }));
+                if let Some(key) = it.next() {
+                    heap.push(Reverse(Head { key, run: ri }));
+                }
             }
             while let Some(Reverse(Head { key, run })) = heap.pop() {
                 out.keys.push(key);
                 out.vals
-                    .push(val_iters[run].next().expect("keys and vals aligned"));
-                if let Some(key) = key_iters[run].next() {
+                    .extend(val_iters.get_mut(run).and_then(Iterator::next));
+                if let Some(key) = key_iters.get_mut(run).and_then(Iterator::next) {
                     heap.push(Reverse(Head { key, run }));
                 }
             }
+            assert_eq!(out.keys.len(), out.vals.len(), "keys and vals aligned");
             out
         }
     }

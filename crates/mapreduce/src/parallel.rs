@@ -92,17 +92,22 @@ impl Execution {
 }
 
 /// Runs every `(index, item)` through `run` on up to `threads` workers and
-/// returns the results slotted by index. Panics in workers propagate.
+/// returns the results in index order. Panics in workers propagate when
+/// the scope joins; a poisoned lock is recovered rather than compounded,
+/// so surviving workers drain the queue first and the original panic is
+/// the one the caller sees.
 fn fan_out<T, O>(
     items: Vec<(usize, T)>,
     slots: usize,
     threads: usize,
     run: impl Fn(T) -> O + Sync,
-) -> Vec<Option<O>>
+) -> Vec<O>
 where
     T: Send,
     O: Send,
 {
+    use std::sync::PoisonError;
+
     let mut work_items = items;
     let mut outputs: Vec<Option<O>> = (0..slots).map(|_| None).collect();
     let work = std::sync::Mutex::new(&mut work_items);
@@ -110,14 +115,22 @@ where
     std::thread::scope(|scope| {
         for _ in 0..threads.min(slots.max(1)) {
             scope.spawn(|| loop {
-                let item = work.lock().expect("work queue").pop();
+                let item = work.lock().unwrap_or_else(PoisonError::into_inner).pop();
                 let Some((idx, input)) = item else { break };
                 let out = run(input);
-                sink.lock().expect("sink")[idx] = Some(out);
+                if let Some(slot) = sink
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .get_mut(idx)
+                {
+                    *slot = Some(out);
+                }
             });
         }
     });
-    outputs
+    let filled: Vec<O> = outputs.into_iter().flatten().collect();
+    assert_eq!(filled.len(), slots, "every task executed exactly once");
+    filled
 }
 
 /// Runs `job` like [`crate::run_job`], executing map tasks and then reduce
@@ -166,8 +179,7 @@ where
     });
 
     let mut output = Vec::new();
-    for slot in reduced {
-        let (task_out, task_stats) = slot.expect("every reduce task executed");
+    for (task_out, task_stats) in reduced {
         crate::stats::merge_into(&mut stats, task_stats);
         output.extend(task_out);
     }
@@ -229,8 +241,7 @@ where
         (out, task_stats)
     });
     let mut map_outputs = Vec::with_capacity(n);
-    for slot in outputs {
-        let (out, task_stats) = slot.expect("every map task executed");
+    for (out, task_stats) in outputs {
         crate::stats::merge_into(stats, task_stats);
         map_outputs.push(out);
     }
