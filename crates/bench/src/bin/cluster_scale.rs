@@ -1,0 +1,226 @@
+//! Scale benchmark for the cluster engine: completion-event throughput
+//! and peak RSS over a nodes × tasks grid, up to 10k nodes / 1M tasks.
+//!
+//! ```text
+//! cargo run --release -p hhsim-bench --bin cluster_scale             # full grid
+//! cargo run --release -p hhsim-bench --bin cluster_scale -- --check  # CI smoke
+//! ```
+//!
+//! Full mode prints one JSON document with per-config samples; the
+//! checked-in `BENCH_cluster.json` is assembled from a "before" run (the
+//! pre-rewrite engine, this same file built in a worktree — the
+//! streaming-export probe is feature-gated on `streaming-export` so the
+//! timing code compiles against engines that predate the streaming
+//! writers) and an "after" run on the current tree.
+//!
+//! `--check` is the CI smoke: it runs the small config, asserts an
+//! events/sec floor, asserts the streaming exporters' RSS growth stays
+//! flat, and validates the checked-in `BENCH_cluster.json` shape.
+//!
+//! Events/sec counts *task completions* per wall-clock second: every
+//! task is one calendar completion event plus its share of dispatch
+//! work, so the metric tracks exactly the per-event cost the free-slot
+//! index and the ladder calendar optimize.
+
+// Wall-clock timing binary; crates/bench is wall-clock exempt in
+// analysis.toml for the same reason as the figures sweep.
+#![allow(clippy::disallowed_methods)]
+
+use std::time::Instant;
+
+use hhsim_core::arch::CoreKind;
+use hhsim_core::cluster::{run_phase, Cluster, FifoAnySlot, PhaseLoad, TaskSet};
+
+/// One point of the scale grid.
+struct ScaleConfig {
+    name: &'static str,
+    nodes: usize,
+    slots: usize,
+    tasks: usize,
+}
+
+const CONFIGS: [ScaleConfig; 3] = [
+    ScaleConfig {
+        name: "small",
+        nodes: 100,
+        slots: 4,
+        tasks: 10_000,
+    },
+    ScaleConfig {
+        name: "mid",
+        nodes: 1_000,
+        slots: 4,
+        tasks: 100_000,
+    },
+    ScaleConfig {
+        name: "large",
+        nodes: 10_000,
+        slots: 2,
+        tasks: 1_000_000,
+    },
+];
+
+/// Events/sec floor for the CI smoke on the small config (release
+/// profile). The rewritten engine clears this by well over an order of
+/// magnitude; the floor only catches catastrophic regressions on slow
+/// shared runners.
+const CHECK_FLOOR_EVENTS_PER_SEC: f64 = 20_000.0;
+
+/// RSS-growth ceiling for the streaming-export probe in `--check`:
+/// streaming a six-figure-span timeline into a sink must not grow the
+/// process high-water mark by more than a fixed few MB of buffers.
+#[cfg(feature = "streaming-export")]
+const CHECK_EXPORT_RSS_CEILING_KB: u64 = 16 * 1024;
+
+/// Peak resident set size (VmHWM) in kB, 0 if unreadable.
+fn vm_hwm_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            return rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+        }
+    }
+    0
+}
+
+/// One timed engine run of `cfg`; returns (events/sec, elapsed seconds).
+fn bench_engine(cfg: &ScaleConfig) -> (f64, f64) {
+    let cluster = Cluster::homogeneous(CoreKind::Big, cfg.nodes, cfg.slots);
+    let load = PhaseLoad::uniform(
+        &TaskSet {
+            tasks: cfg.tasks,
+            task_seconds: 5.0,
+            overhead_seconds: 0.1,
+        },
+        &cluster,
+    );
+    let started = Instant::now();
+    let run = run_phase(&cluster, &load, &mut FifoAnySlot);
+    let elapsed = started.elapsed().as_secs_f64();
+    assert_eq!(run.spans.len(), cfg.tasks, "every task completes");
+    (cfg.tasks as f64 / elapsed.max(1e-9), elapsed)
+}
+
+/// Streams both exports of a mid-sized timeline into `io::sink()` and
+/// returns `(spans, rss_growth_kb)` — the growth of the process peak
+/// RSS across the export. The buffered reference would allocate the
+/// whole multi-hundred-MB string; the streaming writers must not.
+#[cfg(feature = "streaming-export")]
+fn export_rss_probe() -> (usize, u64) {
+    use hhsim_core::cluster::ClusterTimeline;
+    let cluster = Cluster::homogeneous(CoreKind::Big, 1_000, 4);
+    let load = PhaseLoad::uniform(
+        &TaskSet {
+            tasks: 100_000,
+            task_seconds: 5.0,
+            overhead_seconds: 0.1,
+        },
+        &cluster,
+    );
+    let run = run_phase(&cluster, &load, &mut FifoAnySlot);
+    let mut tl = ClusterTimeline::new(&cluster);
+    tl.extend("map", 0.0, &run);
+    tl.extend("reduce", run.makespan_s, &run);
+    let before = vm_hwm_kb();
+    let mut sink = std::io::sink();
+    tl.write_chrome_trace(&mut sink).expect("stream trace");
+    tl.write_utilization_csv(&mut sink).expect("stream util");
+    let after = vm_hwm_kb();
+    (tl.len(), after.saturating_sub(before))
+}
+
+#[cfg(not(feature = "streaming-export"))]
+fn export_rss_probe() -> (usize, u64) {
+    (0, 0) // pre-streaming engine: nothing to probe
+}
+
+/// Minimal shape check of the checked-in BENCH_cluster.json (no JSON
+/// dependency in this workspace: validate the keys and brace balance).
+fn check_bench_json() {
+    let root = env!("CARGO_MANIFEST_DIR");
+    let path = format!("{root}/../../BENCH_cluster.json");
+    let text = std::fs::read_to_string(&path).expect("BENCH_cluster.json is checked in");
+    for key in [
+        "\"description\"",
+        "\"method\"",
+        "\"baseline_commit\"",
+        "\"benches\"",
+        "\"events_per_sec\"",
+        "\"speedup\"",
+        "\"export_rss_probe\"",
+        "\"rss_growth_kb\"",
+    ] {
+        assert!(text.contains(key), "BENCH_cluster.json lacks {key}");
+    }
+    let opens = text.matches('{').count();
+    let closes = text.matches('}').count();
+    assert_eq!(opens, closes, "unbalanced braces in BENCH_cluster.json");
+    let opens = text.matches('[').count();
+    let closes = text.matches(']').count();
+    assert_eq!(opens, closes, "unbalanced brackets in BENCH_cluster.json");
+}
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check");
+
+    if check {
+        let (eps, elapsed) = bench_engine(&CONFIGS[0]);
+        println!(
+            "check: {} -> {:.0} events/s ({elapsed:.3}s)",
+            CONFIGS[0].name, eps
+        );
+        assert!(
+            eps >= CHECK_FLOOR_EVENTS_PER_SEC,
+            "cluster engine throughput regressed below the floor: \
+             {eps:.0} < {CHECK_FLOOR_EVENTS_PER_SEC} events/s"
+        );
+        #[cfg(feature = "streaming-export")]
+        {
+            let (spans, growth) = export_rss_probe();
+            println!("check: streamed {spans} spans, RSS growth {growth} kB");
+            assert!(
+                growth <= CHECK_EXPORT_RSS_CEILING_KB,
+                "streaming export no longer flat: grew {growth} kB"
+            );
+        }
+        check_bench_json();
+        println!("check: BENCH_cluster.json shape ok");
+        return;
+    }
+
+    // Full grid: three samples per config, JSON on stdout.
+    println!("{{");
+    println!("  \"samples\": [");
+    for (ci, cfg) in CONFIGS.iter().enumerate() {
+        let mut eps = Vec::new();
+        for _ in 0..3 {
+            eps.push(bench_engine(cfg).0);
+        }
+        let mean = eps.iter().sum::<f64>() / eps.len() as f64;
+        let min = eps.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = eps.iter().copied().fold(0.0_f64, f64::max);
+        let comma = if ci + 1 < CONFIGS.len() { "," } else { "" };
+        println!(
+            "    {{\"config\":\"{}\",\"nodes\":{},\"slots\":{},\"tasks\":{},\
+             \"events_per_sec\":{{\"mean\":{mean:.1},\"min\":{min:.1},\"max\":{max:.1},\
+             \"samples\":{}}},\"peak_rss_kb\":{}}}{comma}",
+            cfg.name,
+            cfg.nodes,
+            cfg.slots,
+            cfg.tasks,
+            eps.len(),
+            vm_hwm_kb(),
+        );
+    }
+    println!("  ],");
+    let (spans, growth) = export_rss_probe();
+    println!("  \"export_rss_probe\": {{\"spans\":{spans},\"rss_growth_kb\":{growth}}}");
+    println!("}}");
+}

@@ -19,10 +19,26 @@
 #![allow(clippy::disallowed_methods)]
 
 use std::fs;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
 use std::path::Path;
 use std::time::Instant;
 
 use hhsim_core::{harness, SimCache};
+
+/// Streams a trace JSON + utilization CSV pair to disk through buffered
+/// writers, keeping memory flat however many spans the timeline holds.
+fn stream_trace(
+    trace_path: &Path,
+    util_path: &Path,
+    render: impl FnOnce(&mut BufWriter<File>, &mut BufWriter<File>) -> io::Result<()>,
+) -> io::Result<()> {
+    let mut trace = BufWriter::new(File::create(trace_path)?);
+    let mut util = BufWriter::new(File::create(util_path)?);
+    render(&mut trace, &mut util)?;
+    trace.flush()?;
+    util.flush()
+}
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -87,22 +103,21 @@ fn main() {
                 fs::write(&path, &csv).expect("write figure CSV");
                 if id == "fig18" {
                     // Fig. 18 ships its representative cluster trace: a
-                    // Chrome-trace timeline plus per-node utilization steps.
-                    let (json, util) = hhsim_bench::fig18_trace();
+                    // Chrome-trace timeline plus per-node utilization
+                    // steps, streamed straight to disk.
                     let tp = out_dir.join("fig18_trace.json");
                     let up = out_dir.join("fig18_util.csv");
-                    fs::write(&tp, json).expect("write fig18 trace");
-                    fs::write(&up, util).expect("write fig18 utilization");
+                    stream_trace(&tp, &up, hhsim_bench::write_fig18_trace)
+                        .expect("write fig18 trace artifacts");
                     println!("wrote {} and {}", tp.display(), up.display());
                 }
                 if id == "fig19" {
                     // Fig. 19 ships its representative fault-injection
                     // trace: re-executed, killed and speculated attempts.
-                    let (json, util) = hhsim_bench::fig19_trace();
                     let tp = out_dir.join("fig19_trace.json");
                     let up = out_dir.join("fig19_util.csv");
-                    fs::write(&tp, json).expect("write fig19 trace");
-                    fs::write(&up, util).expect("write fig19 utilization");
+                    stream_trace(&tp, &up, hhsim_bench::write_fig19_trace)
+                        .expect("write fig19 trace artifacts");
                     println!("wrote {} and {}", tp.display(), up.display());
                 }
                 let cache = SimCache::global().stats().since(&cache_before);

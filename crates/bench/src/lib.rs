@@ -45,9 +45,24 @@ pub fn fig18_trace_config() -> SimConfig {
 }
 
 /// Renders the fig. 18 trace artifacts as `(chrome_trace_json, util_csv)`.
+///
+/// Buffered reference form; the `figures` bin streams the same bytes via
+/// [`write_fig18_trace`].
 pub fn fig18_trace() -> (String, String) {
     let (_, timeline) = simulate_cluster(&fig18_trace_config());
     (timeline.to_chrome_trace_json(), timeline.utilization_csv())
+}
+
+/// Streams the fig. 18 trace artifacts — byte-identical to
+/// [`fig18_trace`] but written incrementally, so the export stays flat
+/// in memory at any span count.
+pub fn write_fig18_trace(
+    trace: &mut impl std::io::Write,
+    util: &mut impl std::io::Write,
+) -> std::io::Result<()> {
+    let (_, timeline) = simulate_cluster(&fig18_trace_config());
+    timeline.write_chrome_trace(trace)?;
+    timeline.write_utilization_csv(util)
 }
 
 /// The representative fault-injection run whose trace ships next to
@@ -82,9 +97,23 @@ pub const FIG19_TRACE_MTTF_S: f64 = 300.0;
 pub const FIG19_TRACE_SEED: u64 = 6;
 
 /// Renders the fig. 19 trace artifacts as `(chrome_trace_json, util_csv)`.
+///
+/// Buffered reference form; the `figures` bin streams the same bytes via
+/// [`write_fig19_trace`].
 pub fn fig19_trace() -> (String, String) {
     let (_, timeline) = simulate_cluster(&fig19_trace_config());
     (timeline.to_chrome_trace_json(), timeline.utilization_csv())
+}
+
+/// Streams the fig. 19 trace artifacts — byte-identical to
+/// [`fig19_trace`] but written incrementally.
+pub fn write_fig19_trace(
+    trace: &mut impl std::io::Write,
+    util: &mut impl std::io::Write,
+) -> std::io::Result<()> {
+    let (_, timeline) = simulate_cluster(&fig19_trace_config());
+    timeline.write_chrome_trace(trace)?;
+    timeline.write_utilization_csv(util)
 }
 
 /// Renders every artifact.

@@ -34,6 +34,7 @@ use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::fmt::Write as _;
+use std::io;
 use std::rc::Rc;
 
 /// A batch of identically-shaped tasks to schedule on the cluster.
@@ -203,13 +204,378 @@ impl PhaseLoad {
     }
 }
 
+thread_local! {
+    /// Bitmap words examined by [`FreeSlots`] placement queries on this
+    /// thread. Pure diagnostics for the scale regression tests — never
+    /// feeds simulation state.
+    static PLACEMENT_PROBES: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Bitmap words examined by placement queries on this thread since the
+/// last [`reset_placement_probes`]. The scale regression tests use this
+/// to pin the engine's amortized-O(1) node lookup: a 10k-node run must
+/// not degrade to per-event linear scans when nodes die or get
+/// blacklisted.
+pub fn placement_probes() -> u64 {
+    PLACEMENT_PROBES.with(|p| p.get())
+}
+
+/// Zeroes this thread's [`placement_probes`] counter.
+pub fn reset_placement_probes() {
+    PLACEMENT_PROBES.with(|p| p.set(0));
+}
+
+fn count_probes(words: u64) {
+    PLACEMENT_PROBES.with(|p| p.set(p.get() + words));
+}
+
+/// Two-level bitmap over node ids: `words` holds one bit per node,
+/// `summary` one bit per (non-zero) word. Find-first-set is two word
+/// scans — amortized O(1) at 10k nodes — and always returns the *lowest*
+/// set index, which is what keeps placement decisions byte-identical to
+/// the linear scans this structure replaced.
+#[derive(Debug, Clone, Default)]
+struct NodeBitmap {
+    words: Vec<u64>,
+    summary: Vec<u64>,
+}
+
+impl NodeBitmap {
+    fn new(nodes: usize) -> Self {
+        let nw = nodes.div_ceil(64);
+        NodeBitmap {
+            words: vec![0; nw],
+            summary: vec![0; nw.div_ceil(64)],
+        }
+    }
+
+    fn set(&mut self, i: usize) {
+        let w = i / 64;
+        if let Some(word) = self.words.get_mut(w) {
+            *word |= 1u64 << (i % 64);
+        }
+        if let Some(s) = self.summary.get_mut(w / 64) {
+            *s |= 1u64 << (w % 64);
+        }
+    }
+
+    fn clear(&mut self, i: usize) {
+        let w = i / 64;
+        let Some(word) = self.words.get_mut(w) else {
+            return;
+        };
+        *word &= !(1u64 << (i % 64));
+        if *word == 0 {
+            if let Some(s) = self.summary.get_mut(w / 64) {
+                *s &= !(1u64 << (w % 64));
+            }
+        }
+    }
+
+    /// Lowest set index, if any.
+    fn first(&self) -> Option<usize> {
+        for (si, &s) in self.summary.iter().enumerate() {
+            count_probes(1);
+            if s == 0 {
+                continue;
+            }
+            let w = si * 64 + s.trailing_zeros() as usize;
+            count_probes(1);
+            let word = self.words.get(w).copied().unwrap_or(0);
+            if word == 0 {
+                return None; // unreachable: summary bit implies a set word
+            }
+            return Some(w * 64 + word.trailing_zeros() as usize);
+        }
+        None
+    }
+
+    /// Ascending iterator over set indices.
+    fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        count_probes(self.words.len() as u64);
+        self.words.iter().enumerate().flat_map(|(w, &word)| {
+            let mut rest = word;
+            std::iter::from_fn(move || {
+                if rest == 0 {
+                    return None;
+                }
+                let b = rest.trailing_zeros() as usize;
+                rest &= rest - 1;
+                Some(w * 64 + b)
+            })
+        })
+    }
+}
+
+/// Amortized-O(1) free-slot index over the cluster's nodes: per-node
+/// free counts plus ready-node bitmaps (overall and per core kind) that
+/// track exactly the nodes placement may choose — usable (alive, not
+/// blacklisted) with at least one free slot.
+///
+/// Placement policies query this instead of scanning a free-count slice;
+/// every query returns the same node the old linear scan returned (the
+/// lowest-id match), so spans and artifacts stay byte-identical while a
+/// 10k-node dispatch drops from O(nodes) to O(1) per event.
+#[derive(Debug, Clone)]
+pub struct FreeSlots {
+    free: Vec<usize>,
+    alive: Vec<bool>,
+    usable: Vec<bool>,
+    any: NodeBitmap,
+    big: NodeBitmap,
+    little: NodeBitmap,
+    kind_of: Vec<CoreKind>,
+    /// Free slots summed over usable nodes.
+    free_total: usize,
+    /// Nodes currently usable.
+    usable_nodes: usize,
+}
+
+impl FreeSlots {
+    /// All nodes alive and usable (the fault-free engine).
+    fn new(cluster: &Cluster) -> Self {
+        Self::with_dead(cluster, None)
+    }
+
+    /// `dead[n]` nodes start dead: zero free slots, never usable.
+    fn with_dead(cluster: &Cluster, dead: Option<&[bool]>) -> Self {
+        let n = cluster.nodes.len();
+        let mut fs = FreeSlots {
+            free: vec![0; n],
+            alive: vec![true; n],
+            usable: vec![true; n],
+            any: NodeBitmap::new(n),
+            big: NodeBitmap::new(n),
+            little: NodeBitmap::new(n),
+            kind_of: cluster.nodes.iter().map(|nd| nd.kind).collect(),
+            free_total: 0,
+            usable_nodes: n,
+        };
+        for (i, nd) in cluster.nodes.iter().enumerate() {
+            if dead.and_then(|d| d.get(i)).copied().unwrap_or(false) {
+                if let Some(a) = fs.alive.get_mut(i) {
+                    *a = false;
+                }
+                if let Some(u) = fs.usable.get_mut(i) {
+                    *u = false;
+                }
+                fs.usable_nodes -= 1;
+                continue;
+            }
+            if let Some(f) = fs.free.get_mut(i) {
+                *f = nd.slots;
+            }
+            fs.free_total += nd.slots;
+            if nd.slots > 0 {
+                fs.set_ready(i);
+            }
+        }
+        fs
+    }
+
+    fn set_ready(&mut self, node: usize) {
+        self.any.set(node);
+        match self.kind_of.get(node) {
+            Some(CoreKind::Big) => self.big.set(node),
+            Some(CoreKind::Little) => self.little.set(node),
+            None => {}
+        }
+    }
+
+    fn clear_ready(&mut self, node: usize) {
+        self.any.clear(node);
+        match self.kind_of.get(node) {
+            Some(CoreKind::Big) => self.big.clear(node),
+            Some(CoreKind::Little) => self.little.clear(node),
+            None => {}
+        }
+    }
+
+    /// Number of nodes in the cluster.
+    pub fn nodes(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Free slots on `node` (0 for dead nodes).
+    pub fn free(&self, node: usize) -> usize {
+        self.free.get(node).copied().unwrap_or(0)
+    }
+
+    /// True if `node` may receive new attempts (alive, not blacklisted).
+    pub fn usable(&self, node: usize) -> bool {
+        self.usable.get(node).copied().unwrap_or(false)
+    }
+
+    /// Free slots summed over usable nodes; zero means dispatch must wait.
+    pub fn total_free(&self) -> usize {
+        self.free_total
+    }
+
+    /// Lowest-id usable node with a free slot.
+    pub fn first_free(&self) -> Option<usize> {
+        self.any.first()
+    }
+
+    /// Lowest-id usable node of `kind` with a free slot.
+    pub fn first_free_of(&self, kind: CoreKind) -> Option<usize> {
+        match kind {
+            CoreKind::Big => self.big.first(),
+            CoreKind::Little => self.little.first(),
+        }
+    }
+
+    /// Ascending iterator over usable nodes with a free slot.
+    pub fn free_nodes(&self) -> impl Iterator<Item = usize> + '_ {
+        self.any.iter()
+    }
+
+    /// True if any node other than `node` can still accept attempts.
+    fn usable_other_than(&self, node: usize) -> bool {
+        self.usable_nodes > 1 || (self.usable_nodes == 1 && !self.usable(node))
+    }
+
+    fn alive(&self, node: usize) -> bool {
+        self.alive.get(node).copied().unwrap_or(false)
+    }
+
+    /// Takes one free slot on a usable `node`.
+    fn claim(&mut self, node: usize) {
+        let Some(f) = self.free.get_mut(node) else {
+            return;
+        };
+        *f -= 1;
+        self.free_total -= 1;
+        if *f == 0 {
+            self.clear_ready(node);
+        }
+    }
+
+    /// Returns a slot to `node`'s pool (no-op on a crashed node: its
+    /// pool is zeroed forever).
+    fn release(&mut self, node: usize) {
+        if !self.alive(node) {
+            return;
+        }
+        let Some(f) = self.free.get_mut(node) else {
+            return;
+        };
+        *f += 1;
+        let became_ready = *f == 1;
+        if self.usable(node) {
+            self.free_total += 1;
+            if became_ready {
+                self.set_ready(node);
+            }
+        }
+    }
+
+    /// Masks `node` from placement (blacklisting): its free slots stay
+    /// physically free but stop counting or matching.
+    fn set_unusable(&mut self, node: usize) {
+        if !self.usable(node) {
+            return;
+        }
+        if let Some(u) = self.usable.get_mut(node) {
+            *u = false;
+        }
+        self.usable_nodes -= 1;
+        self.free_total -= self.free(node);
+        self.clear_ready(node);
+    }
+
+    /// Kills `node` (crash): unusable and zero slots for the rest of the
+    /// run.
+    fn kill(&mut self, node: usize) {
+        self.set_unusable(node);
+        if let Some(a) = self.alive.get_mut(node) {
+            *a = false;
+        }
+        if let Some(f) = self.free.get_mut(node) {
+            *f = 0;
+        }
+    }
+}
+
+/// Per-node slot-occupancy bitmaps (bit set = slot free), flattened into
+/// one word array. Claiming always takes the lowest free slot — the same
+/// slot the old per-slot boolean scan picked — in O(1) for clusters with
+/// up to 64 slots per node.
+#[derive(Debug, Clone)]
+struct SlotTable {
+    words: Vec<u64>,
+    /// Word range of node `n` is `offset[n]..offset[n + 1]`.
+    offset: Vec<usize>,
+}
+
+impl SlotTable {
+    fn new(cluster: &Cluster) -> Self {
+        let mut offset = Vec::with_capacity(cluster.nodes.len() + 1);
+        offset.push(0);
+        let mut total = 0usize;
+        for n in &cluster.nodes {
+            total += n.slots.div_ceil(64);
+            offset.push(total);
+        }
+        let mut words = vec![0u64; total];
+        for (i, n) in cluster.nodes.iter().enumerate() {
+            let base = offset.get(i).copied().unwrap_or(0);
+            let mut left = n.slots;
+            let mut w = base;
+            while left > 0 {
+                let bits = left.min(64);
+                if let Some(word) = words.get_mut(w) {
+                    *word = if bits == 64 {
+                        u64::MAX
+                    } else {
+                        (1u64 << bits) - 1
+                    };
+                }
+                left -= bits;
+                w += 1;
+            }
+        }
+        SlotTable { words, offset }
+    }
+
+    /// Claims the lowest free slot on `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node has no free slot (engine invariant: callers
+    /// check the free count first).
+    fn claim_first(&mut self, node: usize) -> usize {
+        let lo = self.offset.get(node).copied().unwrap_or(0);
+        let hi = self.offset.get(node + 1).copied().unwrap_or(lo);
+        for w in lo..hi {
+            let Some(word) = self.words.get_mut(w) else {
+                break;
+            };
+            if *word == 0 {
+                continue;
+            }
+            let bit = word.trailing_zeros() as usize;
+            *word &= !(1u64 << bit);
+            return (w - lo) * 64 + bit;
+        }
+        unreachable!("free slot exists on chosen node");
+    }
+
+    /// Marks `slot` on `node` free again.
+    fn release(&mut self, node: usize, slot: usize) {
+        let lo = self.offset.get(node).copied().unwrap_or(0);
+        if let Some(word) = self.words.get_mut(lo + slot / 64) {
+            *word |= 1u64 << (slot % 64);
+        }
+    }
+}
+
 /// Chooses the node for the task at the head of the FIFO queue.
 ///
 /// The engine is work-conserving: `place` is only called when at least
-/// one slot is free, and must return a node with a free slot.
+/// one slot is free, and must return a usable node with a free slot.
 pub trait Placement {
-    /// Node id for `task`; `free[n]` is the free-slot count of node `n`.
-    fn place(&mut self, task: usize, cluster: &Cluster, free: &[usize]) -> usize;
+    /// Node id for `task`; `free` indexes the cluster's ready nodes.
+    fn place(&mut self, task: usize, cluster: &Cluster, free: &FreeSlots) -> usize;
 
     /// Policy label for traces and reports.
     fn name(&self) -> &'static str;
@@ -221,8 +587,8 @@ pub trait Placement {
 pub struct FifoAnySlot;
 
 impl Placement for FifoAnySlot {
-    fn place(&mut self, _task: usize, _cluster: &Cluster, free: &[usize]) -> usize {
-        free.iter().position(|&f| f > 0).expect("a slot is free")
+    fn place(&mut self, _task: usize, _cluster: &Cluster, free: &FreeSlots) -> usize {
+        free.first_free().expect("a slot is free")
     }
 
     fn name(&self) -> &'static str {
@@ -262,11 +628,9 @@ impl KindPreferring {
 }
 
 impl Placement for KindPreferring {
-    fn place(&mut self, _task: usize, cluster: &Cluster, free: &[usize]) -> usize {
-        free.iter()
-            .enumerate()
-            .position(|(n, &f)| f > 0 && cluster.nodes[n].kind == self.preferred)
-            .or_else(|| free.iter().position(|&f| f > 0))
+    fn place(&mut self, _task: usize, _cluster: &Cluster, free: &FreeSlots) -> usize {
+        free.first_free_of(self.preferred)
+            .or_else(|| free.first_free())
             .expect("a slot is free")
     }
 
@@ -368,12 +732,11 @@ pub struct PhaseRun {
 /// Mutable state shared between the completion events of one run.
 #[derive(Debug)]
 struct EngineState {
-    free: Vec<usize>,
-    slot_busy: Vec<Vec<bool>>,
+    slots: FreeSlots,
+    slot_table: SlotTable,
     slot_waves: Vec<Vec<usize>>,
     queue: VecDeque<usize>,
     in_use: usize,
-    freed: Vec<(usize, usize)>,
     max_finish: SimTime,
     stats: SlotStats,
 }
@@ -413,12 +776,11 @@ pub fn run_phase(cluster: &Cluster, load: &PhaseLoad, placement: &mut dyn Placem
     let mut spans: Vec<Option<TaskSpan>> = vec![None; load.tasks];
     stats.max_queue_len = load.tasks.saturating_sub(capacity);
     let state = Rc::new(RefCell::new(EngineState {
-        free: cluster.nodes.iter().map(|n| n.slots).collect(),
-        slot_busy: cluster.nodes.iter().map(|n| vec![false; n.slots]).collect(),
+        slots: FreeSlots::new(cluster),
+        slot_table: SlotTable::new(cluster),
         slot_waves: cluster.nodes.iter().map(|n| vec![0; n.slots]).collect(),
         queue: (0..load.tasks).collect(),
         in_use: 0,
-        freed: Vec::new(),
         max_finish: SimTime::ZERO,
         stats,
     }));
@@ -434,28 +796,29 @@ pub fn run_phase(cluster: &Cluster, load: &PhaseLoad, placement: &mut dyn Placem
         loop {
             let task = {
                 let st = state.borrow();
-                if st.queue.is_empty() || st.free.iter().all(|&f| f == 0) {
+                if st.queue.is_empty() || st.slots.total_free() == 0 {
                     break;
                 }
                 *st.queue.front().expect("non-empty queue")
             };
-            let node = placement.place(task, cluster, &state.borrow().free);
+            let node = placement.place(task, cluster, &state.borrow().slots);
             let now = sim.now();
             let (slot, wave, dur) = {
                 let mut st = state.borrow_mut();
-                assert!(st.free[node] > 0, "placement chose a busy node");
+                assert!(st.slots.free(node) > 0, "placement chose a busy node");
                 st.queue.pop_front();
-                st.free[node] -= 1;
+                st.slots.claim(node);
                 st.in_use += 1;
                 let in_use = st.in_use;
                 st.stats.peak_in_use = st.stats.peak_in_use.max(in_use);
-                let slot = st.slot_busy[node]
-                    .iter()
-                    .position(|b| !b)
-                    .expect("free slot exists on chosen node");
-                st.slot_busy[node][slot] = true;
-                st.slot_waves[node][slot] += 1;
-                let wave = st.slot_waves[node][slot];
+                let slot = st.slot_table.claim_first(node);
+                let wave = match st.slot_waves.get_mut(node).and_then(|w| w.get_mut(slot)) {
+                    Some(w) => {
+                        *w += 1;
+                        *w
+                    }
+                    None => 0, // unreachable: slot ids come from the slot table
+                };
                 if !now.is_zero() {
                     st.stats.tasks_queued += 1;
                     st.stats.total_wait_s += now.as_secs_f64();
@@ -481,10 +844,9 @@ pub fn run_phase(cluster: &Cluster, load: &PhaseLoad, placement: &mut dyn Placem
             let state = state.clone();
             sim.schedule_in(dur, move |sim| {
                 let mut st = state.borrow_mut();
-                st.free[node] += 1;
+                st.slots.release(node);
                 st.in_use -= 1;
-                st.slot_busy[node][slot] = false;
-                st.freed.push((node, slot));
+                st.slot_table.release(node, slot);
                 if sim.now() > st.max_finish {
                     st.max_finish = sim.now();
                 }
@@ -555,20 +917,25 @@ struct RunningAttempt {
 /// Shared state of one fault-aware engine run.
 #[derive(Debug)]
 struct FaultState {
-    // Slot bookkeeping (mirrors the fault-free `EngineState`).
-    free: Vec<usize>,
-    slot_busy: Vec<Vec<bool>>,
+    // Slot bookkeeping (mirrors the fault-free `EngineState`). `slots`
+    // also carries node health: dead and blacklisted nodes are unusable.
+    slots: FreeSlots,
+    slot_table: SlotTable,
     slot_waves: Vec<Vec<usize>>,
     queue: VecDeque<QueueEntry>,
     in_use: usize,
     max_finish: SimTime,
     stats: SlotStats,
-    // Node health.
-    alive: Vec<bool>,
-    blacklisted: Vec<bool>,
     node_failures: Vec<u32>,
     // Per-task recovery state.
     running: Vec<Vec<RunningAttempt>>,
+    /// Tasks with at least one attempt in flight (unordered dense set,
+    /// `running_pos` is the index of each member). Keeps the LATE
+    /// speculation scan and node-crash cleanup proportional to the
+    /// in-flight count — bounded by cluster capacity — instead of the
+    /// total task count.
+    running_tasks: Vec<usize>,
+    running_pos: Vec<usize>,
     failed: Vec<u32>,
     next_attempt: Vec<u32>,
     done: Vec<bool>,
@@ -587,58 +954,79 @@ struct FaultState {
     error: Option<PhaseError>,
 }
 
-impl FaultState {
-    /// Free slots visible to placement: dead and blacklisted nodes are
-    /// masked to zero.
-    fn usable_free(&self) -> Vec<usize> {
-        self.free
-            .iter()
-            .zip(self.alive.iter().zip(&self.blacklisted))
-            .map(|(&f, (&alive, &black))| if alive && !black { f } else { 0 })
-            .collect()
-    }
+/// Sentinel for "task not in the in-flight set".
+const NOT_RUNNING: usize = usize::MAX;
 
+impl FaultState {
     /// Marks the first idle slot on `node` busy; returns `(slot, wave)`.
     fn claim_slot(&mut self, node: usize) -> (usize, usize) {
-        self.free[node] -= 1;
+        self.slots.claim(node);
         self.in_use += 1;
         let in_use = self.in_use;
         self.stats.peak_in_use = self.stats.peak_in_use.max(in_use);
-        let busy = &mut self.slot_busy[node];
-        let slot = busy.iter().position(|b| !b);
-        assert!(slot.is_some(), "free slot exists on chosen node");
-        let slot = slot.unwrap_or_default();
-        busy[slot] = true;
-        self.slot_waves[node][slot] += 1;
-        (slot, self.slot_waves[node][slot])
+        let slot = self.slot_table.claim_first(node);
+        match self.slot_waves.get_mut(node).and_then(|w| w.get_mut(slot)) {
+            Some(w) => {
+                *w += 1;
+                (slot, *w)
+            }
+            None => (slot, 0), // unreachable: slot ids come from the table
+        }
     }
 
     /// Returns an attempt's slot to the pool (no-op free count on a node
     /// that has since crashed: its pool is already zeroed forever).
     fn release_slot(&mut self, node: usize, slot: usize) {
-        if self.alive[node] {
-            self.free[node] += 1;
-        }
+        self.slots.release(node);
         self.in_use -= 1;
-        self.slot_busy[node][slot] = false;
+        self.slot_table.release(node, slot);
     }
 
-    /// True if any node other than `node` can still accept attempts.
-    /// Hadoop never blacklists its way to an empty cluster (it caps the
-    /// blacklisted fraction); we keep the last usable node schedulable.
-    fn other_usable_nodes(&self, node: usize) -> bool {
-        self.alive
-            .iter()
-            .zip(&self.blacklisted)
-            .enumerate()
-            .any(|(n, (&alive, &black))| n != node && alive && !black)
+    /// Adds `task` to the in-flight set (idempotent).
+    fn note_running(&mut self, task: usize) {
+        if self.running_pos.get(task).copied() != Some(NOT_RUNNING) {
+            return;
+        }
+        if let Some(p) = self.running_pos.get_mut(task) {
+            *p = self.running_tasks.len();
+            self.running_tasks.push(task);
+        }
+    }
+
+    /// Drops `task` from the in-flight set if its attempt list emptied.
+    fn note_maybe_idle(&mut self, task: usize) {
+        if !self.running.get(task).is_some_and(|l| l.is_empty()) {
+            return;
+        }
+        let Some(&pos) = self.running_pos.get(task) else {
+            return;
+        };
+        if pos == NOT_RUNNING {
+            return;
+        }
+        let Some(last) = self.running_tasks.pop() else {
+            return;
+        };
+        if last != task {
+            if let Some(slot) = self.running_tasks.get_mut(pos) {
+                *slot = last;
+            }
+            if let Some(p) = self.running_pos.get_mut(last) {
+                *p = pos;
+            }
+        }
+        if let Some(p) = self.running_pos.get_mut(task) {
+            *p = NOT_RUNNING;
+        }
     }
 
     /// Detaches the running attempt `(task, attempt)`, if still present.
     fn take_running(&mut self, task: usize, attempt: u32) -> Option<RunningAttempt> {
-        let list = &mut self.running[task];
+        let list = self.running.get_mut(task)?;
         let idx = list.iter().position(|r| r.attempt == attempt)?;
-        Some(list.remove(idx))
+        let r = list.remove(idx);
+        self.note_maybe_idle(task);
+        Some(r)
     }
 
     /// Records a losing attempt's span and its wasted slot-seconds.
@@ -714,18 +1102,21 @@ fn launch_attempt(
             })
         }
     };
-    st.running[task].push(RunningAttempt {
-        attempt,
-        node,
-        slot,
-        wave,
-        queued,
-        launched: now,
-        duration: dur,
-        rate,
-        event,
-        speculative,
-    });
+    if let Some(list) = st.running.get_mut(task) {
+        list.push(RunningAttempt {
+            attempt,
+            node,
+            slot,
+            wave,
+            queued,
+            launched: now,
+            duration: dur,
+            rate,
+            event,
+            speculative,
+        });
+    }
+    st.note_running(task);
 }
 
 /// Completion event: the first finisher wins its task; any rival attempt
@@ -767,12 +1158,13 @@ fn attempt_completed(
     if now > st.max_finish {
         st.max_finish = now;
     }
-    while let Some(rival) = st.running[task].pop() {
+    while let Some(rival) = st.running.get_mut(task).and_then(|l| l.pop()) {
         sim.cancel(rival.event);
         st.release_slot(rival.node, rival.slot);
         st.record_wasted(task, &rival, now, AttemptOutcome::Cancelled);
         st.fstats.cancelled_attempts += 1;
     }
+    st.note_maybe_idle(task);
 }
 
 /// Injected-failure event: count the failure, maybe blacklist the node,
@@ -798,13 +1190,14 @@ fn attempt_failed(
     st.failed[task] += 1;
     st.node_failures[r.node] += 1;
     let limit = st.policy.blacklist_after;
+    // Hadoop never blacklists its way to an empty cluster (it caps the
+    // blacklisted fraction); we keep the last usable node schedulable.
     if limit > 0
         && st.node_failures[r.node] >= limit
-        && st.alive[r.node]
-        && !st.blacklisted[r.node]
-        && st.other_usable_nodes(r.node)
+        && st.slots.usable(r.node)
+        && st.slots.usable_other_than(r.node)
     {
-        st.blacklisted[r.node] = true;
+        st.slots.set_unusable(r.node);
         st.fstats.blacklisted_nodes += 1;
     }
     if st.failed[task] >= st.policy.max_attempts {
@@ -814,7 +1207,7 @@ fn attempt_failed(
         });
         return;
     }
-    if !st.running[task].is_empty() {
+    if !st.running.get(task).is_some_and(|l| l.is_empty()) {
         // A speculative rival is still in flight and may yet win.
         return;
     }
@@ -836,33 +1229,59 @@ fn attempt_failed(
 /// and re-queue immediately.
 fn crash_node(sim: &mut Simulation, state: &Rc<RefCell<FaultState>>, node: usize) {
     let mut st = state.borrow_mut();
-    if st.error.is_some() || st.pending == 0 || !st.alive[node] {
+    if st.error.is_some() || st.pending == 0 || !st.slots.alive(node) {
         // The phase is already over (the crash belongs to a later phase,
         // handled there via `dead_at_start`) or has failed.
         return;
     }
     let now = sim.now();
-    st.alive[node] = false;
-    st.free[node] = 0;
+    st.slots.kill(node);
     st.fstats.node_crashes += 1;
-    for task in 0..st.running.len() {
+    // Only the in-flight set can have attempts on the dead node; sort it
+    // so victims are processed in ascending task order, exactly as the
+    // old full scan over every task did.
+    let mut victims: Vec<usize> = st
+        .running_tasks
+        .iter()
+        .copied()
+        .filter(|&task| {
+            st.running
+                .get(task)
+                .is_some_and(|l| l.iter().any(|r| r.node == node))
+        })
+        .collect();
+    victims.sort_unstable();
+    for task in victims {
         let mut i = 0;
-        while i < st.running[task].len() {
-            if st.running[task][i].node != node {
+        while i < st.running.get(task).map_or(0, |l| l.len()) {
+            let hit = st
+                .running
+                .get(task)
+                .and_then(|l| l.get(i))
+                .is_some_and(|r| r.node == node);
+            if !hit {
                 i += 1;
                 continue;
             }
-            let r = st.running[task].remove(i);
+            let Some(r) = st.running.get_mut(task).map(|l| l.remove(i)) else {
+                break;
+            };
             sim.cancel(r.event);
             st.in_use -= 1;
-            st.slot_busy[node][r.slot] = false;
+            st.slot_table.release(node, r.slot);
             st.record_wasted(task, &r, now, AttemptOutcome::Killed);
             st.fstats.killed_attempts += 1;
-            if !st.done[task] && st.running[task].is_empty() && !st.waiting[task] {
-                st.waiting[task] = true;
+            let idle = st.running.get(task).is_some_and(|l| l.is_empty());
+            let done = st.done.get(task).copied().unwrap_or(false);
+            let waiting = st.waiting.get(task).copied().unwrap_or(false);
+            if !done && idle && !waiting {
+                if let Some(w) = st.waiting.get_mut(task) {
+                    *w = true;
+                }
                 st.queue.push_back(QueueEntry { task, queued: now });
             }
         }
+        st.note_maybe_idle(task);
     }
 }
 
@@ -875,19 +1294,23 @@ fn choose_speculation(
     st: &FaultState,
     load: &PhaseLoad,
     faults: &PhaseFaults,
-    usable: &[usize],
     now: SimTime,
 ) -> Option<(usize, usize)> {
     if st.rate_count == 0 {
         return None;
     }
     let mean = st.rate_sum / st.rate_count as f64;
+    // Only in-flight tasks can be candidates; the set is unordered, so
+    // pick the lexicographic minimum of (rate, task) — identical to the
+    // old ascending full-task scan with a strict `<` on rate.
     let mut cand: Option<(f64, usize)> = None;
-    for (task, attempts) in st.running.iter().enumerate() {
-        if st.done[task] || st.speculated[task] {
+    for &task in &st.running_tasks {
+        let done = st.done.get(task).copied().unwrap_or(true);
+        let speculated = st.speculated.get(task).copied().unwrap_or(true);
+        if done || speculated {
             continue;
         }
-        let [r] = attempts.as_slice() else {
+        let Some([r]) = st.running.get(task).map(|l| l.as_slice()) else {
             continue;
         };
         if now.saturating_sub(r.launched).as_secs_f64() < st.policy.spec_min_runtime_s {
@@ -896,20 +1319,22 @@ fn choose_speculation(
         if r.rate >= st.policy.spec_rate_threshold * mean {
             continue;
         }
-        if cand.map_or(true, |(best, _)| r.rate < best) {
+        if cand.map_or(true, |(best, bt)| {
+            r.rate < best || (r.rate == best && task < bt)
+        }) {
             cand = Some((r.rate, task));
         }
     }
     let (_, task) = cand?;
-    let primary = *st.running[task].first()?;
-    let aj = attempt_jitter(task, st.next_attempt[task]);
+    let primary = *st.running.get(task)?.first()?;
+    let aj = attempt_jitter(task, st.next_attempt.get(task).copied()?);
     let mut best: Option<(f64, usize)> = None;
-    for (node, &f) in usable.iter().enumerate() {
-        if f == 0 || node == primary.node {
+    for node in st.slots.free_nodes() {
+        if node == primary.node {
             continue;
         }
-        let t = &load.timing[node];
-        let d = t.task_seconds * aj * faults.slowdown[node] + t.overhead_seconds;
+        let t = load.timing.get(node)?;
+        let d = t.task_seconds * aj * faults.slowdown.get(node)? + t.overhead_seconds;
         if best.map_or(true, |(bd, _)| d < bd) {
             best = Some((d, node));
         }
@@ -968,13 +1393,8 @@ pub fn run_phase_faulty(
 
     let mut sim = Simulation::new();
     let state = Rc::new(RefCell::new(FaultState {
-        free: cluster
-            .nodes
-            .iter()
-            .enumerate()
-            .map(|(n, nd)| if faults.dead_at_start[n] { 0 } else { nd.slots })
-            .collect(),
-        slot_busy: cluster.nodes.iter().map(|n| vec![false; n.slots]).collect(),
+        slots: FreeSlots::with_dead(cluster, Some(&faults.dead_at_start)),
+        slot_table: SlotTable::new(cluster),
         slot_waves: cluster.nodes.iter().map(|n| vec![0; n.slots]).collect(),
         queue: (0..load.tasks)
             .map(|task| QueueEntry {
@@ -985,10 +1405,10 @@ pub fn run_phase_faulty(
         in_use: 0,
         max_finish: SimTime::ZERO,
         stats,
-        alive: faults.dead_at_start.iter().map(|d| !d).collect(),
-        blacklisted: vec![false; nodes],
         node_failures: vec![0; nodes],
         running: vec![Vec::new(); load.tasks],
+        running_tasks: Vec::new(),
+        running_pos: vec![NOT_RUNNING; load.tasks],
         failed: vec![0; load.tasks],
         next_attempt: vec![1; load.tasks],
         done: vec![false; load.tasks],
@@ -1018,20 +1438,23 @@ pub fn run_phase_faulty(
     // is empty.
     let dispatch = |sim: &mut Simulation, placement: &mut dyn Placement| {
         loop {
-            let usable = {
+            {
                 let st = state.borrow();
-                if st.error.is_some() {
+                if st.error.is_some() || st.slots.total_free() == 0 {
                     break;
                 }
-                st.usable_free()
-            };
-            if usable.iter().all(|&f| f == 0) {
-                break;
             }
             let front = state.borrow().queue.front().copied();
             if let Some(entry) = front {
-                let node = placement.place(entry.task, cluster, &usable);
-                assert!(usable[node] > 0, "placement chose an unusable node");
+                let node = {
+                    let st = state.borrow();
+                    let node = placement.place(entry.task, cluster, &st.slots);
+                    assert!(
+                        st.slots.free(node) > 0 && st.slots.usable(node),
+                        "placement chose an unusable node"
+                    );
+                    node
+                };
                 state.borrow_mut().queue.pop_front();
                 launch_attempt(
                     sim,
@@ -1050,7 +1473,7 @@ pub fn run_phase_faulty(
             }
             let pick = {
                 let st = state.borrow();
-                choose_speculation(&st, load, faults, &usable, sim.now())
+                choose_speculation(&st, load, faults, sim.now())
             };
             let Some((task, node)) = pick else {
                 break;
@@ -1103,13 +1526,38 @@ pub struct NodeMeta {
 
 /// The per-task timeline of a whole run: successive phases' spans
 /// shifted onto one absolute clock.
+///
+/// Spans are stored struct-of-arrays: one flat column per field, with
+/// phase labels interned once per phase instead of cloned per span. At a
+/// million tasks this is a single arena of primitive columns — no
+/// per-span `String`, no per-span allocation — and iteration for export
+/// is a linear column walk. [`ClusterTimeline::get`] /
+/// [`ClusterTimeline::iter`]
+/// materialize [`TaskSpan`] views on demand for the few consumers that
+/// want the row form.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct ClusterTimeline {
     /// The cluster's nodes (index = `TaskSpan::node`).
     pub nodes: Vec<NodeMeta>,
-    /// All spans, in append order (phases in execution order, tasks in
-    /// task order within a phase).
-    pub spans: Vec<TaskSpan>,
+    /// Interned phase labels, in first-appearance order.
+    phases: Vec<String>,
+    /// Per-span phase label index into `phases`.
+    phase_ix: Vec<u32>,
+    task: Vec<u32>,
+    node: Vec<u32>,
+    slot: Vec<u32>,
+    wave: Vec<u32>,
+    queued_s: Vec<f64>,
+    launched_s: Vec<f64>,
+    finished_s: Vec<f64>,
+    attempt: Vec<u32>,
+    outcome: Vec<AttemptOutcome>,
+}
+
+/// Narrows an engine-side index (task/node/slot/wave) to its column type.
+fn narrow(v: usize) -> u32 {
+    debug_assert!(u32::try_from(v).is_ok(), "index exceeds u32 column");
+    v as u32
 }
 
 impl ClusterTimeline {
@@ -1125,8 +1573,17 @@ impl ClusterTimeline {
                     slots: n.slots,
                 })
                 .collect(),
-            spans: Vec::new(),
+            ..ClusterTimeline::default()
         }
+    }
+
+    fn intern(&mut self, phase: &str) -> u32 {
+        // Phase counts are tiny (a few per job); linear probe.
+        if let Some(i) = self.phases.iter().position(|p| p == phase) {
+            return narrow(i);
+        }
+        self.phases.push(phase.to_string());
+        narrow(self.phases.len() - 1)
     }
 
     /// Appends a phase's spans, labelled `phase`, shifted by `offset_s`.
@@ -1134,30 +1591,63 @@ impl ClusterTimeline {
     /// spans, so utilization and the energy model charge their slot time
     /// too.
     pub fn extend(&mut self, phase: &str, offset_s: f64, run: &PhaseRun) {
+        let pix = self.intern(phase);
+        let extra = run.spans.len() + run.wasted.len();
+        self.phase_ix.reserve(extra);
         for s in run.spans.iter().chain(&run.wasted) {
-            let mut s = s.clone();
-            s.phase = phase.to_string();
-            s.queued_s += offset_s;
-            s.launched_s += offset_s;
-            s.finished_s += offset_s;
-            self.spans.push(s);
+            self.phase_ix.push(pix);
+            self.task.push(narrow(s.task));
+            self.node.push(narrow(s.node));
+            self.slot.push(narrow(s.slot));
+            self.wave.push(narrow(s.wave));
+            self.queued_s.push(s.queued_s + offset_s);
+            self.launched_s.push(s.launched_s + offset_s);
+            self.finished_s.push(s.finished_s + offset_s);
+            self.attempt.push(s.attempt);
+            self.outcome.push(s.outcome);
         }
+    }
+
+    /// Number of spans recorded.
+    pub fn len(&self) -> usize {
+        self.phase_ix.len()
+    }
+
+    /// True if no spans have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.phase_ix.is_empty()
+    }
+
+    /// Materializes span `i` as a row, if in bounds.
+    pub fn get(&self, i: usize) -> Option<TaskSpan> {
+        let pix = *self.phase_ix.get(i)? as usize;
+        Some(TaskSpan {
+            phase: self.phases.get(pix).cloned().unwrap_or_default(),
+            task: *self.task.get(i)? as usize,
+            node: *self.node.get(i)? as usize,
+            slot: *self.slot.get(i)? as usize,
+            wave: *self.wave.get(i)? as usize,
+            queued_s: *self.queued_s.get(i)?,
+            launched_s: *self.launched_s.get(i)?,
+            finished_s: *self.finished_s.get(i)?,
+            attempt: *self.attempt.get(i)?,
+            outcome: *self.outcome.get(i)?,
+        })
+    }
+
+    /// Materializing iterator over all spans in append order.
+    pub fn iter(&self) -> impl Iterator<Item = TaskSpan> + '_ {
+        (0..self.len()).filter_map(|i| self.get(i))
     }
 
     /// Latest task completion, seconds.
     pub fn end_s(&self) -> f64 {
-        self.spans.iter().map(|s| s.finished_s).fold(0.0, f64::max)
+        self.finished_s.iter().copied().fold(0.0, f64::max)
     }
 
-    /// Step function of busy slots on `node`: `(time, active)` points at
-    /// every change, starting at `(0, 0)`. Feeds the utilization-driven
-    /// power model.
-    pub fn active_steps(&self, node: usize) -> Vec<(f64, usize)> {
-        let mut events: Vec<(f64, i64)> = Vec::new();
-        for s in self.spans.iter().filter(|s| s.node == node) {
-            events.push((s.launched_s, 1));
-            events.push((s.finished_s, -1));
-        }
+    /// Folds a `(time, ±1)` event list (already grouped per node, in
+    /// span-append order) into the active-slot step function.
+    fn steps_from_events(events: &mut [(f64, i64)]) -> Vec<(f64, usize)> {
         events.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         let mut steps = vec![(0.0, 0usize)];
         let mut active = 0i64;
@@ -1178,13 +1668,49 @@ impl ClusterTimeline {
         steps
     }
 
+    /// Step function of busy slots on `node`: `(time, active)` points at
+    /// every change, starting at `(0, 0)`. Feeds the utilization-driven
+    /// power model.
+    pub fn active_steps(&self, node: usize) -> Vec<(f64, usize)> {
+        let mut events: Vec<(f64, i64)> = Vec::new();
+        for i in 0..self.len() {
+            if self.node.get(i).copied() == Some(narrow(node)) {
+                events.push((self.launched_s.get(i).copied().unwrap_or(0.0), 1));
+                events.push((self.finished_s.get(i).copied().unwrap_or(0.0), -1));
+            }
+        }
+        Self::steps_from_events(&mut events)
+    }
+
+    /// [`active_steps`](Self::active_steps) for every node in one linear
+    /// pass over the span columns — O(spans + nodes) instead of the
+    /// O(nodes × spans) of calling the per-node form in a loop. The
+    /// per-node step functions are identical to the per-node form's.
+    pub fn active_steps_all(&self) -> Vec<Vec<(f64, usize)>> {
+        let mut events: Vec<Vec<(f64, i64)>> = vec![Vec::new(); self.nodes.len()];
+        for i in 0..self.len() {
+            let n = self.node.get(i).copied().unwrap_or(0) as usize;
+            if let Some(ev) = events.get_mut(n) {
+                ev.push((self.launched_s.get(i).copied().unwrap_or(0.0), 1));
+                ev.push((self.finished_s.get(i).copied().unwrap_or(0.0), -1));
+            }
+        }
+        events
+            .iter_mut()
+            .map(|ev| Self::steps_from_events(ev.as_mut_slice()))
+            .collect()
+    }
+
     /// Busy slot-seconds on `node` (integral of the active-slot curve).
     pub fn busy_slot_seconds(&self, node: usize) -> f64 {
-        self.spans
-            .iter()
-            .filter(|s| s.node == node)
-            .map(|s| s.finished_s - s.launched_s)
-            .sum()
+        let mut sum = 0.0;
+        for i in 0..self.len() {
+            if self.node.get(i).copied() == Some(narrow(node)) {
+                sum += self.finished_s.get(i).copied().unwrap_or(0.0)
+                    - self.launched_s.get(i).copied().unwrap_or(0.0);
+            }
+        }
+        sum
     }
 
     /// Chrome-trace-viewer JSON (`chrome://tracing`, Perfetto): one `X`
@@ -1192,6 +1718,10 @@ impl ClusterTimeline {
     /// microseconds, plus process-name metadata per node. Output is
     /// deterministic: spans are emitted in append order with fixed
     /// 3-decimal microsecond formatting.
+    ///
+    /// This buffered form is the *reference* for the streaming
+    /// [`write_chrome_trace`](Self::write_chrome_trace); the equality
+    /// tests diff the two byte-for-byte.
     pub fn to_chrome_trace_json(&self) -> String {
         let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
         for (pid, n) in self.nodes.iter().enumerate() {
@@ -1202,7 +1732,7 @@ impl ClusterTimeline {
                 n.name, n.kind, n.slots
             );
         }
-        for s in &self.spans {
+        for s in self.iter() {
             let ts = s.launched_s * 1e6;
             let dur = (s.finished_s - s.launched_s) * 1e6;
             let wait = (s.launched_s - s.queued_s) * 1e6;
@@ -1229,8 +1759,64 @@ impl ClusterTimeline {
         out
     }
 
+    /// Streaming form of [`to_chrome_trace_json`](Self::to_chrome_trace_json):
+    /// writes the identical bytes incrementally to `w` (wrap files in a
+    /// `BufWriter`), so exporting a million-span trace needs no
+    /// trace-sized `String`. Memory stays flat in the span count.
+    pub fn write_chrome_trace<W: io::Write>(&self, w: &mut W) -> io::Result<()> {
+        w.write_all(b"{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n")?;
+        for (pid, n) in self.nodes.iter().enumerate() {
+            writeln!(
+                w,
+                "{{\"ph\":\"M\",\"pid\":{pid},\"name\":\"process_name\",\
+                 \"args\":{{\"name\":\"{} ({} x{})\"}}}},",
+                n.name, n.kind, n.slots
+            )?;
+        }
+        let mut extra = String::new();
+        for i in 0..self.len() {
+            let launched = self.launched_s.get(i).copied().unwrap_or(0.0);
+            let finished = self.finished_s.get(i).copied().unwrap_or(0.0);
+            let queued = self.queued_s.get(i).copied().unwrap_or(0.0);
+            let ts = launched * 1e6;
+            let dur = (finished - launched) * 1e6;
+            let wait = (launched - queued) * 1e6;
+            let attempt = self.attempt.get(i).copied().unwrap_or(1);
+            let outcome = self.outcome.get(i).copied().unwrap_or_default();
+            extra.clear();
+            if attempt > 1 {
+                let _ = write!(extra, ",\"attempt\":{attempt}");
+            }
+            if outcome != AttemptOutcome::Success {
+                let _ = write!(extra, ",\"outcome\":\"{}\"", outcome.as_str());
+            }
+            let phase = self
+                .phase_ix
+                .get(i)
+                .and_then(|&p| self.phases.get(p as usize))
+                .map(String::as_str)
+                .unwrap_or("");
+            writeln!(
+                w,
+                "{{\"ph\":\"X\",\"pid\":{},\"tid\":{},\"ts\":{ts:.3},\"dur\":{dur:.3},\
+                 \"name\":\"{phase}-{}\",\"cat\":\"{phase}\",\
+                 \"args\":{{\"task\":{},\"wave\":{},\"wait_us\":{wait:.3}{extra}}}}},",
+                self.node.get(i).copied().unwrap_or(0),
+                self.slot.get(i).copied().unwrap_or(0),
+                self.task.get(i).copied().unwrap_or(0),
+                self.task.get(i).copied().unwrap_or(0),
+                self.wave.get(i).copied().unwrap_or(0),
+            )?;
+        }
+        w.write_all(b"{\"ph\":\"M\",\"pid\":0,\"name\":\"trace_end\",\"args\":{}}\n]}\n")
+    }
+
     /// Per-node utilization as CSV: `node,name,time_s,active_slots` step
     /// rows (one per change point).
+    ///
+    /// This buffered form is the *reference* for the streaming
+    /// [`write_utilization_csv`](Self::write_utilization_csv); the
+    /// equality tests diff the two byte-for-byte.
     pub fn utilization_csv(&self) -> String {
         let mut out = String::from("node,name,time_s,active_slots\n");
         for (i, n) in self.nodes.iter().enumerate() {
@@ -1239,6 +1825,22 @@ impl ClusterTimeline {
             }
         }
         out
+    }
+
+    /// Streaming form of [`utilization_csv`](Self::utilization_csv):
+    /// identical bytes, written incrementally, with the per-node step
+    /// functions computed in one pass over the span columns
+    /// ([`active_steps_all`](Self::active_steps_all)) instead of one
+    /// full-timeline scan per node.
+    pub fn write_utilization_csv<W: io::Write>(&self, w: &mut W) -> io::Result<()> {
+        w.write_all(b"node,name,time_s,active_slots\n")?;
+        let steps = self.active_steps_all();
+        for (i, n) in self.nodes.iter().enumerate() {
+            for (t, a) in steps.get(i).map_or(&[][..], Vec::as_slice) {
+                writeln!(w, "{i},{},{t:.6},{a}", n.name)?;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -1755,7 +2357,7 @@ mod tests {
         let mut tl = ClusterTimeline::new(&c);
         tl.extend("map", 0.0, &map);
         tl.extend("reduce", map.makespan_s, &red);
-        assert_eq!(tl.spans.len(), 7);
+        assert_eq!(tl.len(), 7);
         assert!((tl.end_s() - (map.makespan_s + red.makespan_s)).abs() < 1e-9);
 
         let json = tl.to_chrome_trace_json();

@@ -47,9 +47,9 @@ pub mod report;
 pub mod simcache;
 
 pub use cluster::{
-    attempt_jitter, homogeneous_makespan, run_phase, run_phase_faulty, Cluster, ClusterTimeline,
-    FifoAnySlot, KindPreferring, Node, NodeTiming, PhaseLoad, PhaseRun, Placement, SlotStats,
-    TaskSet, TaskSpan,
+    attempt_jitter, homogeneous_makespan, placement_probes, reset_placement_probes, run_phase,
+    run_phase_faulty, Cluster, ClusterTimeline, FifoAnySlot, FreeSlots, KindPreferring, Node,
+    NodeTiming, PhaseLoad, PhaseRun, Placement, SlotStats, TaskSet, TaskSpan,
 };
 pub use harness::{run_grid, run_grid_with, set_jobs, HarnessSnapshot, Sweep};
 pub use model::{

@@ -795,10 +795,14 @@ fn charge_phase(
 ) -> f64 {
     let mut ph = ClusterTimeline::new(cluster);
     ph.extend("phase", 0.0, run);
+    // One pass over the span columns for every node's step function —
+    // the per-node `active_steps(i)` loop was O(nodes × spans).
+    let mut steps = ph.active_steps_all();
     let mut dynamic_j = 0.0;
     for (i, m) in machines.iter().enumerate() {
         let op = m.operating_point(f);
-        let util = UtilizationTimeline::new(ph.active_steps(i), run.makespan_s);
+        let node_steps = steps.get_mut(i).map(std::mem::take).unwrap_or_default();
+        let util = UtilizationTimeline::new(node_steps, run.makespan_s);
         let trace = util.to_power_trace(|active| {
             // A node with no running task draws only its idle floor —
             // DRAM/disk activity follows the tasks, not the cluster.
@@ -1370,7 +1374,7 @@ mod tests {
         let (m, tl) = simulate_cluster(&cfg);
         assert_eq!(m.machine_name, "Mixed(1xXeon+2xAtom)");
         assert_eq!(tl.nodes.len(), 3);
-        assert!(!tl.spans.is_empty());
+        assert!(!tl.is_empty());
         assert!(m.breakdown.total() > 0.0);
         assert!(m.energy_j > 0.0);
         // simulate() routes node_mix configs through the same path.
@@ -1462,7 +1466,7 @@ mod tests {
         assert_eq!(tl.nodes.len(), 3);
         assert_eq!(m.machine_name, cfg.machine.name);
         // Grep chains two jobs: phase labels carry the job index.
-        assert!(tl.spans.iter().any(|s| s.phase == "map0"));
-        assert!(tl.spans.iter().any(|s| s.phase == "map1"));
+        assert!(tl.iter().any(|s| s.phase == "map0"));
+        assert!(tl.iter().any(|s| s.phase == "map1"));
     }
 }

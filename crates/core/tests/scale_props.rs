@@ -1,0 +1,176 @@
+//! Scale property suite: invariants of the cluster engine on
+//! 1k-node / 100k-task configurations, plus the 10k-node regression
+//! pinning the amortized-O(1) placement path.
+//!
+//! These are the lock on the engine's hot-path rewrite: whatever the
+//! free-slot index does internally, a big run must still produce exactly
+//! one winner per task, conserve slot-seconds, keep time monotone — and
+//! must not fall back to per-event linear node scans when nodes die or
+//! get blacklisted.
+
+use hhsim_core::arch::CoreKind;
+use hhsim_core::cluster::{
+    jitter, placement_probes, reset_placement_probes, run_phase, run_phase_faulty, Cluster,
+    FifoAnySlot, PhaseLoad, PhaseRun, TaskSet,
+};
+use hhsim_core::faults::{AttemptOutcome, FaultPlan, PhaseFaults, RecoveryPolicy};
+
+const NODES: usize = 1_000;
+const SLOTS: usize = 4;
+const TASKS: usize = 100_000;
+
+fn big_cluster(nodes: usize, slots: usize) -> Cluster {
+    Cluster::homogeneous(CoreKind::Big, nodes, slots)
+}
+
+fn load(tasks: usize, cluster: &Cluster) -> PhaseLoad {
+    PhaseLoad::uniform(
+        &TaskSet {
+            tasks,
+            task_seconds: 5.0,
+            overhead_seconds: 0.1,
+        },
+        cluster,
+    )
+}
+
+/// Seeded failure-injecting fault layer over `nodes` nodes.
+fn failure_faults(nodes: usize, rate: f64, seed: u64) -> PhaseFaults {
+    PhaseFaults {
+        plan: FaultPlan::new(seed, 0, rate),
+        crash_at_s: vec![None; nodes],
+        dead_at_start: vec![false; nodes],
+        slowdown: vec![1.0; nodes],
+        policy: RecoveryPolicy::hadoop(),
+    }
+}
+
+/// Shared invariant pack for any completed run.
+fn assert_run_invariants(run: &PhaseRun, tasks: usize) {
+    // Exactly one winner per task, in task order.
+    assert_eq!(run.spans.len(), tasks, "one winning span per task");
+    for (i, s) in run.spans.iter().enumerate() {
+        assert_eq!(s.task, i);
+        assert_eq!(s.outcome, AttemptOutcome::Success);
+        // Monotone per-span clock.
+        assert!(s.queued_s <= s.launched_s, "launch before queue");
+        assert!(s.launched_s < s.finished_s, "zero-length span");
+        assert!(s.finished_s <= run.makespan_s + 1e-9);
+    }
+    // Wasted attempts are exactly the failed + killed + cancelled ones.
+    assert_eq!(
+        run.wasted.len() as u64,
+        run.faults.failed_attempts + run.faults.killed_attempts + run.faults.cancelled_attempts,
+        "every losing attempt leaves exactly one wasted span"
+    );
+    for w in &run.wasted {
+        assert_ne!(w.outcome, AttemptOutcome::Success);
+        assert!(w.task < tasks);
+        assert!(w.launched_s <= w.finished_s);
+    }
+    // Slot-seconds conservation: the fault counters' wasted time equals
+    // the wasted spans' slot time.
+    let wasted_s: f64 = run.wasted.iter().map(|w| w.finished_s - w.launched_s).sum();
+    assert!(
+        (run.faults.wasted_slot_s - wasted_s).abs() < 1e-6 * wasted_s.max(1.0),
+        "wasted_slot_s diverged from the wasted spans: {} vs {wasted_s}",
+        run.faults.wasted_slot_s
+    );
+    assert!(run.slots.peak_in_use <= run.slots.capacity);
+}
+
+#[test]
+fn fault_free_run_at_scale_holds_invariants() {
+    let c = big_cluster(NODES, SLOTS);
+    let run = run_phase(&c, &load(TASKS, &c), &mut FifoAnySlot);
+    assert_run_invariants(&run, TASKS);
+
+    // Slot-seconds conservation against the analytic total: every task
+    // runs for exactly jitter(task) * 5.0 + 0.1 seconds on some slot.
+    let expected: f64 = (0..TASKS).map(|t| 5.0 * jitter(t) + 0.1).sum();
+    let actual: f64 = run.spans.iter().map(|s| s.finished_s - s.launched_s).sum();
+    assert!(
+        (expected - actual).abs() < 1e-6 * expected,
+        "slot-seconds not conserved: {actual} vs {expected}"
+    );
+
+    // FIFO waves: with 4000 slots and 100k tasks the queue drains in
+    // ~25 waves; makespan must be far beyond one wave but bounded.
+    assert!(run.makespan_s > 5.0 * 20.0);
+    assert!(run.makespan_s < 5.5 * 30.0);
+}
+
+#[test]
+fn faulty_run_at_scale_holds_invariants() {
+    let c = big_cluster(NODES, SLOTS);
+    let mut faults = failure_faults(NODES, 0.02, 42);
+    // Two mid-run crashes and a straggler to exercise every recovery
+    // path at scale.
+    faults.crash_at_s[17] = Some(12.0);
+    faults.crash_at_s[800] = Some(30.0);
+    faults.slowdown[3] = 3.0;
+    let run = run_phase_faulty(&c, &load(TASKS, &c), &mut FifoAnySlot, Some(&faults))
+        .expect("2% failures over 1k nodes must recover");
+    assert_run_invariants(&run, TASKS);
+    assert!(
+        run.faults.failed_attempts > 0,
+        "seed 42 must inject failures"
+    );
+    assert_eq!(run.faults.node_crashes, 2);
+    assert!(
+        run.faults.killed_attempts > 0,
+        "crashes caught work in flight"
+    );
+    // Nothing launches on a crashed node after its crash time.
+    for s in run.spans.iter().chain(&run.wasted) {
+        if s.node == 17 {
+            assert!(s.launched_s < 12.0 + 1e-9);
+        }
+        if s.node == 800 {
+            assert!(s.launched_s < 30.0 + 1e-9);
+        }
+    }
+}
+
+#[test]
+fn scale_runs_are_deterministic() {
+    let c = big_cluster(NODES, SLOTS);
+    let mut faults = failure_faults(NODES, 0.01, 7);
+    faults.crash_at_s[100] = Some(20.0);
+    let l = load(TASKS, &c);
+    let a = run_phase_faulty(&c, &l, &mut FifoAnySlot, Some(&faults)).expect("recovers");
+    let b = run_phase_faulty(&c, &l, &mut FifoAnySlot, Some(&faults)).expect("recovers");
+    assert_eq!(a, b, "same seed, same run, bit for bit");
+}
+
+/// The satellite regression for the O(nodes) blacklist/usable-node scan:
+/// a 10k-node run that blacklists a node must not rescan the node table
+/// per event. The engine counts bitmap words examined by placement
+/// queries; the old linear scan examined ~nodes entries per launch
+/// (~10^4 × launches ≈ 10^8 here), the two-level bitmap a handful.
+#[test]
+fn blacklisting_at_10k_nodes_stays_sublinear() {
+    const BIG_NODES: usize = 10_000;
+    const BIG_TASKS: usize = 30_000;
+    let c = big_cluster(BIG_NODES, 1);
+    let mut faults = failure_faults(BIG_NODES, 0.001, 9);
+    faults.policy.blacklist_after = 1;
+    faults.policy.speculation = false; // isolate the placement path
+    reset_placement_probes();
+    let run = run_phase_faulty(&c, &load(BIG_TASKS, &c), &mut FifoAnySlot, Some(&faults))
+        .expect("0.1% failures recover");
+    let probes = placement_probes();
+    assert_run_invariants(&run, BIG_TASKS);
+    assert!(
+        run.faults.blacklisted_nodes >= 1,
+        "seed 9 must blacklist at least one node"
+    );
+    let launches = BIG_TASKS as u64 + run.faults.failed_attempts;
+    // Generous bound: a few words per placement query. The pre-rewrite
+    // engine cost ~BIG_NODES (10^4) per launch; a quadratic rescan would
+    // blow this bound by three orders of magnitude.
+    assert!(
+        probes < launches * 16,
+        "placement degraded to linear scans: {probes} probes for {launches} launches"
+    );
+}

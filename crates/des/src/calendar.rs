@@ -1,0 +1,371 @@
+//! Event-calendar backends.
+//!
+//! Two implementations stand behind [`crate::Simulation`]:
+//!
+//! * **Heap** — the reference `BinaryHeap<Reverse<Scheduled>>`. Simple,
+//!   obviously correct, `O(log n)` per operation with a constant factor
+//!   that grows with the pending-event count.
+//! * **Ladder** — a bucketed calendar queue for dense runs (10k-node /
+//!   million-task cluster simulations): near-term events live in a small
+//!   sorted *active* heap, mid-term events in fixed-width FIFO buckets,
+//!   far-future events in an unsorted overflow that is re-bucketed when
+//!   the buckets drain. Push and pop are amortized `O(1)` in the event
+//!   count; only the handful of events inside one bucket width ever pay
+//!   a heap comparison.
+//!
+//! Both backends pop events in exactly the same `(time, seq)` order —
+//! the differential oracle in `tests/calendar_oracle.rs` fuzzes that
+//! equivalence, and the artifact byte-identity gate depends on it.
+
+use std::cmp::{Ordering, Reverse};
+use std::collections::{BinaryHeap, VecDeque};
+
+use crate::sim::{EventFn, EventId};
+use crate::SimTime;
+
+/// Calendar position of an event. The *derived* lexicographic order —
+/// earliest time first, insertion sequence breaking ties (FIFO) — is the
+/// kernel's entire determinism guarantee, total by construction; the
+/// max-heap inversion lives in the [`Reverse`] wrapper at the heap, not in
+/// a hand-flipped comparator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) struct CalendarKey {
+    pub(crate) at: SimTime,
+    pub(crate) seq: u64,
+}
+
+pub(crate) struct Scheduled {
+    pub(crate) key: CalendarKey,
+    pub(crate) id: EventId,
+    pub(crate) action: Option<EventFn>,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+/// Which event-calendar backend a [`crate::Simulation`] runs on.
+///
+/// The default, [`CalendarKind::Auto`], starts on the reference heap and
+/// migrates to the ladder once the pending-event count crosses
+/// [`AUTO_LADDER_THRESHOLD`] — small interactive simulations never pay
+/// the ladder's bucket bookkeeping, dense cluster runs never pay
+/// `O(log n)` heap churn. The `HHSIM_CALENDAR` environment variable
+/// (`heap` / `ladder` / `auto`, read once per process) overrides the
+/// default for [`crate::Simulation::new`], which is how CI regenerates
+/// every artifact under each backend explicitly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CalendarKind {
+    /// Heap first, ladder beyond [`AUTO_LADDER_THRESHOLD`] pending events.
+    #[default]
+    Auto,
+    /// Always the reference binary heap.
+    Heap,
+    /// Always the bucketed ladder calendar.
+    Ladder,
+}
+
+/// Pending-event count at which [`CalendarKind::Auto`] migrates the
+/// calendar from the heap to the ladder.
+pub const AUTO_LADDER_THRESHOLD: usize = 4096;
+
+/// Bucket count targeted when the ladder re-buckets its overflow.
+const TARGET_RUNGS: u64 = 64;
+
+pub(crate) enum Calendar {
+    Heap(BinaryHeap<Reverse<Scheduled>>),
+    Ladder(Ladder),
+}
+
+impl Calendar {
+    pub(crate) fn new(kind: CalendarKind) -> Self {
+        match kind {
+            CalendarKind::Auto | CalendarKind::Heap => Calendar::Heap(BinaryHeap::new()),
+            CalendarKind::Ladder => Calendar::Ladder(Ladder::new()),
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            Calendar::Heap(h) => h.len(),
+            Calendar::Ladder(l) => l.len,
+        }
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub(crate) fn push(&mut self, ev: Scheduled) {
+        match self {
+            Calendar::Heap(h) => h.push(Reverse(ev)),
+            Calendar::Ladder(l) => l.push(ev),
+        }
+    }
+
+    pub(crate) fn pop(&mut self) -> Option<Scheduled> {
+        match self {
+            Calendar::Heap(h) => h.pop().map(|Reverse(ev)| ev),
+            Calendar::Ladder(l) => l.pop(),
+        }
+    }
+
+    /// Key of the next event to pop. `&mut` because the ladder may need
+    /// to rotate buckets into its active heap to expose the minimum;
+    /// rotation never changes the pop order.
+    pub(crate) fn peek_key(&mut self) -> Option<CalendarKey> {
+        match self {
+            Calendar::Heap(h) => h.peek().map(|Reverse(ev)| ev.key),
+            Calendar::Ladder(l) => l.peek_key(),
+        }
+    }
+
+    /// Rebuilds the pending events into a ladder (no-op if already one).
+    pub(crate) fn migrate_to_ladder(&mut self) {
+        if let Calendar::Heap(heap) = self {
+            let events: Vec<Scheduled> = std::mem::take(heap)
+                .into_iter()
+                .map(|Reverse(ev)| ev)
+                .collect();
+            *self = Calendar::Ladder(Ladder::from_events(events));
+        }
+    }
+
+    pub(crate) fn backend(&self) -> &'static str {
+        match self {
+            Calendar::Heap(_) => "heap",
+            Calendar::Ladder(_) => "ladder",
+        }
+    }
+}
+
+/// The bucketed ladder calendar.
+///
+/// Time is split into three zones, nearest first:
+///
+/// 1. `active`: a binary heap of every pending event with
+///    `at < active_end_ns`. All pops come from here, so pop order within
+///    the zone is exact `(time, seq)`.
+/// 2. `buckets`: `buckets[b]` is an *unsorted* list of events with
+///    `at ∈ [active_end_ns + b·width_ns, active_end_ns + (b+1)·width_ns)`.
+///    When `active` drains, the front bucket rotates into it (heapifying
+///    only one bucket's worth of events) and `active_end_ns` advances by
+///    one width.
+/// 3. `overflow`: unsorted events at or beyond the bucket range. When
+///    both `active` and `buckets` drain, the overflow is re-bucketed
+///    over its own `[min, max]` span with a fresh width targeting
+///    [`TARGET_RUNGS`] buckets.
+///
+/// Zone boundaries are strict on `at`, so two events with equal
+/// timestamps always sit in the same zone relative to any boundary and
+/// their FIFO `seq` tie-break is decided by the active heap — never by
+/// bucket order.
+pub(crate) struct Ladder {
+    active: BinaryHeap<Reverse<Scheduled>>,
+    /// Exclusive upper time bound of `active`, nanoseconds.
+    active_end_ns: u64,
+    buckets: VecDeque<Vec<Scheduled>>,
+    /// Width of one bucket, nanoseconds (always >= 1).
+    width_ns: u64,
+    overflow: Vec<Scheduled>,
+    len: usize,
+}
+
+impl Ladder {
+    pub(crate) fn new() -> Self {
+        Ladder {
+            active: BinaryHeap::new(),
+            active_end_ns: 0,
+            buckets: VecDeque::new(),
+            width_ns: 1,
+            overflow: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Builds a ladder holding `events` (a heap migration): everything
+    /// starts in overflow and is spread into buckets on the first pop.
+    pub(crate) fn from_events(events: Vec<Scheduled>) -> Self {
+        let mut l = Ladder::new();
+        l.active_end_ns = events
+            .iter()
+            .map(|ev| ev.key.at.as_nanos())
+            .min()
+            .unwrap_or(0);
+        l.len = events.len();
+        l.overflow = events;
+        l
+    }
+
+    pub(crate) fn push(&mut self, ev: Scheduled) {
+        self.len += 1;
+        let at = ev.key.at.as_nanos();
+        if at < self.active_end_ns {
+            self.active.push(Reverse(ev));
+            return;
+        }
+        let idx = ((at - self.active_end_ns) / self.width_ns) as usize;
+        match self.buckets.get_mut(idx) {
+            Some(bucket) => bucket.push(ev),
+            None => self.overflow.push(ev),
+        }
+    }
+
+    pub(crate) fn pop(&mut self) -> Option<Scheduled> {
+        self.advance();
+        let ev = self.active.pop().map(|Reverse(ev)| ev);
+        if ev.is_some() {
+            self.len -= 1;
+        }
+        ev
+    }
+
+    pub(crate) fn peek_key(&mut self) -> Option<CalendarKey> {
+        self.advance();
+        self.active.peek().map(|Reverse(ev)| ev.key)
+    }
+
+    /// Rotates buckets (and, when they drain, the overflow) into the
+    /// active heap until it holds the global minimum or the ladder is
+    /// empty.
+    fn advance(&mut self) {
+        while self.active.is_empty() {
+            if let Some(bucket) = self.buckets.pop_front() {
+                // The popped bucket covered [active_end, active_end+width);
+                // afterwards every remaining bucket index still matches
+                // its time range and the bucket-range end is unchanged.
+                self.active_end_ns = self.active_end_ns.saturating_add(self.width_ns);
+                for ev in bucket {
+                    self.active.push(Reverse(ev));
+                }
+                continue; // the bucket may have been empty
+            }
+            if self.overflow.is_empty() {
+                return;
+            }
+            self.spread_overflow();
+        }
+    }
+
+    /// Re-buckets the overflow over its own time span. Only called with
+    /// `active` and `buckets` empty, so jumping `active_end_ns` forward
+    /// to the overflow minimum is safe: no pending event is earlier.
+    fn spread_overflow(&mut self) {
+        let events = std::mem::take(&mut self.overflow);
+        let mut lo = u64::MAX;
+        let mut hi = 0u64;
+        for ev in &events {
+            let at = ev.key.at.as_nanos();
+            lo = lo.min(at);
+            hi = hi.max(at);
+        }
+        self.active_end_ns = lo;
+        self.width_ns = ((hi - lo) / TARGET_RUNGS).max(1);
+        let last = (hi - lo) / self.width_ns;
+        self.buckets = (0..=last).map(|_| Vec::new()).collect();
+        for ev in events {
+            let idx = ((ev.key.at.as_nanos() - lo) / self.width_ns) as usize;
+            match self.buckets.get_mut(idx) {
+                Some(bucket) => bucket.push(ev),
+                // Unreachable by construction (`last` covers `hi`), but
+                // falling back to overflow keeps the event rather than
+                // asserting in the engine's hot path.
+                None => self.overflow.push(ev),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(at_ns: u64, seq: u64) -> Scheduled {
+        Scheduled {
+            key: CalendarKey {
+                at: SimTime::from_nanos(at_ns),
+                seq,
+            },
+            id: EventId(seq),
+            action: Some(Box::new(|_| {})),
+        }
+    }
+
+    fn drain(l: &mut Ladder) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        while let Some(e) = l.pop() {
+            out.push((e.key.at.as_nanos(), e.key.seq));
+        }
+        out
+    }
+
+    #[test]
+    fn ladder_pops_in_key_order() {
+        let mut l = Ladder::new();
+        for (i, at) in [500u64, 3, 3, 1_000_000, 42, 3, 0].iter().enumerate() {
+            l.push(ev(*at, i as u64));
+        }
+        let order = drain(&mut l);
+        let mut sorted = order.clone();
+        sorted.sort();
+        assert_eq!(order, sorted);
+        assert_eq!(order.len(), 7);
+        assert_eq!(l.len, 0);
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_order() {
+        let mut l = Ladder::new();
+        for i in 0..100u64 {
+            l.push(ev(i * 1000, i));
+        }
+        let mut last = (0, 0);
+        for i in 0..50u64 {
+            let e = l.pop().expect("non-empty");
+            let k = (e.key.at.as_nanos(), e.key.seq);
+            assert!(k >= last);
+            last = k;
+            // Push below, inside and beyond the current bucket range.
+            l.push(ev(e.key.at.as_nanos() + 1, 1000 + i));
+            l.push(ev(10_000_000 + i, 2000 + i));
+        }
+        let rest = drain(&mut l);
+        let mut sorted = rest.clone();
+        sorted.sort();
+        assert_eq!(rest, sorted);
+    }
+
+    #[test]
+    fn far_future_overflow_rebuckets() {
+        let mut l = Ladder::new();
+        l.push(ev(10, 0));
+        // Push something u64-range far away: the overflow re-bucket must
+        // not allocate a bucket per nanosecond.
+        l.push(ev(u64::MAX / 2, 1));
+        assert_eq!(drain(&mut l), vec![(10, 0), (u64::MAX / 2, 1)]);
+        assert!(l.buckets.len() as u64 <= TARGET_RUNGS + 2);
+    }
+
+    #[test]
+    fn identical_timestamps_pop_fifo() {
+        let mut l = Ladder::new();
+        for seq in 0..200u64 {
+            l.push(ev(777, seq));
+        }
+        let order = drain(&mut l);
+        assert_eq!(order, (0..200u64).map(|s| (777, s)).collect::<Vec<_>>());
+    }
+}

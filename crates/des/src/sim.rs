@@ -1,48 +1,62 @@
 //! The event calendar and execution loop.
 
-use std::cmp::{Ordering, Reverse};
-use std::collections::BinaryHeap;
 use std::fmt;
+use std::sync::OnceLock;
 
+use crate::calendar::{Calendar, CalendarKey, CalendarKind, Scheduled, AUTO_LADDER_THRESHOLD};
 use crate::SimTime;
 
 /// Identifier of a scheduled event, usable for cancellation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct EventId(u64);
+pub struct EventId(pub(crate) u64);
 
-type EventFn = Box<dyn FnOnce(&mut Simulation)>;
+pub(crate) type EventFn = Box<dyn FnOnce(&mut Simulation)>;
 
-/// Calendar position of an event. The *derived* lexicographic order —
-/// earliest time first, insertion sequence breaking ties (FIFO) — is the
-/// kernel's entire determinism guarantee, total by construction; the
-/// max-heap inversion lives in the [`Reverse`] wrapper at the heap, not in
-/// a hand-flipped comparator.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-struct CalendarKey {
-    at: SimTime,
-    seq: u64,
+/// Backend for [`Simulation::new`]: `HHSIM_CALENDAR` (`heap` / `ladder`
+/// / anything else = auto), read once per process.
+fn env_calendar_kind() -> CalendarKind {
+    static KIND: OnceLock<CalendarKind> = OnceLock::new();
+    *KIND.get_or_init(|| match std::env::var("HHSIM_CALENDAR").as_deref() {
+        Ok("heap") => CalendarKind::Heap,
+        Ok("ladder") => CalendarKind::Ladder,
+        _ => CalendarKind::Auto,
+    })
 }
 
-struct Scheduled {
-    key: CalendarKey,
-    id: EventId,
-    action: Option<EventFn>,
+/// Dense bitmap over event sequence numbers; allocated lazily so runs
+/// that never cancel pay nothing.
+#[derive(Debug, Default)]
+struct SeqSet {
+    words: Vec<u64>,
 }
 
-impl PartialEq for Scheduled {
-    fn eq(&self, other: &Self) -> bool {
-        self.key == other.key
+impl SeqSet {
+    /// Inserts `seq`; `false` if it was already present.
+    fn insert(&mut self, seq: u64) -> bool {
+        let w = (seq / 64) as usize;
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        let mask = 1u64 << (seq % 64);
+        let Some(word) = self.words.get_mut(w) else {
+            return false;
+        };
+        if *word & mask != 0 {
+            return false;
+        }
+        *word |= mask;
+        true
     }
-}
-impl Eq for Scheduled {}
-impl PartialOrd for Scheduled {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
+
+    fn contains(&self, seq: u64) -> bool {
+        let w = (seq / 64) as usize;
+        self.words
+            .get(w)
+            .is_some_and(|word| word & (1u64 << (seq % 64)) != 0)
     }
-}
-impl Ord for Scheduled {
-    fn cmp(&self, other: &Self) -> Ordering {
-        self.key.cmp(&other.key)
+
+    fn is_empty(&self) -> bool {
+        self.words.iter().all(|w| *w == 0)
     }
 }
 
@@ -51,6 +65,11 @@ impl Ord for Scheduled {
 /// Events are closures scheduled at absolute or relative virtual times and
 /// executed in `(time, insertion order)` order. The closure receives the
 /// simulation itself so it can schedule follow-up events.
+///
+/// Two calendar backends implement that contract (see [`CalendarKind`]):
+/// the reference binary heap and a bucketed ladder for dense runs. They
+/// pop byte-identical sequences; [`Simulation::new`] picks automatically
+/// by event density, [`Simulation::with_calendar`] pins one explicitly.
 ///
 /// # Examples
 ///
@@ -65,17 +84,20 @@ impl Ord for Scheduled {
 /// ```
 pub struct Simulation {
     now: SimTime,
-    queue: BinaryHeap<Reverse<Scheduled>>,
+    calendar: Calendar,
+    /// True while [`CalendarKind::Auto`] may still migrate to the ladder.
+    auto: bool,
     next_seq: u64,
     executed: u64,
-    cancelled: Vec<EventId>,
+    cancelled: SeqSet,
 }
 
 impl fmt::Debug for Simulation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Simulation")
             .field("now", &self.now)
-            .field("pending", &self.queue.len())
+            .field("calendar", &self.calendar.backend())
+            .field("pending", &self.calendar.len())
             .field("executed", &self.executed)
             .finish()
     }
@@ -88,14 +110,21 @@ impl Default for Simulation {
 }
 
 impl Simulation {
-    /// Creates an empty simulation at time zero.
+    /// Creates an empty simulation at time zero, on the calendar backend
+    /// selected by `HHSIM_CALENDAR` (default: density-based auto).
     pub fn new() -> Self {
+        Self::with_calendar(env_calendar_kind())
+    }
+
+    /// Creates an empty simulation on an explicit calendar backend.
+    pub fn with_calendar(kind: CalendarKind) -> Self {
         Simulation {
             now: SimTime::ZERO,
-            queue: BinaryHeap::new(),
+            calendar: Calendar::new(kind),
+            auto: kind == CalendarKind::Auto,
             next_seq: 0,
             executed: 0,
-            cancelled: Vec::new(),
+            cancelled: SeqSet::default(),
         }
     }
 
@@ -111,7 +140,14 @@ impl Simulation {
 
     /// Number of events still pending (including cancelled tombstones).
     pub fn pending_events(&self) -> usize {
-        self.queue.len()
+        self.calendar.len()
+    }
+
+    /// The calendar backend currently in use: `"heap"` or `"ladder"`.
+    /// Under [`CalendarKind::Auto`] this flips once event density crosses
+    /// the migration threshold.
+    pub fn calendar_backend(&self) -> &'static str {
+        self.calendar.backend()
     }
 
     /// Schedules `action` at absolute time `at`.
@@ -131,15 +167,19 @@ impl Simulation {
             at
         );
         let id = EventId(self.next_seq);
-        self.queue.push(Reverse(Scheduled {
+        self.calendar.push(Scheduled {
             key: CalendarKey {
                 at,
                 seq: self.next_seq,
             },
             id,
             action: Some(Box::new(action)),
-        }));
+        });
         self.next_seq += 1;
+        if self.auto && self.calendar.len() > AUTO_LADDER_THRESHOLD {
+            self.calendar.migrate_to_ladder();
+            self.auto = false;
+        }
         id
     }
 
@@ -151,27 +191,23 @@ impl Simulation {
         self.schedule_at(self.now + delay, action)
     }
 
-    /// Cancels a previously scheduled event. Cancelling an already-executed
-    /// or unknown event is a no-op (returns `false`).
+    /// Cancels a previously scheduled event. Cancelling an already-
+    /// cancelled or unknown event is a no-op (returns `false`).
     pub fn cancel(&mut self, id: EventId) -> bool {
-        // Tombstone approach: we cannot remove from a BinaryHeap, so remember
-        // the id and skip it when popped.
-        if self.cancelled.contains(&id) {
-            return false;
-        }
+        // Tombstone approach: neither backend supports removal from the
+        // middle of the calendar, so mark the id in a dense bitmap and
+        // skip it when popped.
         if id.0 >= self.next_seq {
             return false;
         }
-        self.cancelled.push(id);
-        true
+        self.cancelled.insert(id.0)
     }
 
     /// Executes the next pending event, advancing the clock. Returns `false`
     /// when the calendar is empty.
     pub fn step(&mut self) -> bool {
-        while let Some(Reverse(mut ev)) = self.queue.pop() {
-            if let Some(pos) = self.cancelled.iter().position(|c| *c == ev.id) {
-                self.cancelled.swap_remove(pos);
+        while let Some(mut ev) = self.calendar.pop() {
+            if !self.cancelled.is_empty() && self.cancelled.contains(ev.id.0) {
                 continue;
             }
             debug_assert!(ev.key.at >= self.now);
@@ -194,14 +230,14 @@ impl Simulation {
     /// `until`. Returns the final virtual time.
     pub fn run_until(&mut self, until: SimTime) -> SimTime {
         loop {
-            match self.queue.peek() {
-                Some(Reverse(ev)) if ev.key.at <= until => {
+            match self.calendar.peek_key() {
+                Some(key) if key.at <= until => {
                     self.step();
                 }
                 _ => break,
             }
         }
-        if self.now < until && !self.queue.is_empty() {
+        if self.now < until && !self.calendar.is_empty() {
             self.now = until;
         }
         self.now
@@ -264,29 +300,33 @@ mod tests {
 
     #[test]
     fn cancel_prevents_execution() {
-        let fired = Rc::new(RefCell::new(false));
-        let mut sim = Simulation::new();
-        let f = fired.clone();
-        let id = sim.schedule_in(SimTime::from_secs(1), move |_| {
-            *f.borrow_mut() = true;
-        });
-        assert!(sim.cancel(id));
-        assert!(!sim.cancel(id), "double-cancel reports false");
-        sim.run();
-        assert!(!*fired.borrow());
-        assert_eq!(sim.executed_events(), 0);
+        for kind in [CalendarKind::Heap, CalendarKind::Ladder] {
+            let fired = Rc::new(RefCell::new(false));
+            let mut sim = Simulation::with_calendar(kind);
+            let f = fired.clone();
+            let id = sim.schedule_in(SimTime::from_secs(1), move |_| {
+                *f.borrow_mut() = true;
+            });
+            assert!(sim.cancel(id));
+            assert!(!sim.cancel(id), "double-cancel reports false");
+            sim.run();
+            assert!(!*fired.borrow());
+            assert_eq!(sim.executed_events(), 0);
+        }
     }
 
     #[test]
     fn run_until_stops_at_boundary() {
-        let mut sim = Simulation::new();
-        sim.schedule_at(SimTime::from_secs(1), |_| {});
-        sim.schedule_at(SimTime::from_secs(10), |_| {});
-        sim.run_until(SimTime::from_secs(5));
-        assert_eq!(sim.now(), SimTime::from_secs(5));
-        assert_eq!(sim.executed_events(), 1);
-        sim.run();
-        assert_eq!(sim.now(), SimTime::from_secs(10));
+        for kind in [CalendarKind::Heap, CalendarKind::Ladder] {
+            let mut sim = Simulation::with_calendar(kind);
+            sim.schedule_at(SimTime::from_secs(1), |_| {});
+            sim.schedule_at(SimTime::from_secs(10), |_| {});
+            sim.run_until(SimTime::from_secs(5));
+            assert_eq!(sim.now(), SimTime::from_secs(5));
+            assert_eq!(sim.executed_events(), 1);
+            sim.run();
+            assert_eq!(sim.now(), SimTime::from_secs(10));
+        }
     }
 
     #[test]
@@ -294,5 +334,49 @@ mod tests {
         let mut sim = Simulation::new();
         assert_eq!(sim.run(), SimTime::ZERO);
         assert!(!sim.step());
+    }
+
+    #[test]
+    fn ladder_backend_runs_in_order() {
+        let order = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Simulation::with_calendar(CalendarKind::Ladder);
+        assert_eq!(sim.calendar_backend(), "ladder");
+        for (label, t) in [("c", 30u64), ("a", 1), ("b", 2), ("d", 30)] {
+            let order = order.clone();
+            sim.schedule_at(SimTime::from_millis(t), move |_| {
+                order.borrow_mut().push(label);
+            });
+        }
+        sim.run();
+        assert_eq!(*order.borrow(), vec!["a", "b", "c", "d"]);
+    }
+
+    #[test]
+    fn auto_migrates_to_ladder_at_density_threshold() {
+        let mut sim = Simulation::with_calendar(CalendarKind::Auto);
+        assert_eq!(sim.calendar_backend(), "heap");
+        let count = Rc::new(RefCell::new(0u64));
+        for i in 0..(AUTO_LADDER_THRESHOLD as u64 + 8) {
+            let count = count.clone();
+            sim.schedule_at(SimTime::from_nanos(i * 3), move |_| {
+                *count.borrow_mut() += 1;
+            });
+        }
+        assert_eq!(sim.calendar_backend(), "ladder");
+        let end = sim.run();
+        assert_eq!(*count.borrow(), AUTO_LADDER_THRESHOLD as u64 + 8);
+        assert_eq!(
+            end,
+            SimTime::from_nanos((AUTO_LADDER_THRESHOLD as u64 + 7) * 3)
+        );
+    }
+
+    #[test]
+    fn explicit_heap_never_migrates() {
+        let mut sim = Simulation::with_calendar(CalendarKind::Heap);
+        for i in 0..(AUTO_LADDER_THRESHOLD as u64 + 8) {
+            sim.schedule_at(SimTime::from_nanos(i), |_| {});
+        }
+        assert_eq!(sim.calendar_backend(), "heap");
     }
 }
