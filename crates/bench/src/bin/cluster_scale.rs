@@ -13,9 +13,12 @@
 //! timing code compiles against engines that predate the streaming
 //! writers) and an "after" run on the current tree.
 //!
-//! `--check` is the CI smoke: it runs the small config, asserts an
-//! events/sec floor, asserts the streaming exporters' RSS growth stays
-//! flat, and validates the checked-in `BENCH_cluster.json` shape.
+//! `--check` is the CI smoke: it runs the small config three times and
+//! asserts an events/sec floor on the **median** sample (a single
+//! sample on a shared runner can dip far below steady-state throughput
+//! when the run lands on a noisy neighbour; the median of three is
+//! stable), asserts the streaming exporters' RSS growth stays flat, and
+//! validates the checked-in `BENCH_cluster.json` shape.
 //!
 //! Events/sec counts *task completions* per wall-clock second: every
 //! task is one calendar completion event plus its share of dispatch
@@ -90,6 +93,16 @@ fn vm_hwm_kb() -> u64 {
     0
 }
 
+/// Median of a sample set (middle element; lower-middle for even sizes).
+fn median(xs: &[f64]) -> f64 {
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    sorted
+        .get(sorted.len().saturating_sub(1) / 2)
+        .copied()
+        .unwrap_or(0.0)
+}
+
 /// One timed engine run of `cfg`; returns (events/sec, elapsed seconds).
 fn bench_engine(cfg: &ScaleConfig) -> (f64, f64) {
     let cluster = Cluster::homogeneous(CoreKind::Big, cfg.nodes, cfg.slots);
@@ -153,6 +166,7 @@ fn check_bench_json() {
         "\"baseline_commit\"",
         "\"benches\"",
         "\"events_per_sec\"",
+        "\"median\"",
         "\"speedup\"",
         "\"export_rss_probe\"",
         "\"rss_growth_kb\"",
@@ -171,15 +185,21 @@ fn main() {
     let check = std::env::args().any(|a| a == "--check");
 
     if check {
-        let (eps, elapsed) = bench_engine(&CONFIGS[0]);
+        // Three samples, floor on the median: one sample on a shared
+        // runner is too noisy for a throughput gate (observed >10x
+        // spread between back-to-back small-config runs).
+        let samples: Vec<f64> = (0..3).map(|_| bench_engine(&CONFIGS[0]).0).collect();
+        let eps = median(&samples);
         println!(
-            "check: {} -> {:.0} events/s ({elapsed:.3}s)",
-            CONFIGS[0].name, eps
+            "check: {} -> median {:.0} events/s over {} samples",
+            CONFIGS[0].name,
+            eps,
+            samples.len()
         );
         assert!(
             eps >= CHECK_FLOOR_EVENTS_PER_SEC,
             "cluster engine throughput regressed below the floor: \
-             {eps:.0} < {CHECK_FLOOR_EVENTS_PER_SEC} events/s"
+             median {eps:.0} < {CHECK_FLOOR_EVENTS_PER_SEC} events/s"
         );
         #[cfg(feature = "streaming-export")]
         {
@@ -204,13 +224,14 @@ fn main() {
             eps.push(bench_engine(cfg).0);
         }
         let mean = eps.iter().sum::<f64>() / eps.len() as f64;
+        let med = median(&eps);
         let min = eps.iter().copied().fold(f64::INFINITY, f64::min);
         let max = eps.iter().copied().fold(0.0_f64, f64::max);
         let comma = if ci + 1 < CONFIGS.len() { "," } else { "" };
         println!(
             "    {{\"config\":\"{}\",\"nodes\":{},\"slots\":{},\"tasks\":{},\
-             \"events_per_sec\":{{\"mean\":{mean:.1},\"min\":{min:.1},\"max\":{max:.1},\
-             \"samples\":{}}},\"peak_rss_kb\":{}}}{comma}",
+             \"events_per_sec\":{{\"mean\":{mean:.1},\"median\":{med:.1},\"min\":{min:.1},\
+             \"max\":{max:.1},\"samples\":{}}},\"peak_rss_kb\":{}}}{comma}",
             cfg.name,
             cfg.nodes,
             cfg.slots,

@@ -1,0 +1,322 @@
+//! Scale benchmark for the energy integration path: event-driven
+//! streaming integration ([`StreamingMeter`]) vs the legacy
+//! materialize-then-sample pipeline (`PowerTrace` + `PowerMeter`), plus
+//! a replication-throughput probe of the batched Monte Carlo engine.
+//!
+//! ```text
+//! cargo run --release -p hhsim-bench --bin energy_scale             # full grid
+//! cargo run --release -p hhsim-bench --bin energy_scale -- --check  # CI smoke
+//! ```
+//!
+//! Full mode prints one JSON document; the checked-in `BENCH_energy.json`
+//! is a capture of that output. Both sides live in this tree, so no
+//! worktree dance is needed: "legacy" builds the whole `PowerTrace` in
+//! memory and prices every 1 Hz sample with `power_at` (a from-the-start
+//! segment walk, O(samples x segments)); "streaming" feeds the same
+//! segments through `StreamingMeter`, which integrates exactly per
+//! segment and resolves each 1 Hz sample once, in O(samples + segments)
+//! and O(1) memory. Both produce bit-identical `MeterReading`s and exact
+//! energies — asserted on every run.
+//!
+//! Samples/sec counts 1 Hz meter samples priced per wall-clock second —
+//! the unit both pipelines share, and the cost that used to scale with
+//! trace length times transition count.
+//!
+//! `--check` is the CI smoke: equality of both pipelines on the small
+//! config, a samples/sec floor, a flat-RSS assertion for the streaming
+//! meter on a multi-million-segment trace, a replication-engine
+//! throughput floor, and a shape check of the checked-in
+//! `BENCH_energy.json` (including its recorded `meets_10x_target`).
+
+// Wall-clock timing binary; crates/bench is wall-clock exempt in
+// analysis.toml for the same reason as the figures sweep.
+#![allow(clippy::disallowed_methods)]
+
+use std::time::Instant;
+
+use hhsim_core::arch::presets;
+use hhsim_core::energy::{EnergyReading, PowerMeter, PowerTrace, StreamingMeter};
+use hhsim_core::figures::fig19_faults;
+use hhsim_core::workloads::AppId;
+use hhsim_core::{ReplicationPlan, SimCache, SimConfig};
+
+/// One point of the scale grid: a synthetic stepped power trace.
+struct ScaleConfig {
+    name: &'static str,
+    duration_s: f64,
+    segments: usize,
+}
+
+const CONFIGS: [ScaleConfig; 3] = [
+    ScaleConfig {
+        name: "small",
+        duration_s: 600.0,
+        segments: 2_000,
+    },
+    ScaleConfig {
+        name: "mid",
+        duration_s: 3_600.0,
+        segments: 20_000,
+    },
+    ScaleConfig {
+        name: "large",
+        duration_s: 14_400.0,
+        segments: 100_000,
+    },
+];
+
+/// Samples/sec floor for the streaming pipeline in `--check` (release
+/// profile, small config). The streaming meter clears this by orders of
+/// magnitude; the floor only catches catastrophic regressions.
+const CHECK_FLOOR_SAMPLES_PER_SEC: f64 = 100_000.0;
+
+/// RSS-growth ceiling for the streaming flat-memory probe: integrating
+/// millions of segments must not grow the process high-water mark
+/// beyond a few MB of transient buffers (the meter's trimmed tail stays
+/// bounded by the clamp window).
+const CHECK_RSS_CEILING_KB: u64 = 8 * 1024;
+
+/// Replications/sec floor for the batched replication engine in
+/// `--check` (16 seeds of a 3-node faulty WordCount run).
+const CHECK_FLOOR_REPS_PER_SEC: f64 = 10.0;
+
+/// Segments fed to the flat-RSS probe.
+const RSS_PROBE_SEGMENTS: usize = 5_000_000;
+
+/// Deterministic watts of synthetic segment `i` (stepped, aperiodic
+/// enough that samples land on many distinct levels).
+fn watts(i: usize) -> f64 {
+    80.0 + (i % 13) as f64 * 10.0 + (i % 7) as f64 * 3.0
+}
+
+/// Peak resident set size (VmHWM) in kB, 0 if unreadable.
+fn vm_hwm_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            return rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+        }
+    }
+    0
+}
+
+/// Legacy pipeline: materialize the trace, then sample it at 1 Hz.
+/// Returns (samples/sec, reading, exact energy).
+fn bench_legacy(cfg: &ScaleConfig) -> (f64, hhsim_core::energy::MeterReading, f64) {
+    let d = cfg.duration_s / cfg.segments as f64;
+    let started = Instant::now();
+    let mut trace = PowerTrace::new();
+    for i in 0..cfg.segments {
+        trace.push(d, watts(i));
+    }
+    let reading = PowerMeter::default().measure(&trace);
+    let exact = trace.exact_energy_j();
+    let elapsed = started.elapsed().as_secs_f64();
+    (reading.samples as f64 / elapsed.max(1e-9), reading, exact)
+}
+
+/// Streaming pipeline: integrate exactly and resolve samples on the fly.
+/// Returns (samples/sec, energy reading).
+fn bench_streaming(cfg: &ScaleConfig) -> (f64, EnergyReading) {
+    let d = cfg.duration_s / cfg.segments as f64;
+    let started = Instant::now();
+    let mut meter = StreamingMeter::new();
+    for i in 0..cfg.segments {
+        meter.push(d, watts(i));
+    }
+    let er = meter.finish();
+    let elapsed = started.elapsed().as_secs_f64();
+    (er.meter.samples as f64 / elapsed.max(1e-9), er)
+}
+
+/// Asserts the tentpole invariant: the streamed 1 Hz view and the exact
+/// integral are bit-identical to the legacy pipeline's outputs.
+fn assert_views_match(cfg: &ScaleConfig) {
+    let (_, legacy_reading, legacy_exact) = bench_legacy(cfg);
+    let (_, er) = bench_streaming(cfg);
+    assert_eq!(
+        er.meter, legacy_reading,
+        "{}: streamed 1 Hz view must be bit-identical",
+        cfg.name
+    );
+    assert_eq!(
+        er.exact_energy_j.to_bits(),
+        legacy_exact.to_bits(),
+        "{}: exact integral must be bit-identical",
+        cfg.name
+    );
+}
+
+/// Feeds a multi-million-segment trace through the streaming meter and
+/// returns `(segments, rss_growth_kb)` — growth of the process peak RSS
+/// across the run. The legacy pipeline would hold all segments in
+/// memory (16 B each: ~80 MB here); the streaming meter must not.
+fn rss_probe() -> (usize, u64) {
+    let before = vm_hwm_kb();
+    let mut meter = StreamingMeter::new();
+    for i in 0..RSS_PROBE_SEGMENTS {
+        meter.push(0.01, watts(i));
+    }
+    let er = meter.finish();
+    assert!(er.exact_energy_j > 0.0);
+    let after = vm_hwm_kb();
+    (RSS_PROBE_SEGMENTS, after.saturating_sub(before))
+}
+
+/// Times the batched replication engine: 16 fault seeds of a 3-node
+/// WordCount run on one shared `ClusterPrep`, fresh cache. Returns
+/// (replications/sec, failed runs).
+fn replication_probe() -> (f64, u64) {
+    let cfg =
+        SimConfig::new(AppId::WordCount, presets::atom_c2758()).faults(fig19_faults(0.06, true));
+    let cache = SimCache::new();
+    let plan = ReplicationPlan::new(cfg, 0..16);
+    let started = Instant::now();
+    let summary = plan.run_with(1, &cache);
+    let elapsed = started.elapsed().as_secs_f64();
+    (
+        summary.replications as f64 / elapsed.max(1e-9),
+        summary.failed_runs,
+    )
+}
+
+/// Minimal shape check of the checked-in BENCH_energy.json (no JSON
+/// dependency in this workspace: validate the keys and brace balance).
+fn check_bench_json() {
+    let root = env!("CARGO_MANIFEST_DIR");
+    let path = format!("{root}/../../BENCH_energy.json");
+    let text = std::fs::read_to_string(&path).expect("BENCH_energy.json is checked in");
+    for key in [
+        "\"description\"",
+        "\"method\"",
+        "\"benches\"",
+        "\"samples_per_sec\"",
+        "\"speedup\"",
+        "\"replication_probe\"",
+        "\"rss_probe\"",
+        "\"rss_growth_kb\"",
+    ] {
+        assert!(text.contains(key), "BENCH_energy.json lacks {key}");
+    }
+    assert!(
+        text.contains("\"meets_10x_target\": true"),
+        "BENCH_energy.json must record a >=10x large-config speedup"
+    );
+    let opens = text.matches('{').count();
+    let closes = text.matches('}').count();
+    assert_eq!(opens, closes, "unbalanced braces in BENCH_energy.json");
+    let opens = text.matches('[').count();
+    let closes = text.matches(']').count();
+    assert_eq!(opens, closes, "unbalanced brackets in BENCH_energy.json");
+}
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check");
+
+    if check {
+        assert_views_match(&CONFIGS[0]);
+        println!("check: streamed view bit-identical on {}", CONFIGS[0].name);
+        let (sps, _) = bench_streaming(&CONFIGS[0]);
+        println!("check: {} -> {:.0} samples/s", CONFIGS[0].name, sps);
+        assert!(
+            sps >= CHECK_FLOOR_SAMPLES_PER_SEC,
+            "streaming meter throughput regressed below the floor: \
+             {sps:.0} < {CHECK_FLOOR_SAMPLES_PER_SEC} samples/s"
+        );
+        let (segments, growth) = rss_probe();
+        println!("check: streamed {segments} segments, RSS growth {growth} kB");
+        assert!(
+            growth <= CHECK_RSS_CEILING_KB,
+            "streaming meter no longer flat: grew {growth} kB"
+        );
+        let (rps, failed) = replication_probe();
+        println!("check: replication probe {rps:.0} reps/s ({failed} failed)");
+        assert!(
+            rps >= CHECK_FLOOR_REPS_PER_SEC,
+            "replication engine throughput regressed below the floor: \
+             {rps:.0} < {CHECK_FLOOR_REPS_PER_SEC} reps/s"
+        );
+        check_bench_json();
+        println!("check: BENCH_energy.json shape ok");
+        return;
+    }
+
+    // Full grid: three samples per pipeline per config, JSON on stdout.
+    let stats = |xs: &[f64]| {
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().copied().fold(0.0_f64, f64::max);
+        (mean, min, max)
+    };
+    let mut large_speedup = 0.0;
+    let mut lines = Vec::new();
+    for cfg in &CONFIGS {
+        assert_views_match(cfg);
+        let mut legacy = Vec::new();
+        let mut streaming = Vec::new();
+        for _ in 0..3 {
+            legacy.push(bench_legacy(cfg).0);
+            streaming.push(bench_streaming(cfg).0);
+        }
+        let (lm, ll, lh) = stats(&legacy);
+        let (sm, sl, sh) = stats(&streaming);
+        let speedup = sm / lm;
+        if cfg.name == "large" {
+            large_speedup = speedup;
+        }
+        lines.push(format!(
+            "    {{\"bench\":\"energy_scale/{} ({:.0}s trace, {} transitions)\",\
+             \"duration_s\":{:.0},\"segments\":{},\
+             \"legacy\":{{\"samples_per_sec\":{{\"mean\":{lm:.1},\"min\":{ll:.1},\"max\":{lh:.1},\"samples\":3}}}},\
+             \"streaming\":{{\"samples_per_sec\":{{\"mean\":{sm:.1},\"min\":{sl:.1},\"max\":{sh:.1},\"samples\":3}}}},\
+             \"speedup\":{speedup:.2}}}",
+            cfg.name, cfg.duration_s, cfg.segments, cfg.duration_s, cfg.segments,
+        ));
+    }
+    println!("{{");
+    println!(
+        "  \"description\": \"energy_scale bench (crates/bench/src/bin/energy_scale.rs): \
+         event-driven streaming energy integration (StreamingMeter, O(samples + segments), \
+         O(1) memory) vs the legacy materialize-then-sample pipeline (PowerTrace + \
+         PowerMeter::measure, O(samples x segments)). Both pipelines produce bit-identical \
+         1 Hz readings and exact energies; samples/sec counts 1 Hz meter samples priced per \
+         wall-clock second.\","
+    );
+    println!(
+        "  \"method\": \"3 samples per pipeline per config, release profile; speedup = \
+         streaming mean / legacy mean (samples/sec, higher is better); rss_probe = growth of \
+         VmHWM while integrating a 5M-segment trace through StreamingMeter (the legacy \
+         pipeline would hold ~80 MB of segments); replication_probe = seeds/sec of a 16-seed \
+         ReplicationPlan over one shared ClusterPrep, fresh cache, 1 worker\","
+    );
+    println!("  \"benches\": [");
+    let n = lines.len();
+    for (i, line) in lines.iter().enumerate() {
+        let comma = if i + 1 < n { "," } else { "" };
+        println!("{line}{comma}");
+    }
+    println!("  ],");
+    let (segments, growth) = rss_probe();
+    println!("  \"rss_probe\": {{\"segments\":{segments},\"rss_growth_kb\":{growth}}},");
+    let (rps, failed) = replication_probe();
+    println!(
+        "  \"replication_probe\": {{\"replications\":16,\"replications_per_sec\":{rps:.1},\
+         \"failed_runs\":{failed}}},"
+    );
+    println!(
+        "  \"meets_10x_target\": {}",
+        if large_speedup >= 10.0 {
+            "true"
+        } else {
+            "false"
+        }
+    );
+    println!("}}");
+}

@@ -147,7 +147,7 @@ fn main() {
     let grids = harness::snapshot().since(&harness_start);
     println!(
         "total: {} points over {} grids in {:.2?} ({} workers); \
-         cache {}/{} hits ({:.1}%), {} stall + {} run entries",
+         cache {}/{} hits ({:.1}%), {} stall + {} run + {} phase entries",
         grids.points,
         grids.grids,
         run_started.elapsed(),
@@ -157,5 +157,6 @@ fn main() {
         cache.hit_rate() * 100.0,
         cache.stall_entries,
         cache.run_entries,
+        cache.phase_entries,
     );
 }

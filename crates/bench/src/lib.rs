@@ -141,7 +141,8 @@ mod tests {
         assert!(ids.contains(&"fig17"));
         assert!(ids.contains(&"fig18"));
         assert!(ids.contains(&"fig19"));
-        assert_eq!(ids.len(), 22);
+        assert!(ids.contains(&"fig20"));
+        assert_eq!(ids.len(), 23);
     }
 
     #[test]

@@ -21,7 +21,7 @@ use hhsim_workloads::AppId;
 
 use hhsim_faults::{FaultConfig, RecoveryPolicy};
 
-use crate::harness::Sweep;
+use crate::harness::{ReplicationPlan, Sweep};
 use crate::model::{simulate_cluster, Measurement, NodeMix, PlacementKind, SimConfig};
 use crate::report::FigureData;
 
@@ -801,6 +801,69 @@ pub fn fig19() -> FigureData {
     f
 }
 
+/// Fault-seed replications behind every Fig. 20 point.
+pub const FIG20_SEEDS: u64 = 32;
+
+/// First fault seed of the Fig. 20 sweep (seeds run consecutively from
+/// here); fixed so the checked-in artifact regenerates byte-identically.
+pub const FIG20_SEED: u64 = 0x00F2_05EE_D000;
+
+/// Fig. 20 (model extension): seed-swept replication study of the
+/// Fig. 19 fault sweep. Each point replicates one cluster/rate
+/// configuration over [`FIG20_SEEDS`] fault seeds through the batched
+/// replication engine ([`ReplicationPlan`]) and reports the mean
+/// makespan and exact-energy EDP with 95% confidence bands (`*lo`/`*hi`
+/// series), normalized to the cluster's fault-free run. Speculation is
+/// on everywhere (the paper's default recovery), and the straggler
+/// population keeps the bands non-degenerate even at rate 0.
+pub fn fig20() -> FigureData {
+    let [xeon, atom] = machines();
+    type ClusterSpec<'a> = (&'a str, &'a MachineModel, Option<(usize, usize)>);
+    let clusters: [ClusterSpec; 3] = [
+        ("Xeon3", &xeon, None),
+        ("Atom3", &atom, None),
+        ("Mix1X2A", &xeon, Some((1, 2))),
+    ];
+    let point = |app: AppId, m: &MachineModel, mix: Option<(usize, usize)>| {
+        let mut c = cfg(app, m)
+            .data_per_node(data_for(app))
+            .block_size(FAULT_BLOCK);
+        if let Some((big, little)) = mix {
+            c = c.mix(NodeMix {
+                big,
+                little,
+                placement: PlacementKind::PaperClass(MetricKind::Edp),
+            });
+        }
+        c
+    };
+    let mut f = FigureData::new(
+        "fig20",
+        "Replicated makespan and EDP vs failure rate, 95% confidence bands",
+        "ratio",
+    );
+    for app in [AppId::WordCount, AppId::TeraSort] {
+        for (who, m, mix) in clusters {
+            let clean = simulate_cluster(&point(app, m, mix)).0;
+            let clean_t = clean.breakdown.total();
+            let clean_edp = clean.exact_energy_j * clean_t;
+            for rate in FAULT_RATES {
+                let c = point(app, m, mix).faults(fig19_faults(rate, true));
+                let s = ReplicationPlan::new(c, FIG20_SEED..FIG20_SEED + FIG20_SEEDS).run();
+                let x = format!("{rate:.2}");
+                let name = |metric: &str| format!("{metric}/{who}/{}", app.short_name());
+                f.push(name("T"), x.clone(), s.makespan_s.mean / clean_t);
+                f.push(name("Tlo"), x.clone(), s.makespan_s.lo() / clean_t);
+                f.push(name("Thi"), x.clone(), s.makespan_s.hi() / clean_t);
+                f.push(name("EDP"), x.clone(), s.edp.mean / clean_edp);
+                f.push(name("EDPlo"), x.clone(), s.edp.lo() / clean_edp);
+                f.push(name("EDPhi"), x, s.edp.hi() / clean_edp);
+            }
+        }
+    }
+    f
+}
+
 /// A figure/table generator: produces one artifact's data from scratch.
 pub type Generator = fn() -> FigureData;
 
@@ -829,6 +892,7 @@ pub fn all() -> Vec<(&'static str, Generator)> {
         ("fig17", fig17),
         ("fig18", fig18),
         ("fig19", fig19),
+        ("fig20", fig20),
     ]
 }
 
@@ -885,7 +949,7 @@ mod tests {
 
     #[test]
     fn all_generators_are_registered() {
-        assert_eq!(all().len(), 22, "2 tables + 20 figure artifacts");
+        assert_eq!(all().len(), 23, "2 tables + 21 figure artifacts");
     }
 
     #[test]
@@ -954,5 +1018,48 @@ mod tests {
             })
         });
         assert!(recovered, "speculation must beat no-speculation somewhere");
+    }
+
+    #[test]
+    fn fig20_bands_bracket_means_and_widen_with_rate() {
+        let f = fig20();
+        // 2 apps x 3 clusters x 4 rates x 6 series (T/Tlo/Thi, EDP triple).
+        assert_eq!(f.rows.len(), 144);
+        let val = |series: &str, rate: f64| {
+            f.rows
+                .iter()
+                .find(|r| r.series == series && r.x == format!("{rate:.2}"))
+                .map(|r| r.value)
+                .expect("fig20 row")
+        };
+        let (mut w0, mut w12) = (0.0, 0.0);
+        for app in ["WC", "TS"] {
+            for who in ["Xeon3", "Atom3", "Mix1X2A"] {
+                for metric in ["T", "EDP"] {
+                    let s = format!("{metric}/{who}/{app}");
+                    for rate in FAULT_RATES {
+                        let (lo, mid, hi) = (
+                            val(&format!("{metric}lo/{who}/{app}"), rate),
+                            val(&s, rate),
+                            val(&format!("{metric}hi/{who}/{app}"), rate),
+                        );
+                        assert!(lo <= mid && mid <= hi, "{s}@{rate}: band must bracket mean");
+                        assert!(
+                            mid > 0.9,
+                            "{s}@{rate}: faults cannot speed up the clean run"
+                        );
+                    }
+                }
+                // Confidence bands reflect seed spread: injected failures add
+                // variance over the straggler-only baseline at rate 0.
+                w0 += val(&format!("Thi/{who}/{app}"), 0.0) - val(&format!("Tlo/{who}/{app}"), 0.0);
+                w12 +=
+                    val(&format!("Thi/{who}/{app}"), 0.12) - val(&format!("Tlo/{who}/{app}"), 0.12);
+            }
+        }
+        assert!(
+            w12 > w0,
+            "summed makespan band width must grow with failure rate ({w12} vs {w0})"
+        );
     }
 }

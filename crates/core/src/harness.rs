@@ -20,7 +20,10 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
-use crate::model::{simulate, Measurement, SimConfig};
+use hhsim_faults::{FaultConfig, FaultStats};
+
+use crate::model::{simulate, ClusterPrep, Measurement, SimConfig};
+use crate::simcache::SimCache;
 
 /// Requested worker count; 0 means "auto" (available parallelism).
 static JOBS: AtomicUsize = AtomicUsize::new(0);
@@ -174,6 +177,238 @@ impl Sweep {
     }
 }
 
+/// Streaming summary of one scalar across the successful replications:
+/// count, mean, extremes and a normal-approximation 95% confidence
+/// half-width (`1.96 · s / √n`, 0 when fewer than two samples).
+///
+/// Built by a serial Welford fold **in seed-index order**, so the exact
+/// floating-point result is independent of worker count and batch size.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Aggregate {
+    /// Samples folded in.
+    pub n: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Smallest sample (0 when empty).
+    pub min: f64,
+    /// Largest sample (0 when empty).
+    pub max: f64,
+    /// 95% confidence half-width around the mean.
+    pub ci95: f64,
+}
+
+impl Aggregate {
+    /// Folds `values` in iteration order (Welford's online algorithm).
+    fn fold(values: impl Iterator<Item = f64>) -> Aggregate {
+        let mut agg = Aggregate::default();
+        let mut m2 = 0.0;
+        for v in values {
+            agg.n += 1;
+            if agg.n == 1 {
+                agg.min = v;
+                agg.max = v;
+            } else {
+                agg.min = agg.min.min(v);
+                agg.max = agg.max.max(v);
+            }
+            let d = v - agg.mean;
+            agg.mean += d / agg.n as f64;
+            m2 += d * (v - agg.mean);
+        }
+        if agg.n > 1 {
+            let var_mean = m2 / (agg.n - 1) as f64 / agg.n as f64;
+            agg.ci95 = 1.96 * var_mean.max(0.0).sqrt();
+        }
+        agg
+    }
+
+    /// Mean minus the 95% half-width.
+    pub fn lo(&self) -> f64 {
+        self.mean - self.ci95
+    }
+
+    /// Mean plus the 95% half-width.
+    pub fn hi(&self) -> f64 {
+        self.mean + self.ci95
+    }
+}
+
+/// The scalars one replication contributes to the reduction. Timelines
+/// and 1 Hz meter views are dropped as soon as the run finishes, so the
+/// plan's memory stays O(replications), not O(replications · trace).
+#[derive(Debug, Clone)]
+struct RepPoint {
+    makespan_s: f64,
+    energy_j: f64,
+    exact_energy_j: f64,
+    edp: f64,
+    faults: FaultStats,
+}
+
+/// Deterministic reduction of a [`ReplicationPlan`] run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplicationSummary {
+    /// Replications attempted (one per seed).
+    pub replications: u64,
+    /// Replications whose recovery budget was exhausted ([`PhaseError`]
+    /// — excluded from the aggregates below).
+    ///
+    /// [`PhaseError`]: hhsim_faults::PhaseError
+    pub failed_runs: u64,
+    /// Job makespan, seconds.
+    pub makespan_s: Aggregate,
+    /// Metered dynamic energy (streamed 1 Hz view), joules.
+    pub energy_j: Aggregate,
+    /// Exact event-driven dynamic energy, joules.
+    pub exact_energy_j: Aggregate,
+    /// Energy-delay product from the **exact** energy, J·s.
+    pub edp: Aggregate,
+    /// Fault counters summed over the successful replications.
+    pub faults: FaultStats,
+}
+
+/// Batched Monte Carlo replication of one [`SimConfig`] across fault
+/// seeds.
+///
+/// The seed-independent half of the cluster run (node roster, task
+/// pricing, launch overheads, protocol time) is prepared **once** and
+/// shared by every worker; each seed then only re-runs the fault
+/// sampling, the wave scheduler and the event-driven energy
+/// integration. Workers claim contiguous batches of seed indices from a
+/// shared cursor and land each result in its own slot, and the final
+/// reduction folds slots serially in seed order — so the summary is
+/// bit-identical whatever the worker count or batch size.
+///
+/// Seeds replace the seed of the config's own [`FaultConfig`]; a plan
+/// over a fault-free config runs the same deterministic point once per
+/// seed (useful as a baseline, every replication identical).
+///
+/// ```
+/// use hhsim_core::figures::fig19_faults;
+/// use hhsim_core::harness::ReplicationPlan;
+/// use hhsim_core::{arch::presets, workloads::AppId, SimConfig};
+///
+/// let cfg = SimConfig::new(AppId::WordCount, presets::atom_c2758())
+///     .faults(fig19_faults(0.06, true));
+/// let summary = ReplicationPlan::new(cfg, 0..8).run();
+/// assert_eq!(summary.replications, 8);
+/// assert!(summary.makespan_s.ci95 >= 0.0);
+/// assert!(summary.edp.lo() <= summary.edp.hi());
+/// ```
+pub struct ReplicationPlan {
+    cfg: SimConfig,
+    seeds: Vec<u64>,
+    batch: usize,
+}
+
+impl ReplicationPlan {
+    /// A plan replicating `cfg` once per seed.
+    pub fn new(cfg: SimConfig, seeds: impl IntoIterator<Item = u64>) -> Self {
+        ReplicationPlan {
+            cfg,
+            seeds: seeds.into_iter().collect(),
+            batch: 8,
+        }
+    }
+
+    /// Sets how many seeds a worker claims per grab (default 8; clamped
+    /// to at least 1). Purely a scheduling knob — results are invariant.
+    pub fn batch(mut self, batch: usize) -> Self {
+        self.batch = batch.max(1);
+        self
+    }
+
+    /// Number of replications the plan will run.
+    pub fn len(&self) -> usize {
+        self.seeds.len()
+    }
+
+    /// Whether the plan has no seeds.
+    pub fn is_empty(&self) -> bool {
+        self.seeds.is_empty()
+    }
+
+    /// Runs the plan with the configured worker count against the
+    /// process-wide cache.
+    pub fn run(&self) -> ReplicationSummary {
+        self.run_with(jobs(), SimCache::global())
+    }
+
+    /// [`ReplicationPlan::run`] with an explicit worker count and cache
+    /// (tests and benches).
+    pub fn run_with(&self, workers: usize, cache: &SimCache) -> ReplicationSummary {
+        // Operator telemetry only — see the note in `run_grid_with`.
+        #[allow(clippy::disallowed_methods)]
+        let started = Instant::now();
+        let prep = ClusterPrep::new(&self.cfg, cache);
+        let base = self.cfg.faults.filter(FaultConfig::active);
+        let eval = |seed: u64| -> Option<RepPoint> {
+            let seeded = base.map(|f| f.seed(seed));
+            let (m, _timeline) = prep.run_seeded(seeded.as_ref(), cache).ok()?;
+            let makespan_s = m.breakdown.total();
+            Some(RepPoint {
+                makespan_s,
+                energy_j: m.energy_j,
+                exact_energy_j: m.exact_energy_j,
+                edp: m.exact_energy_j * makespan_s,
+                faults: m.faults,
+            })
+        };
+
+        let n = self.seeds.len();
+        let points: Vec<Option<RepPoint>> = if workers <= 1 || n <= 1 {
+            self.seeds.iter().map(|&s| eval(s)).collect()
+        } else {
+            // Batched work stealing: each grab claims `batch` contiguous
+            // seed indices; each result lands in its own slot, so the
+            // reduction below sees seed order regardless of scheduling.
+            let slots: Vec<OnceLock<Option<RepPoint>>> = (0..n).map(|_| OnceLock::new()).collect();
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..workers.min(n) {
+                    scope.spawn(|| loop {
+                        let start = next.fetch_add(self.batch, Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        let end = (start + self.batch).min(n);
+                        for i in start..end {
+                            let seed = self.seeds.get(i).copied();
+                            let point = seed.and_then(&eval);
+                            if let Some(slot) = slots.get(i) {
+                                let _ = slot.set(point);
+                            }
+                        }
+                    });
+                }
+            });
+            slots
+                .into_iter()
+                .map(|s| s.into_inner().flatten())
+                .collect()
+        };
+
+        let ok: Vec<&RepPoint> = points.iter().flatten().collect();
+        let mut faults = FaultStats::default();
+        for p in &ok {
+            faults.absorb(&p.faults);
+        }
+        let summary = ReplicationSummary {
+            replications: n as u64,
+            failed_runs: (n - ok.len()) as u64,
+            makespan_s: Aggregate::fold(ok.iter().map(|p| p.makespan_s)),
+            energy_j: Aggregate::fold(ok.iter().map(|p| p.energy_j)),
+            exact_energy_j: Aggregate::fold(ok.iter().map(|p| p.exact_energy_j)),
+            edp: Aggregate::fold(ok.iter().map(|p| p.edp)),
+            faults,
+        };
+        POINTS.fetch_add(n as u64, Ordering::Relaxed);
+        GRIDS.fetch_add(1, Ordering::Relaxed);
+        BUSY_NANOS.fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        summary
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -230,5 +465,76 @@ mod tests {
     fn empty_grid_is_fine() {
         assert!(run_grid_with(&[], 4).is_empty());
         assert!(Sweep::new().is_empty());
+    }
+
+    #[test]
+    fn aggregate_fold_matches_closed_form() {
+        let agg = Aggregate::fold([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter());
+        assert_eq!(agg.n, 8);
+        assert!((agg.mean - 5.0).abs() < 1e-12);
+        assert_eq!(agg.min, 2.0);
+        assert_eq!(agg.max, 9.0);
+        // Sample stddev of this set is sqrt(32/7); ci95 = 1.96 * s / sqrt(8).
+        let expect = 1.96 * (32.0f64 / 7.0).sqrt() / 8.0f64.sqrt();
+        assert!((agg.ci95 - expect).abs() < 1e-12);
+        assert!(agg.lo() < agg.mean && agg.mean < agg.hi());
+        let one = Aggregate::fold(std::iter::once(3.0));
+        assert_eq!(
+            (one.n, one.mean, one.min, one.max, one.ci95),
+            (1, 3.0, 3.0, 3.0, 0.0)
+        );
+        assert_eq!(Aggregate::fold(std::iter::empty()), Aggregate::default());
+    }
+
+    fn faulty_cfg() -> SimConfig {
+        SimConfig::new(AppId::WordCount, presets::atom_c2758())
+            .faults(crate::figures::fig19_faults(0.08, true))
+    }
+
+    #[test]
+    fn replication_invariant_to_workers_and_batch() {
+        let cache = SimCache::new();
+        let plan = ReplicationPlan::new(faulty_cfg(), 0..12);
+        let serial = plan.run_with(1, &cache);
+        for (workers, batch) in [(4, 1), (4, 8), (2, 3), (3, 64)] {
+            let par = ReplicationPlan::new(faulty_cfg(), 0..12)
+                .batch(batch)
+                .run_with(workers, &cache);
+            assert_eq!(serial, par, "workers={workers} batch={batch}");
+        }
+        assert_eq!(serial.replications, 12);
+        assert!(serial.makespan_s.n + serial.failed_runs == 12);
+        assert!(serial.makespan_s.min > 0.0);
+        assert!(serial.edp.mean > 0.0);
+    }
+
+    #[test]
+    fn faultfree_plan_has_zero_spread() {
+        let cache = SimCache::new();
+        let cfg = SimConfig::new(AppId::Sort, presets::xeon_e5_2420());
+        let s = ReplicationPlan::new(cfg, [1, 2, 3, 4]).run_with(2, &cache);
+        assert_eq!(s.failed_runs, 0);
+        assert_eq!(s.makespan_s.min, s.makespan_s.max);
+        assert_eq!(s.makespan_s.ci95, 0.0);
+        assert_eq!(s.faults, hhsim_faults::FaultStats::default());
+    }
+
+    #[test]
+    fn faults_vary_per_seed_and_accumulate() {
+        let cache = SimCache::new();
+        let s = ReplicationPlan::new(faulty_cfg(), 0..16).run_with(2, &cache);
+        assert!(
+            s.faults.failed_attempts > 0,
+            "rate 0.08 must inject failures"
+        );
+        assert!(
+            s.makespan_s.max > s.makespan_s.min,
+            "seeds must produce distinct makespans"
+        );
+        assert!(s.makespan_s.ci95 > 0.0);
+        // Exact and metered energies agree to within the sampling bound.
+        assert!(s.exact_energy_j.mean > 0.0);
+        let rel = (s.exact_energy_j.mean - s.energy_j.mean).abs() / s.exact_energy_j.mean;
+        assert!(rel < 0.05, "exact vs metered drift {rel}");
     }
 }

@@ -51,7 +51,10 @@ pub use cluster::{
     run_phase_faulty, Cluster, ClusterTimeline, FifoAnySlot, FreeSlots, KindPreferring, Node,
     NodeTiming, PhaseLoad, PhaseRun, Placement, SlotStats, TaskSet, TaskSpan,
 };
-pub use harness::{run_grid, run_grid_with, set_jobs, HarnessSnapshot, Sweep};
+pub use harness::{
+    run_grid, run_grid_with, set_jobs, Aggregate, HarnessSnapshot, ReplicationPlan,
+    ReplicationSummary, Sweep,
+};
 pub use model::{
     job_class, simulate, simulate_cluster, simulate_cluster_with, simulate_with,
     try_simulate_cluster, try_simulate_cluster_with, Measurement, NodeMix, PhaseCost,

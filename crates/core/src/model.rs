@@ -35,7 +35,8 @@
 use hhsim_accel::AccelConfig;
 use hhsim_arch::{presets, ComputeProfile, CoreKind, Frequency, MachineModel};
 use hhsim_energy::{
-    CostMetrics, MeterReading, MetricKind, PowerMeter, PowerTrace, UtilizationTimeline,
+    CostMetrics, MeterReading, MetricKind, PowerMeter, PowerTrace, StreamingMeter,
+    UtilizationTimeline,
 };
 use hhsim_hdfs::{BlockSize, DiskModel};
 use hhsim_mapreduce::{JobConfig, PhaseBreakdown};
@@ -50,7 +51,7 @@ use crate::cluster::{
     PhaseLoad, PhaseRun, Placement, SlotStats, TaskSet,
 };
 use crate::ratios::JobRatios;
-use crate::simcache::SimCache;
+use crate::simcache::{PhaseFaultKey, PhaseKey, SimCache};
 
 /// Framework instructions charged per task launch (JVM spin-up, split
 /// bookkeeping, heartbeats).
@@ -257,8 +258,17 @@ pub struct Measurement {
     pub faults: FaultStats,
     /// Simulated Wattsup reading over the whole run (one node).
     pub reading: MeterReading,
-    /// Total dynamic energy over all nodes, joules.
+    /// Total dynamic energy over all nodes, joules — the 1 Hz metered
+    /// estimate the paper's methodology (and every checked-in figure)
+    /// is built on.
     pub energy_j: f64,
+    /// Exact event-driven dynamic energy over all nodes, joules: the
+    /// piecewise integral of each node's power step function, free of
+    /// 1 Hz sampling error. New analyses (fig. 20, the replication
+    /// engine) consume this; `energy_j` stays the metered view for
+    /// golden-artifact stability.
+    #[serde(default)]
+    pub exact_energy_j: f64,
     /// Whole-application cost metrics (energy, delay, engaged area).
     pub cost: CostMetrics,
     /// Map-phase-only cost metrics.
@@ -726,6 +736,8 @@ pub fn simulate_with(cfg: &SimConfig, cache: &SimCache) -> Measurement {
     };
 
     let energy_j = reading.dynamic_energy_j(idle) * cfg.nodes as f64;
+    let exact_energy_j =
+        (trace.exact_energy_j() - idle * trace.duration_s()).max(0.0) * cfg.nodes as f64;
     let area = slots as f64 * m.area_mm2;
     let cost = CostMetrics::new(energy_j, breakdown.total(), area);
     let map_cost = CostMetrics::new(
@@ -751,6 +763,7 @@ pub fn simulate_with(cfg: &SimConfig, cache: &SimCache) -> Measurement {
         faults: FaultStats::default(),
         reading,
         energy_j,
+        exact_energy_j,
         cost,
         map_cost,
         reduce_cost,
@@ -780,10 +793,14 @@ fn build_placement(kind: PlacementKind, app: AppId) -> Box<dyn Placement> {
     }
 }
 
-/// Appends one phase run's per-node power to the node traces, pricing
+/// Streams one phase run's per-node power into the node meters, pricing
 /// the engine's time-resolved slot occupancy through each node's power
 /// model, and returns the phase's exact dynamic energy over all nodes.
-#[allow(clippy::too_many_arguments)]
+///
+/// Each utilization piece is priced once and integrated exactly —
+/// O(transitions) per node, with the 1 Hz metered view resolving inside
+/// the [`StreamingMeter`] instead of a per-node `PowerTrace` + full
+/// re-sampling pass.
 fn charge_phase(
     cluster: &Cluster,
     run: &PhaseRun,
@@ -791,7 +808,7 @@ fn charge_phase(
     f: Frequency,
     prof: &ComputeProfile,
     io_frac: &[f64],
-    node_traces: &mut [PowerTrace],
+    meters: &mut [StreamingMeter],
 ) -> f64 {
     let mut ph = ClusterTimeline::new(cluster);
     ph.extend("phase", 0.0, run);
@@ -799,26 +816,33 @@ fn charge_phase(
     // the per-node `active_steps(i)` loop was O(nodes × spans).
     let mut steps = ph.active_steps_all();
     let mut dynamic_j = 0.0;
-    for (i, m) in machines.iter().enumerate() {
+    for (i, (m, meter)) in machines.iter().zip(meters.iter_mut()).enumerate() {
         let op = m.operating_point(f);
         let node_steps = steps.get_mut(i).map(std::mem::take).unwrap_or_default();
         let util = UtilizationTimeline::new(node_steps, run.makespan_s);
-        let trace = util.to_power_trace(|active| {
+        let node_io = io_frac.get(i).copied().unwrap_or(0.0);
+        // -0.0 seeds the same fold as `PowerTrace::exact_energy_j`, so
+        // this phase's exact energy is bit-identical to the retired
+        // per-node trace's.
+        let mut node_j = -0.0;
+        for (dur, active) in util.pieces() {
             // A node with no running task draws only its idle floor —
             // DRAM/disk activity follows the tasks, not the cluster.
             let (activity, mem, io) = if active > 0 {
-                (prof.activity, mem_intensity(prof), io_frac[i])
+                (prof.activity, mem_intensity(prof), node_io)
             } else {
                 (0.0, 0.0, 0.0)
             };
-            m.power
+            let w = m
+                .power
                 .node_power(op, active, m.num_cores, activity, mem, io)
-                .total()
-        });
-        dynamic_j += trace.exact_energy_j() - m.power.node_idle_w * run.makespan_s;
-        for &(d, w) in trace.segments() {
-            node_traces[i].push(d, w);
+                .total();
+            if dur > 0.0 {
+                node_j += dur * w;
+            }
+            meter.push(dur, w);
         }
+        dynamic_j += node_j - m.power.node_idle_w * run.makespan_s;
     }
     dynamic_j
 }
@@ -887,351 +911,518 @@ pub fn try_simulate_cluster_with(
     cfg: &SimConfig,
     cache: &SimCache,
 ) -> Result<(Measurement, ClusterTimeline), PhaseError> {
-    assert!(cfg.data_per_node_bytes > 0, "need input data");
-    assert!(
-        cfg.accel.is_none(),
-        "accelerator offload is not modeled on the cluster-engine path"
-    );
-    let f = cfg.frequency;
-    let ratios = cache.ratios(cfg.app);
-    let disk = DiskModel::sata_7200();
-    let block = cfg.block_size.bytes();
+    let prep = ClusterPrep::new(cfg, cache);
+    prep.run_seeded(cfg.active_faults().as_ref(), cache)
+}
 
-    // Resolve the node roster: machine model per kind plus counts.
-    let (big_m, little_m, n_big, n_little, placement_kind) = match cfg.node_mix {
-        Some(mix) => {
-            assert!(mix.big + mix.little > 0, "need at least one node");
-            (
-                presets::xeon_e5_2420(),
-                presets::atom_c2758(),
-                mix.big,
-                mix.little,
-                mix.placement,
-            )
-        }
-        None => {
-            assert!(cfg.nodes > 0, "need at least one node");
-            match cfg.machine.core.kind {
-                CoreKind::Big => (
-                    cfg.machine.clone(),
-                    presets::atom_c2758(),
-                    cfg.nodes,
-                    0,
-                    PlacementKind::FifoAny,
-                ),
-                CoreKind::Little => (
+/// Seed-independent preparation of one cluster-engine run: node roster,
+/// placement, per-job task pricing, launch overheads, protocol time —
+/// everything [`ClusterPrep::run_seeded`] shares across fault
+/// replications. The replication engine builds this once per
+/// [`SimConfig`] and fans seeds out over it behind an `Arc`, instead of
+/// re-deriving the whole stack per seed.
+pub(crate) struct ClusterPrep {
+    app: AppId,
+    f: Frequency,
+    big_m: MachineModel,
+    little_m: MachineModel,
+    n_big: usize,
+    n_little: usize,
+    big_slots: usize,
+    little_slots: usize,
+    placement_kind: PlacementKind,
+    /// Resolved placement behavior code for phase memo keys.
+    placement_code: u8,
+    cluster: Cluster,
+    big_overhead: f64,
+    little_overhead: f64,
+    map_prof: ComputeProfile,
+    red_prof: ComputeProfile,
+    /// Per chained job: (big-node timing, little-node timing).
+    jobs: Vec<(JobTiming, JobTiming)>,
+    multi_job: bool,
+    others_wall: f64,
+    /// Per node: (total W, dynamic W) during the others window.
+    oth_power: Vec<(f64, f64)>,
+    machine_name: String,
+    area: f64,
+    map_ipc: f64,
+    dom: JobTiming,
+}
+
+impl ClusterPrep {
+    /// Derives everything about `cfg`'s cluster run that does not depend
+    /// on the fault seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate configuration (no nodes, no data) or if an
+    /// accelerator is configured (offload is not modeled per-node).
+    pub(crate) fn new(cfg: &SimConfig, cache: &SimCache) -> Self {
+        assert!(cfg.data_per_node_bytes > 0, "need input data");
+        assert!(
+            cfg.accel.is_none(),
+            "accelerator offload is not modeled on the cluster-engine path"
+        );
+        let f = cfg.frequency;
+        let ratios = cache.ratios(cfg.app);
+        let disk = DiskModel::sata_7200();
+        let block = cfg.block_size.bytes();
+
+        // Resolve the node roster: machine model per kind plus counts.
+        let (big_m, little_m, n_big, n_little, placement_kind) = match cfg.node_mix {
+            Some(mix) => {
+                assert!(mix.big + mix.little > 0, "need at least one node");
+                (
                     presets::xeon_e5_2420(),
-                    cfg.machine.clone(),
-                    0,
-                    cfg.nodes,
-                    PlacementKind::FifoAny,
-                ),
+                    presets::atom_c2758(),
+                    mix.big,
+                    mix.little,
+                    mix.placement,
+                )
             }
-        }
-    };
-    let big_slots = cfg.mappers_per_node.unwrap_or(big_m.num_cores).max(1);
-    let little_slots = cfg.mappers_per_node.unwrap_or(little_m.num_cores).max(1);
-    let cluster = Cluster::mixed(n_big, big_slots, n_little, little_slots);
-    let nodes_total = n_big + n_little;
-    let total_slots = cluster.total_slots();
-    let machines: Vec<&MachineModel> = cluster
-        .nodes
-        .iter()
-        .map(|n| match n.kind {
-            CoreKind::Big => &big_m,
-            CoreKind::Little => &little_m,
-        })
-        .collect();
-
-    let map_prof = cfg.app.map_profile();
-    let red_prof = cfg.app.reduce_profile();
-    let hadoop_avg = ComputeProfile::hadoop_average();
-
-    // Per-kind task-launch overhead.
-    let overhead_of = |m: &MachineModel| {
-        let factor = match m.core.kind {
-            CoreKind::Big => 1.0,
-            CoreKind::Little => 1.8,
-        };
-        cpu_seconds(
-            m,
-            &hadoop_avg,
-            cache.stall_split(m, &hadoop_avg),
-            f,
-            TASK_OVERHEAD_INSTR,
-        ) * factor
-    };
-    let big_overhead = overhead_of(&big_m);
-    let little_overhead = overhead_of(&little_m);
-
-    let shape_of = |slots: usize| ClusterShape {
-        slots,
-        total_slots,
-        nodes: nodes_total,
-    };
-
-    // Node fate (crash times, stragglers) is sampled once per run, so a
-    // node that dies in one phase stays dead for every later phase.
-    let fault_cfg = cfg.active_faults();
-    let node_faults = fault_cfg
-        .as_ref()
-        .map(|fc| NodeFaults::sample(fc, nodes_total));
-    let mut fault_stats = FaultStats::default();
-    let mut phase_idx: u64 = 0;
-
-    let mut timeline = ClusterTimeline::new(&cluster);
-    let mut node_traces: Vec<PowerTrace> = vec![PowerTrace::new(); nodes_total];
-    let mut map_slots_stats = SlotStats::default();
-    let mut reduce_slots_stats = SlotStats::default();
-    let mut map_wall = 0.0;
-    let mut reduce_wall = 0.0;
-    let mut map_dyn_j = 0.0;
-    let mut red_dyn_j = 0.0;
-    let mut n_map_total = 0usize;
-    let mut n_red_total = 0usize;
-    let mut offset = 0.0;
-    let mut dominant: Option<(JobTiming, JobTiming)> = None;
-    let multi_job = ratios.jobs.len() > 1;
-
-    for (ji, job) in ratios.jobs.iter().enumerate() {
-        let tb = job_timing(
-            &big_m,
-            f,
-            cache,
-            &disk,
-            job,
-            &cfg.job,
-            shape_of(big_slots),
-            cfg.data_per_node_bytes,
-            block,
-            &map_prof,
-            &red_prof,
-        );
-        let tl = job_timing(
-            &little_m,
-            f,
-            cache,
-            &disk,
-            job,
-            &cfg.job,
-            shape_of(little_slots),
-            cfg.data_per_node_bytes,
-            block,
-            &map_prof,
-            &red_prof,
-        );
-        debug_assert_eq!(tb.n_map, tl.n_map, "task counts are machine-independent");
-        debug_assert_eq!(tb.n_red, tl.n_red, "task counts are machine-independent");
-        if dominant.is_none() {
-            dominant = Some((tb, tl));
-        }
-        n_map_total += tb.n_map;
-        n_red_total += tb.n_red;
-
-        let io_frac = |task_s: f64, io_s: f64| {
-            if task_s > 0.0 {
-                (io_s / task_s).clamp(0.0, 1.0)
-            } else {
-                0.0
+            None => {
+                assert!(cfg.nodes > 0, "need at least one node");
+                match cfg.machine.core.kind {
+                    CoreKind::Big => (
+                        cfg.machine.clone(),
+                        presets::atom_c2758(),
+                        cfg.nodes,
+                        0,
+                        PlacementKind::FifoAny,
+                    ),
+                    CoreKind::Little => (
+                        presets::xeon_e5_2420(),
+                        cfg.machine.clone(),
+                        0,
+                        cfg.nodes,
+                        PlacementKind::FifoAny,
+                    ),
+                }
             }
         };
-        let per_node_io = |big: f64, little: f64| -> Vec<f64> {
-            cluster
-                .nodes
-                .iter()
-                .map(|n| match n.kind {
-                    CoreKind::Big => big,
-                    CoreKind::Little => little,
-                })
-                .collect()
+        let big_slots = cfg.mappers_per_node.unwrap_or(big_m.num_cores).max(1);
+        let little_slots = cfg.mappers_per_node.unwrap_or(little_m.num_cores).max(1);
+        let cluster = Cluster::mixed(n_big, big_slots, n_little, little_slots);
+        let nodes_total = n_big + n_little;
+        let total_slots = cluster.total_slots();
+
+        let map_prof = cfg.app.map_profile();
+        let red_prof = cfg.app.reduce_profile();
+        let hadoop_avg = ComputeProfile::hadoop_average();
+
+        // Per-kind task-launch overhead.
+        let overhead_of = |m: &MachineModel| {
+            let factor = match m.core.kind {
+                CoreKind::Big => 1.0,
+                CoreKind::Little => 1.8,
+            };
+            cpu_seconds(
+                m,
+                &hadoop_avg,
+                cache.stall_split(m, &hadoop_avg),
+                f,
+                TASK_OVERHEAD_INSTR,
+            ) * factor
+        };
+        let big_overhead = overhead_of(&big_m);
+        let little_overhead = overhead_of(&little_m);
+
+        let shape_of = |slots: usize| ClusterShape {
+            slots,
+            total_slots,
+            nodes: nodes_total,
         };
 
-        // Map phase.
-        let label = |base: &str| {
-            if multi_job {
-                format!("{base}{ji}")
-            } else {
-                base.to_string()
-            }
-        };
-        let mut placement = build_placement(placement_kind, cfg.app);
-        let map_load = PhaseLoad::by_kind(
-            tb.n_map,
-            NodeTiming {
-                task_seconds: tb.map_task_s,
-                overhead_seconds: big_overhead,
-            },
-            NodeTiming {
-                task_seconds: tl.map_task_s,
-                overhead_seconds: little_overhead,
-            },
-            &cluster,
-        );
-        let map_faults = fault_cfg
-            .as_ref()
-            .zip(node_faults.as_ref())
-            .map(|(fc, nf)| nf.phase(fc, phase_idx, fc.phase_rate(false), offset));
-        phase_idx += 1;
-        let map_run =
-            run_phase_faulty(&cluster, &map_load, placement.as_mut(), map_faults.as_ref())?;
-        map_slots_stats.absorb(&map_run.slots);
-        fault_stats.absorb(&map_run.faults);
-        timeline.extend(&label("map"), offset, &map_run);
-        offset += map_run.makespan_s;
-        map_wall += map_run.makespan_s;
-        map_dyn_j += charge_phase(
-            &cluster,
-            &map_run,
-            &machines,
-            f,
-            &map_prof,
-            &per_node_io(
-                io_frac(tb.map_task_s, tb.map_io_task),
-                io_frac(tl.map_task_s, tl.map_io_task),
-            ),
-            &mut node_traces,
-        );
-
-        // Reduce phase.
-        if tb.n_red > 0 {
-            let red_load = PhaseLoad::by_kind(
-                tb.n_red,
-                NodeTiming {
-                    task_seconds: tb.red_task_s,
-                    overhead_seconds: big_overhead,
-                },
-                NodeTiming {
-                    task_seconds: tl.red_task_s,
-                    overhead_seconds: little_overhead,
-                },
-                &cluster,
+        let mut jobs: Vec<(JobTiming, JobTiming)> = Vec::with_capacity(ratios.jobs.len());
+        let mut n_map_total = 0usize;
+        let mut n_red_total = 0usize;
+        for job in ratios.jobs.iter() {
+            let tb = job_timing(
+                &big_m,
+                f,
+                cache,
+                &disk,
+                job,
+                &cfg.job,
+                shape_of(big_slots),
+                cfg.data_per_node_bytes,
+                block,
+                &map_prof,
+                &red_prof,
             );
-            let red_faults = fault_cfg
-                .as_ref()
+            let tl = job_timing(
+                &little_m,
+                f,
+                cache,
+                &disk,
+                job,
+                &cfg.job,
+                shape_of(little_slots),
+                cfg.data_per_node_bytes,
+                block,
+                &map_prof,
+                &red_prof,
+            );
+            debug_assert_eq!(tb.n_map, tl.n_map, "task counts are machine-independent");
+            debug_assert_eq!(tb.n_red, tl.n_red, "task counts are machine-independent");
+            n_map_total += tb.n_map;
+            n_red_total += tb.n_red;
+            jobs.push((tb, tl));
+        }
+        let (dom_big, dom_little) = *jobs.first().expect("at least one job");
+        let dom = if n_big > 0 { dom_big } else { dom_little };
+
+        let machine_of = |kind: CoreKind| -> &MachineModel {
+            match kind {
+                CoreKind::Big => &big_m,
+                CoreKind::Little => &little_m,
+            }
+        };
+
+        // Others: setup/cleanup protocol time plus serial master
+        // bookkeeping, run by the first node's machine.
+        let master = cluster
+            .nodes
+            .first()
+            .map(|n| machine_of(n.kind))
+            .unwrap_or(&big_m);
+        let others_wall = ratios.jobs.len() as f64 * (JOB_SETUP_S + JOB_CLEANUP_S)
+            + cpu_seconds(
+                master,
+                &hadoop_avg,
+                cache.stall_split(master, &hadoop_avg),
+                f,
+                MASTER_INSTR_PER_TASK * (n_map_total + n_red_total) as f64 / nodes_total as f64,
+            );
+        let oth_power: Vec<(f64, f64)> = cluster
+            .nodes
+            .iter()
+            .map(|n| {
+                let m = machine_of(n.kind);
+                let op = m.operating_point(f);
+                let p_oth = m.power.node_power(op, 1, m.num_cores, 0.35, 0.2, 0.1);
+                (p_oth.total(), p_oth.dynamic())
+            })
+            .collect();
+
+        // Engaged area: average per-node slots × chip area, comparable
+        // to the homogeneous path's `slots * area`.
+        let area = cluster
+            .nodes
+            .iter()
+            .map(|n| n.slots as f64 * machine_of(n.kind).area_mm2)
+            .sum::<f64>()
+            / nodes_total as f64;
+
+        let machine_name = match cfg.node_mix {
+            Some(_) => format!("Mixed({n_big}xXeon+{n_little}xAtom)"),
+            None => cfg.machine.name.clone(),
+        };
+        let ipc_m = if n_big > 0 { &big_m } else { &little_m };
+        let ipc_stalls = cache.stall_split(ipc_m, &map_prof);
+        let map_ipc = 1.0 / ipc_m.cpi_with_stalls(&map_prof, f, ipc_stalls.0, ipc_stalls.1);
+
+        let placement_code = match placement_kind {
+            PlacementKind::FifoAny => 0,
+            PlacementKind::PreferBig => 1,
+            PlacementKind::PreferLittle => 2,
+            PlacementKind::PaperClass(goal) => {
+                match KindPreferring::for_class(job_class(cfg.app), goal).preferred {
+                    CoreKind::Big => 1,
+                    CoreKind::Little => 2,
+                }
+            }
+        };
+
+        ClusterPrep {
+            app: cfg.app,
+            f,
+            big_m,
+            little_m,
+            n_big,
+            n_little,
+            big_slots,
+            little_slots,
+            placement_kind,
+            placement_code,
+            cluster,
+            big_overhead,
+            little_overhead,
+            map_prof,
+            red_prof,
+            jobs,
+            multi_job: ratios.jobs.len() > 1,
+            others_wall,
+            oth_power,
+            machine_name,
+            area,
+            map_ipc,
+            dom,
+        }
+    }
+
+    /// The phase memo key of one phase under this prep's roster.
+    fn phase_key(
+        &self,
+        tasks: usize,
+        big_task_s: f64,
+        little_task_s: f64,
+        faults: Option<PhaseFaultKey>,
+    ) -> PhaseKey {
+        PhaseKey {
+            placement: self.placement_code,
+            roster: (self.n_big, self.big_slots, self.n_little, self.little_slots),
+            tasks,
+            timing: [
+                big_task_s.to_bits(),
+                self.big_overhead.to_bits(),
+                little_task_s.to_bits(),
+                self.little_overhead.to_bits(),
+            ],
+            faults,
+        }
+    }
+
+    /// Runs the prepared cluster under one fault configuration (or none)
+    /// and assembles the measurement. Every fault-seed-dependent piece
+    /// of the simulation lives here; the phase engine runs route through
+    /// the cache's phase memo, so sweeps and replications that share a
+    /// phase's exact inputs reuse its `PhaseRun`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`PhaseError`] of the first unrecoverable phase.
+    pub(crate) fn run_seeded(
+        &self,
+        faults: Option<&FaultConfig>,
+        cache: &SimCache,
+    ) -> Result<(Measurement, ClusterTimeline), PhaseError> {
+        let f = self.f;
+        let cluster = &self.cluster;
+        let nodes_total = self.n_big + self.n_little;
+        let machines: Vec<&MachineModel> = cluster
+            .nodes
+            .iter()
+            .map(|n| match n.kind {
+                CoreKind::Big => &self.big_m,
+                CoreKind::Little => &self.little_m,
+            })
+            .collect();
+
+        // Node fate (crash times, stragglers) is sampled once per run,
+        // so a node that dies in one phase stays dead for every later
+        // phase.
+        let node_faults = faults.map(|fc| NodeFaults::sample(fc, nodes_total));
+        let mut fault_stats = FaultStats::default();
+        let mut phase_idx: u64 = 0;
+
+        let mut timeline = ClusterTimeline::new(cluster);
+        let mut meters: Vec<StreamingMeter> = vec![StreamingMeter::new(); nodes_total];
+        let mut map_slots_stats = SlotStats::default();
+        let mut reduce_slots_stats = SlotStats::default();
+        let mut map_wall = 0.0;
+        let mut reduce_wall = 0.0;
+        let mut map_dyn_j = 0.0;
+        let mut red_dyn_j = 0.0;
+        let mut offset = 0.0;
+
+        for (ji, &(tb, tl)) in self.jobs.iter().enumerate() {
+            let io_frac = |task_s: f64, io_s: f64| {
+                if task_s > 0.0 {
+                    (io_s / task_s).clamp(0.0, 1.0)
+                } else {
+                    0.0
+                }
+            };
+            let per_node_io = |big: f64, little: f64| -> Vec<f64> {
+                cluster
+                    .nodes
+                    .iter()
+                    .map(|n| match n.kind {
+                        CoreKind::Big => big,
+                        CoreKind::Little => little,
+                    })
+                    .collect()
+            };
+
+            // Map phase.
+            let label = |base: &str| {
+                if self.multi_job {
+                    format!("{base}{ji}")
+                } else {
+                    base.to_string()
+                }
+            };
+            let mut placement = build_placement(self.placement_kind, self.app);
+            let map_load = PhaseLoad::by_kind(
+                tb.n_map,
+                NodeTiming {
+                    task_seconds: tb.map_task_s,
+                    overhead_seconds: self.big_overhead,
+                },
+                NodeTiming {
+                    task_seconds: tl.map_task_s,
+                    overhead_seconds: self.little_overhead,
+                },
+                cluster,
+            );
+            let map_faults = faults
                 .zip(node_faults.as_ref())
-                .map(|(fc, nf)| nf.phase(fc, phase_idx, fc.phase_rate(true), offset));
+                .map(|(fc, nf)| nf.phase(fc, phase_idx, fc.phase_rate(false), offset));
+            let map_key = self.phase_key(
+                tb.n_map,
+                tb.map_task_s,
+                tl.map_task_s,
+                faults.map(|fc| PhaseFaultKey::new(fc, phase_idx, fc.phase_rate(false), offset)),
+            );
             phase_idx += 1;
-            let red_run =
-                run_phase_faulty(&cluster, &red_load, placement.as_mut(), red_faults.as_ref())?;
-            reduce_slots_stats.absorb(&red_run.slots);
-            fault_stats.absorb(&red_run.faults);
-            timeline.extend(&label("reduce"), offset, &red_run);
-            offset += red_run.makespan_s;
-            reduce_wall += red_run.makespan_s;
-            red_dyn_j += charge_phase(
-                &cluster,
-                &red_run,
+            let map_run = cache.phase_run(map_key, || {
+                run_phase_faulty(cluster, &map_load, placement.as_mut(), map_faults.as_ref())
+            })?;
+            map_slots_stats.absorb(&map_run.slots);
+            fault_stats.absorb(&map_run.faults);
+            timeline.extend(&label("map"), offset, &map_run);
+            offset += map_run.makespan_s;
+            map_wall += map_run.makespan_s;
+            map_dyn_j += charge_phase(
+                cluster,
+                &map_run,
                 &machines,
                 f,
-                &red_prof,
+                &self.map_prof,
                 &per_node_io(
-                    io_frac(tb.red_task_s, tb.red_io_task),
-                    io_frac(tl.red_task_s, tl.red_io_task),
+                    io_frac(tb.map_task_s, tb.map_io_task),
+                    io_frac(tl.map_task_s, tl.map_io_task),
                 ),
-                &mut node_traces,
+                &mut meters,
             );
+
+            // Reduce phase.
+            if tb.n_red > 0 {
+                let red_load = PhaseLoad::by_kind(
+                    tb.n_red,
+                    NodeTiming {
+                        task_seconds: tb.red_task_s,
+                        overhead_seconds: self.big_overhead,
+                    },
+                    NodeTiming {
+                        task_seconds: tl.red_task_s,
+                        overhead_seconds: self.little_overhead,
+                    },
+                    cluster,
+                );
+                let red_faults = faults
+                    .zip(node_faults.as_ref())
+                    .map(|(fc, nf)| nf.phase(fc, phase_idx, fc.phase_rate(true), offset));
+                let red_key = self.phase_key(
+                    tb.n_red,
+                    tb.red_task_s,
+                    tl.red_task_s,
+                    faults.map(|fc| PhaseFaultKey::new(fc, phase_idx, fc.phase_rate(true), offset)),
+                );
+                phase_idx += 1;
+                let red_run = cache.phase_run(red_key, || {
+                    run_phase_faulty(cluster, &red_load, placement.as_mut(), red_faults.as_ref())
+                })?;
+                reduce_slots_stats.absorb(&red_run.slots);
+                fault_stats.absorb(&red_run.faults);
+                timeline.extend(&label("reduce"), offset, &red_run);
+                offset += red_run.makespan_s;
+                reduce_wall += red_run.makespan_s;
+                red_dyn_j += charge_phase(
+                    cluster,
+                    &red_run,
+                    &machines,
+                    f,
+                    &self.red_prof,
+                    &per_node_io(
+                        io_frac(tb.red_task_s, tb.red_io_task),
+                        io_frac(tl.red_task_s, tl.red_io_task),
+                    ),
+                    &mut meters,
+                );
+            }
         }
-    }
 
-    // Others: setup/cleanup protocol time plus serial master bookkeeping,
-    // run by the first node's machine.
-    let master = machines[0];
-    let others_wall = ratios.jobs.len() as f64 * (JOB_SETUP_S + JOB_CLEANUP_S)
-        + cpu_seconds(
-            master,
-            &hadoop_avg,
-            cache.stall_split(master, &hadoop_avg),
-            f,
-            MASTER_INSTR_PER_TASK * (n_map_total + n_red_total) as f64 / nodes_total as f64,
-        );
-    let mut oth_dyn_w_sum = 0.0;
-    for (i, m) in machines.iter().enumerate() {
-        let op = m.operating_point(f);
-        let p_oth = m.power.node_power(op, 1, m.num_cores, 0.35, 0.2, 0.1);
-        node_traces[i].push(others_wall, p_oth.total());
-        oth_dyn_w_sum += p_oth.dynamic();
-    }
-
-    // Meter every node at 1 Hz and sum the dynamic energies.
-    let meter = PowerMeter::default();
-    let mut energy_j = 0.0;
-    let mut reading = meter.measure(&PowerTrace::new());
-    for (i, tr) in node_traces.iter().enumerate() {
-        let r = meter.measure(tr);
-        energy_j += r.dynamic_energy_j(machines[i].power.node_idle_w);
-        if i == 0 {
-            reading = r;
+        let mut oth_dyn_w_sum = 0.0;
+        for (meter, &(total_w, dyn_w)) in meters.iter_mut().zip(&self.oth_power) {
+            meter.push(self.others_wall, total_w);
+            oth_dyn_w_sum += dyn_w;
         }
+
+        // Finish every node's streamed 1 Hz view (bit-identical to the
+        // retired per-node trace metering) and exact integral.
+        let mut energy_j = 0.0;
+        let mut exact_energy_j = 0.0;
+        let mut reading = MeterReading {
+            samples: 0,
+            average_watts: 0.0,
+            duration_s: 0.0,
+        };
+        for (i, (meter, m)) in meters.into_iter().zip(&machines).enumerate() {
+            let er = meter.finish();
+            energy_j += er.meter.dynamic_energy_j(m.power.node_idle_w);
+            exact_energy_j += er.exact_dynamic_energy_j(m.power.node_idle_w);
+            if i == 0 {
+                reading = er.meter;
+            }
+        }
+
+        let breakdown = PhaseBreakdown::new(map_wall, reduce_wall, self.others_wall);
+        let dom = self.dom;
+
+        let map_cost_detail = PhaseCost {
+            seconds: breakdown.map_s,
+            dynamic_watts: if breakdown.map_s > 0.0 {
+                map_dyn_j / breakdown.map_s / nodes_total as f64
+            } else {
+                0.0
+            },
+            cpu_seconds_per_task: dom.map_cpu_task,
+            io_seconds_per_task: dom.map_io_task,
+        };
+        let red_cost_detail = PhaseCost {
+            seconds: breakdown.reduce_s,
+            dynamic_watts: if breakdown.reduce_s > 0.0 {
+                red_dyn_j / breakdown.reduce_s / nodes_total as f64
+            } else {
+                0.0
+            },
+            cpu_seconds_per_task: dom.red_cpu_task,
+            io_seconds_per_task: dom.red_io_task,
+        };
+        let oth_cost_detail = PhaseCost {
+            seconds: breakdown.others_s,
+            dynamic_watts: oth_dyn_w_sum / nodes_total as f64,
+            cpu_seconds_per_task: 0.0,
+            io_seconds_per_task: 0.0,
+        };
+
+        let cost = CostMetrics::new(energy_j, breakdown.total(), self.area);
+        let map_cost = CostMetrics::new(map_dyn_j, breakdown.map_s.max(1e-9), self.area);
+        let reduce_cost = CostMetrics::new(red_dyn_j, breakdown.reduce_s.max(1e-9), self.area);
+
+        let measurement = Measurement {
+            app: self.app,
+            machine_name: self.machine_name.clone(),
+            breakdown,
+            map: map_cost_detail,
+            reduce: red_cost_detail,
+            others: oth_cost_detail,
+            map_slots: map_slots_stats,
+            reduce_slots: reduce_slots_stats,
+            faults: fault_stats,
+            reading,
+            energy_j,
+            exact_energy_j,
+            cost,
+            map_cost,
+            reduce_cost,
+            map_ipc: self.map_ipc,
+        };
+        Ok((measurement, timeline))
     }
-
-    let breakdown = PhaseBreakdown::new(map_wall, reduce_wall, others_wall);
-    let (dom_big, dom_little) = dominant.expect("at least one job");
-    let dom = if n_big > 0 { dom_big } else { dom_little };
-
-    let map_cost_detail = PhaseCost {
-        seconds: breakdown.map_s,
-        dynamic_watts: if breakdown.map_s > 0.0 {
-            map_dyn_j / breakdown.map_s / nodes_total as f64
-        } else {
-            0.0
-        },
-        cpu_seconds_per_task: dom.map_cpu_task,
-        io_seconds_per_task: dom.map_io_task,
-    };
-    let red_cost_detail = PhaseCost {
-        seconds: breakdown.reduce_s,
-        dynamic_watts: if breakdown.reduce_s > 0.0 {
-            red_dyn_j / breakdown.reduce_s / nodes_total as f64
-        } else {
-            0.0
-        },
-        cpu_seconds_per_task: dom.red_cpu_task,
-        io_seconds_per_task: dom.red_io_task,
-    };
-    let oth_cost_detail = PhaseCost {
-        seconds: breakdown.others_s,
-        dynamic_watts: oth_dyn_w_sum / nodes_total as f64,
-        cpu_seconds_per_task: 0.0,
-        io_seconds_per_task: 0.0,
-    };
-
-    // Engaged area: average per-node slots × chip area, comparable to the
-    // homogeneous path's `slots * area`.
-    let area = cluster
-        .nodes
-        .iter()
-        .enumerate()
-        .map(|(i, n)| n.slots as f64 * machines[i].area_mm2)
-        .sum::<f64>()
-        / nodes_total as f64;
-    let cost = CostMetrics::new(energy_j, breakdown.total(), area);
-    let map_cost = CostMetrics::new(map_dyn_j, breakdown.map_s.max(1e-9), area);
-    let reduce_cost = CostMetrics::new(red_dyn_j, breakdown.reduce_s.max(1e-9), area);
-
-    let machine_name = match cfg.node_mix {
-        Some(_) => format!("Mixed({n_big}xXeon+{n_little}xAtom)"),
-        None => cfg.machine.name.clone(),
-    };
-    let ipc_m = if n_big > 0 { &big_m } else { &little_m };
-    let ipc_stalls = cache.stall_split(ipc_m, &map_prof);
-    let measurement = Measurement {
-        app: cfg.app,
-        machine_name,
-        breakdown,
-        map: map_cost_detail,
-        reduce: red_cost_detail,
-        others: oth_cost_detail,
-        map_slots: map_slots_stats,
-        reduce_slots: reduce_slots_stats,
-        faults: fault_stats,
-        reading,
-        energy_j,
-        cost,
-        map_cost,
-        reduce_cost,
-        map_ipc: 1.0 / ipc_m.cpi_with_stalls(&map_prof, f, ipc_stalls.0, ipc_stalls.1),
-    };
-    Ok((measurement, timeline))
 }
 
 #[cfg(test)]

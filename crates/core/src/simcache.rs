@@ -27,9 +27,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use hhsim_arch::{ComputeProfile, MachineModel};
+use hhsim_faults::{FaultConfig, PhaseError};
 use hhsim_workloads::{AppId, FunctionalConfig, FunctionalRun};
 use parking_lot::Mutex;
 
+use crate::cluster::PhaseRun;
 use crate::ratios::AppRatios;
 
 /// (machine name, profile name): stall splits depend on nothing else.
@@ -42,6 +44,88 @@ type RunKey = (AppId, u64, u64, u64, usize, u64);
 /// a miss computes outside the map lock (no convoying) and concurrent
 /// misses on one key deduplicate into a single computation.
 type Table<K, V> = Mutex<HashMap<K, Arc<OnceLock<V>>>>;
+
+/// Structural identity of one cluster-engine phase run — every input
+/// `run_phase_faulty` sees, field by field (full equality, no lossy
+/// digest). Sweeps that vary only reduce-side or fault parameters
+/// produce identical map-phase keys and reuse the memoized
+/// [`PhaseRun`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) struct PhaseKey {
+    /// Resolved placement policy: 0 = FIFO any-slot, 1 = prefer big
+    /// cores, 2 = prefer little cores. The placement objects are
+    /// stateless, so the code *is* the behavior.
+    pub placement: u8,
+    /// (big nodes, big slots/node, little nodes, little slots/node).
+    pub roster: (usize, usize, usize, usize),
+    /// Tasks in the phase.
+    pub tasks: usize,
+    /// Bit patterns of (big task_s, big overhead_s, little task_s,
+    /// little overhead_s).
+    pub timing: [u64; 4],
+    /// Fault-injection identity, when the phase runs under faults.
+    pub faults: Option<PhaseFaultKey>,
+}
+
+/// The inputs `NodeFaults::sample` + `NodeFaults::phase` derive a
+/// `PhaseFaults` from (node count lives in [`PhaseKey::roster`]): the
+/// fault config's fields plus the per-phase projection parameters.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) struct PhaseFaultKey {
+    /// Run seed.
+    pub seed: u64,
+    /// Phase index within the run.
+    pub phase_idx: u64,
+    /// Per-attempt failure rate bits for this phase.
+    pub rate: u64,
+    /// Phase start offset bits (node crashes project through it).
+    pub offset: u64,
+    /// Node MTTF bits, if crashes are enabled.
+    pub mttf: Option<u64>,
+    /// Straggler probability bits.
+    pub straggler_rate: u64,
+    /// Straggler slowdown bits.
+    pub straggler_slowdown: u64,
+    /// Recovery policy, field by field.
+    pub max_attempts: u32,
+    /// Backoff base bits.
+    pub backoff: u64,
+    /// Speculative execution enabled.
+    pub speculation: bool,
+    /// Speculation rate threshold bits.
+    pub spec_rate_threshold: u64,
+    /// Speculation minimum runtime bits.
+    pub spec_min_runtime_s: u64,
+    /// Blacklist threshold.
+    pub blacklist_after: u32,
+}
+
+impl PhaseFaultKey {
+    /// Key for the `PhaseFaults` that `NodeFaults::sample(fc, nodes)`
+    /// followed by `.phase(fc, phase_idx, rate, offset_s)` produces.
+    pub fn new(fc: &FaultConfig, phase_idx: u64, rate: f64, offset_s: f64) -> Self {
+        PhaseFaultKey {
+            seed: fc.seed,
+            phase_idx,
+            rate: rate.to_bits(),
+            offset: offset_s.to_bits(),
+            mttf: fc.node_mttf_s.map(f64::to_bits),
+            straggler_rate: fc.straggler_rate.to_bits(),
+            straggler_slowdown: fc.straggler_slowdown.to_bits(),
+            max_attempts: fc.recovery.max_attempts,
+            backoff: fc.recovery.backoff_base_s.to_bits(),
+            speculation: fc.recovery.speculation,
+            spec_rate_threshold: fc.recovery.spec_rate_threshold.to_bits(),
+            spec_min_runtime_s: fc.recovery.spec_min_runtime_s.to_bits(),
+            blacklist_after: fc.recovery.blacklist_after,
+        }
+    }
+}
+
+/// Largest phase (in tasks) the phase table memoizes. A `PhaseRun`
+/// retains one span per attempt, so million-task scale runs bypass the
+/// cache rather than pinning hundreds of MB.
+const PHASE_MEMO_MAX_TASKS: usize = 65_536;
 
 /// Counters and sizes describing cache effectiveness at a point in time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -56,6 +140,8 @@ pub struct CacheStats {
     pub run_entries: usize,
     /// Distinct per-app ratio sets held.
     pub ratio_entries: usize,
+    /// Distinct cluster-engine phase runs held.
+    pub phase_entries: usize,
 }
 
 impl CacheStats {
@@ -90,6 +176,7 @@ pub struct SimCache {
     stalls: Table<StallKey, (f64, f64)>,
     runs: Table<RunKey, Arc<FunctionalRun>>,
     ratios: Table<AppId, AppRatios>,
+    phases: Table<PhaseKey, Arc<PhaseRun>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -169,6 +256,37 @@ impl SimCache {
         })
     }
 
+    /// Memoized cluster-engine phase run. Unlike [`SimCache::memo`]'s
+    /// `OnceLock` path the computation is fallible, so a miss computes
+    /// first and publishes on success; errors are never cached.
+    /// Identical keys always compute identical runs (the engine is a
+    /// pure function of the key), so a lost publish race costs a
+    /// duplicated computation, never a different value.
+    pub(crate) fn phase_run(
+        &self,
+        key: PhaseKey,
+        compute: impl FnOnce() -> Result<PhaseRun, PhaseError>,
+    ) -> Result<Arc<PhaseRun>, PhaseError> {
+        if key.tasks > PHASE_MEMO_MAX_TASKS {
+            return compute().map(Arc::new);
+        }
+        let cell = Arc::clone(self.phases.lock().entry(key).or_default());
+        if let Some(v) = cell.get() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(v));
+        }
+        let run = Arc::new(compute()?);
+        match cell.set(Arc::clone(&run)) {
+            Ok(()) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Ok(cell.get().cloned().unwrap_or(run))
+    }
+
     /// Current counters and per-table entry counts.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
@@ -177,6 +295,7 @@ impl SimCache {
             stall_entries: self.stalls.lock().len(),
             run_entries: self.runs.lock().len(),
             ratio_entries: self.ratios.lock().len(),
+            phase_entries: self.phases.lock().len(),
         }
     }
 
@@ -186,6 +305,7 @@ impl SimCache {
         self.stalls.lock().clear();
         self.runs.lock().clear();
         self.ratios.lock().clear();
+        self.phases.lock().clear();
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
     }

@@ -1,0 +1,163 @@
+//! Integration tests for the batched Monte Carlo replication engine.
+//!
+//! Three pins: the fig20 artifact is byte-identical to the checked-in
+//! CSV for any worker count (`--jobs 1` vs `--jobs 4`); replication
+//! summaries are invariant to batch size and worker count down to the
+//! last bit; and the per-phase memo split means a reduce-only parameter
+//! sweep computes the shared map phase exactly once.
+
+use hhsim_core::arch::presets;
+use hhsim_core::hdfs::BlockSize;
+use hhsim_core::workloads::AppId;
+use hhsim_core::{figures, set_jobs, ReplicationPlan, SimCache, SimConfig};
+
+fn faulty_cfg(map_rate: f64, reduce_rate: f64) -> SimConfig {
+    // 64 MB blocks (the fig19/fig20 fault-study block size) keep tasks
+    // numerous enough that per-attempt failure draws actually bite.
+    SimConfig::new(AppId::WordCount, presets::atom_c2758())
+        .block_size(BlockSize::MB_64)
+        .faults(
+            figures::fig19_faults(0.0, true)
+                .failure_rates(map_rate, reduce_rate)
+                .seed(0x0D15_EA5E),
+        )
+}
+
+/// fig20 runs through `ReplicationPlan::run()` (global cache, global
+/// worker count) — the exact path the figures binary takes. Serial and
+/// 4-worker renders must produce the same bytes, and those bytes must
+/// equal the checked-in artifact.
+#[test]
+fn fig20_is_byte_identical_across_jobs_and_matches_checked_in() {
+    set_jobs(1);
+    let serial = figures::fig20().to_csv();
+    set_jobs(4);
+    let par = figures::fig20().to_csv();
+    set_jobs(0);
+    assert_eq!(serial, par, "fig20 must not depend on --jobs");
+    let path = format!("{}/../../results/fig20.csv", env!("CARGO_MANIFEST_DIR"));
+    let checked_in = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    assert_eq!(
+        serial, checked_in,
+        "fig20: regenerated CSV must be byte-identical to results/fig20.csv"
+    );
+}
+
+/// The full summary — aggregates, fault counters, failure count — is a
+/// pure function of (config, seed list), not of scheduling.
+#[test]
+fn summary_invariant_to_workers_and_batch_size() {
+    let cache = SimCache::new();
+    let plan = ReplicationPlan::new(faulty_cfg(0.08, 0.08), 100..124);
+    let reference = plan.run_with(1, &cache);
+    assert_eq!(reference.replications, 24);
+    for workers in [2, 4, 7] {
+        for batch in [1, 2, 5, 100] {
+            let got = ReplicationPlan::new(faulty_cfg(0.08, 0.08), 100..124)
+                .batch(batch)
+                .run_with(workers, &cache);
+            assert_eq!(
+                reference, got,
+                "summary changed at workers={workers} batch={batch}"
+            );
+        }
+    }
+}
+
+/// A cold cache must agree with a warm one: memoized phase runs are
+/// values, not state.
+#[test]
+fn warm_and_cold_caches_agree() {
+    let warm = SimCache::new();
+    let a = ReplicationPlan::new(faulty_cfg(0.05, 0.05), 0..8).run_with(2, &warm);
+    let b = ReplicationPlan::new(faulty_cfg(0.05, 0.05), 0..8).run_with(2, &warm);
+    let cold = ReplicationPlan::new(faulty_cfg(0.05, 0.05), 0..8).run_with(2, &SimCache::new());
+    assert_eq!(a, b, "re-running on a warm cache");
+    assert_eq!(a, cold, "warm vs cold cache");
+}
+
+/// The phase memo keys map and reduce phases independently, so sweeping
+/// a reduce-only parameter (the reduce failure rate) re-prices only the
+/// reduce phase: one map-phase entry serves the whole sweep.
+#[test]
+fn reduce_only_sweep_computes_map_phase_once() {
+    use hhsim_core::simulate_with;
+
+    let cache = SimCache::new();
+    let rates = [0.0, 0.15, 0.3, 0.45];
+    let mut results = Vec::new();
+    let mut entries = Vec::new();
+    for &r in &rates {
+        results.push(simulate_with(&faulty_cfg(0.05, r), &cache));
+        entries.push(cache.stats().phase_entries);
+    }
+    // First run inserts map + reduce entries; every further rate may
+    // only add reduce-side entries (the map keys are unchanged), so the
+    // per-rate growth must be strictly below the first run's footprint
+    // and constant across the sweep.
+    let first = entries[0];
+    let growth = entries[1] - first;
+    assert!(growth >= 1, "distinct reduce rates must add phase entries");
+    assert!(
+        growth < first,
+        "reduce-only sweep must reuse the memoized map phase \
+         (first run: {first} entries, per-rate growth: {growth})"
+    );
+    for (i, &e) in entries.iter().enumerate() {
+        assert_eq!(
+            e,
+            first + i * growth,
+            "after rate {}: map phase must be memoized across the sweep",
+            rates[i]
+        );
+    }
+    // The sweep actually exercised distinct reduce phases (every draw
+    // is deterministic, so this is a fixed fact of the seed, not luck)...
+    let mut walls: Vec<u64> = results
+        .iter()
+        .map(|m| m.breakdown.reduce_s.to_bits())
+        .collect();
+    walls.sort_unstable();
+    walls.dedup();
+    let distinct = walls.len();
+    assert!(
+        distinct >= 2,
+        "sweeping the reduce failure rate 0 -> 0.45 must move the reduce wall"
+    );
+    // ...while the shared map phase priced identically everywhere.
+    for m in &results {
+        assert_eq!(
+            m.breakdown.map_s.to_bits(),
+            results[0].breakdown.map_s.to_bits(),
+            "shared map phase must be bit-identical across the sweep"
+        );
+    }
+}
+
+/// Replications through the plan equal one-at-a-time `simulate_with`
+/// calls with the seed spliced into the config — the engine adds
+/// batching, not semantics.
+#[test]
+fn plan_matches_sequential_simulation() {
+    let cache = SimCache::new();
+    let seeds = [7u64, 11, 13];
+    let summary = ReplicationPlan::new(faulty_cfg(0.06, 0.06), seeds).run_with(2, &cache);
+    let mut makespans = Vec::new();
+    for s in seeds {
+        let base = faulty_cfg(0.06, 0.06);
+        let faults = base.faults.expect("faulty cfg").seed(s);
+        let m = hhsim_core::simulate_with(&base.faults(faults), &cache);
+        makespans.push(m.breakdown.total());
+    }
+    let mean = makespans.iter().sum::<f64>() / makespans.len() as f64;
+    assert_eq!(summary.makespan_s.n, 3);
+    assert!(
+        (summary.makespan_s.mean - mean).abs() < 1e-9,
+        "plan mean {} vs sequential mean {mean}",
+        summary.makespan_s.mean
+    );
+    let min = makespans.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = makespans.iter().copied().fold(0.0f64, f64::max);
+    assert_eq!(summary.makespan_s.min, min);
+    assert_eq!(summary.makespan_s.max, max);
+}

@@ -1,0 +1,519 @@
+//! Event-driven energy integration with a streamed 1 Hz meter view.
+//!
+//! The batch pipeline (`UtilizationTimeline::to_power_trace` +
+//! [`PowerMeter::measure`]) materializes every power segment and then
+//! walks the whole trace once per 1 Hz sample — O(samples × segments)
+//! time and O(segments) memory per node. [`StreamingMeter`] replaces
+//! both passes: segments are pushed once in execution order, the exact
+//! piecewise integral `Σ duration × watts` accumulates per push, and
+//! the legacy 1 Hz midpoint samples are resolved *online* against a
+//! tiny retained tail of segments — O(samples + segments) time, O(1)
+//! memory in the trace length.
+//!
+//! The metered view is **bit-for-bit identical** to
+//! [`PowerMeter::measure`] on the equivalent [`PowerTrace`]:
+//!
+//! * the running duration is the same left-to-right `f64` sum over the
+//!   same retained segments (`duration_s <= 0` pushes are skipped with
+//!   the exact filter [`PowerTrace::push`] uses);
+//! * sample `i` (midpoint `t = (i + 0.5) × interval`) is resolved early
+//!   only when both `floor(acc / interval) >= i + 1` — which proves
+//!   `i < samples` for every possible final duration `D >= acc` — and
+//!   `t < 0.999_999 × acc`, which proves the end-of-trace clamp
+//!   `min(t, 0.999_999 × D)` returns `t` itself. Under those guards the
+//!   selected segment (first with `t <` its end prefix-sum) and the
+//!   order of the sample-sum additions match the batch meter exactly;
+//! * samples still pending at [`StreamingMeter::finish`] (a sub-interval
+//!   trace, or midpoints inside the final `1e-6` relative clamp window)
+//!   are resolved there with the batch meter's own clamp expression
+//!   against the retained tail, including the past-the-end fall-through
+//!   to the last segment's power.
+//!
+//! The guarantee is exercised by randomized bit-equality tests below and
+//! by the golden-artifact regeneration gates in CI.
+
+use std::collections::VecDeque;
+
+use crate::{MeterReading, PowerTrace};
+
+/// Result of one streamed metering pass: the legacy 1 Hz reading plus
+/// the exact piecewise energy integral over the same segments.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyReading {
+    /// The 1 Hz sampled view — bit-identical to
+    /// [`PowerMeter::measure`](crate::PowerMeter::measure) on the
+    /// equivalent [`PowerTrace`].
+    pub meter: MeterReading,
+    /// Exact energy under the step function, joules: `Σ duration × watts`
+    /// in push order (the same fold as [`PowerTrace::exact_energy_j`]).
+    pub exact_energy_j: f64,
+    /// Number of retained (positive-duration) segments integrated.
+    pub segments: u64,
+}
+
+impl EnergyReading {
+    /// Exact dynamic energy above an idle floor, joules. Clamped at
+    /// zero like [`MeterReading::dynamic_energy_j`].
+    pub fn exact_dynamic_energy_j(&self, idle_w: f64) -> f64 {
+        (self.exact_energy_j - idle_w * self.meter.duration_s).max(0.0)
+    }
+}
+
+/// Streaming power integrator: push `(duration, watts)` segments in
+/// execution order, then [`finish`](StreamingMeter::finish) for the
+/// exact integral and the 1 Hz metered view, without ever holding the
+/// full trace.
+///
+/// # Examples
+///
+/// ```
+/// use hhsim_energy::{PowerMeter, PowerTrace, StreamingMeter};
+///
+/// let mut trace = PowerTrace::new();
+/// let mut meter = StreamingMeter::new();
+/// for (d, w) in [(33.3, 150.0), (12.2, 80.0), (7.5, 200.0)] {
+///     trace.push(d, w);
+///     meter.push(d, w);
+/// }
+/// let streamed = meter.finish();
+/// let batch = PowerMeter::default().measure(&trace);
+/// assert_eq!(streamed.meter, batch);
+/// assert_eq!(streamed.exact_energy_j, trace.exact_energy_j());
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamingMeter {
+    /// Sampling interval, seconds (1 Hz by default, like the Wattsup).
+    interval_s: f64,
+    /// Running duration: the same left fold as [`PowerTrace::duration_s`].
+    acc_s: f64,
+    /// Exact integral so far: the same fold as
+    /// [`PowerTrace::exact_energy_j`].
+    exact_j: f64,
+    /// Sum of resolved sample watts, added strictly in sample order.
+    sample_sum_w: f64,
+    /// Index of the lowest unresolved 1 Hz sample.
+    next_sample: u64,
+    /// Retained segments pushed so far.
+    segments: u64,
+    /// Retained tail: `(end_prefix_sum, watts)` of segments that may
+    /// still be selected by a pending sample. Bounded by the segments
+    /// inside one sample interval plus the final `1e-6` clamp window.
+    tail: VecDeque<(f64, f64)>,
+}
+
+impl Default for StreamingMeter {
+    fn default() -> Self {
+        StreamingMeter::new()
+    }
+}
+
+impl StreamingMeter {
+    /// A 1 Hz streaming meter (the Wattsup PRO cadence the paper's
+    /// §1.1 methodology samples at).
+    pub fn new() -> Self {
+        StreamingMeter::with_interval(1.0)
+    }
+
+    /// A streaming meter sampling every `interval_s` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the interval is not finite and positive.
+    pub fn with_interval(interval_s: f64) -> Self {
+        assert!(
+            interval_s.is_finite() && interval_s > 0.0,
+            "bad sample interval {interval_s}"
+        );
+        StreamingMeter {
+            interval_s,
+            // -0.0 is the identity of IEEE addition and the seed of
+            // std's f64 `Sum`, so even empty-trace folds are
+            // bit-identical to `PowerTrace::duration_s`/`exact_energy_j`.
+            acc_s: -0.0,
+            exact_j: -0.0,
+            sample_sum_w: 0.0,
+            next_sample: 0,
+            segments: 0,
+            tail: VecDeque::new(),
+        }
+    }
+
+    /// Appends a segment of `duration_s` seconds at `watts`, resolving
+    /// every 1 Hz sample the new running duration proves safe.
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative/non-finite duration or negative power — the
+    /// same contract as [`PowerTrace::push`]; zero-duration segments
+    /// are likewise skipped.
+    pub fn push(&mut self, duration_s: f64, watts: f64) {
+        assert!(
+            duration_s.is_finite() && duration_s >= 0.0,
+            "bad duration {duration_s}"
+        );
+        assert!(watts.is_finite() && watts >= 0.0, "bad power {watts}");
+        if duration_s <= 0.0 {
+            return;
+        }
+        self.acc_s += duration_s;
+        self.exact_j += duration_s * watts;
+        self.segments += 1;
+        self.tail.push_back((self.acc_s, watts));
+        self.resolve_safe_samples();
+        self.trim_tail();
+    }
+
+    /// Duration pushed so far, seconds (the running
+    /// [`PowerTrace::duration_s`] fold).
+    pub fn duration_s(&self) -> f64 {
+        self.acc_s
+    }
+
+    /// Exact energy pushed so far, joules.
+    pub fn exact_energy_j(&self) -> f64 {
+        self.exact_j
+    }
+
+    /// Retained (positive-duration) segments pushed so far.
+    pub fn segments_pushed(&self) -> u64 {
+        self.segments
+    }
+
+    /// Midpoint time of sample `i`.
+    fn sample_time(&self, i: u64) -> f64 {
+        (i as f64 + 0.5) * self.interval_s
+    }
+
+    /// Resolves pending samples whose value can no longer change:
+    /// sample `i` is safe once (a) `floor(acc / interval) >= i + 1`, so
+    /// the final sample count includes it whatever else is pushed, and
+    /// (b) `t < 0.999_999 * acc`, so the batch meter's end-of-trace
+    /// clamp provably returns `t` unchanged for any final duration
+    /// `>= acc`.
+    fn resolve_safe_samples(&mut self) {
+        loop {
+            let i = self.next_sample;
+            let complete = (self.acc_s / self.interval_s).floor() >= (i as f64) + 1.0;
+            let t = self.sample_time(i);
+            if !(complete && t < 0.999_999 * self.acc_s) {
+                break;
+            }
+            // Segments ending at or before `t` can never satisfy the
+            // batch meter's strict `t < end` test for this or any later
+            // sample; drop them.
+            while let Some(&(end, _)) = self.tail.front() {
+                if end <= t {
+                    self.tail.pop_front();
+                } else {
+                    break;
+                }
+            }
+            // The last segment ends at `acc` and `t < 0.999_999 * acc
+            // < acc`, so a matching segment always remains.
+            let Some(&(_, w)) = self.tail.front() else {
+                break;
+            };
+            self.sample_sum_w += w;
+            self.next_sample += 1;
+        }
+    }
+
+    /// Drops tail segments no pending or future sample can select. The
+    /// next sample's final clamped midpoint is at least
+    /// `min(t_next, 0.999_999 * acc)` — later pushes only grow both
+    /// bounds — so segments ending at or before that are dead.
+    fn trim_tail(&mut self) {
+        let bound = self
+            .sample_time(self.next_sample)
+            .min(0.999_999 * self.acc_s);
+        while self.tail.len() > 1 {
+            match self.tail.front() {
+                Some(&(end, _)) if end <= bound => {
+                    self.tail.pop_front();
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// Resolves the remaining samples against the final duration and
+    /// returns the reading. Deferred samples (sub-interval traces, or
+    /// midpoints inside the final `1e-6` relative clamp window) use the
+    /// batch meter's own clamp `min(t, 0.999_999 × duration)` and its
+    /// past-the-end fall-through to the last segment's power.
+    pub fn finish(self) -> EnergyReading {
+        let duration = self.acc_s;
+        if duration == 0.0 {
+            return EnergyReading {
+                meter: MeterReading {
+                    samples: 0,
+                    average_watts: 0.0,
+                    duration_s: 0.0,
+                },
+                exact_energy_j: self.exact_j,
+                segments: self.segments,
+            };
+        }
+        let n = (duration / self.interval_s).floor().max(1.0) as u64;
+        let mut sum = self.sample_sum_w;
+        let last_w = self.tail.back().map(|&(_, w)| w).unwrap_or(0.0);
+        for i in self.next_sample..n {
+            let t = self.sample_time(i).min(duration * 0.999_999);
+            let mut w = last_w;
+            for &(end, seg_w) in &self.tail {
+                if t < end {
+                    w = seg_w;
+                    break;
+                }
+            }
+            sum += w;
+        }
+        EnergyReading {
+            meter: MeterReading {
+                samples: n,
+                average_watts: sum / n as f64,
+                duration_s: duration,
+            },
+            exact_energy_j: self.exact_j,
+            segments: self.segments,
+        }
+    }
+}
+
+/// Streams an existing trace through a 1 Hz [`StreamingMeter`] —
+/// the drop-in exact+metered replacement for
+/// [`PowerMeter::measure`](crate::PowerMeter::measure).
+pub fn measure_trace(trace: &PowerTrace) -> EnergyReading {
+    let mut meter = StreamingMeter::new();
+    for &(d, w) in trace.segments() {
+        meter.push(d, w);
+    }
+    meter.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PowerMeter;
+
+    fn splitmix(mut x: u64) -> u64 {
+        x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn unit(seed: u64, tag: u64) -> f64 {
+        (splitmix(seed ^ tag.wrapping_mul(0xA24B_AED4_963E_E407)) >> 11) as f64
+            / (1u64 << 53) as f64
+    }
+
+    /// A randomized step trace: durations spanning sub-sample slivers to
+    /// multi-minute stretches (with occasional zero-duration pushes the
+    /// filter must drop), watts in [0, 400].
+    fn random_trace(seed: u64) -> Vec<(f64, f64)> {
+        let k = (splitmix(seed) % 30) as usize;
+        (0..k)
+            .map(|i| {
+                let r = unit(seed, i as u64 * 2 + 1);
+                let d = match splitmix(seed ^ (i as u64)) % 5 {
+                    0 => 0.0,
+                    1 => r * 0.4,
+                    2 => r * 3.0,
+                    _ => r * 200.0,
+                };
+                let w = unit(seed, i as u64 * 2 + 2) * 400.0;
+                (d, w)
+            })
+            .collect()
+    }
+
+    fn assert_bitwise_eq(streamed: &EnergyReading, batch: &MeterReading, what: &str) {
+        assert_eq!(streamed.meter.samples, batch.samples, "{what}: samples");
+        assert_eq!(
+            streamed.meter.average_watts.to_bits(),
+            batch.average_watts.to_bits(),
+            "{what}: average_watts {} vs {}",
+            streamed.meter.average_watts,
+            batch.average_watts
+        );
+        assert_eq!(
+            streamed.meter.duration_s.to_bits(),
+            batch.duration_s.to_bits(),
+            "{what}: duration_s"
+        );
+    }
+
+    #[test]
+    fn streamed_view_is_bitwise_identical_to_batch_meter() {
+        for seed in 0..300u64 {
+            let mut trace = PowerTrace::new();
+            let mut meter = StreamingMeter::new();
+            for (d, w) in random_trace(seed) {
+                trace.push(d, w);
+                meter.push(d, w);
+            }
+            let streamed = meter.finish();
+            let batch = PowerMeter::default().measure(&trace);
+            assert_bitwise_eq(&streamed, &batch, &format!("seed {seed}"));
+            assert_eq!(
+                streamed.exact_energy_j.to_bits(),
+                trace.exact_energy_j().to_bits(),
+                "seed {seed}: exact integral"
+            );
+            assert_eq!(streamed.segments as usize, trace.segments().len());
+        }
+    }
+
+    #[test]
+    fn non_unit_intervals_stay_bitwise_identical() {
+        for &h in &[0.25, 0.5, 2.0, 7.3] {
+            for seed in 1000..1050u64 {
+                let mut trace = PowerTrace::new();
+                let mut meter = StreamingMeter::with_interval(h);
+                for (d, w) in random_trace(seed) {
+                    trace.push(d, w);
+                    meter.push(d, w);
+                }
+                let streamed = meter.finish();
+                let batch = PowerMeter {
+                    sample_interval_s: h,
+                }
+                .measure(&trace);
+                assert_bitwise_eq(&streamed, &batch, &format!("h {h} seed {seed}"));
+            }
+        }
+    }
+
+    #[test]
+    fn long_trace_clamp_window_matches_batch() {
+        // Past ~500k seconds the relative end clamp (1e-6) exceeds half
+        // a sample interval, so the final midpoints defer to finish();
+        // the resolved values must still match the batch meter exactly.
+        let mut trace = PowerTrace::new();
+        let mut meter = StreamingMeter::new();
+        for (d, w) in [
+            (400_000.0, 130.0),
+            (399_999.25, 95.0),
+            (0.75, 240.0),
+            (0.4, 310.0),
+        ] {
+            trace.push(d, w);
+            meter.push(d, w);
+        }
+        let streamed = meter.finish();
+        let batch = PowerMeter::default().measure(&trace);
+        assert_bitwise_eq(&streamed, &batch, "long trace");
+    }
+
+    #[test]
+    fn short_trace_gets_one_deferred_sample() {
+        let mut meter = StreamingMeter::new();
+        meter.push(0.3, 77.0);
+        let r = meter.finish();
+        assert_eq!(r.meter.samples, 1);
+        assert_eq!(r.meter.average_watts, 77.0);
+        assert!((r.exact_energy_j - 0.3 * 77.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_meter_reads_zero() {
+        let r = StreamingMeter::new().finish();
+        assert_eq!(r.meter.samples, 0);
+        assert_eq!(r.meter.average_watts, 0.0);
+        assert_eq!(r.exact_energy_j, 0.0);
+        assert_eq!(r.segments, 0);
+    }
+
+    #[test]
+    fn zero_duration_segments_are_filtered() {
+        let mut meter = StreamingMeter::new();
+        meter.push(0.0, 500.0);
+        meter.push(2.0, 100.0);
+        meter.push(0.0, 500.0);
+        let r = meter.finish();
+        assert_eq!(r.segments, 1);
+        assert_eq!(r.meter.samples, 2);
+        assert_eq!(r.meter.average_watts, 100.0);
+    }
+
+    #[test]
+    fn tail_memory_stays_bounded_on_dense_traces() {
+        // A million sub-millisecond segments: the retained tail must
+        // stay within one sample interval plus the clamp window, not
+        // grow with the trace.
+        let mut meter = StreamingMeter::new();
+        let mut peak_tail = 0;
+        for i in 0..1_000_000u64 {
+            meter.push(0.000_8, 100.0 + (i % 7) as f64);
+            peak_tail = peak_tail.max(meter.tail.len());
+        }
+        // 1 s of samples / 0.8 ms per segment = 1250 segments per
+        // interval; allow slack for the clamp window.
+        assert!(peak_tail < 4_000, "tail grew to {peak_tail}");
+        let r = meter.finish();
+        assert_eq!(r.meter.samples, 800);
+        assert_eq!(r.segments, 1_000_000);
+    }
+
+    #[test]
+    fn exact_integral_within_analytic_bound_of_riemann_sum() {
+        // |metered energy − exact| ≤ (k + 2)·h·w_max for a k-segment
+        // trace sampled at interval h: at most k sample cells straddle a
+        // transition (error ≤ h·Δw each), the untiled tail [n·h, D)
+        // contributes < h·w_max, and extrapolating the sample mean over
+        // the full duration adds ≤ h·w_max more.
+        for seed in 0..200u64 {
+            let mut trace = PowerTrace::new();
+            for (d, w) in random_trace(seed) {
+                trace.push(d, w);
+            }
+            let k = trace.segments().len() as f64;
+            let w_max = trace
+                .segments()
+                .iter()
+                .map(|&(_, w)| w)
+                .fold(0.0_f64, f64::max);
+            let r = measure_trace(&trace);
+            let err = (r.meter.energy_j() - r.exact_energy_j).abs();
+            let bound = (k + 2.0) * 1.0 * w_max;
+            assert!(
+                err <= bound + 1e-9,
+                "seed {seed}: Riemann gap {err} exceeds analytic bound {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn measure_trace_matches_manual_streaming() {
+        let mut trace = PowerTrace::new();
+        trace.push(10.0, 150.0);
+        trace.push(5.0, 90.0);
+        let r = measure_trace(&trace);
+        let batch = PowerMeter::default().measure(&trace);
+        assert_bitwise_eq(&r, &batch, "measure_trace");
+        assert_eq!(r.exact_energy_j, 10.0 * 150.0 + 5.0 * 90.0);
+    }
+
+    #[test]
+    fn exact_dynamic_energy_clamps_at_zero() {
+        let mut meter = StreamingMeter::new();
+        meter.push(10.0, 130.0);
+        let r = meter.finish();
+        assert!((r.exact_dynamic_energy_j(92.0) - 380.0).abs() < 1e-9);
+        assert_eq!(r.exact_dynamic_energy_j(200.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad power")]
+    fn negative_power_rejected() {
+        StreamingMeter::new().push(1.0, -5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad sample interval")]
+    fn zero_interval_rejected() {
+        let _ = StreamingMeter::with_interval(0.0);
+    }
+}

@@ -26,10 +26,12 @@
 //! assert_eq!(m.edxp(2), 400_000.0);
 //! ```
 
+mod integrate;
 mod meter;
 mod metrics;
 mod timeline;
 
+pub use integrate::{measure_trace, EnergyReading, StreamingMeter};
 pub use meter::{MeterReading, PowerMeter, PowerTrace};
 pub use metrics::{CostMetrics, MetricKind};
 pub use timeline::UtilizationTimeline;

@@ -69,12 +69,15 @@ impl CostMetrics {
     ///
     /// Panics if any component is negative or non-finite.
     pub fn new(energy_j: f64, delay_s: f64, area_mm2: f64) -> Self {
-        for (n, v) in [("energy", energy_j), ("delay", delay_s), ("area", area_mm2)] {
+        let check = |n: &str, v: f64| {
             assert!(
                 v.is_finite() && v >= 0.0,
                 "{n} must be finite and >= 0, got {v}"
             );
-        }
+        };
+        check("energy", energy_j);
+        check("delay", delay_s);
+        check("area", area_mm2);
         CostMetrics {
             energy_j,
             delay_s,

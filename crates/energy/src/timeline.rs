@@ -32,12 +32,12 @@ impl UtilizationTimeline {
             assert!(t0 == 0.0, "timeline must start at t = 0, got {t0}");
         }
         for w in steps.windows(2) {
-            assert!(
-                w[1].0 > w[0].0,
-                "change points must be strictly increasing: {} then {}",
-                w[0].0,
-                w[1].0
-            );
+            if let &[(ta, _), (tb, _)] = w {
+                assert!(
+                    tb > ta,
+                    "change points must be strictly increasing: {ta} then {tb}"
+                );
+            }
         }
         if let Some(&(t, _)) = steps.last() {
             assert!(t <= end_s, "change point {t} past end {end_s}");
@@ -70,9 +70,7 @@ impl UtilizationTimeline {
 
     /// Integral of the step function: busy slot-seconds.
     pub fn busy_slot_seconds(&self) -> f64 {
-        self.segments()
-            .map(|(dur, active)| dur * active as f64)
-            .sum()
+        self.pieces().map(|(dur, active)| dur * active as f64).sum()
     }
 
     /// Mean busy slots over the covered time (0 for an empty timeline).
@@ -84,17 +82,20 @@ impl UtilizationTimeline {
         }
     }
 
-    /// `(duration_s, active)` pieces in time order, covering `[0, end_s)`.
-    fn segments(&self) -> impl Iterator<Item = (f64, usize)> + '_ {
-        let n = self.steps.len();
-        self.steps.iter().enumerate().map(move |(i, &(t, a))| {
-            let next = if i + 1 < n {
-                self.steps[i + 1].0
-            } else {
-                self.end_s
-            };
-            (next - t, a)
-        })
+    /// `(duration_s, active)` pieces in time order, covering `[0, end_s)`
+    /// — the event-driven integration walk: one piece per slot
+    /// transition, priced once, however long the phase runs.
+    pub fn pieces(&self) -> impl Iterator<Item = (f64, usize)> + '_ {
+        let ends = self
+            .steps
+            .iter()
+            .skip(1)
+            .map(|&(t, _)| t)
+            .chain(std::iter::once(self.end_s));
+        self.steps
+            .iter()
+            .zip(ends)
+            .map(|(&(t, a), next)| (next - t, a))
     }
 
     /// Renders the timeline as a power trace, pricing each piece with
@@ -102,7 +103,7 @@ impl UtilizationTimeline {
     /// `node_power(...).total()`).
     pub fn to_power_trace(&self, mut power_of: impl FnMut(usize) -> f64) -> PowerTrace {
         let mut trace = PowerTrace::new();
-        for (dur, active) in self.segments() {
+        for (dur, active) in self.pieces() {
             trace.push(dur, power_of(active));
         }
         trace
@@ -111,7 +112,7 @@ impl UtilizationTimeline {
     /// Appends this timeline's pieces onto an existing trace (phases of a
     /// chained job concatenate on one meter).
     pub fn append_to(&self, trace: &mut PowerTrace, mut power_of: impl FnMut(usize) -> f64) {
-        for (dur, active) in self.segments() {
+        for (dur, active) in self.pieces() {
             trace.push(dur, power_of(active));
         }
     }
