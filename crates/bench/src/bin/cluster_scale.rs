@@ -13,12 +13,16 @@
 //! timing code compiles against engines that predate the streaming
 //! writers) and an "after" run on the current tree.
 //!
-//! `--check` is the CI smoke: it runs the small config three times and
-//! asserts an events/sec floor on the **median** sample (a single
-//! sample on a shared runner can dip far below steady-state throughput
-//! when the run lands on a noisy neighbour; the median of three is
-//! stable), asserts the streaming exporters' RSS growth stays flat, and
-//! validates the checked-in `BENCH_cluster.json` shape.
+//! `--check` is the CI smoke: it runs the small and contended configs
+//! three times each and asserts an events/sec floor on the **median**
+//! sample per config (a single sample on a shared runner can dip far
+//! below steady-state throughput when the run lands on a noisy
+//! neighbour; the median of three is stable), asserts the streaming
+//! exporters' RSS growth stays flat, and validates the checked-in
+//! `BENCH_cluster.json` shape. The contended config drains the same
+//! grid through the topology-aware launch path (per-attempt locality
+//! tier lookup plus shuffle extra-seconds), so a regression in the
+//! rack-fabric bookkeeping trips the same floor.
 //!
 //! Events/sec counts *task completions* per wall-clock second: every
 //! task is one calendar completion event plus its share of dispatch
@@ -32,7 +36,7 @@
 use std::time::Instant;
 
 use hhsim_core::arch::CoreKind;
-use hhsim_core::cluster::{run_phase, Cluster, FifoAnySlot, PhaseLoad, TaskSet};
+use hhsim_core::cluster::{run_phase, Cluster, FifoAnySlot, PhaseLoad, PhaseLocality, TaskSet};
 
 /// One point of the scale grid.
 struct ScaleConfig {
@@ -40,28 +44,46 @@ struct ScaleConfig {
     nodes: usize,
     slots: usize,
     tasks: usize,
+    /// Attach locality context + per-task shuffle extras, exercising the
+    /// topology-aware launch path (tier lookup + extra-seconds charge per
+    /// attempt) instead of the legacy flat path.
+    contended: bool,
 }
 
-const CONFIGS: [ScaleConfig; 3] = [
+const CONFIGS: [ScaleConfig; 4] = [
     ScaleConfig {
         name: "small",
         nodes: 100,
         slots: 4,
         tasks: 10_000,
+        contended: false,
     },
     ScaleConfig {
         name: "mid",
         nodes: 1_000,
         slots: 4,
         tasks: 100_000,
+        contended: false,
     },
     ScaleConfig {
         name: "large",
         nodes: 10_000,
         slots: 2,
         tasks: 1_000_000,
+        contended: false,
+    },
+    ScaleConfig {
+        name: "contended",
+        nodes: 1_000,
+        slots: 4,
+        tasks: 100_000,
+        contended: true,
     },
 ];
+
+/// Rack count for the contended config: 1k nodes over 20 racks keeps
+/// rack scans short while still mixing all three locality tiers.
+const CONTENDED_RACKS: usize = 20;
 
 /// Events/sec floor for the CI smoke on the small config (release
 /// profile). The rewritten engine clears this by well over an order of
@@ -106,7 +128,7 @@ fn median(xs: &[f64]) -> f64 {
 /// One timed engine run of `cfg`; returns (events/sec, elapsed seconds).
 fn bench_engine(cfg: &ScaleConfig) -> (f64, f64) {
     let cluster = Cluster::homogeneous(CoreKind::Big, cfg.nodes, cfg.slots);
-    let load = PhaseLoad::uniform(
+    let mut load = PhaseLoad::uniform(
         &TaskSet {
             tasks: cfg.tasks,
             task_seconds: 5.0,
@@ -114,6 +136,26 @@ fn bench_engine(cfg: &ScaleConfig) -> (f64, f64) {
         },
         &cluster,
     );
+    if cfg.contended {
+        // Three deterministic replica holders per task (stride-7 spreads
+        // them across racks) and a per-task shuffle extra — built before
+        // the clock starts, so the bench times only the engine.
+        load = load
+            .with_locality(PhaseLocality {
+                replicas: (0..cfg.tasks)
+                    .map(|t| {
+                        vec![
+                            (t * 7) % cfg.nodes,
+                            (t * 7 + 1) % cfg.nodes,
+                            (t * 13) % cfg.nodes,
+                        ]
+                    })
+                    .collect(),
+                racks: CONTENDED_RACKS,
+                read_seconds: [0.0, 0.8, 2.4],
+            })
+            .with_extra_seconds((0..cfg.tasks).map(|t| (t % 5) as f64 * 0.1).collect());
+    }
     let started = Instant::now();
     let run = run_phase(&cluster, &load, &mut FifoAnySlot);
     let elapsed = started.elapsed().as_secs_f64();
@@ -188,19 +230,25 @@ fn main() {
         // Three samples, floor on the median: one sample on a shared
         // runner is too noisy for a throughput gate (observed >10x
         // spread between back-to-back small-config runs).
-        let samples: Vec<f64> = (0..3).map(|_| bench_engine(&CONFIGS[0]).0).collect();
-        let eps = median(&samples);
-        println!(
-            "check: {} -> median {:.0} events/s over {} samples",
-            CONFIGS[0].name,
-            eps,
-            samples.len()
-        );
-        assert!(
-            eps >= CHECK_FLOOR_EVENTS_PER_SEC,
-            "cluster engine throughput regressed below the floor: \
-             median {eps:.0} < {CHECK_FLOOR_EVENTS_PER_SEC} events/s"
-        );
+        for cfg in CONFIGS
+            .iter()
+            .filter(|c| c.name != "mid" && c.name != "large")
+        {
+            let samples: Vec<f64> = (0..3).map(|_| bench_engine(cfg).0).collect();
+            let eps = median(&samples);
+            println!(
+                "check: {} -> median {:.0} events/s over {} samples",
+                cfg.name,
+                eps,
+                samples.len()
+            );
+            assert!(
+                eps >= CHECK_FLOOR_EVENTS_PER_SEC,
+                "cluster engine throughput ({}) regressed below the floor: \
+                 median {eps:.0} < {CHECK_FLOOR_EVENTS_PER_SEC} events/s",
+                cfg.name
+            );
+        }
         #[cfg(feature = "streaming-export")]
         {
             let (spans, growth) = export_rss_probe();

@@ -120,6 +120,16 @@ fn main() {
                         .expect("write fig19 trace artifacts");
                     println!("wrote {} and {}", tp.display(), up.display());
                 }
+                if id == "fig21" {
+                    // Fig. 21 ships its representative rack-fabric trace:
+                    // spans tagged with their locality tier plus the
+                    // tiered per-node utilization columns.
+                    let tp = out_dir.join("fig21_trace.json");
+                    let up = out_dir.join("fig21_util.csv");
+                    stream_trace(&tp, &up, hhsim_bench::write_fig21_trace)
+                        .expect("write fig21 trace artifacts");
+                    println!("wrote {} and {}", tp.display(), up.display());
+                }
                 let cache = SimCache::global().stats().since(&cache_before);
                 let grid = harness::snapshot().since(&harness_before);
                 println!(

@@ -9,7 +9,8 @@
 
 use hhsim_core::arch::presets;
 use hhsim_core::energy::MetricKind;
-use hhsim_core::figures::{fig19_faults, MICRO_DATA, SCHED_BLOCK};
+use hhsim_core::figures::{fig19_faults, MICRO_DATA, SCHED_BLOCK, TOPO_RACKS};
+use hhsim_core::hdfs::{BlockSize, Topology};
 use hhsim_core::report::FigureData;
 use hhsim_core::workloads::AppId;
 use hhsim_core::{simulate_cluster, NodeMix, PlacementKind, SimConfig};
@@ -116,6 +117,44 @@ pub fn write_fig19_trace(
     timeline.write_utilization_csv(util)
 }
 
+/// The representative rack-fabric run whose trace ships next to
+/// `fig21.csv`: TeraSort on the 4 Xeon + 8 Atom mix over 4 racks with a
+/// 16x-oversubscribed ToR uplink, at 64 MB blocks so map tasks outnumber
+/// slots and late waves read rack-local and off-rack. The trace carries
+/// the locality tier per span and the utilization CSV switches to its
+/// tiered per-node columns.
+pub fn fig21_trace_config() -> SimConfig {
+    SimConfig::new(AppId::TeraSort, presets::xeon_e5_2420())
+        .data_per_node(MICRO_DATA)
+        .block_size(BlockSize::MB_64)
+        .topology(Topology::racked(TOPO_RACKS, 16.0))
+        .mix(NodeMix {
+            big: 4,
+            little: 8,
+            placement: PlacementKind::PaperClass(MetricKind::Edp),
+        })
+}
+
+/// Renders the fig. 21 trace artifacts as `(chrome_trace_json, util_csv)`.
+///
+/// Buffered reference form; the `figures` bin streams the same bytes via
+/// [`write_fig21_trace`].
+pub fn fig21_trace() -> (String, String) {
+    let (_, timeline) = simulate_cluster(&fig21_trace_config());
+    (timeline.to_chrome_trace_json(), timeline.utilization_csv())
+}
+
+/// Streams the fig. 21 trace artifacts — byte-identical to
+/// [`fig21_trace`] but written incrementally.
+pub fn write_fig21_trace(
+    trace: &mut impl std::io::Write,
+    util: &mut impl std::io::Write,
+) -> std::io::Result<()> {
+    let (_, timeline) = simulate_cluster(&fig21_trace_config());
+    timeline.write_chrome_trace(trace)?;
+    timeline.write_utilization_csv(util)
+}
+
 /// Renders every artifact.
 pub fn render_all() -> Vec<(String, FigureData)> {
     hhsim_core::figures::all()
@@ -142,7 +181,8 @@ mod tests {
         assert!(ids.contains(&"fig18"));
         assert!(ids.contains(&"fig19"));
         assert!(ids.contains(&"fig20"));
-        assert_eq!(ids.len(), 23);
+        assert!(ids.contains(&"fig21"));
+        assert_eq!(ids.len(), 24);
     }
 
     #[test]
@@ -174,6 +214,39 @@ mod tests {
         assert!(json.contains("\"outcome\":\"killed\""));
         assert!(json.contains("\"outcome\":\"cancelled\""));
         assert!(json.contains("\"attempt\":"));
+    }
+
+    #[test]
+    fn fig21_trace_carries_locality_tiers() {
+        let (m, _) = simulate_cluster(&fig21_trace_config());
+        let [nl, rl, of] = m.map_locality_tiers;
+        assert!(nl > 0, "writer-local replicas keep most reads on-node");
+        assert!(
+            rl + of > 0,
+            "64 MB blocks must push some reads off-node: {:?}",
+            m.map_locality_tiers
+        );
+        let (json, csv) = fig21_trace();
+        let (json2, csv2) = fig21_trace();
+        assert_eq!(json, json2, "trace export must be deterministic");
+        assert_eq!(csv, csv2);
+        assert!(json.contains("\"tier\":\"rack-local\"") || json.contains("\"tier\":\"off-rack\""));
+        assert!(
+            csv.starts_with("node,name,time_s,active_slots,node_local,rack_local,off_rack\n"),
+            "tiered utilization header"
+        );
+    }
+
+    #[test]
+    fn checked_in_fig21_trace_is_current() {
+        let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+        let (json, util) = fig21_trace();
+        let disk_json = std::fs::read_to_string(format!("{root}/results/fig21_trace.json"))
+            .expect("results/fig21_trace.json is checked in");
+        let disk_util = std::fs::read_to_string(format!("{root}/results/fig21_util.csv"))
+            .expect("results/fig21_util.csv is checked in");
+        assert_eq!(json, disk_json, "regenerate with the figures binary");
+        assert_eq!(util, disk_util, "regenerate with the figures binary");
     }
 
     #[test]

@@ -29,6 +29,7 @@ use hhsim_arch::CoreKind;
 use hhsim_des::{EventId, SimTime, Simulation};
 use hhsim_energy::MetricKind;
 use hhsim_faults::{AttemptOutcome, FaultStats, PhaseError, PhaseFaults, RecoveryPolicy};
+pub use hhsim_hdfs::LocalityTier;
 use hhsim_sched::{paper_schedule, CostTable, JobClass};
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
@@ -163,6 +164,43 @@ pub struct NodeTiming {
     pub overhead_seconds: f64,
 }
 
+/// Per-task input-locality context for a phase: where each task's input
+/// replicas live and what reading at each [`LocalityTier`] costs.
+///
+/// Node → rack assignment is round-robin (`node % racks`), matching
+/// [`hhsim_hdfs::Topology`]. A phase without locality context (`None`
+/// on [`PhaseLoad::locality`]) runs the exact legacy code path.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PhaseLocality {
+    /// Replica-holder node ids per task (indexed by task). Tasks past
+    /// the end of this list are treated as having no replicas (always
+    /// off-rack when placed anywhere).
+    pub replicas: Vec<Vec<usize>>,
+    /// Number of racks in the fabric (≥ 1).
+    pub racks: usize,
+    /// Extra input-read seconds by tier, indexed
+    /// `[node-local, rack-local, off-rack]`. Added un-jittered to the
+    /// task duration on launch.
+    pub read_seconds: [f64; 3],
+}
+
+impl PhaseLocality {
+    /// Locality tier `task` sees when its attempt runs on `node`.
+    pub fn tier_of(&self, task: usize, node: usize) -> LocalityTier {
+        let Some(reps) = self.replicas.get(task) else {
+            return LocalityTier::OffRack;
+        };
+        if reps.contains(&node) {
+            return LocalityTier::NodeLocal;
+        }
+        let racks = self.racks.max(1);
+        if reps.iter().any(|&r| r % racks == node % racks) {
+            return LocalityTier::RackLocal;
+        }
+        LocalityTier::OffRack
+    }
+}
+
 /// A phase's work: `tasks` tasks plus the per-node timing they would see.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PhaseLoad {
@@ -171,6 +209,14 @@ pub struct PhaseLoad {
     /// Timing per node (indexed by node id; length must match the
     /// cluster).
     pub timing: Vec<NodeTiming>,
+    /// Input-locality context, if the phase reads placed block replicas.
+    /// `None` (the default) keeps the engine on its legacy path.
+    pub locality: Option<PhaseLocality>,
+    /// Extra seconds per task (indexed by task; missing entries are
+    /// zero), added un-jittered to each attempt — e.g. a reduce task's
+    /// contended shuffle-fetch time. Empty (the default) keeps the
+    /// engine on its legacy path.
+    pub extra_seconds: Vec<f64>,
 }
 
 impl PhaseLoad {
@@ -185,6 +231,8 @@ impl PhaseLoad {
                 };
                 cluster.nodes.len()
             ],
+            locality: None,
+            extra_seconds: Vec::new(),
         }
     }
 
@@ -200,7 +248,45 @@ impl PhaseLoad {
                     CoreKind::Little => little,
                 })
                 .collect(),
+            locality: None,
+            extra_seconds: Vec::new(),
         }
+    }
+
+    /// Attaches input-locality context (builder style).
+    #[must_use]
+    pub fn with_locality(mut self, locality: PhaseLocality) -> Self {
+        self.locality = Some(locality);
+        self
+    }
+
+    /// Attaches per-task extra seconds (builder style).
+    #[must_use]
+    pub fn with_extra_seconds(mut self, extra: Vec<f64>) -> Self {
+        self.extra_seconds = extra;
+        self
+    }
+
+    /// Locality tier `task` would see running on `node` (node-local
+    /// when the phase has no locality context).
+    pub fn tier_for(&self, task: usize, node: usize) -> LocalityTier {
+        match &self.locality {
+            None => LocalityTier::NodeLocal,
+            Some(l) => l.tier_of(task, node),
+        }
+    }
+
+    /// Un-jittered extra seconds charged to `task` at `tier`: the
+    /// tier's input-read time plus the task's own extra entry. Exactly
+    /// `0.0` on the legacy path, so adding it to a duration is bitwise
+    /// invisible there.
+    fn extra_for(&self, task: usize, tier: LocalityTier) -> f64 {
+        let read = self
+            .locality
+            .as_ref()
+            .and_then(|l| l.read_seconds.get(tier as usize).copied())
+            .unwrap_or(0.0);
+        read + self.extra_seconds.get(task).copied().unwrap_or(0.0)
     }
 }
 
@@ -579,6 +665,57 @@ pub trait Placement {
 
     /// Policy label for traces and reports.
     fn name(&self) -> &'static str;
+
+    /// Locality-aware placement: with locality context, prefer a free
+    /// slot on a node holding `task`'s input (node-local), then any free
+    /// slot in a replica's rack (rack-local), and only then fall back to
+    /// the policy's own [`place`](Placement::place) choice, classified
+    /// against the replica set. Without context this *is* `place` (the
+    /// legacy path, byte-identical).
+    ///
+    /// Provided once for every policy so the delay-scheduling preference
+    /// order (node → rack → anywhere) stays consistent across policies.
+    fn place_local(
+        &mut self,
+        task: usize,
+        cluster: &Cluster,
+        free: &FreeSlots,
+        locality: Option<&PhaseLocality>,
+    ) -> (usize, LocalityTier) {
+        let Some(loc) = locality else {
+            return (self.place(task, cluster, free), LocalityTier::NodeLocal);
+        };
+        let nodes = cluster.nodes.len();
+        if let Some(reps) = loc.replicas.get(task) {
+            // 1. A free slot on a replica holder: node-local.
+            for &n in reps {
+                if n < nodes && free.usable(n) && free.free(n) > 0 {
+                    return (n, LocalityTier::NodeLocal);
+                }
+            }
+            // 2. A free slot in a replica's rack: rack-local. Racks are
+            // round-robin (node % racks), so a rack is a stride range.
+            let racks = loc.racks.max(1);
+            if racks > 1 {
+                let mut seen: Vec<usize> = Vec::with_capacity(reps.len());
+                for &r in reps {
+                    let rack = r % racks;
+                    if seen.contains(&rack) {
+                        continue;
+                    }
+                    seen.push(rack);
+                    for n in (rack..nodes).step_by(racks) {
+                        if free.usable(n) && free.free(n) > 0 {
+                            return (n, LocalityTier::RackLocal);
+                        }
+                    }
+                }
+            }
+        }
+        // 3. Anywhere the policy likes; classify what we got.
+        let n = self.place(task, cluster, free);
+        (n, loc.tier_of(task, n))
+    }
 }
 
 /// Baseline: first node with a free slot, in node-id order. On a
@@ -707,6 +844,10 @@ pub struct TaskSpan {
     /// [`PhaseRun::wasted`].
     #[serde(default)]
     pub outcome: AttemptOutcome,
+    /// Input locality of this attempt's landing node
+    /// ([`LocalityTier::NodeLocal`] on phases without locality context).
+    #[serde(default)]
+    pub tier: LocalityTier,
 }
 
 /// Result of draining one [`PhaseLoad`] through the engine.
@@ -801,7 +942,8 @@ pub fn run_phase(cluster: &Cluster, load: &PhaseLoad, placement: &mut dyn Placem
                 }
                 *st.queue.front().expect("non-empty queue")
             };
-            let node = placement.place(task, cluster, &state.borrow().slots);
+            let (node, tier) =
+                placement.place_local(task, cluster, &state.borrow().slots, load.locality.as_ref());
             let now = sim.now();
             let (slot, wave, dur) = {
                 let mut st = state.borrow_mut();
@@ -824,8 +966,9 @@ pub fn run_phase(cluster: &Cluster, load: &PhaseLoad, placement: &mut dyn Placem
                     st.stats.total_wait_s += now.as_secs_f64();
                 }
                 let t = &load.timing[node];
-                let dur =
-                    SimTime::from_secs_f64(t.task_seconds * jitter(task) + t.overhead_seconds);
+                let dur = SimTime::from_secs_f64(
+                    t.task_seconds * jitter(task) + t.overhead_seconds + load.extra_for(task, tier),
+                );
                 (slot, wave, dur)
             };
             let finish = now + dur;
@@ -840,6 +983,7 @@ pub fn run_phase(cluster: &Cluster, load: &PhaseLoad, placement: &mut dyn Placem
                 finished_s: finish.as_secs_f64(),
                 attempt: 1,
                 outcome: AttemptOutcome::Success,
+                tier,
             });
             let state = state.clone();
             sim.schedule_in(dur, move |sim| {
@@ -912,6 +1056,8 @@ struct RunningAttempt {
     /// The pending failure-or-completion calendar event.
     event: EventId,
     speculative: bool,
+    /// Input locality of this attempt's landing node.
+    tier: LocalityTier,
 }
 
 /// Shared state of one fault-aware engine run.
@@ -1049,6 +1195,7 @@ impl FaultState {
             finished_s: now.as_secs_f64(),
             attempt: r.attempt,
             outcome,
+            tier: r.tier,
         });
     }
 }
@@ -1077,9 +1224,11 @@ fn launch_attempt(
         st.stats.tasks_queued += 1;
         st.stats.total_wait_s += wait.as_secs_f64();
     }
+    let tier = load.tier_for(task, node);
     let t = &load.timing[node];
-    let dur_s =
-        t.task_seconds * attempt_jitter(task, attempt) * faults.slowdown[node] + t.overhead_seconds;
+    let dur_s = t.task_seconds * attempt_jitter(task, attempt) * faults.slowdown[node]
+        + t.overhead_seconds
+        + load.extra_for(task, tier);
     let dur = SimTime::from_secs_f64(dur_s);
     let rate = 1.0 / dur_s.max(1e-12);
     st.rate_sum += rate;
@@ -1114,6 +1263,7 @@ fn launch_attempt(
             rate,
             event,
             speculative,
+            tier,
         });
     }
     st.note_running(task);
@@ -1154,6 +1304,7 @@ fn attempt_completed(
         finished_s: now.as_secs_f64(),
         attempt: r.attempt,
         outcome: AttemptOutcome::Success,
+        tier: r.tier,
     });
     if now > st.max_finish {
         st.max_finish = now;
@@ -1448,7 +1599,12 @@ pub fn run_phase_faulty(
             if let Some(entry) = front {
                 let node = {
                     let st = state.borrow();
-                    let node = placement.place(entry.task, cluster, &st.slots);
+                    let (node, _tier) = placement.place_local(
+                        entry.task,
+                        cluster,
+                        &st.slots,
+                        load.locality.as_ref(),
+                    );
                     assert!(
                         st.slots.free(node) > 0 && st.slots.usable(node),
                         "placement chose an unusable node"
@@ -1552,6 +1708,8 @@ pub struct ClusterTimeline {
     finished_s: Vec<f64>,
     attempt: Vec<u32>,
     outcome: Vec<AttemptOutcome>,
+    #[serde(default)]
+    tier: Vec<LocalityTier>,
 }
 
 /// Narrows an engine-side index (task/node/slot/wave) to its column type.
@@ -1605,6 +1763,7 @@ impl ClusterTimeline {
             self.finished_s.push(s.finished_s + offset_s);
             self.attempt.push(s.attempt);
             self.outcome.push(s.outcome);
+            self.tier.push(s.tier);
         }
     }
 
@@ -1632,6 +1791,7 @@ impl ClusterTimeline {
             finished_s: *self.finished_s.get(i)?,
             attempt: *self.attempt.get(i)?,
             outcome: *self.outcome.get(i)?,
+            tier: self.tier.get(i).copied().unwrap_or_default(),
         })
     }
 
@@ -1680,6 +1840,69 @@ impl ClusterTimeline {
             }
         }
         Self::steps_from_events(&mut events)
+    }
+
+    /// True if any span ran off its input's node — the trigger for the
+    /// tier-annotated utilization format. Flat (legacy) runs have every
+    /// span node-local and keep the legacy export bytes.
+    fn has_remote_tiers(&self) -> bool {
+        self.tier.iter().any(|&t| t != LocalityTier::NodeLocal)
+    }
+
+    /// Tier-aware analogue of [`steps_from_events`](Self::steps_from_events):
+    /// folds `(time, ±1, ±1-per-tier)` events into
+    /// `(time, active, active-per-tier)` steps with identical time
+    /// merging.
+    fn tier_steps_from_events(
+        // hhsim: allow(panic-in-engine): slice type in a signature, not indexing
+        events: &mut [(f64, i64, [i64; 3])],
+    ) -> Vec<(f64, usize, [usize; 3])> {
+        events.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let mut steps = vec![(0.0, 0usize, [0usize; 3])];
+        let mut active = 0i64;
+        let mut per = [0i64; 3];
+        let mut it = events.iter().peekable();
+        while let Some(&(t, d, dp)) = it.next() {
+            active += d;
+            for (acc, delta) in per.iter_mut().zip(dp) {
+                *acc += delta;
+            }
+            if it.peek().is_some_and(|&&(t2, _, _)| t2 == t) {
+                continue;
+            }
+            let a = active.max(0) as usize;
+            let p = per.map(|v| v.max(0) as usize);
+            if t == 0.0 {
+                if let Some(first) = steps.first_mut() {
+                    *first = (0.0, a, p);
+                }
+            } else {
+                steps.push((t, a, p));
+            }
+        }
+        steps
+    }
+
+    /// Per-node `(time, active, active-per-tier)` step functions in one
+    /// linear pass over the span columns.
+    fn tier_steps_all(&self) -> Vec<Vec<(f64, usize, [usize; 3])>> {
+        let mut events: Vec<Vec<(f64, i64, [i64; 3])>> = vec![Vec::new(); self.nodes.len()];
+        for i in 0..self.len() {
+            let n = self.node.get(i).copied().unwrap_or(0) as usize;
+            let tier = self.tier.get(i).copied().unwrap_or_default() as usize;
+            if let Some(ev) = events.get_mut(n) {
+                let mut up = [0i64; 3];
+                up[tier] = 1; // hhsim: allow(panic-in-engine): tier = LocalityTier as usize <= 2 into a [_; 3]
+                let mut down = [0i64; 3];
+                down[tier] = -1; // hhsim: allow(panic-in-engine): tier = LocalityTier as usize <= 2 into a [_; 3]
+                ev.push((self.launched_s.get(i).copied().unwrap_or(0.0), 1, up));
+                ev.push((self.finished_s.get(i).copied().unwrap_or(0.0), -1, down));
+            }
+        }
+        events
+            .iter_mut()
+            .map(|ev| Self::tier_steps_from_events(ev.as_mut_slice()))
+            .collect()
     }
 
     /// [`active_steps`](Self::active_steps) for every node in one linear
@@ -1736,14 +1959,18 @@ impl ClusterTimeline {
             let ts = s.launched_s * 1e6;
             let dur = (s.finished_s - s.launched_s) * 1e6;
             let wait = (s.launched_s - s.queued_s) * 1e6;
-            // Attempt/outcome args only when non-default, so fault-free
-            // traces stay byte-identical to the pre-fault format.
+            // Attempt/outcome/tier args only when non-default, so
+            // fault-free node-local traces stay byte-identical to the
+            // earlier formats.
             let mut extra = String::new();
             if s.attempt > 1 {
                 let _ = write!(extra, ",\"attempt\":{}", s.attempt);
             }
             if s.outcome != AttemptOutcome::Success {
                 let _ = write!(extra, ",\"outcome\":\"{}\"", s.outcome.as_str());
+            }
+            if s.tier != LocalityTier::NodeLocal {
+                let _ = write!(extra, ",\"tier\":\"{}\"", s.tier.as_str());
             }
             let _ = writeln!(
                 out,
@@ -1783,12 +2010,16 @@ impl ClusterTimeline {
             let wait = (launched - queued) * 1e6;
             let attempt = self.attempt.get(i).copied().unwrap_or(1);
             let outcome = self.outcome.get(i).copied().unwrap_or_default();
+            let tier = self.tier.get(i).copied().unwrap_or_default();
             extra.clear();
             if attempt > 1 {
                 let _ = write!(extra, ",\"attempt\":{attempt}");
             }
             if outcome != AttemptOutcome::Success {
                 let _ = write!(extra, ",\"outcome\":\"{}\"", outcome.as_str());
+            }
+            if tier != LocalityTier::NodeLocal {
+                let _ = write!(extra, ",\"tier\":\"{}\"", tier.as_str());
             }
             let phase = self
                 .phase_ix
@@ -1812,12 +2043,22 @@ impl ClusterTimeline {
     }
 
     /// Per-node utilization as CSV: `node,name,time_s,active_slots` step
-    /// rows (one per change point).
+    /// rows (one per change point). When any span ran rack-local or
+    /// off-rack, three per-tier active-slot columns
+    /// (`node_local,rack_local,off_rack`) follow, so the export carries
+    /// the locality mix; flat (all node-local) runs keep the legacy
+    /// four-column format byte-for-byte.
     ///
     /// This buffered form is the *reference* for the streaming
     /// [`write_utilization_csv`](Self::write_utilization_csv); the
     /// equality tests diff the two byte-for-byte.
     pub fn utilization_csv(&self) -> String {
+        if self.has_remote_tiers() {
+            let mut buf = Vec::new();
+            // Writes to a Vec cannot fail.
+            let _ = self.write_utilization_csv(&mut buf);
+            return String::from_utf8(buf).unwrap_or_default();
+        }
         let mut out = String::from("node,name,time_s,active_slots\n");
         for (i, n) in self.nodes.iter().enumerate() {
             for (t, a) in self.active_steps(i) {
@@ -1833,6 +2074,16 @@ impl ClusterTimeline {
     /// ([`active_steps_all`](Self::active_steps_all)) instead of one
     /// full-timeline scan per node.
     pub fn write_utilization_csv<W: io::Write>(&self, w: &mut W) -> io::Result<()> {
+        if self.has_remote_tiers() {
+            w.write_all(b"node,name,time_s,active_slots,node_local,rack_local,off_rack\n")?;
+            let steps = self.tier_steps_all();
+            for (i, n) in self.nodes.iter().enumerate() {
+                for &(t, a, [nl, rl, of]) in steps.get(i).map(Vec::as_slice).unwrap_or_default() {
+                    writeln!(w, "{i},{},{t:.6},{a},{nl},{rl},{of}", n.name)?;
+                }
+            }
+            return Ok(());
+        }
         w.write_all(b"node,name,time_s,active_slots\n")?;
         let steps = self.active_steps_all();
         for (i, n) in self.nodes.iter().enumerate() {

@@ -16,7 +16,7 @@
 use hhsim_accel::AccelConfig;
 use hhsim_arch::{presets, ComputeProfile, Frequency, MachineModel};
 use hhsim_energy::MetricKind;
-use hhsim_hdfs::BlockSize;
+use hhsim_hdfs::{BlockSize, Topology};
 use hhsim_workloads::AppId;
 
 use hhsim_faults::{FaultConfig, RecoveryPolicy};
@@ -864,6 +864,84 @@ pub fn fig20() -> FigureData {
     f
 }
 
+/// ToR-uplink oversubscription factors swept in Fig. 21.
+pub const OVERSUB_SWEEP: [f64; 3] = [1.0, 4.0, 16.0];
+
+/// HDFS block sizes swept in Fig. 21 (the §3.1.1 block-size axis).
+pub const TOPO_BLOCKS: [BlockSize; 3] = [BlockSize::MB_64, BlockSize::MB_256, BlockSize::MB_512];
+
+/// Racks in the Fig. 21 fabric: three nodes per rack at 12 nodes.
+pub const TOPO_RACKS: usize = 4;
+
+/// Nodes in each Fig. 21 cluster — the Fig. 18 rosters scaled 4x, so a
+/// replication-3 layout no longer covers every node and the locality
+/// tiers become observable.
+pub const TOPO_NODES: usize = 12;
+
+/// Fig. 21 (model extension): locality-tier mix, phase times and EDP on
+/// the two-tier rack fabric, sweeping ToR oversubscription × HDFS block
+/// size over the Fig. 18 cluster shapes scaled to [`TOPO_NODES`] nodes
+/// (TeraSort — the shuffle-heavy app). Small blocks outnumber the
+/// cluster's slots, so late waves cannot find a free replica holder and
+/// map reads leave the node (the tier mix shifts with block size), while
+/// oversubscription throttles the cross-rack shuffle (reduce time and
+/// EDP respond monotonically).
+pub fn fig21() -> FigureData {
+    // hhsim: allow(panic-in-engine): irrefutable [_; 2] destructure, not indexing
+    let [xeon, atom] = machines();
+    type ClusterSpec<'a> = (&'a str, &'a MachineModel, Option<(usize, usize)>);
+    let clusters: [ClusterSpec; 3] = [
+        ("Xeon12", &xeon, None),
+        ("Atom12", &atom, None),
+        ("Mix4X8A", &xeon, Some((4, 8))),
+    ];
+    let app = AppId::TeraSort;
+    let mut sweep = Sweep::new();
+    let mut rows = Vec::new();
+    for (who, m, mix) in clusters {
+        for block in TOPO_BLOCKS {
+            for over in OVERSUB_SWEEP {
+                let mut c = cfg(app, m)
+                    .data_per_node(data_for(app))
+                    .block_size(block)
+                    .topology(Topology::racked(TOPO_RACKS, over));
+                match mix {
+                    Some((big, little)) => {
+                        c = c.mix(NodeMix {
+                            big,
+                            little,
+                            placement: PlacementKind::PaperClass(MetricKind::Edp),
+                        });
+                    }
+                    None => c.nodes = TOPO_NODES,
+                }
+                let p = sweep.point(c);
+                rows.push((who, block, over, p));
+            }
+        }
+    }
+    let meas = sweep.run();
+    let mut f = FigureData::new(
+        "fig21",
+        "Locality-tier mix and EDP vs ToR oversubscription and block size",
+        "mixed",
+    );
+    for (who, block, over, p) in rows {
+        let Some(m) = meas.get(p) else { continue };
+        let x = format!("{}MB/{over}x", block.bytes() >> 20);
+        // hhsim: allow(panic-in-engine): irrefutable [_; 3] destructure, not indexing
+        let [nl, rl, of] = m.map_locality_tiers;
+        let total = (nl + rl + of).max(1) as f64;
+        f.push(format!("EDP/{who}"), x.clone(), m.cost.edp());
+        f.push(format!("Tred/{who}"), x.clone(), m.breakdown.reduce_s);
+        f.push(format!("Tmap/{who}"), x.clone(), m.breakdown.map_s);
+        f.push(format!("NL/{who}"), x.clone(), nl as f64 / total);
+        f.push(format!("RL/{who}"), x.clone(), rl as f64 / total);
+        f.push(format!("OF/{who}"), x, of as f64 / total);
+    }
+    f
+}
+
 /// A figure/table generator: produces one artifact's data from scratch.
 pub type Generator = fn() -> FigureData;
 
@@ -893,6 +971,7 @@ pub fn all() -> Vec<(&'static str, Generator)> {
         ("fig18", fig18),
         ("fig19", fig19),
         ("fig20", fig20),
+        ("fig21", fig21),
     ]
 }
 
@@ -949,7 +1028,7 @@ mod tests {
 
     #[test]
     fn all_generators_are_registered() {
-        assert_eq!(all().len(), 23, "2 tables + 21 figure artifacts");
+        assert_eq!(all().len(), 24, "3 tables + 21 figure artifacts");
     }
 
     #[test]
@@ -1061,5 +1140,62 @@ mod tests {
             w12 > w0,
             "summed makespan band width must grow with failure rate ({w12} vs {w0})"
         );
+    }
+
+    #[test]
+    fn fig21_tier_mix_shifts_and_oversubscription_bites() {
+        let f = fig21();
+        // 3 clusters x 3 blocks x 3 oversubscriptions x 6 series.
+        assert_eq!(f.rows.len(), 162);
+        let v = |series: String, x: String| {
+            f.rows
+                .iter()
+                .find(|r| r.series == series && r.x == x)
+                .map(|r| r.value)
+                .expect("fig21 row")
+        };
+        for who in ["Xeon12", "Atom12", "Mix4X8A"] {
+            // Tier fractions are a partition of the map tasks.
+            for blk in ["64", "256", "512"] {
+                for over in ["1", "4", "16"] {
+                    let x = format!("{blk}MB/{over}x");
+                    let sum = v(format!("NL/{who}"), x.clone())
+                        + v(format!("RL/{who}"), x.clone())
+                        + v(format!("OF/{who}"), x.clone());
+                    assert!((sum - 1.0).abs() < 1e-9, "{who}@{x}: tier mix sums to 1");
+                }
+            }
+            // Locality-tier mix shifts with block size: 64 MB floods the
+            // slots and pushes reads off-node, 512 MB fits in waves that
+            // keep every read on a replica holder.
+            let nl_small = v(format!("NL/{who}"), "64MB/1x".into());
+            let nl_large = v(format!("NL/{who}"), "512MB/1x".into());
+            assert!(
+                nl_small < nl_large,
+                "{who}: node-local fraction must grow with block size \
+                 ({nl_small} vs {nl_large})"
+            );
+            assert!(nl_small < 1.0, "{who}: small blocks must leave the node");
+            // Reduce time and EDP respond monotonically to oversubscription.
+            for blk in ["64", "256", "512"] {
+                let at = |metric: &str, over: &str| {
+                    v(format!("{metric}/{who}"), format!("{blk}MB/{over}x"))
+                };
+                for m in ["Tred", "EDP"] {
+                    let (a, b, c) = (at(m, "1"), at(m, "4"), at(m, "16"));
+                    assert!(
+                        a <= b + 1e-9 && b <= c + 1e-9,
+                        "{m}/{who}@{blk}MB must be monotone in oversubscription \
+                         ({a} / {b} / {c})"
+                    );
+                }
+                let (t1, t16) = (at("Tred", "1"), at("Tred", "16"));
+                assert!(
+                    t16 > t1,
+                    "Tred/{who}@{blk}MB: 16x oversubscription must slow the \
+                     shuffle ({t1} vs {t16})"
+                );
+            }
+        }
     }
 }

@@ -44,6 +44,7 @@ pub mod harness;
 pub mod model;
 pub mod ratios;
 pub mod report;
+pub mod shuffle;
 pub mod simcache;
 
 pub use cluster::{
@@ -62,6 +63,7 @@ pub use model::{
 };
 pub use ratios::AppRatios;
 pub use report::{FigureData, Row};
+pub use shuffle::{flow_finish_times, reduce_fetch_seconds, Flow};
 pub use simcache::{CacheStats, SimCache};
 
 // Substrate re-exports: `hhsim_core` is the facade downstream users take.

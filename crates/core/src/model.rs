@@ -38,7 +38,10 @@ use hhsim_energy::{
     CostMetrics, MeterReading, MetricKind, PowerMeter, PowerTrace, StreamingMeter,
     UtilizationTimeline,
 };
-use hhsim_hdfs::{BlockSize, DiskModel};
+use hhsim_hdfs::{
+    BlockId, BlockSize, DiskModel, HdfsDefault, LocalityTier, NodeId, PlacementRequest,
+    ReplicaPlacement, Topology,
+};
 use hhsim_mapreduce::{JobConfig, PhaseBreakdown};
 use hhsim_sched::JobClass;
 use hhsim_workloads::{AppClass, AppId};
@@ -48,10 +51,11 @@ use hhsim_faults::{FaultConfig, FaultStats, NodeFaults, PhaseError};
 
 use crate::cluster::{
     run_phase, run_phase_faulty, Cluster, ClusterTimeline, FifoAnySlot, KindPreferring, NodeTiming,
-    PhaseLoad, PhaseRun, Placement, SlotStats, TaskSet,
+    PhaseLoad, PhaseLocality, PhaseRun, Placement, SlotStats, TaskSet,
 };
 use crate::ratios::JobRatios;
-use crate::simcache::{PhaseFaultKey, PhaseKey, SimCache};
+use crate::shuffle;
+use crate::simcache::{PhaseFaultKey, PhaseKey, PhaseNetKey, SimCache};
 
 /// Framework instructions charged per task launch (JVM spin-up, split
 /// bookkeeping, heartbeats).
@@ -65,6 +69,11 @@ const JOB_SETUP_S: f64 = 4.5;
 const JOB_CLEANUP_S: f64 = 3.2;
 /// NIC bandwidth per node, bytes/s (1 GbE, the paper's era).
 const NET_BYTES_PER_S: f64 = 117.0e6;
+/// HDFS default replication factor for topology-aware block layouts.
+const HDFS_REPLICATION: usize = 3;
+/// Seed of the deterministic HDFS-default layout priced by
+/// topology-active runs; chained jobs get distinct layouts via XOR.
+const TOPOLOGY_LAYOUT_SEED: u64 = 0x0048_4446_534C_4159;
 /// Replication factor charged on final output writes.
 const OUTPUT_REPLICATION: f64 = 2.0;
 
@@ -128,6 +137,13 @@ pub struct SimConfig {
     /// fault-aware cluster engine.
     #[serde(default)]
     pub faults: Option<FaultConfig>,
+    /// Optional two-tier rack fabric (node → ToR → core). `None` or an
+    /// inactive topology ([`Topology::flat`]) leaves every result
+    /// bit-identical to the flat network; an active topology routes the
+    /// run through the cluster engine with HDFS-default map placement
+    /// (locality tiers priced per task) and flow-fair contended shuffle.
+    #[serde(default)]
+    pub topology: Option<Topology>,
 }
 
 impl SimConfig {
@@ -152,6 +168,7 @@ impl SimConfig {
             accel: None,
             node_mix: None,
             faults: None,
+            topology: None,
         }
     }
 
@@ -198,9 +215,21 @@ impl SimConfig {
         self
     }
 
+    /// Installs a rack fabric (racks, per-tier bandwidth, ToR uplink
+    /// oversubscription).
+    pub fn topology(mut self, t: Topology) -> Self {
+        self.topology = Some(t);
+        self
+    }
+
     /// The fault config, if it would actually inject anything.
     fn active_faults(&self) -> Option<FaultConfig> {
         self.faults.filter(FaultConfig::active)
+    }
+
+    /// The topology, if it would actually change anything.
+    fn active_topology(&self) -> Option<Topology> {
+        self.topology.filter(Topology::active)
     }
 
     fn slots_per_node(&self) -> usize {
@@ -256,6 +285,12 @@ pub struct Measurement {
     /// fault injection).
     #[serde(default)]
     pub faults: FaultStats,
+    /// Map tasks per locality tier `[node-local, rack-local, off-rack]`
+    /// over all jobs. Without an active topology every map read is
+    /// node-local, so this stays `[n_map, 0, 0]`-shaped only on the
+    /// cluster-engine path and `[0, 0, 0]` on the analytic path.
+    #[serde(default)]
+    pub map_locality_tiers: [u64; 3],
     /// Simulated Wattsup reading over the whole run (one node).
     pub reading: MeterReading,
     /// Total dynamic energy over all nodes, joules — the 1 Hz metered
@@ -338,6 +373,12 @@ struct JobTiming {
     red_io_task: f64,
     n_map: usize,
     n_red: usize,
+    /// Bytes one map task reads — what a non-local read moves over the
+    /// network when a topology is active.
+    map_task_bytes: f64,
+    /// Bytes one reduce task pulls in the shuffle (after skew) — the
+    /// contended-shuffle engine's per-reducer demand.
+    red_input_bytes: f64,
 }
 
 /// Prices one chained job's map and reduce tasks on `m` — the analytic
@@ -447,7 +488,7 @@ fn job_timing(
     } else {
         0
     };
-    let (red_task_s, t_cpu_red, t_io_red_raw) = if n_red > 0 {
+    let (red_task_s, t_cpu_red, t_io_red_raw, red_input_bytes) = if n_red > 0 {
         let red_input = shuffle_total / n_red as f64 * job.reduce_skew.min(1.5);
         let red_concurrency = slots.min(n_red.div_ceil(shape.nodes)).max(1) as f64;
         // Cross-node shuffle transfer (the local share stays on-node).
@@ -480,9 +521,9 @@ fn job_timing(
             * pressure;
         let t_io_raw = t_disk + t_net;
         let task_s = t_cpu + t_io_raw * (1.0 - m.core.io_overlap);
-        (task_s, t_cpu, t_io_raw)
+        (task_s, t_cpu, t_io_raw, red_input)
     } else {
-        (0.0, 0.0, 0.0)
+        (0.0, 0.0, 0.0, 0.0)
     };
 
     JobTiming {
@@ -494,6 +535,8 @@ fn job_timing(
         red_io_task: t_io_red_raw,
         n_map,
         n_red,
+        map_task_bytes: task_input,
+        red_input_bytes,
     }
 }
 
@@ -525,7 +568,7 @@ pub fn simulate(cfg: &SimConfig) -> Measurement {
 /// [`SimCache::new`] gives a fully uncached evaluation — the reference
 /// the cache-consistency property tests compare against.
 pub fn simulate_with(cfg: &SimConfig, cache: &SimCache) -> Measurement {
-    if cfg.node_mix.is_some() || cfg.active_faults().is_some() {
+    if cfg.node_mix.is_some() || cfg.active_faults().is_some() || cfg.active_topology().is_some() {
         return simulate_cluster_with(cfg, cache).0;
     }
     assert!(cfg.nodes > 0, "need at least one node");
@@ -761,6 +804,7 @@ pub fn simulate_with(cfg: &SimConfig, cache: &SimCache) -> Measurement {
         map_slots: map_slots_stats,
         reduce_slots: reduce_slots_stats,
         faults: FaultStats::default(),
+        map_locality_tiers: [0, 0, 0],
         reading,
         energy_j,
         exact_energy_j,
@@ -940,6 +984,16 @@ pub(crate) struct ClusterPrep {
     red_prof: ComputeProfile,
     /// Per chained job: (big-node timing, little-node timing).
     jobs: Vec<(JobTiming, JobTiming)>,
+    /// Active rack fabric, when the run models the network topology.
+    topology: Option<Topology>,
+    /// Per chained job: the map phase's block layout (HDFS-default
+    /// placement) and per-tier read penalties. `None` entries (always,
+    /// without an active topology) leave the legacy node-local path.
+    map_locality: Vec<Option<PhaseLocality>>,
+    /// Per chained job: per-reduce-task contended-shuffle penalty
+    /// seconds beyond the flat model's uncontended transfer (empty
+    /// without an active topology).
+    red_extra: Vec<Vec<f64>>,
     multi_job: bool,
     others_wall: f64,
     /// Per node: (total W, dynamic W) during the others window.
@@ -1070,6 +1124,83 @@ impl ClusterPrep {
             n_red_total += tb.n_red;
             jobs.push((tb, tl));
         }
+        // Rack-fabric pricing: lay the input out with the HDFS default
+        // policy, price each map task's locality tier, and price the
+        // reduce shuffle on the contended fabric. All gated on an
+        // *active* topology, so flat runs never see any of this.
+        let topology = cfg.active_topology();
+        let mut map_locality: Vec<Option<PhaseLocality>> = vec![None; jobs.len()];
+        let mut red_extra: Vec<Vec<f64>> = vec![Vec::new(); jobs.len()];
+        if let Some(topo) = &topology {
+            // The same fabric with full bisection and one rack: the
+            // baseline the contention penalty is measured against, so
+            // the flat model's uncontended transfer (already inside
+            // `red_task_s`) is never double-charged.
+            let flat_fabric = Topology {
+                racks: 1,
+                oversubscription: 1.0,
+                ..*topo
+            };
+            for (ji, ((tb, _tl), (loc_slot, extra_slot))) in jobs
+                .iter()
+                .zip(map_locality.iter_mut().zip(red_extra.iter_mut()))
+                .enumerate()
+            {
+                // Each node ingests its own share of the input (block t
+                // is written by node t mod N, like the paper's per-node
+                // data load); the HDFS default policy then spreads the
+                // replicas across racks.
+                let mut policy = HdfsDefault::new(TOPOLOGY_LAYOUT_SEED ^ ji as u64);
+                let replication = HDFS_REPLICATION.min(nodes_total);
+                let replicas: Vec<Vec<usize>> = (0..tb.n_map)
+                    .map(|t| {
+                        policy
+                            .place(
+                                &PlacementRequest {
+                                    block: BlockId(t as u64),
+                                    writer: Some(NodeId(t % nodes_total)),
+                                    replication,
+                                    num_nodes: nodes_total,
+                                },
+                                topo,
+                            )
+                            .into_iter()
+                            .map(|n| n.0)
+                            .collect()
+                    })
+                    .collect();
+                let bytes = tb.map_task_bytes.max(0.0) as u64;
+                *loc_slot = Some(PhaseLocality {
+                    replicas,
+                    racks: topo.racks,
+                    read_seconds: [
+                        topo.read_seconds(bytes, LocalityTier::NodeLocal),
+                        topo.read_seconds(bytes, LocalityTier::RackLocal),
+                        topo.read_seconds(bytes, LocalityTier::OffRack),
+                    ],
+                });
+                if tb.n_red > 0 {
+                    let contended = shuffle::reduce_fetch_seconds(
+                        topo,
+                        nodes_total,
+                        tb.n_red,
+                        tb.red_input_bytes,
+                    );
+                    let baseline = shuffle::reduce_fetch_seconds(
+                        &flat_fabric,
+                        nodes_total,
+                        tb.n_red,
+                        tb.red_input_bytes,
+                    );
+                    *extra_slot = contended
+                        .iter()
+                        .zip(&baseline)
+                        .map(|(c, b)| (c - b).max(0.0))
+                        .collect();
+                }
+            }
+        }
+
         let (dom_big, dom_little) = *jobs.first().expect("at least one job");
         let dom = if n_big > 0 { dom_big } else { dom_little };
 
@@ -1152,6 +1283,9 @@ impl ClusterPrep {
             map_prof,
             red_prof,
             jobs,
+            topology,
+            map_locality,
+            red_extra,
             multi_job: ratios.jobs.len() > 1,
             others_wall,
             oth_power,
@@ -1169,6 +1303,7 @@ impl ClusterPrep {
         big_task_s: f64,
         little_task_s: f64,
         faults: Option<PhaseFaultKey>,
+        net: Option<PhaseNetKey>,
     ) -> PhaseKey {
         PhaseKey {
             placement: self.placement_code,
@@ -1181,6 +1316,7 @@ impl ClusterPrep {
                 self.little_overhead.to_bits(),
             ],
             faults,
+            net,
         }
     }
 
@@ -1226,6 +1362,7 @@ impl ClusterPrep {
         let mut map_dyn_j = 0.0;
         let mut red_dyn_j = 0.0;
         let mut offset = 0.0;
+        let mut locality_tiers = [0u64; 3];
 
         for (ji, &(tb, tl)) in self.jobs.iter().enumerate() {
             let io_frac = |task_s: f64, io_s: f64| {
@@ -1255,7 +1392,8 @@ impl ClusterPrep {
                 }
             };
             let mut placement = build_placement(self.placement_kind, self.app);
-            let map_load = PhaseLoad::by_kind(
+            let map_locality = self.map_locality.get(ji).and_then(Option::as_ref);
+            let mut map_load = PhaseLoad::by_kind(
                 tb.n_map,
                 NodeTiming {
                     task_seconds: tb.map_task_s,
@@ -1267,6 +1405,9 @@ impl ClusterPrep {
                 },
                 cluster,
             );
+            if let Some(loc) = map_locality {
+                map_load = map_load.with_locality(loc.clone());
+            }
             let map_faults = faults
                 .zip(node_faults.as_ref())
                 .map(|(fc, nf)| nf.phase(fc, phase_idx, fc.phase_rate(false), offset));
@@ -1275,6 +1416,10 @@ impl ClusterPrep {
                 tb.map_task_s,
                 tl.map_task_s,
                 faults.map(|fc| PhaseFaultKey::new(fc, phase_idx, fc.phase_rate(false), offset)),
+                self.topology
+                    .as_ref()
+                    .zip(map_locality)
+                    .map(|(t, l)| PhaseNetKey::for_map(t, l)),
             );
             phase_idx += 1;
             let map_run = cache.phase_run(map_key, || {
@@ -1282,6 +1427,11 @@ impl ClusterPrep {
             })?;
             map_slots_stats.absorb(&map_run.slots);
             fault_stats.absorb(&map_run.faults);
+            for s in &map_run.spans {
+                if let Some(c) = locality_tiers.get_mut(s.tier as usize) {
+                    *c += 1;
+                }
+            }
             timeline.extend(&label("map"), offset, &map_run);
             offset += map_run.makespan_s;
             map_wall += map_run.makespan_s;
@@ -1300,7 +1450,8 @@ impl ClusterPrep {
 
             // Reduce phase.
             if tb.n_red > 0 {
-                let red_load = PhaseLoad::by_kind(
+                let red_extra = self.red_extra.get(ji).filter(|e| !e.is_empty());
+                let mut red_load = PhaseLoad::by_kind(
                     tb.n_red,
                     NodeTiming {
                         task_seconds: tb.red_task_s,
@@ -1312,6 +1463,9 @@ impl ClusterPrep {
                     },
                     cluster,
                 );
+                if let Some(extra) = red_extra {
+                    red_load = red_load.with_extra_seconds(extra.clone());
+                }
                 let red_faults = faults
                     .zip(node_faults.as_ref())
                     .map(|(fc, nf)| nf.phase(fc, phase_idx, fc.phase_rate(true), offset));
@@ -1320,6 +1474,10 @@ impl ClusterPrep {
                     tb.red_task_s,
                     tl.red_task_s,
                     faults.map(|fc| PhaseFaultKey::new(fc, phase_idx, fc.phase_rate(true), offset)),
+                    self.topology
+                        .as_ref()
+                        .zip(red_extra)
+                        .map(|(t, e)| PhaseNetKey::for_extras(t, e)),
                 );
                 phase_idx += 1;
                 let red_run = cache.phase_run(red_key, || {
@@ -1413,6 +1571,7 @@ impl ClusterPrep {
             map_slots: map_slots_stats,
             reduce_slots: reduce_slots_stats,
             faults: fault_stats,
+            map_locality_tiers: locality_tiers,
             reading,
             energy_j,
             exact_energy_j,
@@ -1605,6 +1764,86 @@ mod tests {
         assert_eq!(m1, m2);
         assert_eq!(t1, t2);
         assert_eq!(t1.to_chrome_trace_json(), t2.to_chrome_trace_json());
+    }
+
+    #[test]
+    fn flat_topology_config_is_bitwise_identical_to_no_topology() {
+        // A present-but-inactive Topology must not perturb a single bit
+        // of either the analytic path or the cluster engine.
+        let plain = base(AppId::WordCount, presets::xeon_e5_2420());
+        let with_flat = plain.clone().topology(Topology::flat());
+        assert_eq!(simulate(&plain), simulate(&with_flat));
+
+        let mixed = base(AppId::Sort, presets::xeon_e5_2420()).mix(NodeMix {
+            big: 1,
+            little: 2,
+            placement: PlacementKind::PaperClass(MetricKind::Edp),
+        });
+        let mixed_flat = mixed.clone().topology(Topology::flat());
+        let (m1, t1) = simulate_cluster(&mixed);
+        let (m2, t2) = simulate_cluster(&mixed_flat);
+        assert_eq!(m1, m2);
+        assert_eq!(t1, t2);
+        assert_eq!(t1.to_chrome_trace_json(), t2.to_chrome_trace_json());
+        assert_eq!(t1.utilization_csv(), t2.utilization_csv());
+    }
+
+    #[test]
+    fn active_topology_routes_through_the_cluster_engine() {
+        let cfg = base(AppId::TeraSort, presets::xeon_e5_2420())
+            .data_per_node(4 << 30)
+            .topology(Topology::racked(3, 8.0));
+        let (m, tl) = simulate_cluster(&cfg);
+        // simulate() routes topology-active configs through the engine.
+        assert_eq!(simulate(&cfg), m);
+        // The HDFS-default layout keeps most reads node-local (first
+        // replica is writer-local) but spills the rest across tiers.
+        let [nl, rl, of] = m.map_locality_tiers;
+        assert!(
+            nl > 0,
+            "writer-local replicas exist: {:?}",
+            m.map_locality_tiers
+        );
+        assert!(
+            nl + rl + of > 0 && (rl + of) < nl.max(1) * 10,
+            "tier mix is sane: {:?}",
+            m.map_locality_tiers
+        );
+        // The trace carries the locality-tier vocabulary end to end.
+        let json = tl.to_chrome_trace_json();
+        assert!(m.breakdown.total() > 0.0);
+        let _ = json;
+    }
+
+    #[test]
+    fn oversubscription_slows_reduce_and_shifts_edp() {
+        // fig21's monotonicity claim at a single point: same cluster,
+        // same block size, fatter oversubscription ⇒ slower reduce
+        // phase and no-better EDP.
+        let at = |over: f64| {
+            let cfg = base(AppId::TeraSort, presets::xeon_e5_2420())
+                .data_per_node(4 << 30)
+                .topology(Topology::racked(3, over));
+            simulate(&cfg)
+        };
+        let fast = at(1.0);
+        let slow = at(16.0);
+        assert!(
+            slow.breakdown.reduce_s >= fast.breakdown.reduce_s,
+            "reduce must not speed up under oversubscription: {} < {}",
+            slow.breakdown.reduce_s,
+            fast.breakdown.reduce_s
+        );
+        assert!(
+            slow.breakdown.reduce_s > fast.breakdown.reduce_s * 1.01,
+            "contended shuffle must actually bite: {} vs {}",
+            slow.breakdown.reduce_s,
+            fast.breakdown.reduce_s
+        );
+        assert!(
+            slow.cost.edp() > fast.cost.edp(),
+            "EDP reflects the slowdown"
+        );
     }
 
     #[test]

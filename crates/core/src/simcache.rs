@@ -28,10 +28,11 @@ use std::sync::{Arc, OnceLock};
 
 use hhsim_arch::{ComputeProfile, MachineModel};
 use hhsim_faults::{FaultConfig, PhaseError};
+use hhsim_hdfs::Topology;
 use hhsim_workloads::{AppId, FunctionalConfig, FunctionalRun};
 use parking_lot::Mutex;
 
-use crate::cluster::PhaseRun;
+use crate::cluster::{PhaseLocality, PhaseRun};
 use crate::ratios::AppRatios;
 
 /// (machine name, profile name): stall splits depend on nothing else.
@@ -65,6 +66,80 @@ pub(crate) struct PhaseKey {
     pub timing: [u64; 4],
     /// Fault-injection identity, when the phase runs under faults.
     pub faults: Option<PhaseFaultKey>,
+    /// Network-topology identity, when the phase runs on an active rack
+    /// fabric. `None` means the legacy flat network, so every
+    /// pre-topology key keeps its exact equality class.
+    pub net: Option<PhaseNetKey>,
+}
+
+/// Identity of a phase's network inputs under an active [`Topology`]:
+/// the fabric parameters plus a digest of the per-task locality layout
+/// (map) or contended-shuffle penalties (reduce). A digest rather than
+/// the full layout keeps the key small; collisions would need two
+/// different layouts with equal FNV-1a over every replica id and f64
+/// bit pattern *and* equal fabric parameters, which the deterministic
+/// layout generator cannot produce within one process.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) struct PhaseNetKey {
+    /// Rack count.
+    pub racks: usize,
+    /// Node-link bandwidth bits.
+    pub node_bw: u64,
+    /// Core-link bandwidth bits.
+    pub core_bw: u64,
+    /// Oversubscription factor bits.
+    pub oversub: u64,
+    /// FNV-1a digest of the per-task network inputs.
+    pub digest: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// One FNV-1a step over the eight little-endian bytes of `v`.
+fn fnv(acc: u64, v: u64) -> u64 {
+    v.to_le_bytes().iter().fold(acc, |h, &b| {
+        (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3)
+    })
+}
+
+impl PhaseNetKey {
+    fn base(t: &Topology) -> Self {
+        PhaseNetKey {
+            racks: t.racks,
+            node_bw: t.node_bytes_per_s.to_bits(),
+            core_bw: t.core_bytes_per_s.to_bits(),
+            oversub: t.oversubscription.to_bits(),
+            digest: FNV_OFFSET,
+        }
+    }
+
+    /// Key for a map phase: digests the replica layout and the per-tier
+    /// read penalties.
+    pub fn for_map(t: &Topology, loc: &PhaseLocality) -> Self {
+        let mut k = Self::base(t);
+        let mut d = k.digest;
+        d = fnv(d, loc.racks as u64);
+        for s in loc.read_seconds {
+            d = fnv(d, s.to_bits());
+        }
+        for reps in &loc.replicas {
+            // Replica-set delimiter: distinguishes [[1],[2]] from [[1,2]].
+            d = fnv(d, u64::MAX);
+            for &r in reps {
+                d = fnv(d, r as u64);
+            }
+        }
+        k.digest = d;
+        k
+    }
+
+    /// Key for a reduce phase: digests the per-task contended-shuffle
+    /// penalty seconds.
+    pub fn for_extras(t: &Topology, extras: &[f64]) -> Self {
+        let mut k = Self::base(t);
+        k.digest = extras.iter().fold(k.digest, |d, e| fnv(d, e.to_bits()));
+        k
+    }
 }
 
 /// The inputs `NodeFaults::sample` + `NodeFaults::phase` derive a

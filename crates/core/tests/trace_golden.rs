@@ -11,13 +11,15 @@
 use hhsim_core::arch::CoreKind;
 use hhsim_core::cluster::{
     run_phase, run_phase_faulty, Cluster, ClusterTimeline, FifoAnySlot, KindPreferring, NodeTiming,
-    PhaseLoad,
+    PhaseLoad, PhaseLocality,
 };
 use hhsim_core::faults::{FaultPlan, PhaseFaults, RecoveryPolicy};
 
 const GOLDEN_JSON: &str = include_str!("golden/cluster_trace.json");
 const GOLDEN_CSV: &str = include_str!("golden/cluster_util.csv");
 const GOLDEN_FAULTY_JSON: &str = include_str!("golden/faulty_trace.json");
+const GOLDEN_TIERED_JSON: &str = include_str!("golden/tiered_trace.json");
+const GOLDEN_TIERED_CSV: &str = include_str!("golden/tiered_util.csv");
 
 /// A small but structurally rich scenario: 1 big node (2 slots) + 2
 /// little nodes (2 slots each), 7 map tasks under the kind-aware
@@ -83,6 +85,42 @@ fn faulty_timeline() -> ClusterTimeline {
     tl
 }
 
+/// The topology-aware counterpart: the same cluster over a two-rack
+/// fabric (node 1 alone in rack 1) with every replica on node 0, so the
+/// two slots there drain node-local while nodes 1/2 must read off-rack
+/// and rack-local respectively. The trace pins the `"tier"` span
+/// argument and the tiered utilization columns.
+fn tiered_timeline() -> ClusterTimeline {
+    let cluster = Cluster::mixed(1, 2, 2, 2);
+    let big = NodeTiming {
+        task_seconds: 4.0,
+        overhead_seconds: 0.25,
+    };
+    let little = NodeTiming {
+        task_seconds: 11.0,
+        overhead_seconds: 0.25,
+    };
+    let locality = PhaseLocality {
+        replicas: vec![vec![0]; 7],
+        racks: 2,
+        read_seconds: [0.0, 1.5, 4.0],
+    };
+    let map = run_phase(
+        &cluster,
+        &PhaseLoad::by_kind(7, big, little, &cluster).with_locality(locality),
+        &mut FifoAnySlot,
+    );
+    let red = run_phase(
+        &cluster,
+        &PhaseLoad::by_kind(3, big, little, &cluster).with_extra_seconds(vec![0.5, 2.0, 0.0]),
+        &mut FifoAnySlot,
+    );
+    let mut tl = ClusterTimeline::new(&cluster);
+    tl.extend("map", 0.0, &map);
+    tl.extend("reduce", map.makespan_s, &red);
+    tl
+}
+
 fn bless(rel: &str, content: &str) {
     let path = format!("{}/tests/{rel}", env!("CARGO_MANIFEST_DIR"));
     std::fs::write(path, content).expect("bless golden");
@@ -137,6 +175,46 @@ fn faulty_golden_shows_recovery_vocabulary() {
     assert!(GOLDEN_FAULTY_JSON.contains("\"outcome\":\"killed\""));
     assert!(!GOLDEN_JSON.contains("\"attempt\":"));
     assert!(!GOLDEN_JSON.contains("\"outcome\":"));
+}
+
+#[test]
+fn tiered_chrome_trace_json_matches_golden() {
+    let json = tiered_timeline().to_chrome_trace_json();
+    if std::env::var_os("BLESS_GOLDEN").is_some() {
+        bless("golden/tiered_trace.json", &json);
+        return;
+    }
+    assert_eq!(
+        json, GOLDEN_TIERED_JSON,
+        "tiered Chrome-trace export changed; re-bless with BLESS_GOLDEN=1 if intended"
+    );
+}
+
+#[test]
+fn tiered_utilization_csv_matches_golden() {
+    let csv = tiered_timeline().utilization_csv();
+    if std::env::var_os("BLESS_GOLDEN").is_some() {
+        bless("golden/tiered_util.csv", &csv);
+        return;
+    }
+    assert_eq!(
+        csv, GOLDEN_TIERED_CSV,
+        "tiered utilization export changed; re-bless with BLESS_GOLDEN=1 if intended"
+    );
+}
+
+#[test]
+fn tiered_golden_shows_locality_vocabulary() {
+    // The `tier` span arg only appears on remote reads, and the
+    // utilization CSV only switches to its tiered columns when a remote
+    // tier exists — so their presence here (and absence in the clean
+    // golden) pins the backward-compatible schema on both sides.
+    assert!(GOLDEN_TIERED_JSON.contains("\"tier\":\"rack-local\""));
+    assert!(GOLDEN_TIERED_JSON.contains("\"tier\":\"off-rack\""));
+    assert!(GOLDEN_TIERED_CSV
+        .starts_with("node,name,time_s,active_slots,node_local,rack_local,off_rack\n"));
+    assert!(!GOLDEN_JSON.contains("\"tier\":"));
+    assert!(GOLDEN_CSV.starts_with("node,name,time_s,active_slots\n"));
 }
 
 #[test]

@@ -7,8 +7,15 @@
 //!   into [`BlockSize`]-sized blocks (the paper sweeps 32–512 MB), because
 //!   `number of map tasks = input size / HDFS block size` (§3.1.1) drives
 //!   every block-size result;
-//! * **placement & replication** — a [`NameNode`] places replicas
-//!   round-robin across datanodes, so task locality can be computed;
+//! * **placement & replication** — a [`NameNode`] places replicas through
+//!   a pluggable [`ReplicaPlacement`] policy: the legacy [`RoundRobin`]
+//!   rotation (the default) or [`HdfsDefault`], the real HDFS policy
+//!   (writer-local first replica, second on a different rack, third on
+//!   the second's rack), so task locality can be computed;
+//! * **rack topology** — a [`Topology`] (node → ToR switch → core with
+//!   per-tier bandwidth and oversubscription) classifies every read as
+//!   node-local, rack-local or off-rack ([`LocalityTier`]), and the
+//!   namenode answers rack-aware locality queries against it;
 //! * **a disk timing model** — [`DiskModel`] charges a seek per sequential
 //!   chunk plus bandwidth-proportional transfer time, which is what makes
 //!   large blocks cheaper per byte to scan.
@@ -26,7 +33,7 @@
 //!     block_size: BlockSize::MB_64,
 //!     replication: 2,
 //!     num_nodes: 3,
-//! });
+//! })?;
 //! dfs.create("/data/input.txt", Bytes::from(vec![7u8; 200 << 20]))?;
 //! assert_eq!(dfs.blocks("/data/input.txt")?.len(), 4); // ceil(200/64)
 //! # Ok::<(), hhsim_hdfs::DfsError>(())
@@ -35,7 +42,11 @@
 mod block;
 mod dfs;
 mod disk;
+mod placement;
+mod topology;
 
 pub use block::{BlockId, BlockMeta, BlockSize, NodeId};
 pub use dfs::{Dfs, DfsConfig, DfsError, FileMeta, NameNode};
 pub use disk::DiskModel;
+pub use placement::{HdfsDefault, PlacementRequest, ReplicaPlacement, RoundRobin};
+pub use topology::{LocalityTier, Topology, GIGE_BYTES_PER_S};

@@ -12,13 +12,14 @@ fn create_read_round_trip() {
     check(64, |g| {
         let data = g.bytes(0..4096);
         let block = g.u64(1..512);
-        let replication = g.usize(1..5);
         let nodes = g.usize(1..6);
+        let replication = g.usize(1..5).min(nodes);
         let mut dfs = Dfs::new(DfsConfig {
             block_size: BlockSize::from_bytes(block),
             replication,
             num_nodes: nodes,
-        });
+        })
+        .unwrap();
         let payload = Bytes::from(data.clone());
         dfs.create("/f", payload).unwrap();
         assert_eq!(&dfs.read("/f").unwrap()[..], &data[..]);
@@ -32,7 +33,7 @@ fn create_read_round_trip() {
         assert_eq!(total, data.len() as u64);
         for b in blocks {
             assert!(b.len <= block);
-            assert_eq!(b.replicas.len(), replication.min(nodes));
+            assert_eq!(b.replicas().len(), replication);
         }
     });
 }
@@ -50,7 +51,8 @@ fn locality_sums_to_replication() {
             block_size: BlockSize::from_bytes(block),
             replication,
             num_nodes: nodes,
-        });
+        })
+        .unwrap();
         dfs.create("/f", Bytes::from(vec![0u8; (file_blocks * block) as usize]))
             .unwrap();
         let sum: f64 = (0..nodes)

@@ -30,7 +30,7 @@ pub type TextSplit = Vec<(u64, String)>;
 ///     block_size: BlockSize::from_bytes(8),
 ///     replication: 1,
 ///     num_nodes: 1,
-/// });
+/// })?;
 /// dfs.create("/t", Bytes::from_static(b"alpha\nbravo charlie\nx\n"))?;
 /// let splits = text_splits(&dfs, "/t")?;
 /// let lines: Vec<String> = splits.concat().into_iter().map(|(_, l)| l).collect();
@@ -151,7 +151,8 @@ mod tests {
             block_size: BlockSize::from_bytes(16),
             replication: 1,
             num_nodes: 3,
-        });
+        })
+        .unwrap();
         let text = "the quick brown fox\njumps over\nthe lazy dog\n";
         dfs.create("/in", Bytes::from(text.to_string())).unwrap();
         let splits = text_splits(&dfs, "/in").unwrap();
