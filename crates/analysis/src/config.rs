@@ -18,6 +18,52 @@ use std::collections::BTreeMap;
 
 use crate::diag::Severity;
 
+/// Where a rule fires. The legacy crate allowlist (`sim_crates`) and the
+/// call-graph reachability engine (entry points in `[reachability]`) can be
+/// combined per rule; when no entry points are configured the reachability
+/// predicate is unavailable, and every mode degrades to the crate
+/// allowlist so fixture runs and pre-migration configs keep their meaning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scope {
+    /// Every non-excluded file.
+    All,
+    /// Files in `sim_crates` only (legacy behavior).
+    SimCrates,
+    /// Tokens inside functions reachable from the configured entry points.
+    Reachable,
+    /// In a sim crate *or* reachable — widens the allowlist with the
+    /// call graph (catches hazards in non-listed crates the engine calls).
+    SimOrReachable,
+    /// In a sim crate *and* reachable — narrows the allowlist with the
+    /// call graph (skips exporters and helpers the engine never runs).
+    SimAndReachable,
+}
+
+impl Scope {
+    /// Lowercase name as used in `[rules.<name>] scope = "..."`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Scope::All => "all",
+            Scope::SimCrates => "sim-crates",
+            Scope::Reachable => "reachable",
+            Scope::SimOrReachable => "sim-or-reachable",
+            Scope::SimAndReachable => "sim-and-reachable",
+        }
+    }
+
+    /// Parses a config-file scope name.
+    pub fn parse(s: &str) -> Option<Scope> {
+        match s {
+            "all" => Some(Scope::All),
+            "sim-crates" => Some(Scope::SimCrates),
+            "reachable" => Some(Scope::Reachable),
+            "sim-or-reachable" => Some(Scope::SimOrReachable),
+            "sim-and-reachable" => Some(Scope::SimAndReachable),
+            _ => None,
+        }
+    }
+}
+
 /// A file- or directory-scoped suppression of one rule.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Allow {
@@ -27,6 +73,13 @@ pub struct Allow {
     pub path: String,
     /// Mandatory written justification.
     pub reason: String,
+}
+
+impl Allow {
+    /// True when this allow covers `path`.
+    pub fn matches(&self, path: &str) -> bool {
+        path_matches(path, &self.path)
+    }
 }
 
 /// A path subtree excluded from analysis entirely.
@@ -54,6 +107,13 @@ pub struct Config {
     pub allows: Vec<Allow>,
     /// Per-rule severity overrides from `[rules.<name>]` tables.
     pub severity_overrides: BTreeMap<String, Severity>,
+    /// Per-rule scope overrides from `[rules.<name>] scope = "..."`.
+    pub scope_overrides: BTreeMap<String, Scope>,
+    /// Simulation entry points from `[reachability] entry_points = [...]`:
+    /// `name` or `Owner::name` specs resolved against the symbol index.
+    /// Empty means reachability is off and scoped rules degrade to the
+    /// crate allowlist.
+    pub entry_points: Vec<String>,
 }
 
 impl Config {
@@ -88,6 +148,7 @@ pub fn parse(src: &str) -> Result<Config, String> {
         Allow,
         Exclude,
         Rule(String),
+        Reachability,
     }
 
     let mut cfg = Config::default();
@@ -154,6 +215,7 @@ pub fn parse(src: &str) -> Result<Config, String> {
             let name = name.trim();
             section = match name.strip_prefix("rules.") {
                 Some(rule) => Section::Rule(rule.trim_matches('"').to_string()),
+                None if name == "reachability" => Section::Reachability,
                 None => return Err(format!("line {lineno}: unknown table [{name}]")),
             };
             continue;
@@ -180,9 +242,24 @@ pub fn parse(src: &str) -> Result<Config, String> {
                         .ok_or(format!("line {lineno}: unknown severity `{s}`"))?;
                     cfg.severity_overrides.insert(rule.clone(), sev);
                 }
+                "scope" => {
+                    let s = parse_string(value, lineno)?;
+                    let scope = Scope::parse(&s).ok_or(format!(
+                        "line {lineno}: unknown scope `{s}` (known: all, sim-crates, reachable, sim-or-reachable, sim-and-reachable)"
+                    ))?;
+                    cfg.scope_overrides.insert(rule.clone(), scope);
+                }
                 other => {
                     return Err(format!(
                         "line {lineno}: unknown key `{other}` in [rules.{rule}]"
+                    ))
+                }
+            },
+            Section::Reachability => match key {
+                "entry_points" => cfg.entry_points = parse_string_array(value, lineno)?,
+                other => {
+                    return Err(format!(
+                        "line {lineno}: unknown key `{other}` in [reachability]"
                     ))
                 }
             },
@@ -323,6 +400,37 @@ severity = "warning"
         let cfg =
             parse("[[exclude]]\npath = \"a#b\"\nreason = \"uses # in name\"\n").expect("valid");
         assert_eq!(cfg.excludes[0].path, "a#b");
+    }
+
+    #[test]
+    fn reachability_and_scope_sections_parse() {
+        let cfg = parse(
+            "[reachability]\n\
+             entry_points = [\"simulate_cluster\", \"Simulation::run\"]\n\
+             [rules.nondet-iteration]\n\
+             scope = \"sim-or-reachable\"\n",
+        )
+        .expect("valid");
+        assert_eq!(
+            cfg.entry_points,
+            vec!["simulate_cluster", "Simulation::run"]
+        );
+        assert_eq!(
+            cfg.scope_overrides.get("nondet-iteration"),
+            Some(&Scope::SimOrReachable)
+        );
+        // Scope names round-trip.
+        for s in [
+            Scope::All,
+            Scope::SimCrates,
+            Scope::Reachable,
+            Scope::SimOrReachable,
+            Scope::SimAndReachable,
+        ] {
+            assert_eq!(Scope::parse(s.as_str()), Some(s));
+        }
+        assert!(parse("[rules.x]\nscope = \"everything\"\n").is_err());
+        assert!(parse("[reachability]\ntypo = [\"a\"]\n").is_err());
     }
 
     #[test]

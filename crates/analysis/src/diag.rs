@@ -42,6 +42,19 @@ impl fmt::Display for Severity {
     }
 }
 
+/// A machine-applicable rewrite attached to a finding: replace the byte
+/// range `start..end` of the file with `replacement`. Ranges come straight
+/// from token offsets, so applying a fix never touches surrounding text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fix {
+    /// Byte offset of the first replaced byte.
+    pub start: usize,
+    /// Byte offset one past the last replaced byte.
+    pub end: usize,
+    /// Replacement text.
+    pub replacement: String,
+}
+
 /// One diagnostic produced by a rule.
 #[derive(Debug, Clone)]
 pub struct Finding {
@@ -59,6 +72,8 @@ pub struct Finding {
     pub message: String,
     /// Source line the finding points at, for the human snippet.
     pub snippet: Option<String>,
+    /// Machine-applicable rewrite, when the rule can produce one.
+    pub fix: Option<Fix>,
 }
 
 /// A finished analysis run: findings plus counters for the summary line.
@@ -168,6 +183,7 @@ mod tests {
             col: 22,
             message: "partial_cmp().expect() on floats".into(),
             snippet: Some("            .min_by(|x, y| x.1.partial_cmp(&y.1))".into()),
+            fix: None,
         }
     }
 

@@ -1,0 +1,132 @@
+//! `--fix`: applying machine-applicable rewrites.
+//!
+//! Fixes are byte-range replacements produced by rules from exact token
+//! offsets ([`crate::diag::Fix`]). Application is deliberately boring:
+//! sort by start offset, reject overlaps (first wins — a second `--fix`
+//! run picks up whatever remains), splice back to front so earlier
+//! offsets stay valid. The idempotency guarantee — applying fixes, then
+//! re-linting, then applying again changes nothing — holds because every
+//! fix rewrites its site into a form its rule no longer matches, so the
+//! second run produces no fixes at all. The round-trip test in
+//! `tests/fix_roundtrip_test.rs` pins this.
+
+use crate::diag::{Finding, Fix};
+
+/// One file's worth of applicable fixes, extracted from a findings list.
+#[derive(Debug)]
+pub struct FileFixes {
+    /// Workspace-relative path.
+    pub path: String,
+    /// Non-overlapping fixes, sorted by start offset.
+    pub fixes: Vec<Fix>,
+    /// Number of overlapping fixes dropped (reported, re-fixable later).
+    pub dropped: usize,
+}
+
+/// Groups the fixable findings by file, sorts each file's fixes, and drops
+/// overlaps deterministically (earlier start wins; ties broken by longer
+/// range first so the bigger rewrite survives).
+pub fn plan_fixes(findings: &[Finding]) -> Vec<FileFixes> {
+    let mut by_file: Vec<(String, Vec<Fix>)> = Vec::new();
+    for f in findings {
+        let Some(fix) = &f.fix else { continue };
+        match by_file.iter_mut().find(|(p, _)| p == &f.file) {
+            Some((_, v)) => v.push(fix.clone()),
+            None => by_file.push((f.file.clone(), vec![fix.clone()])),
+        }
+    }
+    by_file.sort_by(|a, b| a.0.cmp(&b.0));
+    by_file
+        .into_iter()
+        .map(|(path, mut fixes)| {
+            fixes.sort_by(|a, b| a.start.cmp(&b.start).then(b.end.cmp(&a.end)));
+            let mut kept: Vec<Fix> = Vec::new();
+            let mut dropped = 0usize;
+            for fix in fixes {
+                if kept.last().is_some_and(|k| fix.start < k.end) {
+                    dropped += 1;
+                    continue;
+                }
+                kept.push(fix);
+            }
+            FileFixes {
+                path,
+                fixes: kept,
+                dropped,
+            }
+        })
+        .collect()
+}
+
+/// Applies already-planned (sorted, non-overlapping) fixes to `text`.
+/// Fixes whose ranges fall outside the text are skipped defensively.
+pub fn apply_fixes(text: &str, fixes: &[Fix]) -> String {
+    let mut out = text.to_string();
+    for fix in fixes.iter().rev() {
+        if fix.end > out.len() || fix.start > fix.end {
+            continue;
+        }
+        out.replace_range(fix.start..fix.end, &fix.replacement);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Severity;
+
+    fn finding(file: &str, fix: Fix) -> Finding {
+        Finding {
+            rule: "float-total-order",
+            severity: Severity::Error,
+            file: file.to_string(),
+            line: 1,
+            col: 1,
+            message: String::new(),
+            snippet: None,
+            fix: Some(fix),
+        }
+    }
+
+    fn fix(start: usize, end: usize, r: &str) -> Fix {
+        Fix {
+            start,
+            end,
+            replacement: r.to_string(),
+        }
+    }
+
+    #[test]
+    fn applies_in_reverse_offset_order() {
+        let text = "aaa bbb ccc";
+        let out = apply_fixes(text, &[fix(0, 3, "X"), fix(8, 11, "YYYY")]);
+        assert_eq!(out, "X bbb YYYY");
+    }
+
+    #[test]
+    fn overlapping_fixes_are_dropped_deterministically() {
+        let findings = vec![
+            finding("a.rs", fix(0, 5, "one")),
+            finding("a.rs", fix(3, 8, "two")),
+            finding("a.rs", fix(8, 9, "three")),
+        ];
+        let plan = plan_fixes(&findings);
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan[0].fixes.len(), 2);
+        assert_eq!(plan[0].dropped, 1);
+        assert_eq!(plan[0].fixes[0].replacement, "one");
+        assert_eq!(plan[0].fixes[1].replacement, "three");
+    }
+
+    #[test]
+    fn groups_by_file_sorted() {
+        let findings = vec![
+            finding("b.rs", fix(0, 1, "x")),
+            finding("a.rs", fix(0, 1, "y")),
+        ];
+        let plan = plan_fixes(&findings);
+        assert_eq!(plan[0].path, "a.rs");
+        assert_eq!(plan[1].path, "b.rs");
+    }
+}

@@ -34,6 +34,11 @@ pub struct Token {
     pub line: u32,
     /// 1-based column (in characters) of the token's first character.
     pub col: u32,
+    /// Byte offset of the token's first character in the source text.
+    pub offset: usize,
+    /// Byte offset one past the token's last character (`offset..end` is
+    /// the token's exact source slice — what `--fix` rewrites).
+    pub end: usize,
 }
 
 impl Token {
@@ -84,8 +89,9 @@ pub fn lex(src: &str) -> Lexed {
     let mut i = 0usize;
     let mut line = 1u32;
     let mut col = 1u32;
+    let mut byte = 0usize;
 
-    // Advances by one character, maintaining the line/col counters.
+    // Advances by one character, maintaining line/col/byte counters.
     macro_rules! bump {
         () => {{
             if chars[i] == '\n' {
@@ -94,13 +100,14 @@ pub fn lex(src: &str) -> Lexed {
             } else {
                 col += 1;
             }
+            byte += chars[i].len_utf8();
             i += 1;
         }};
     }
 
     while i < chars.len() {
         let c = chars[i];
-        let (tline, tcol) = (line, col);
+        let (tline, tcol, tbyte) = (line, col, byte);
 
         if c.is_whitespace() {
             bump!();
@@ -188,6 +195,31 @@ pub fn lex(src: &str) -> Lexed {
                         kind: TokenKind::StrLit,
                         line: tline,
                         col: tcol,
+                        offset: tbyte,
+                        end: byte,
+                    });
+                    continue;
+                }
+                // `r#ident`: a raw identifier, not a raw string. Lex it as
+                // the identifier it escapes (`r#type` ≡ `type`) so rules
+                // match on the real name.
+                if c == 'r'
+                    && hashes == 1
+                    && j < chars.len()
+                    && (chars[j].is_alphabetic() || chars[j] == '_')
+                {
+                    bump!(); // r
+                    bump!(); // #
+                    let start = i;
+                    while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                        bump!();
+                    }
+                    out.tokens.push(Token {
+                        kind: TokenKind::Ident(chars[start..i].iter().collect()),
+                        line: tline,
+                        col: tcol,
+                        offset: tbyte,
+                        end: byte,
                     });
                     continue;
                 }
@@ -197,11 +229,13 @@ pub fn lex(src: &str) -> Lexed {
                 // string/char scanners below via the quote character.
                 bump!();
                 let q = chars[i];
-                consume_quoted(&chars, &mut i, &mut line, &mut col, q);
+                consume_quoted(&chars, &mut i, &mut line, &mut col, &mut byte, q);
                 out.tokens.push(Token {
                     kind: TokenKind::StrLit,
                     line: tline,
                     col: tcol,
+                    offset: tbyte,
+                    end: byte,
                 });
                 continue;
             }
@@ -209,11 +243,13 @@ pub fn lex(src: &str) -> Lexed {
 
         // Plain strings.
         if c == '"' {
-            consume_quoted(&chars, &mut i, &mut line, &mut col, '"');
+            consume_quoted(&chars, &mut i, &mut line, &mut col, &mut byte, '"');
             out.tokens.push(Token {
                 kind: TokenKind::StrLit,
                 line: tline,
                 col: tcol,
+                offset: tbyte,
+                end: byte,
             });
             continue;
         }
@@ -227,11 +263,13 @@ pub fn lex(src: &str) -> Lexed {
                 None => false,
             };
             if is_char_lit {
-                consume_quoted(&chars, &mut i, &mut line, &mut col, '\'');
+                consume_quoted(&chars, &mut i, &mut line, &mut col, &mut byte, '\'');
                 out.tokens.push(Token {
                     kind: TokenKind::StrLit,
                     line: tline,
                     col: tcol,
+                    offset: tbyte,
+                    end: byte,
                 });
             } else {
                 bump!();
@@ -242,6 +280,8 @@ pub fn lex(src: &str) -> Lexed {
                     kind: TokenKind::Lifetime,
                     line: tline,
                     col: tcol,
+                    offset: tbyte,
+                    end: byte,
                 });
             }
             continue;
@@ -257,6 +297,8 @@ pub fn lex(src: &str) -> Lexed {
                 kind: TokenKind::Ident(chars[start..i].iter().collect()),
                 line: tline,
                 col: tcol,
+                offset: tbyte,
+                end: byte,
             });
             continue;
         }
@@ -290,6 +332,8 @@ pub fn lex(src: &str) -> Lexed {
                 kind: TokenKind::NumLit,
                 line: tline,
                 col: tcol,
+                offset: tbyte,
+                end: byte,
             });
             continue;
         }
@@ -300,6 +344,8 @@ pub fn lex(src: &str) -> Lexed {
             kind: TokenKind::Punct(c),
             line: tline,
             col: tcol,
+            offset: tbyte,
+            end: byte,
         });
     }
 
@@ -308,7 +354,14 @@ pub fn lex(src: &str) -> Lexed {
 
 /// Consumes a `q`-delimited literal starting at `chars[*i] == q`, honoring
 /// backslash escapes. Leaves `*i` one past the closing quote (or at EOF).
-fn consume_quoted(chars: &[char], i: &mut usize, line: &mut u32, col: &mut u32, q: char) {
+fn consume_quoted(
+    chars: &[char],
+    i: &mut usize,
+    line: &mut u32,
+    col: &mut u32,
+    byte: &mut usize,
+    q: char,
+) {
     let mut bump = |i: &mut usize| {
         if chars[*i] == '\n' {
             *line += 1;
@@ -316,6 +369,7 @@ fn consume_quoted(chars: &[char], i: &mut usize, line: &mut u32, col: &mut u32, 
         } else {
             *col += 1;
         }
+        *byte += chars[*i].len_utf8();
         *i += 1;
     };
     debug_assert_eq!(chars[*i], q);
@@ -431,5 +485,105 @@ mod tests {
             l.tokens.last().map(|t| t.kind.clone()),
             Some(TokenKind::StrLit)
         );
+    }
+
+    /// Renders a token stream in compact pinned form for regression tests.
+    fn stream(src: &str) -> String {
+        lex(src)
+            .tokens
+            .iter()
+            .map(|t| match &t.kind {
+                TokenKind::Ident(s) => format!("id({s})"),
+                TokenKind::Punct(c) => format!("p({c})"),
+                TokenKind::StrLit => "str".to_string(),
+                TokenKind::NumLit => "num".to_string(),
+                TokenKind::Lifetime => "life".to_string(),
+            })
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+
+    #[test]
+    fn pinned_raw_string_streams() {
+        // Hash-delimited raw strings swallow quotes, comment markers and
+        // escape-looking content; the stream must stay exactly one StrLit.
+        assert_eq!(
+            stream(r###"let x = r#"a "quoted" \n not-escape"#;"###),
+            "id(let) id(x) p(=) str p(;)"
+        );
+        assert_eq!(
+            stream("r\"no hashes\" + r##\"has \"# inside\"## + br#\"bytes\"#"),
+            "str p(+) str p(+) str"
+        );
+        // Comment markers inside raw strings are data, not comments.
+        let l = lex("r#\"// not a comment /* nor this */\"# fn");
+        assert!(l.comments.is_empty());
+        assert_eq!(stream("r#\"// x\"# fn"), "str id(fn)");
+        // An unterminated raw string consumes the rest of the file.
+        assert_eq!(stream("r##\"open \"# still open"), "str");
+    }
+
+    #[test]
+    fn pinned_raw_identifier_streams() {
+        // `r#type` is the identifier `type`, not a truncated raw string.
+        assert_eq!(
+            stream("fn r#type(r#match: u32) {}"),
+            "id(fn) id(type) p(() id(match) p(:) id(u32) p()) p({) p(})"
+        );
+        // A raw identifier shadowing a rule target must still match rules.
+        assert_eq!(stream("x.r#unwrap()"), "id(x) p(.) id(unwrap) p(() p())");
+        // `r` alone and `r #` stay plain tokens.
+        assert_eq!(stream("r # x"), "id(r) p(#) id(x)");
+    }
+
+    #[test]
+    fn pinned_nested_block_comment_streams() {
+        assert_eq!(stream("a /* x /* y /* z */ y */ x */ b"), "id(a) id(b)");
+        // Star/slash soup that must not terminate early.
+        assert_eq!(stream("a /* ** /* */ ** */ b"), "id(a) id(b)");
+        // Unterminated nested comment consumes to EOF (no token leak).
+        assert_eq!(stream("a /* open /* inner */ still"), "id(a)");
+        // `/*/` does not self-close.
+        assert_eq!(stream("a /*/ b */ c"), "id(a) id(c)");
+    }
+
+    #[test]
+    fn pinned_lifetime_vs_char_streams() {
+        assert_eq!(stream("<'a>('b')"), "p(<) life p(>) p(() str p())");
+        assert_eq!(stream("&'static str"), "p(&) life id(str)");
+        // Escaped quote and escape-class chars are char literals.
+        assert_eq!(stream(r"'\'' '\\' '\n'"), "str str str");
+        // Loop labels lex as lifetimes, not chars.
+        assert_eq!(
+            stream("'outer: loop { break 'outer; }"),
+            "life p(:) id(loop) p({) id(break) life p(;) p(})"
+        );
+        // `b'x'` is a byte char literal.
+        assert_eq!(stream(r"b'q' b'\''"), "str str");
+    }
+
+    #[test]
+    fn offsets_slice_the_source_exactly() {
+        let src = "let é = x.partial_cmp(&y).unwrap();";
+        let l = lex(src);
+        for t in &l.tokens {
+            let slice = &src[t.offset..t.end];
+            if let TokenKind::Ident(name) = &t.kind {
+                assert_eq!(slice, name, "ident slice mismatch");
+            }
+        }
+        let pc = l
+            .tokens
+            .iter()
+            .find(|t| t.is_ident("partial_cmp"))
+            .expect("partial_cmp token");
+        assert_eq!(&src[pc.offset..pc.end], "partial_cmp");
+        // Multi-byte chars before the token do not skew byte offsets.
+        let uw = l
+            .tokens
+            .iter()
+            .find(|t| t.is_ident("unwrap"))
+            .expect("unwrap");
+        assert_eq!(&src[uw.offset..uw.end], "unwrap");
     }
 }

@@ -26,9 +26,12 @@
 
 pub mod config;
 pub mod diag;
+pub mod fix;
+pub mod index;
 pub mod json;
 pub mod lexer;
 pub mod rules;
+pub mod sarif;
 pub mod source;
 
 use std::collections::BTreeMap;
@@ -36,6 +39,7 @@ use std::path::{Path, PathBuf};
 
 use config::Config;
 use diag::{Finding, Report, Severity};
+use index::{Reachability, SymbolIndex};
 use rules::{all_rules, inline_allow, FinalizeCtx, InlineAllow, Rule, RuleCtx};
 use source::SourceFile;
 
@@ -49,6 +53,21 @@ pub struct Analysis {
     pub report: Report,
     /// Counters to persist with `--update-baseline`.
     pub counters: Baseline,
+    /// Per-config-allow suppression hit counts, aligned with
+    /// `Config::allows` — the migration report uses this to name allows
+    /// that no longer suppress anything under reachability scoping.
+    pub allow_hits: Vec<usize>,
+}
+
+/// The semantic layers built during a run, exposed for `--dump-graph`
+/// and the migration report.
+#[derive(Debug)]
+pub struct Semantics {
+    /// Workspace symbol index + call graph.
+    pub index: SymbolIndex,
+    /// Reachability from the configured entry points (`None` when the
+    /// config declares none).
+    pub reach: Option<Reachability>,
 }
 
 /// Walks up from `start` to the directory whose `Cargo.toml` declares
@@ -137,26 +156,59 @@ pub fn analyze(
     cfg: &Config,
     baseline: Option<&Baseline>,
 ) -> Result<Analysis, String> {
+    analyze_full(files, cfg, baseline).map(|(a, _)| a)
+}
+
+/// [`analyze`], also returning the semantic layers (symbol index and
+/// reachability) the run was scoped by.
+///
+/// The pipeline is two-pass: first every non-excluded file is lexed and
+/// the workspace symbol index + call graph + entry-point reachability are
+/// built; then rules run per file with the semantic layers in their
+/// context. An entry point that resolves to no indexed function is a
+/// config error (exit 2 at the CLI) — a dead entry point would silently
+/// unscope every reachability rule.
+pub fn analyze_full(
+    files: &[(String, String)],
+    cfg: &Config,
+    baseline: Option<&Baseline>,
+) -> Result<(Analysis, Semantics), String> {
     validate_config(cfg)?;
     let rules = all_rules();
     let overrides = &cfg.severity_overrides;
-    let ctx = RuleCtx { config: cfg };
 
+    // Pass 1: parse and build the semantic layers.
+    let parsed: Vec<SourceFile> = files
+        .iter()
+        .filter(|(path, _)| !cfg.is_excluded(path))
+        .map(|(path, text)| SourceFile::parse(path, text))
+        .collect();
+    let symbol_index = SymbolIndex::build(&parsed);
+    let reach = if cfg.entry_points.is_empty() {
+        None
+    } else {
+        Some(Reachability::compute(&symbol_index, &cfg.entry_points)?)
+    };
+
+    let ctx = RuleCtx {
+        config: cfg,
+        index: Some(&symbol_index),
+        reach: reach.as_ref(),
+    };
+
+    // Pass 2: run the rules.
     let mut report = Report::default();
     let mut findings: Vec<Finding> = Vec::new();
+    let mut allow_hits = vec![0usize; cfg.allows.len()];
 
-    for (path, text) in files {
-        if cfg.is_excluded(path) {
-            continue;
-        }
+    for file in &parsed {
         report.files_scanned += 1;
-        let file = SourceFile::parse(path, text);
         for rule in &rules {
             let mut raw = Vec::new();
-            rule.check(&file, &ctx, &mut raw);
+            rule.check(file, &ctx, &mut raw);
             for mut f in raw {
                 apply_override(&mut f, rule.as_ref(), overrides);
-                match inline_allow(&file, f.rule, f.line) {
+                match inline_allow(file, f.rule, f.line) {
                     InlineAllow::Justified => {
                         report.suppressed += 1;
                     }
@@ -172,7 +224,12 @@ pub fn analyze(
                         });
                     }
                     InlineAllow::None => {
-                        if cfg.allow_for(f.rule, path).is_some() {
+                        if let Some(i) = cfg
+                            .allows
+                            .iter()
+                            .position(|a| a.rule == f.rule && a.matches(&file.path))
+                        {
+                            allow_hits[i] += 1;
                             report.suppressed += 1;
                         } else {
                             findings.push(f);
@@ -201,7 +258,93 @@ pub fn analyze(
         (a.file.as_str(), a.line, a.col, a.rule).cmp(&(b.file.as_str(), b.line, b.col, b.rule))
     });
     report.findings = findings;
-    Ok(Analysis { report, counters })
+    Ok((
+        Analysis {
+            report,
+            counters,
+            allow_hits,
+        },
+        Semantics {
+            index: symbol_index,
+            reach,
+        },
+    ))
+}
+
+/// Renders the migration report: how each rule's finding count changes
+/// between legacy crate-allowlist scoping and the configured reachability
+/// scoping, and which config allows no longer suppress anything. Read it
+/// before deleting allows — an allow with zero hits under reachability is
+/// dead weight, but only once the entry-point list is trusted.
+pub fn migration_report(
+    files: &[(String, String)],
+    cfg: &Config,
+    baseline: Option<&Baseline>,
+) -> Result<String, String> {
+    if cfg.entry_points.is_empty() {
+        return Err(
+            "migration report needs [reachability] entry_points in analysis.toml; without them \
+             every scope already degrades to the crate allowlist"
+                .to_string(),
+        );
+    }
+    let mut legacy_cfg = cfg.clone();
+    legacy_cfg.entry_points.clear();
+    let legacy = analyze(files, &legacy_cfg, baseline)?;
+    let (current, sem) = analyze_full(files, cfg, baseline)?;
+
+    let count_by_rule = |a: &Analysis| -> BTreeMap<&'static str, usize> {
+        let mut m = BTreeMap::new();
+        for f in &a.report.findings {
+            *m.entry(f.rule).or_insert(0) += 1;
+        }
+        m
+    };
+    let before = count_by_rule(&legacy);
+    let after = count_by_rule(&current);
+
+    let mut out =
+        String::from("migration report: crate-allowlist scoping -> reachability scoping\n\n");
+    out.push_str(&format!(
+        "entry points: {} declared, {} functions reachable of {} indexed\n\n",
+        cfg.entry_points.len(),
+        sem.reach.as_ref().map_or(0, |r| r.reachable.len()),
+        sem.index.fns.len(),
+    ));
+    out.push_str("findings per rule (legacy -> reachability):\n");
+    let mut rules: Vec<&&str> = before.keys().chain(after.keys()).collect::<Vec<_>>();
+    rules.sort();
+    rules.dedup();
+    if rules.is_empty() {
+        out.push_str("  (no findings under either scoping)\n");
+    }
+    for rule in rules {
+        let b = before.get(*rule).copied().unwrap_or(0);
+        let a = after.get(*rule).copied().unwrap_or(0);
+        let note = match a.cmp(&b) {
+            std::cmp::Ordering::Less => "  (reachability narrows)",
+            std::cmp::Ordering::Greater => "  (reachability widens)",
+            std::cmp::Ordering::Equal => "",
+        };
+        out.push_str(&format!("  {rule:<28} {b:>4} -> {a:<4}{note}\n"));
+    }
+    out.push_str("\nconfig allows by suppression hits under reachability scoping:\n");
+    if cfg.allows.is_empty() {
+        out.push_str("  (none configured)\n");
+    }
+    for (i, allow) in cfg.allows.iter().enumerate() {
+        let hits = current.allow_hits.get(i).copied().unwrap_or(0);
+        let verdict = if hits == 0 {
+            "UNNECESSARY: suppresses nothing; candidate for removal"
+        } else {
+            "still load-bearing"
+        };
+        out.push_str(&format!(
+            "  {} @ {}: {} hit(s) — {}\n",
+            allow.rule, allow.path, hits, verdict
+        ));
+    }
+    Ok(out)
 }
 
 /// Applies a `[rules.<name>] severity` override, but only to findings still

@@ -6,9 +6,19 @@
 //!   --workspace             analyze the enclosing cargo workspace (default)
 //!   --root <dir>            workspace root (default: walk up from cwd)
 //!   --config <file>         allowlist/config (default: <root>/analysis.toml)
-//!   --baseline <file>       panic budgets (default: <root>/analysis-baseline.json)
-//!   --format human|json     report format (default: human)
-//!   --update-baseline       write current budget counters back to the baseline
+//!   --baseline <file>       budgets (default: <root>/analysis-baseline.json)
+//!   --format human|json|sarif
+//!                           report format (default: human)
+//!   --changed <git-ref>     report site findings only for files changed
+//!                           vs <git-ref> (the index and reachability are
+//!                           still built over the whole workspace, so the
+//!                           per-file verdicts agree with a full run;
+//!                           crate-level budget findings are omitted)
+//!   --fix                   apply machine-applicable fixes, then re-lint
+//!   --dump-graph            print the symbol index/call graph as JSON
+//!   --migration-report      compare legacy crate-allowlist scoping with
+//!                           reachability scoping; list dead allows
+//!   --update-baseline       write current budget counters to the baseline
 //!   --list-rules            print the rule catalogue and exit
 //! ```
 //!
@@ -18,22 +28,34 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use hhsim_analysis::{
-    analyze, collect_sources, config, find_workspace_root, parse_baseline, render_baseline,
-    rules::all_rules, Baseline,
+    analyze_full, collect_sources, config, find_workspace_root, fix, index, migration_report,
+    parse_baseline, render_baseline, rules::all_rules, sarif, Baseline,
 };
+
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Human,
+    Json,
+    Sarif,
+}
 
 struct Options {
     root: Option<PathBuf>,
     config: Option<PathBuf>,
     baseline: Option<PathBuf>,
-    json: bool,
+    format: Format,
+    changed: Option<String>,
+    fix: bool,
+    dump_graph: bool,
+    migration: bool,
     update_baseline: bool,
     list_rules: bool,
 }
 
 fn usage() -> &'static str {
     "usage: hhsim-analysis --workspace [--root DIR] [--config FILE] [--baseline FILE] \
-     [--format human|json] [--update-baseline] [--list-rules]"
+     [--format human|json|sarif] [--changed GIT_REF] [--fix] [--dump-graph] \
+     [--migration-report] [--update-baseline] [--list-rules]"
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -41,7 +63,11 @@ fn parse_args() -> Result<Options, String> {
         root: None,
         config: None,
         baseline: None,
-        json: false,
+        format: Format::Human,
+        changed: None,
+        fix: false,
+        dump_graph: false,
+        migration: false,
         update_baseline: false,
         list_rules: false,
     };
@@ -54,12 +80,17 @@ fn parse_args() -> Result<Options, String> {
             "--baseline" => opts.baseline = Some(next_path(&mut args, "--baseline")?),
             "--format" => {
                 let f = args.next().ok_or("--format needs a value")?;
-                match f.as_str() {
-                    "human" => opts.json = false,
-                    "json" => opts.json = true,
+                opts.format = match f.as_str() {
+                    "human" => Format::Human,
+                    "json" => Format::Json,
+                    "sarif" => Format::Sarif,
                     other => return Err(format!("unknown format `{other}`")),
-                }
+                };
             }
+            "--changed" => opts.changed = Some(args.next().ok_or("--changed needs a git ref")?),
+            "--fix" => opts.fix = true,
+            "--dump-graph" => opts.dump_graph = true,
+            "--migration-report" => opts.migration = true,
             "--update-baseline" => opts.update_baseline = true,
             "--list-rules" => opts.list_rules = true,
             "-h" | "--help" => {
@@ -78,12 +109,39 @@ fn next_path(args: &mut impl Iterator<Item = String>, flag: &str) -> Result<Path
         .ok_or(format!("{flag} needs a value"))
 }
 
+/// `git diff --name-only <ref>` relative to `root`, filtered to `.rs`.
+fn changed_files(root: &std::path::Path, gitref: &str) -> Result<Vec<String>, String> {
+    let out = std::process::Command::new("git")
+        .arg("-C")
+        .arg(root)
+        .args(["diff", "--name-only", gitref])
+        .output()
+        .map_err(|e| format!("running git diff: {e}"))?;
+    if !out.status.success() {
+        return Err(format!(
+            "git diff --name-only {gitref} failed: {}",
+            String::from_utf8_lossy(&out.stderr).trim()
+        ));
+    }
+    Ok(String::from_utf8_lossy(&out.stdout)
+        .lines()
+        .map(str::trim)
+        .filter(|l| l.ends_with(".rs"))
+        .map(str::to_string)
+        .collect())
+}
+
 fn run() -> Result<ExitCode, String> {
     let opts = parse_args()?;
 
     if opts.list_rules {
         for rule in all_rules() {
-            println!("{:<24} {}", rule.name(), rule.description());
+            println!(
+                "{:<28} [{:<16}] {}",
+                rule.name(),
+                rule.default_scope().as_str(),
+                rule.description()
+            );
         }
         return Ok(ExitCode::SUCCESS);
     }
@@ -127,8 +185,55 @@ fn run() -> Result<ExitCode, String> {
         Err(e) => return Err(format!("{}: {e}", baseline_path.display())),
     };
 
-    let files = collect_sources(&root).map_err(|e| format!("walking {}: {e}", root.display()))?;
-    let mut analysis = analyze(&files, &cfg, baseline.as_ref())?;
+    let mut files =
+        collect_sources(&root).map_err(|e| format!("walking {}: {e}", root.display()))?;
+
+    if opts.migration {
+        print!("{}", migration_report(&files, &cfg, baseline.as_ref())?);
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let (mut analysis, semantics) = analyze_full(&files, &cfg, baseline.as_ref())?;
+
+    if opts.dump_graph {
+        print!(
+            "{}",
+            index::dump_graph(&semantics.index, semantics.reach.as_ref())
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    if opts.fix {
+        let plan = fix::plan_fixes(&analysis.report.findings);
+        let mut applied = 0usize;
+        let mut touched = 0usize;
+        for file_fixes in &plan {
+            if file_fixes.fixes.is_empty() {
+                continue;
+            }
+            let disk = root.join(&file_fixes.path);
+            let text = std::fs::read_to_string(&disk)
+                .map_err(|e| format!("reading {}: {e}", disk.display()))?;
+            let fixed = fix::apply_fixes(&text, &file_fixes.fixes);
+            if fixed != text {
+                std::fs::write(&disk, &fixed)
+                    .map_err(|e| format!("writing {}: {e}", disk.display()))?;
+                applied += file_fixes.fixes.len();
+                touched += 1;
+            }
+            if file_fixes.dropped > 0 {
+                eprintln!(
+                    "note: {} overlapping fix(es) in {} deferred to a second --fix run",
+                    file_fixes.dropped, file_fixes.path
+                );
+            }
+        }
+        eprintln!("applied {applied} fix(es) across {touched} file(s)");
+        // Re-lint the post-fix tree so the report and exit code describe
+        // the state the repo is now in.
+        files = collect_sources(&root).map_err(|e| format!("walking {}: {e}", root.display()))?;
+        analysis = analyze_full(&files, &cfg, baseline.as_ref())?.0;
+    }
 
     if opts.update_baseline {
         let text = render_baseline(&analysis.counters);
@@ -137,16 +242,32 @@ fn run() -> Result<ExitCode, String> {
         eprintln!("baseline written to {}", baseline_path.display());
         // Budget findings are resolved by the rewrite; drop them so the
         // exit code reflects the state the repo is now in.
+        let budget_rules: Vec<String> = analysis.counters.keys().cloned().collect();
         analysis
             .report
             .findings
-            .retain(|f| !(f.rule == "panic-in-engine" && f.line == 0));
+            .retain(|f| !(f.line == 0 && budget_rules.iter().any(|r| r == f.rule)));
     }
 
-    if opts.json {
-        print!("{}", analysis.report.render_json());
-    } else {
-        print!("{}", analysis.report.render_human());
+    if let Some(gitref) = &opts.changed {
+        let changed = changed_files(&root, gitref)?;
+        // The index and budgets were computed over the whole workspace;
+        // only the *reporting* narrows. Crate-level (line 0) findings are
+        // dropped: they aggregate over unchanged files too.
+        analysis
+            .report
+            .findings
+            .retain(|f| f.line > 0 && changed.iter().any(|c| c == &f.file));
+        eprintln!(
+            "diff-aware run: {} changed .rs file(s) vs {gitref}",
+            changed.len()
+        );
+    }
+
+    match opts.format {
+        Format::Json => print!("{}", analysis.report.render_json()),
+        Format::Sarif => print!("{}", sarif::render(&analysis.report)),
+        Format::Human => print!("{}", analysis.report.render_human()),
     }
     eprintln!(
         "analysis completed in {:.1} ms",

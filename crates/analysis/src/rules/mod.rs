@@ -3,13 +3,18 @@
 
 use std::collections::BTreeMap;
 
-use crate::config::Config;
+use crate::config::{Config, Scope};
 use crate::diag::{Finding, Severity};
+use crate::index::{Reachability, SymbolIndex};
 use crate::source::SourceFile;
 
+mod float_accumulation;
 mod float_total_order;
+mod ignored_result;
 mod nondet_iteration;
 mod panic_budget;
+mod relaxed_atomic;
+mod truncating_cast;
 mod unseeded_random;
 mod wall_clock;
 
@@ -20,6 +25,72 @@ pub const ALLOW_WITHOUT_JUSTIFICATION: &str = "allow-without-justification";
 pub struct RuleCtx<'a> {
     /// Parsed `analysis.toml`.
     pub config: &'a Config,
+    /// Workspace symbol index, when the engine built one (always in the
+    /// two-pass pipeline; `None` only in narrow unit tests).
+    pub index: Option<&'a SymbolIndex>,
+    /// Engine reachability, when entry points are configured.
+    pub reach: Option<&'a Reachability>,
+}
+
+impl<'a> RuleCtx<'a> {
+    /// A context with no semantic layers, for rule unit tests.
+    pub fn bare(config: &'a Config) -> RuleCtx<'a> {
+        RuleCtx {
+            config,
+            index: None,
+            reach: None,
+        }
+    }
+
+    /// The effective scope for a rule: the config override if present,
+    /// otherwise the rule's default.
+    pub fn scope_for(&self, rule_name: &str, default: Scope) -> Scope {
+        self.config
+            .scope_overrides
+            .get(rule_name)
+            .copied()
+            .unwrap_or(default)
+    }
+
+    /// True when token `idx` of `file` is inside `scope`. With no
+    /// reachability computed (no entry points configured), reachability
+    /// predicates degrade to the crate allowlist, so legacy configs and
+    /// fixture runs keep their meaning.
+    pub fn in_scope(&self, scope: Scope, file: &SourceFile, idx: usize) -> bool {
+        let sim = self.config.is_sim_crate(&file.crate_root);
+        match scope {
+            Scope::All => true,
+            Scope::SimCrates => sim,
+            Scope::Reachable => match self.reach {
+                Some(r) => r.is_reachable(&file.path, idx),
+                None => sim,
+            },
+            Scope::SimOrReachable => {
+                sim || self.reach.is_some_and(|r| r.is_reachable(&file.path, idx))
+            }
+            Scope::SimAndReachable => {
+                sim && self.reach.map_or(true, |r| r.is_reachable(&file.path, idx))
+            }
+        }
+    }
+
+    /// Cheap per-file pre-filter: false when no token of `file` can be in
+    /// `scope`, so rules can skip the token walk entirely.
+    pub fn file_in_scope(&self, scope: Scope, file: &SourceFile) -> bool {
+        let sim = self.config.is_sim_crate(&file.crate_root);
+        match scope {
+            Scope::All => true,
+            Scope::SimCrates => sim,
+            Scope::Reachable => match self.reach {
+                Some(r) => r.touches_file(&file.path),
+                None => sim,
+            },
+            Scope::SimOrReachable => sim || self.reach.is_some_and(|r| r.touches_file(&file.path)),
+            Scope::SimAndReachable => {
+                sim && self.reach.map_or(true, |r| r.touches_file(&file.path))
+            }
+        }
+    }
 }
 
 /// Context for the post-pass, where cross-file rules (the panic budget)
@@ -39,6 +110,11 @@ pub trait Rule {
     /// Default severity before `[rules.<name>]` overrides.
     fn default_severity(&self) -> Severity {
         Severity::Error
+    }
+    /// Default scope before `[rules.<name>] scope = "..."` overrides.
+    /// Rules resolve the effective scope with [`RuleCtx::scope_for`].
+    fn default_scope(&self) -> Scope {
+        Scope::All
     }
     /// Scans one file, pushing site findings. Site findings are subject to
     /// inline and config allowlisting by the engine.
@@ -61,6 +137,10 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(wall_clock::WallClockInSim),
         Box::new(panic_budget::PanicBudget::default()),
         Box::new(unseeded_random::UnseededRandomness),
+        Box::new(float_accumulation::FloatAccumulationOrder),
+        Box::new(truncating_cast::TruncatingCast::default()),
+        Box::new(ignored_result::IgnoredResult),
+        Box::new(relaxed_atomic::RelaxedAtomicInResults),
     ]
 }
 
@@ -129,6 +209,7 @@ pub fn finding_at(
         col,
         message,
         snippet: file.line_text(line).map(str::to_string),
+        fix: None,
     }
 }
 

@@ -5,13 +5,20 @@
 //! a simulation path is therefore a latent reproducibility bug — the moment
 //! someone iterates it (today or in a refactor), event order, float
 //! accumulation order, or output order starts varying run to run. The rule
-//! flags the *type* in sim-critical crates rather than trying to prove an
-//! iteration happens: keyed-lookup-only uses (e.g. `simcache`) are
-//! explicitly allowlisted with a written rationale, everything else should
-//! use `BTreeMap`/`BTreeSet`/`Vec`. Test-only code is exempt — a test that
+//! flags the *type* rather than trying to prove an iteration happens:
+//! keyed-lookup-only uses (e.g. `simcache`) are explicitly allowlisted
+//! with a written rationale, everything else should use
+//! `BTreeMap`/`BTreeSet`/`Vec`. Test-only code is exempt — a test that
 //! hashes into a set to count buckets cannot perturb simulation output.
+//!
+//! Scope: `sim-or-reachable` by default — the legacy crate allowlist
+//! *widened* by the call graph, so a hash collection used inside a
+//! function the engine can reach flags even when its crate is not listed
+//! in `sim_crates`. Tokens outside any function body (struct fields, use
+//! declarations) are only covered by the crate-allowlist half.
 
-use crate::diag::Finding;
+use crate::config::Scope;
+use crate::diag::{Finding, Fix};
 use crate::source::SourceFile;
 
 use super::{finding_at, Rule, RuleCtx};
@@ -25,11 +32,16 @@ impl Rule for NondetIteration {
     }
 
     fn description(&self) -> &'static str {
-        "HashMap/HashSet in a sim-critical crate: iteration order is nondeterministic across runs"
+        "HashMap/HashSet reachable from sim code: iteration order is nondeterministic across runs"
+    }
+
+    fn default_scope(&self) -> Scope {
+        Scope::SimOrReachable
     }
 
     fn check(&self, file: &SourceFile, ctx: &RuleCtx, out: &mut Vec<Finding>) {
-        if !ctx.config.is_sim_crate(&file.crate_root) {
+        let scope = ctx.scope_for(self.name(), self.default_scope());
+        if !ctx.file_in_scope(scope, file) {
             return;
         }
         for (i, t) in file.tokens.iter().enumerate() {
@@ -37,20 +49,33 @@ impl Rule for NondetIteration {
             if name != "HashMap" && name != "HashSet" {
                 continue;
             }
-            if file.in_test_code(i) {
+            if file.in_test_code(i) || !ctx.in_scope(scope, file, i) {
                 continue;
             }
-            out.push(finding_at(
+            let ordered = if name == "HashMap" {
+                "BTreeMap"
+            } else {
+                "BTreeSet"
+            };
+            let mut f = finding_at(
                 self.name(),
                 self.default_severity(),
                 file,
                 t.line,
                 t.col,
                 format!(
-                    "`{name}` in sim-critical crate `{}`: iteration order is randomized per process; use `BTreeMap`/`BTreeSet`/`Vec`, or allowlist keyed-lookup-only uses with a rationale",
+                    "`{name}` reachable from simulation code (crate `{}`): iteration order is randomized per process; use `{ordered}`/`Vec`, or allowlist keyed-lookup-only uses with a rationale",
                     file.crate_root
                 ),
-            ));
+            );
+            // The rename is mechanical; API differences (`with_capacity`)
+            // surface at compile time for the rare sites that use them.
+            f.fix = Some(Fix {
+                start: t.offset,
+                end: t.end,
+                replacement: ordered.to_string(),
+            });
+            out.push(f);
         }
     }
 }
@@ -71,7 +96,7 @@ mod tests {
         let file = SourceFile::parse(path, src);
         let cfg = cfg();
         let mut out = Vec::new();
-        NondetIteration.check(&file, &RuleCtx { config: &cfg }, &mut out);
+        NondetIteration.check(&file, &RuleCtx::bare(&cfg), &mut out);
         out
     }
 
@@ -97,6 +122,41 @@ mod tests {
             "use std::collections::{BTreeMap, BTreeSet};"
         )
         .is_empty());
+    }
+
+    #[test]
+    fn reachability_widens_past_the_crate_allowlist() {
+        use crate::index::{Reachability, SymbolIndex};
+        // crates/workloads is NOT in sim_crates, but `gen_sizes` is
+        // reachable from the entry point, so the HashMap inside it flags.
+        let src = "use std::collections::HashMap;\n\
+                   pub fn gen_sizes() { let m: HashMap<u32, u32> = HashMap::new(); let _ = m; }\n\
+                   pub fn export_csv() { let m: HashMap<u32, u32> = HashMap::new(); let _ = m; }\n";
+        let file = SourceFile::parse("crates/workloads/src/x.rs", src);
+        let entry = SourceFile::parse(
+            "crates/core/src/model.rs",
+            "pub fn simulate_cluster() { gen_sizes(); }\n",
+        );
+        let parsed = vec![entry, file];
+        let idx = SymbolIndex::build(&parsed);
+        let reach =
+            Reachability::compute(&idx, &["simulate_cluster".to_string()]).expect("resolves");
+        let cfg = cfg();
+        let ctx = RuleCtx {
+            config: &cfg,
+            index: Some(&idx),
+            reach: Some(&reach),
+        };
+        let mut out = Vec::new();
+        NondetIteration.check(&parsed[1], &ctx, &mut out);
+        // Only the two mentions inside gen_sizes' body; the use-declaration
+        // and export_csv (unreachable) stay silent.
+        assert_eq!(out.len(), 2, "{out:?}");
+        assert!(out.iter().all(|f| f.line == 2), "{out:?}");
+        // And the mechanical fix targets exactly the type name.
+        let fix = out[0].fix.as_ref().expect("rename fix");
+        assert_eq!(&src[fix.start..fix.end], "HashMap");
+        assert_eq!(fix.replacement, "BTreeMap");
     }
 
     #[test]

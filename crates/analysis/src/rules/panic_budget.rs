@@ -15,6 +15,7 @@
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 
+use crate::config::Scope;
 use crate::diag::{Finding, Severity};
 use crate::lexer::TokenKind;
 use crate::source::SourceFile;
@@ -39,8 +40,15 @@ impl Rule for PanicBudget {
         "unwrap/expect/panic!/indexing sites per sim crate, ratcheted against analysis-baseline.json (can only shrink)"
     }
 
+    fn default_scope(&self) -> Scope {
+        // Budgets are keyed per crate in the baseline file; switching the
+        // count to call-graph granularity would churn every budget each
+        // time the graph shifts. The ratchet stays crate-scoped.
+        Scope::SimCrates
+    }
+
     fn check(&self, file: &SourceFile, ctx: &RuleCtx, _out: &mut Vec<Finding>) {
-        if !ctx.config.is_sim_crate(&file.crate_root) {
+        if !ctx.file_in_scope(ctx.scope_for(self.name(), self.default_scope()), file) {
             return;
         }
         if ctx.config.allow_for(self.name(), &file.path).is_some() {
@@ -109,6 +117,7 @@ impl Rule for PanicBudget {
                     render_counts(&counts)
                 ),
                 snippet: None,
+                fix: None,
             });
             return;
         };
@@ -125,6 +134,7 @@ impl Rule for PanicBudget {
                         "panic budget exceeded: {count} unwrap/expect/panic!/indexing sites vs budget {budget}; remove sites, justify them with `// hhsim: allow(panic-in-engine): ...`, or (for a genuinely new subsystem) re-baseline with --update-baseline"
                     ),
                     snippet: None,
+                    fix: None,
                 });
             } else if count < budget {
                 out.push(Finding {
@@ -137,6 +147,7 @@ impl Rule for PanicBudget {
                         "panic budget shrank: {count} sites vs budget {budget}; ratchet the baseline down with --update-baseline"
                     ),
                     snippet: None,
+                    fix: None,
                 });
             }
         }
@@ -153,6 +164,7 @@ impl Rule for PanicBudget {
                         "panic budget shrank: 0 sites vs budget {budget}; ratchet the baseline down with --update-baseline"
                     ),
                     snippet: None,
+                    fix: None,
                 });
             }
         }
@@ -190,7 +202,7 @@ mod tests {
         let rule = PanicBudget::default();
         let file = SourceFile::parse("crates/des/src/x.rs", src);
         let c = cfg();
-        rule.check(&file, &RuleCtx { config: &c }, &mut Vec::new());
+        rule.check(&file, &RuleCtx::bare(&c), &mut Vec::new());
         rule.counters()
             .expect("has counters")
             .get("crates/des")
@@ -259,7 +271,7 @@ mod tests {
         let rule = PanicBudget::default();
         let file = SourceFile::parse("crates/des/src/x.rs", "fn f() { x.unwrap(); y.unwrap(); }");
         let c = cfg();
-        rule.check(&file, &RuleCtx { config: &c }, &mut Vec::new());
+        rule.check(&file, &RuleCtx::bare(&c), &mut Vec::new());
 
         // Over budget -> error.
         let mut baseline = BTreeMap::new();

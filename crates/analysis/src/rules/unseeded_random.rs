@@ -75,7 +75,7 @@ mod tests {
         let file = SourceFile::parse("crates/workloads/src/x.rs", src);
         let cfg = Config::default();
         let mut out = Vec::new();
-        UnseededRandomness.check(&file, &RuleCtx { config: &cfg }, &mut out);
+        UnseededRandomness.check(&file, &RuleCtx::bare(&cfg), &mut out);
         out
     }
 

@@ -66,7 +66,7 @@ mod tests {
             ..Config::default()
         };
         let mut out = Vec::new();
-        WallClockInSim.check(&file, &RuleCtx { config: &cfg }, &mut out);
+        WallClockInSim.check(&file, &RuleCtx::bare(&cfg), &mut out);
         out
     }
 

@@ -1,0 +1,198 @@
+//! SARIF 2.1.0 output (`--format sarif`) for GitHub code scanning.
+//!
+//! The renderer emits the minimal valid document shape code-scanning
+//! uploads require: `$schema`/`version` at the root, one run with a tool
+//! driver carrying the full rule catalogue (id, short description,
+//! default level), and one result per finding with a physical location.
+//! Budget findings (line 0, keyed to a crate or the baseline file) carry
+//! an artifact location but no region — SARIF regions are 1-based, and a
+//! crate-level breach has no line to point at. Severities map
+//! `error`→`error`, `warning`→`warning`, `info`→`note`.
+//!
+//! Output is deterministic: findings arrive pre-sorted from the engine
+//! and the rule catalogue is emitted in registry order.
+
+use crate::diag::{Report, Severity};
+use crate::json::escape;
+use crate::rules::all_rules;
+
+/// SARIF level for a severity.
+fn level(sev: Severity) -> &'static str {
+    match sev {
+        Severity::Error => "error",
+        Severity::Warning => "warning",
+        Severity::Info => "note",
+    }
+}
+
+/// Renders the report as a SARIF 2.1.0 document.
+pub fn render(report: &Report) -> String {
+    let mut out = String::from(
+        "{\n  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n  \"version\": \"2.1.0\",\n  \"runs\": [\n    {\n      \"tool\": {\n        \"driver\": {\n          \"name\": \"hhsim-analysis\",\n          \"informationUri\": \"https://github.com/hhsim/hhsim\",\n          \"rules\": [",
+    );
+    let rules = all_rules();
+    for (i, rule) in rules.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n            {{\"id\": \"{}\", \"shortDescription\": {{\"text\": \"{}\"}}, \"defaultConfiguration\": {{\"level\": \"{}\"}}}}",
+            escape(rule.name()),
+            escape(rule.description()),
+            level(rule.default_severity()),
+        ));
+    }
+    out.push_str("\n          ]\n        }\n      },\n      \"results\": [");
+    for (i, f) in report.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let region = if f.line > 0 {
+            format!(
+                ", \"region\": {{\"startLine\": {}, \"startColumn\": {}}}",
+                f.line,
+                f.col.max(1)
+            )
+        } else {
+            String::new()
+        };
+        out.push_str(&format!(
+            "\n        {{\"ruleId\": \"{}\", \"level\": \"{}\", \"message\": {{\"text\": \"{}\"}}, \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": \"{}\"}}{}}}}}]}}",
+            escape(f.rule),
+            level(f.severity),
+            escape(&f.message),
+            escape(&f.file),
+            region,
+        ));
+    }
+    if !report.findings.is_empty() {
+        out.push_str("\n      ");
+    }
+    out.push_str("]\n    }\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::{Finding, Report};
+    use crate::json;
+
+    fn report() -> Report {
+        let mut r = Report::default();
+        r.findings.push(Finding {
+            rule: "float-total-order",
+            severity: Severity::Error,
+            file: "crates/sched/src/lib.rs".into(),
+            line: 138,
+            col: 22,
+            message: "partial order \"panics\" on NaN".into(),
+            snippet: None,
+            fix: None,
+        });
+        r.findings.push(Finding {
+            rule: "panic-in-engine",
+            severity: Severity::Info,
+            file: "crates/core".into(),
+            line: 0,
+            col: 0,
+            message: "budget shrank".into(),
+            snippet: None,
+            fix: None,
+        });
+        r.files_scanned = 2;
+        r
+    }
+
+    #[test]
+    fn sarif_shape_is_valid_2_1_0() {
+        let text = render(&report());
+        let v = json::parse(&text).expect("valid JSON");
+        assert_eq!(v.get("version").and_then(|s| s.as_str()), Some("2.1.0"));
+        assert!(v
+            .get("$schema")
+            .and_then(|s| s.as_str())
+            .is_some_and(|s| s.contains("sarif-2.1.0")));
+        let runs = v.get("runs").and_then(|r| r.as_array()).expect("runs");
+        assert_eq!(runs.len(), 1);
+        let driver = runs[0]
+            .get("tool")
+            .and_then(|t| t.get("driver"))
+            .expect("driver");
+        assert_eq!(
+            driver.get("name").and_then(|n| n.as_str()),
+            Some("hhsim-analysis")
+        );
+        let rules = driver
+            .get("rules")
+            .and_then(|r| r.as_array())
+            .expect("rule catalogue");
+        assert_eq!(rules.len(), all_rules().len(), "every rule is described");
+        for r in rules {
+            assert!(r.get("id").and_then(|s| s.as_str()).is_some());
+            assert!(r
+                .get("shortDescription")
+                .and_then(|d| d.get("text"))
+                .and_then(|s| s.as_str())
+                .is_some());
+            assert!(r
+                .get("defaultConfiguration")
+                .and_then(|c| c.get("level"))
+                .and_then(|s| s.as_str())
+                .is_some());
+        }
+    }
+
+    #[test]
+    fn results_carry_locations_and_levels() {
+        let text = render(&report());
+        let v = json::parse(&text).expect("valid JSON");
+        let results = v.get("runs").and_then(|r| r.as_array()).unwrap()[0]
+            .get("results")
+            .and_then(|r| r.as_array())
+            .expect("results");
+        assert_eq!(results.len(), 2);
+
+        let site = &results[0];
+        assert_eq!(
+            site.get("ruleId").and_then(|s| s.as_str()),
+            Some("float-total-order")
+        );
+        assert_eq!(site.get("level").and_then(|s| s.as_str()), Some("error"));
+        let loc = site.get("locations").and_then(|l| l.as_array()).unwrap()[0]
+            .get("physicalLocation")
+            .expect("physicalLocation");
+        assert_eq!(
+            loc.get("artifactLocation")
+                .and_then(|a| a.get("uri"))
+                .and_then(|s| s.as_str()),
+            Some("crates/sched/src/lib.rs")
+        );
+        assert_eq!(
+            loc.get("region")
+                .and_then(|r| r.get("startLine"))
+                .and_then(|n| n.as_u64()),
+            Some(138)
+        );
+
+        // Budget finding: info -> note, no region.
+        let budget = &results[1];
+        assert_eq!(budget.get("level").and_then(|s| s.as_str()), Some("note"));
+        let loc = budget.get("locations").and_then(|l| l.as_array()).unwrap()[0]
+            .get("physicalLocation")
+            .expect("physicalLocation");
+        assert!(
+            loc.get("region").is_none(),
+            "line-0 findings have no region"
+        );
+    }
+
+    #[test]
+    fn message_text_is_escaped() {
+        let text = render(&report());
+        assert!(
+            text.contains("partial order \\\"panics\\\" on NaN"),
+            "quotes in messages must be escaped"
+        );
+    }
+}

@@ -150,3 +150,174 @@ fn baseline_ratchet_round_trips_through_the_cli() {
 fn out_code(out: &Output) -> Option<i32> {
     out.status.code()
 }
+
+#[test]
+fn sarif_output_is_valid_and_carries_findings() {
+    let root = scratch("cli-sarif", &fixture("float_total_order", "positive"));
+    let out = run(&root, &["--format", "sarif"]);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "errors still gate the exit code"
+    );
+
+    let v = hhsim_analysis::json::parse(&String::from_utf8_lossy(&out.stdout))
+        .expect("stdout is valid SARIF JSON");
+    assert_eq!(v.get("version").and_then(|s| s.as_str()), Some("2.1.0"));
+    let run0 = &v.get("runs").and_then(|r| r.as_array()).expect("runs")[0];
+    let results = run0
+        .get("results")
+        .and_then(|r| r.as_array())
+        .expect("results");
+    assert!(
+        results.iter().any(|r| {
+            r.get("ruleId").and_then(|s| s.as_str()) == Some("float-total-order")
+                && r.get("level").and_then(|s| s.as_str()) == Some("error")
+        }),
+        "the fixture's finding shows up as a SARIF result"
+    );
+}
+
+#[test]
+fn dump_graph_resolves_configured_entry_points() {
+    let root = scratch(
+        "cli-graph",
+        "pub fn engine_entry() { step(); }\nfn step() {}\nfn dead() {}\n",
+    );
+    fs::write(
+        root.join("analysis.toml"),
+        "sim_crates = [\"crates/des\"]\n[reachability]\nentry_points = [\"engine_entry\"]\n",
+    )
+    .expect("config with entry points");
+
+    let out = run(&root, &["--dump-graph"]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let v = hhsim_analysis::json::parse(&String::from_utf8_lossy(&out.stdout))
+        .expect("graph dump is valid JSON");
+    let entry_points = v
+        .get("entry_points")
+        .and_then(|e| e.as_array())
+        .expect("entry_points array");
+    assert_eq!(entry_points.len(), 1, "one configured entry point");
+    assert!(
+        !entry_points[0]
+            .get("resolved")
+            .and_then(|r| r.as_array())
+            .expect("resolved ids")
+            .is_empty(),
+        "the entry point resolved to at least one fn"
+    );
+    let reachable: Vec<(&str, bool)> = v
+        .get("fns")
+        .and_then(|f| f.as_array())
+        .expect("fns array")
+        .iter()
+        .map(|f| {
+            (
+                f.get("qual").and_then(|q| q.as_str()).expect("qual"),
+                f.get("reachable").and_then(|b| b.as_bool()).expect("flag"),
+            )
+        })
+        .collect();
+    assert!(reachable
+        .iter()
+        .any(|(q, r)| q.contains("engine_entry") && *r));
+    assert!(reachable.iter().any(|(q, r)| q.contains("step") && *r));
+    assert!(
+        reachable.iter().any(|(q, r)| q.contains("dead") && !*r),
+        "unreferenced fn stays unreachable: {reachable:?}"
+    );
+
+    // An entry point that resolves to nothing is a config error.
+    fs::write(
+        root.join("analysis.toml"),
+        "sim_crates = [\"crates/des\"]\n[reachability]\nentry_points = [\"no_such_fn\"]\n",
+    )
+    .expect("bad config");
+    let bad = run(&root, &["--dump-graph"]);
+    assert_eq!(out_code(&bad), Some(2), "unresolved entry points exit 2");
+}
+
+#[test]
+fn changed_mode_agrees_with_the_full_run_on_changed_files() {
+    let root = scratch("cli-changed", &fixture("float_total_order", "positive"));
+    // A second dirty file that will stay untouched after the base commit.
+    fs::write(
+        root.join("crates/des/src/other.rs"),
+        fixture("nondet_iteration", "positive"),
+    )
+    .expect("second source file");
+
+    let git = |args: &[&str]| {
+        let out = std::process::Command::new("git")
+            .arg("-C")
+            .arg(&root)
+            .args(args)
+            .output()
+            .expect("git runs");
+        assert!(
+            out.status.success(),
+            "git {args:?}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    };
+    git(&["init", "-q"]);
+    git(&["-c", "user.email=t@t", "-c", "user.name=t", "add", "."]);
+    git(&[
+        "-c",
+        "user.email=t@t",
+        "-c",
+        "user.name=t",
+        "commit",
+        "-qm",
+        "base",
+    ]);
+
+    // Touch only lib.rs after the commit.
+    let lib = root.join("crates/des/src/lib.rs");
+    let mut text = fs::read_to_string(&lib).expect("lib");
+    text.push_str("\npub fn appended() {}\n");
+    fs::write(&lib, text).expect("modify lib");
+
+    let full = run(&root, &["--format", "json"]);
+    let diff = run(&root, &["--format", "json", "--changed", "HEAD"]);
+
+    let findings = |out: &Output| -> Vec<(String, u64, u64, String)> {
+        hhsim_analysis::json::parse(&String::from_utf8_lossy(&out.stdout))
+            .expect("valid JSON")
+            .get("findings")
+            .and_then(|f| f.as_array())
+            .expect("findings array")
+            .iter()
+            .map(|f| {
+                (
+                    f.get("rule").and_then(|s| s.as_str()).unwrap().to_string(),
+                    f.get("line").and_then(|n| n.as_u64()).unwrap(),
+                    f.get("col").and_then(|n| n.as_u64()).unwrap(),
+                    f.get("file").and_then(|s| s.as_str()).unwrap().to_string(),
+                )
+            })
+            .collect()
+    };
+
+    let full_on_lib: Vec<_> = findings(&full)
+        .into_iter()
+        .filter(|(_, line, _, file)| file == "crates/des/src/lib.rs" && *line > 0)
+        .collect();
+    let diff_findings = findings(&diff);
+    assert!(!full_on_lib.is_empty(), "the changed file has findings");
+    assert_eq!(
+        diff_findings, full_on_lib,
+        "diff-aware run reports exactly the full run's findings for changed files"
+    );
+    assert!(
+        !diff_findings
+            .iter()
+            .any(|(_, _, _, file)| file == "crates/des/src/other.rs"),
+        "unchanged files are not re-reported"
+    );
+}

@@ -1,0 +1,99 @@
+//! `--fix` round-trip: applying fixes, re-linting, and applying again must
+//! converge — the first pass rewrites every fixable site into a form its
+//! rule no longer matches, the re-lint finds nothing fixable, and the
+//! second pass is a byte-for-byte no-op.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Output;
+
+/// A file with one fixable site per fix-bearing rule: hash collections for
+/// `nondet-iteration` (renamed to their BTree twins) and a NaN-panicking
+/// comparator for `float-total-order` (rewritten to `total_cmp`).
+const FIXABLE: &str = "\
+use std::collections::HashMap;
+
+pub fn tally(xs: &[(u64, f64)]) -> HashMap<u64, f64> {
+    let mut m = HashMap::new();
+    for (k, v) in xs {
+        m.insert(*k, *v);
+    }
+    m
+}
+
+pub fn sort_desc(xs: &mut [f64]) {
+    xs.sort_by(|a, b| b.partial_cmp(a).unwrap());
+}
+";
+
+fn scratch(name: &str, lib_rs: &str) -> PathBuf {
+    let root = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name);
+    if root.exists() {
+        fs::remove_dir_all(&root).expect("clear scratch dir");
+    }
+    fs::create_dir_all(root.join("crates/des/src")).expect("scratch tree");
+    fs::write(
+        root.join("Cargo.toml"),
+        "[workspace]\nmembers = [\"crates/des\"]\n",
+    )
+    .expect("scratch manifest");
+    fs::write(
+        root.join("analysis.toml"),
+        "sim_crates = [\"crates/des\"]\n",
+    )
+    .expect("scratch config");
+    fs::write(root.join("crates/des/src/lib.rs"), lib_rs).expect("scratch lib");
+    root
+}
+
+fn run(root: &Path, extra: &[&str]) -> Output {
+    std::process::Command::new(env!("CARGO_BIN_EXE_hhsim-analysis"))
+        .arg("--workspace")
+        .arg("--root")
+        .arg(root)
+        .args(extra)
+        .output()
+        .expect("linter binary runs")
+}
+
+#[test]
+fn fix_applies_relints_clean_and_is_idempotent() {
+    let root = scratch("fix-roundtrip", FIXABLE);
+    let lib = root.join("crates/des/src/lib.rs");
+
+    // Sanity: the unfixed tree fails.
+    assert_eq!(run(&root, &[]).status.code(), Some(1));
+
+    // Apply: the binary rewrites the sites, then re-lints; with every
+    // fixable finding gone (and the unwrap removed with it, so the panic
+    // budget counts nothing), the post-fix tree is clean and exits 0.
+    let fixed_run = run(&root, &["--fix"]);
+    assert!(
+        fixed_run.status.success(),
+        "stdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&fixed_run.stdout),
+        String::from_utf8_lossy(&fixed_run.stderr)
+    );
+
+    let after = fs::read_to_string(&lib).expect("fixed lib");
+    assert!(
+        after.contains("BTreeMap") && !after.contains("HashMap"),
+        "hash collections renamed to ordered twins:\n{after}"
+    );
+    assert!(
+        after.contains("b.total_cmp(a)") && !after.contains("partial_cmp"),
+        "comparator rewritten to total_cmp:\n{after}"
+    );
+
+    // Re-lint without --fix: zero findings, zero exit.
+    assert!(run(&root, &[]).status.success(), "post-fix tree is clean");
+
+    // Idempotency: a second --fix run changes nothing, byte for byte.
+    let again = run(&root, &["--fix"]);
+    assert!(again.status.success());
+    assert_eq!(
+        fs::read_to_string(&lib).expect("lib after second fix"),
+        after,
+        "second --fix pass must be a no-op"
+    );
+}

@@ -1,0 +1,24 @@
+//! True negative: every float fold runs over a container with a fixed
+//! iteration order, and spawned workers write disjoint slots instead of
+//! accumulating shared state.
+use std::collections::BTreeMap;
+
+/// BTreeMap iterates in key order: the fold is reproducible.
+pub fn cluster_energy(per_node_j: &BTreeMap<u64, f64>) -> f64 {
+    per_node_j.values().sum()
+}
+
+/// Slices have positional order by construction.
+pub fn phase_energy(samples: &[f64]) -> f64 {
+    samples.iter().sum()
+}
+
+/// The sanctioned parallel pattern: each worker owns an indexed slot; the
+/// sequential reduce below fixes the accumulation order.
+pub fn reduce_slots(slots: &[f64]) -> f64 {
+    let mut total = 0.0;
+    for s in slots {
+        total += s;
+    }
+    total
+}

@@ -1,0 +1,19 @@
+//! True positive: float folds whose element order is randomized. Summing
+//! a HashMap's values visits them in per-process hash order; float
+//! addition is not associative, so the low bits of the total differ run
+//! to run — exactly what byte-identical artifacts cannot tolerate.
+use std::collections::HashMap;
+
+/// Chain fold over randomized iteration order.
+pub fn cluster_energy(per_node_j: &HashMap<u64, f64>) -> f64 {
+    per_node_j.values().sum()
+}
+
+/// Loop fold over the same container: same hazard, different spelling.
+pub fn cluster_energy_loop(per_node_j: HashMap<u64, f64>) -> f64 {
+    let mut total = 0.0;
+    for (_, joules) in per_node_j {
+        total += joules;
+    }
+    total
+}

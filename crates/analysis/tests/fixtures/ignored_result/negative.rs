@@ -1,0 +1,50 @@
+//! True negative: every `Result` is propagated, matched, checked, or
+//! explicitly discarded — nothing is silently dropped.
+
+pub struct Calendar {
+    used: usize,
+    cap: usize,
+}
+
+impl Calendar {
+    pub fn push(&mut self, _deadline_ns: u64) -> Result<(), String> {
+        if self.used == self.cap {
+            return Err("calendar full".to_string());
+        }
+        self.used += 1;
+        Ok(())
+    }
+}
+
+fn settle(step: u64) -> Result<u64, String> {
+    Ok(step)
+}
+
+/// Propagates with `?`.
+pub fn schedule(cal: &mut Calendar, deadline_ns: u64) -> Result<(), String> {
+    cal.push(deadline_ns)?;
+    Ok(())
+}
+
+/// Handles the error arm explicitly.
+pub fn run(steps: u64) -> u64 {
+    let mut done = 0u64;
+    for s in 0..steps {
+        match settle(s) {
+            Ok(_) => done += 1,
+            Err(_) => break,
+        }
+    }
+    done
+}
+
+/// Deliberate discard is spelled out, with the reason where the reader is.
+pub fn best_effort(cal: &mut Calendar) {
+    // Overflow here only drops a telemetry refresh, never a sim event.
+    let _ = cal.push(0);
+}
+
+/// A checked call in expression position is consumed, not dropped.
+pub fn has_room(cal: &mut Calendar) -> bool {
+    cal.push(1).is_ok()
+}

@@ -1,0 +1,38 @@
+//! True positive: statement-position calls that drop a `Result`. Every
+//! workspace candidate for these callees returns `Result`, and the value
+//! reaches no binding, operator, or `?` — the failure is simply lost.
+
+pub struct Calendar {
+    used: usize,
+    cap: usize,
+}
+
+impl Calendar {
+    /// Bounded insert: the `Err` is the only signal the calendar is full.
+    pub fn push(&mut self, _deadline_ns: u64) -> Result<(), String> {
+        if self.used == self.cap {
+            return Err("calendar full".to_string());
+        }
+        self.used += 1;
+        Ok(())
+    }
+}
+
+fn settle(step: u64) -> Result<u64, String> {
+    Ok(step)
+}
+
+/// Drops the push Result: a full calendar silently loses the event and
+/// the simulation continues from a corrupt schedule.
+pub fn schedule(cal: &mut Calendar, deadline_ns: u64) {
+    cal.push(deadline_ns);
+}
+
+/// Drops the settle Result inside the engine loop.
+pub fn run(steps: u64) {
+    let mut s = 0u64;
+    while s < steps {
+        settle(s);
+        s += 1;
+    }
+}

@@ -1,0 +1,16 @@
+//! True positive: `Ordering::Relaxed` on a value that feeds simulation
+//! results. Relaxed increments are atomic but unordered — concurrent
+//! updates interleave differently per host, and the folded total lands in
+//! an output artifact.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Accumulates per-task energy (nanojoule-scaled) into the shared result
+/// total with no ordering guarantee.
+pub fn add_energy(total_nj: &AtomicU64, task_nj: u64) {
+    total_nj.fetch_add(task_nj, Ordering::Relaxed);
+}
+
+/// Reads the racy total back for the results table.
+pub fn snapshot(total_nj: &AtomicU64) -> u64 {
+    total_nj.load(Ordering::Relaxed)
+}

@@ -1,0 +1,14 @@
+//! True positive: lossy `as` casts in engine index math. Under the zero
+//! budget the fixture harness applies, any counted site is over budget.
+
+/// Packs a 64-bit slot id into a u32 arena column. Values at or above
+/// 2^32 wrap silently and the packed id indexes the *wrong slot* — no
+/// crash, just different output at scale.
+pub fn pack(slot: u64) -> u32 {
+    slot as u32
+}
+
+/// Ladder-calendar bucket index from a 64-bit virtual-time delta.
+pub fn bucket(delta_ns: u64, shift: u32) -> usize {
+    (delta_ns >> shift) as usize
+}

@@ -1714,8 +1714,10 @@ pub struct ClusterTimeline {
 
 /// Narrows an engine-side index (task/node/slot/wave) to its column type.
 fn narrow(v: usize) -> u32 {
-    debug_assert!(u32::try_from(v).is_ok(), "index exceeds u32 column");
-    v as u32
+    // An index beyond u32 means the arena invariant is already broken;
+    // wrapping would silently corrupt the timeline, so fail loudly.
+    // hhsim: allow(panic-in-engine): invariant breach must not wrap into a valid-looking column value
+    u32::try_from(v).expect("index exceeds u32 column")
 }
 
 impl ClusterTimeline {

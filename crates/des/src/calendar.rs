@@ -217,7 +217,10 @@ impl Ladder {
             self.active.push(Reverse(ev));
             return;
         }
-        let idx = ((at - self.active_end_ns) / self.width_ns) as usize;
+        // Out-of-range (32-bit hosts) maps to usize::MAX, which misses
+        // every bucket and lands the event in overflow — same path a
+        // beyond-the-ladder deadline takes, with no silent wrap.
+        let idx = usize::try_from((at - self.active_end_ns) / self.width_ns).unwrap_or(usize::MAX);
         match self.buckets.get_mut(idx) {
             Some(bucket) => bucket.push(ev),
             None => self.overflow.push(ev),
@@ -277,7 +280,8 @@ impl Ladder {
         let last = (hi - lo) / self.width_ns;
         self.buckets = (0..=last).map(|_| Vec::new()).collect();
         for ev in events {
-            let idx = ((ev.key.at.as_nanos() - lo) / self.width_ns) as usize;
+            let idx =
+                usize::try_from((ev.key.at.as_nanos() - lo) / self.width_ns).unwrap_or(usize::MAX);
             match self.buckets.get_mut(idx) {
                 Some(bucket) => bucket.push(ev),
                 // Unreachable by construction (`last` covers `hi`), but

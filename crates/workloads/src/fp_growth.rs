@@ -117,7 +117,7 @@ impl Mapper for GroupMapper {
         ranks.dedup();
         // Scan right-to-left; emit each group's longest dependent prefix
         // exactly once (Mahout PFP).
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for idx in (0..ranks.len()).rev() {
             let g = FList::group_of(ranks[idx], self.groups);
             if seen.insert(g) {

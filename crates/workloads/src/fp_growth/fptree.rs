@@ -1,11 +1,7 @@
 //! A real FP-tree: prefix-tree with header links, mined recursively via
 //! conditional pattern bases (Han et al.'s algorithm).
 
-// Tree-internal tables; mined patterns are sorted before emission, so
-// hash iteration order cannot leak into results.
-#![allow(clippy::disallowed_types)]
-
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One FP-tree node.
 #[derive(Debug, Clone)]
@@ -13,7 +9,7 @@ struct Node {
     item: u32,
     count: u64,
     parent: usize,
-    children: HashMap<u32, usize>,
+    children: BTreeMap<u32, usize>,
 }
 
 /// A frequent-pattern tree over rank-encoded transactions.
@@ -39,7 +35,7 @@ struct Node {
 pub struct FpTree {
     nodes: Vec<Node>,
     /// item → node indices holding that item (header table).
-    header: HashMap<u32, Vec<usize>>,
+    header: BTreeMap<u32, Vec<usize>>,
 }
 
 impl FpTree {
@@ -59,9 +55,9 @@ impl FpTree {
                 item: u32::MAX,
                 count: 0,
                 parent: usize::MAX,
-                children: HashMap::new(),
+                children: BTreeMap::new(),
             }],
-            header: HashMap::new(),
+            header: BTreeMap::new(),
         };
         for (tx, count) in transactions {
             tree.insert(tx, count);
@@ -83,7 +79,7 @@ impl FpTree {
                         item,
                         count,
                         parent: cur,
-                        children: HashMap::new(),
+                        children: BTreeMap::new(),
                     });
                     self.nodes[cur].children.insert(item, n);
                     self.header.entry(item).or_default().push(n);

@@ -73,7 +73,7 @@ impl NaiveBayesModel {
     /// Assembles a model from the training job's output counters.
     pub fn from_counts(counts: &[(CountKey, u64)]) -> Self {
         let mut model = NaiveBayesModel::default();
-        let mut vocab = std::collections::HashSet::new();
+        let mut vocab = std::collections::BTreeSet::new();
         for ((class, term), n) in counts {
             if term == DOC_MARK {
                 *model.class_docs.entry(class.clone()).or_insert(0) += n;
