@@ -98,7 +98,13 @@ fn main() {
         let cache_before = SimCache::global().stats();
         let harness_before = harness::snapshot();
         match hhsim_bench::render(id) {
-            Some((id, csv)) => {
+            Some(Err(e)) => {
+                // Typed diagnosis instead of a panic: a fault sweep lost a
+                // job unrecoverably (e.g. every replica of a block died).
+                eprintln!("{id}: job failed: {e}");
+                std::process::exit(1);
+            }
+            Some(Ok((id, csv))) => {
                 let path = out_dir.join(format!("{id}.csv"));
                 fs::write(&path, &csv).expect("write figure CSV");
                 if id == "fig18" {
@@ -128,6 +134,16 @@ fn main() {
                     let up = out_dir.join("fig21_util.csv");
                     stream_trace(&tp, &up, hhsim_bench::write_fig21_trace)
                         .expect("write fig21 trace artifacts");
+                    println!("wrote {} and {}", tp.display(), up.display());
+                }
+                if id == "fig22" {
+                    // Fig. 22 ships its representative correlated-failure
+                    // trace: a rack crash, cancelled fetches, re-executed
+                    // maps on surviving replicas and a rack blacklist.
+                    let tp = out_dir.join("fig22_trace.json");
+                    let up = out_dir.join("fig22_util.csv");
+                    stream_trace(&tp, &up, hhsim_bench::write_fig22_trace)
+                        .expect("write fig22 trace artifacts");
                     println!("wrote {} and {}", tp.display(), up.display());
                 }
                 let cache = SimCache::global().stats().since(&cache_before);

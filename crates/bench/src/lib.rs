@@ -9,18 +9,24 @@
 
 use hhsim_core::arch::presets;
 use hhsim_core::energy::MetricKind;
-use hhsim_core::figures::{fig19_faults, MICRO_DATA, SCHED_BLOCK, TOPO_RACKS};
+use hhsim_core::faults::{PhaseError, RecoveryPolicy};
+use hhsim_core::figures::{
+    fig19_faults, fig22_faults, FIG22_OVERSUB, MICRO_DATA, SCHED_BLOCK, TOPO_RACKS,
+};
 use hhsim_core::hdfs::{BlockSize, Topology};
 use hhsim_core::report::FigureData;
 use hhsim_core::workloads::AppId;
 use hhsim_core::{simulate_cluster, NodeMix, PlacementKind, SimConfig};
 
-/// Renders one figure with its CSV, returning `(id, csv)`.
-pub fn render(id: &str) -> Option<(String, String)> {
+/// Renders one figure, returning `(id, csv)` — or the typed
+/// [`PhaseError`] when a fault sweep loses a job unrecoverably (every
+/// replica of a block gone, every node dead), so callers can print a
+/// one-line diagnosis instead of unwinding.
+pub fn render(id: &str) -> Option<Result<(String, String), PhaseError>> {
     hhsim_core::figures::all()
         .into_iter()
         .find(|(fid, _)| *fid == id)
-        .map(|(fid, f)| (fid.to_string(), f().to_csv()))
+        .map(|(fid, f)| Ok((fid.to_string(), f()?.to_csv())))
 }
 
 /// All artifact ids, in paper order.
@@ -155,8 +161,66 @@ pub fn write_fig21_trace(
     timeline.write_utilization_csv(util)
 }
 
-/// Renders every artifact.
-pub fn render_all() -> Vec<(String, FigureData)> {
+/// Per-rack switch-failure rate (crashes/hour) for the fig. 22 trace:
+/// hot enough that a rack dies mid-run with maps already shuffled.
+pub const FIG22_TRACE_RATE: f64 = 10.0;
+
+/// Seed for the fig. 22 trace, picked (by sweeping a small grid) so one
+/// run exercises the whole correlated-failure story: a ToR switch crash
+/// takes a rack offline, in-flight reduce fetches from the dead rack
+/// cancel as fetch failures, the lost map outputs re-execute on
+/// surviving replica holders, and repeated attempt failures escalate to
+/// rack-granularity blacklisting — while the job still completes.
+pub const FIG22_TRACE_SEED: u64 = 12;
+
+/// The representative correlated-failure run whose trace ships next to
+/// `fig22.csv`: TeraSort on the 4 Xeon + 8 Atom mix over the fig. 22
+/// rack fabric, with the rack-failure model of [`fig22_faults`] plus a
+/// 12% attempt-failure rate and an aggressive blacklist policy so the
+/// rack-escalation path is visible in a single trace.
+pub fn fig22_trace_config() -> SimConfig {
+    let mut recovery = RecoveryPolicy::hadoop();
+    recovery.spec_min_runtime_s = 2.0;
+    recovery.blacklist_after = 1;
+    recovery.rack_blacklist_after = 2;
+    let faults = fig22_faults(FIG22_TRACE_RATE, true)
+        .failure_rates(0.12, 0.0)
+        .recovery(recovery)
+        .seed(FIG22_TRACE_SEED);
+    SimConfig::new(AppId::TeraSort, presets::xeon_e5_2420())
+        .data_per_node(MICRO_DATA)
+        .block_size(BlockSize::MB_256)
+        .topology(Topology::racked(TOPO_RACKS, FIG22_OVERSUB))
+        .mix(NodeMix {
+            big: 4,
+            little: 8,
+            placement: PlacementKind::PaperClass(MetricKind::Edp),
+        })
+        .faults(faults)
+}
+
+/// Renders the fig. 22 trace artifacts as `(chrome_trace_json, util_csv)`.
+///
+/// Buffered reference form; the `figures` bin streams the same bytes via
+/// [`write_fig22_trace`].
+pub fn fig22_trace() -> (String, String) {
+    let (_, timeline) = simulate_cluster(&fig22_trace_config());
+    (timeline.to_chrome_trace_json(), timeline.utilization_csv())
+}
+
+/// Streams the fig. 22 trace artifacts — byte-identical to
+/// [`fig22_trace`] but written incrementally.
+pub fn write_fig22_trace(
+    trace: &mut impl std::io::Write,
+    util: &mut impl std::io::Write,
+) -> std::io::Result<()> {
+    let (_, timeline) = simulate_cluster(&fig22_trace_config());
+    timeline.write_chrome_trace(trace)?;
+    timeline.write_utilization_csv(util)
+}
+
+/// Renders every artifact; fault-sweep figures carry their typed error.
+pub fn render_all() -> Vec<(String, Result<FigureData, PhaseError>)> {
     hhsim_core::figures::all()
         .into_iter()
         .map(|(id, f)| (id.to_string(), f()))
@@ -169,7 +233,7 @@ mod tests {
 
     #[test]
     fn render_known_and_unknown() {
-        assert!(render("fig1").is_some());
+        assert!(render("fig1").is_some_and(|r| r.is_ok()));
         assert!(render("fig99").is_none());
     }
 
@@ -182,7 +246,8 @@ mod tests {
         assert!(ids.contains(&"fig19"));
         assert!(ids.contains(&"fig20"));
         assert!(ids.contains(&"fig21"));
-        assert_eq!(ids.len(), 24);
+        assert!(ids.contains(&"fig22"));
+        assert_eq!(ids.len(), 25);
     }
 
     #[test]
@@ -269,6 +334,53 @@ mod tests {
             .expect("results/fig19_trace.json is checked in");
         let disk_util = std::fs::read_to_string(format!("{root}/results/fig19_util.csv"))
             .expect("results/fig19_util.csv is checked in");
+        assert_eq!(json, disk_json, "regenerate with the figures binary");
+        assert_eq!(util, disk_util, "regenerate with the figures binary");
+    }
+
+    #[test]
+    fn fig22_trace_shows_correlated_failure_recovery() {
+        let (m, _) = simulate_cluster(&fig22_trace_config());
+        let f = &m.faults;
+        assert!(f.rack_crashes >= 1, "a ToR switch must die mid-run");
+        assert!(
+            f.fetch_failures > 0,
+            "in-flight reduces must register fetch failures"
+        );
+        assert!(
+            f.reexecuted_maps > 0,
+            "lost map outputs must re-execute on surviving replicas"
+        );
+        assert!(
+            f.racks_blacklisted >= 1,
+            "attempt failures must escalate to a rack blacklist"
+        );
+        let (json, csv) = fig22_trace();
+        let (json2, csv2) = fig22_trace();
+        assert_eq!(json, json2, "trace export must be deterministic");
+        assert_eq!(csv, csv2);
+        // The correlated-failure vocabulary is all visible in one trace…
+        assert!(json.contains("\"outcome\":\"fetch-failed\""));
+        assert!(json.contains("\"outcome\":\"recovered\""));
+        assert!(json.contains("\"name\":\"rack-crash:"));
+        assert!(json.contains("\"name\":\"rack-blacklisted:"));
+        // …and in none of the clean traces (golden-vocabulary negative).
+        for clean in [fig18_trace().0, fig19_trace().0, fig21_trace().0] {
+            assert!(!clean.contains("fetch-failed"));
+            assert!(!clean.contains("\"outcome\":\"recovered\""));
+            assert!(!clean.contains("rack-crash"));
+            assert!(!clean.contains("rack-blacklisted"));
+        }
+    }
+
+    #[test]
+    fn checked_in_fig22_trace_is_current() {
+        let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+        let (json, util) = fig22_trace();
+        let disk_json = std::fs::read_to_string(format!("{root}/results/fig22_trace.json"))
+            .expect("results/fig22_trace.json is checked in");
+        let disk_util = std::fs::read_to_string(format!("{root}/results/fig22_util.csv"))
+            .expect("results/fig22_util.csv is checked in");
         assert_eq!(json, disk_json, "regenerate with the figures binary");
         assert_eq!(util, disk_util, "regenerate with the figures binary");
     }

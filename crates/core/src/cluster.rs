@@ -30,6 +30,7 @@ use hhsim_des::{EventId, SimTime, Simulation};
 use hhsim_energy::MetricKind;
 use hhsim_faults::{AttemptOutcome, FaultStats, PhaseError, PhaseFaults, RecoveryPolicy};
 pub use hhsim_hdfs::LocalityTier;
+use hhsim_hdfs::{NodeId as HdfsNodeId, Topology};
 use hhsim_sched::{paper_schedule, CostTable, JobClass};
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
@@ -284,7 +285,7 @@ impl PhaseLoad {
         let read = self
             .locality
             .as_ref()
-            .and_then(|l| l.read_seconds.get(tier as usize).copied())
+            .and_then(|l| l.read_seconds.get(tier.idx()).copied())
             .unwrap_or(0.0);
         read + self.extra_seconds.get(task).copied().unwrap_or(0.0)
     }
@@ -866,6 +867,18 @@ pub struct PhaseRun {
     /// completion order. Empty without fault injection. These feed the
     /// timeline so the energy model charges wasted work.
     pub wasted: Vec<TaskSpan>,
+    /// Completed map tasks re-executed during this (reduce) phase after
+    /// a fetch failure, in completion order: `task` is the *map* task
+    /// id, `outcome` is [`AttemptOutcome::Recovered`] and `tier` is the
+    /// surviving-replica locality the re-run landed on. Empty without a
+    /// [`FetchPlan`]. These feed the timeline so the energy model
+    /// charges recovery work.
+    pub recovered: Vec<TaskSpan>,
+    /// Phase-relative `(seconds, label)` annotations for domain events
+    /// that are not task spans: `"rack-crash:<r>"` when a whole rack
+    /// went down, `"rack-blacklisted:<r>"` when blacklisting escalated
+    /// to rack granularity. Empty without active failure domains.
+    pub annotations: Vec<(f64, String)>,
     /// Fault and recovery counters (all zero without fault injection).
     pub faults: FaultStats,
 }
@@ -909,6 +922,8 @@ pub fn run_phase(cluster: &Cluster, load: &PhaseLoad, placement: &mut dyn Placem
             spans: Vec::new(),
             slots: stats,
             wasted: Vec::new(),
+            recovered: Vec::new(),
+            annotations: Vec::new(),
             faults: FaultStats::default(),
         };
     }
@@ -1017,6 +1032,8 @@ pub fn run_phase(cluster: &Cluster, load: &PhaseLoad, placement: &mut dyn Placem
             .collect(),
         slots: st.stats,
         wasted: Vec::new(),
+        recovered: Vec::new(),
+        annotations: Vec::new(),
         faults: FaultStats::default(),
     }
 }
@@ -1060,6 +1077,59 @@ struct RunningAttempt {
     tier: LocalityTier,
 }
 
+/// Map-output availability context for a reduce phase, enabling
+/// Hadoop's fetch-failure semantics: when a node dies after its map
+/// tasks completed, those outputs are lost, in-flight reduce attempts
+/// register fetch failures, and the engine re-executes the lost maps on
+/// surviving nodes — re-querying the surviving replica set (via
+/// [`Topology::surviving_tier`]) so the re-run is priced at the correct
+/// locality tier. A map whose every input replica is gone fails the
+/// phase with [`PhaseError::DataLost`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FetchPlan {
+    /// Node that holds each completed map task's output (indexed by map
+    /// task), i.e. the map phase's winning span nodes.
+    pub holders: Vec<usize>,
+    /// Input-block replica holders per map task — the NameNode's answer
+    /// a re-execution consults after filtering to surviving nodes.
+    pub map_replicas: Vec<Vec<usize>>,
+    /// The fabric replicas were placed against, answering
+    /// surviving-replica locality queries for re-executed maps.
+    pub topology: Topology,
+    /// Extra input-read seconds by tier for a re-executed map, indexed
+    /// `[node-local, rack-local, off-rack]`.
+    pub read_seconds: [f64; 3],
+    /// Per-node map-task timing (a re-executed map runs at map speed,
+    /// not the surrounding reduce phase's).
+    pub map_timing: Vec<NodeTiming>,
+}
+
+/// Live fetch-failure recovery state inside one engine run.
+#[derive(Debug)]
+struct FetchCtx {
+    /// Current holder of each map output (updated as re-runs land).
+    holders: Vec<usize>,
+    replicas: Vec<Vec<usize>>,
+    topology: Topology,
+    read_seconds: [f64; 3],
+    map_timing: Vec<NodeTiming>,
+    /// Synthetic engine task id per lost map (`usize::MAX` = never
+    /// lost). Ids live past `base_tasks` so per-task recovery vectors
+    /// never collide with reduce task ids.
+    engine_of: Vec<usize>,
+    /// Engine id − `base_tasks` → map task id.
+    reexec_map: Vec<usize>,
+    /// Lost maps awaiting a slot (`task` holds the *map* id).
+    queue: VecDeque<QueueEntry>,
+    /// Maps currently being re-executed.
+    recovering: Vec<bool>,
+    /// Lost-map re-executions not yet landed; reduces are gated while
+    /// this is non-zero (the shuffle barrier stalls on missing inputs).
+    outstanding: usize,
+    /// Fetch-failed reduce tasks parked until recovery completes.
+    gated: Vec<QueueEntry>,
+}
+
 /// Shared state of one fault-aware engine run.
 #[derive(Debug)]
 struct FaultState {
@@ -1098,6 +1168,19 @@ struct FaultState {
     fstats: FaultStats,
     policy: RecoveryPolicy,
     error: Option<PhaseError>,
+    // Failure-domain state (inert when `racks == 0`).
+    /// Number of real (non-synthetic) tasks; engine ids at or past this
+    /// are re-executed maps.
+    base_tasks: usize,
+    /// Rack count of the failure-domain config (0 = no domains).
+    racks: usize,
+    /// Individually-blacklisted nodes per rack, driving the escalation
+    /// to rack-granularity blacklisting.
+    rack_blacklist_count: Vec<u32>,
+    rack_blacklisted: Vec<bool>,
+    annotations: Vec<(f64, String)>,
+    recovered: Vec<TaskSpan>,
+    fetch: Option<FetchCtx>,
 }
 
 /// Sentinel for "task not in the in-flight set".
@@ -1175,6 +1258,67 @@ impl FaultState {
         Some(r)
     }
 
+    /// Counts a failed attempt against `node`, blacklisting it — and,
+    /// with an active rack domain, possibly its whole rack — once the
+    /// policy thresholds are crossed. Blacklisting never strands the
+    /// job: the last usable node, and the last rack with a usable node,
+    /// stay schedulable.
+    fn note_attempt_failure(&mut self, node: usize, now: SimTime) {
+        if let Some(f) = self.node_failures.get_mut(node) {
+            *f += 1;
+        }
+        let limit = self.policy.blacklist_after;
+        let fails = self.node_failures.get(node).copied().unwrap_or(0);
+        if limit > 0
+            && fails >= limit
+            && self.slots.usable(node)
+            && self.slots.usable_other_than(node)
+        {
+            self.slots.set_unusable(node);
+            self.fstats.blacklisted_nodes += 1;
+            self.maybe_blacklist_rack(node, now);
+        }
+    }
+
+    /// Escalates node blacklisting to rack granularity: once
+    /// `rack_blacklist_after` nodes of one rack have been individually
+    /// blacklisted, the whole rack (a bad ToR switch, in Hadoop terms)
+    /// stops receiving attempts — unless it is the last rack with any
+    /// usable node, which must stay schedulable.
+    fn maybe_blacklist_rack(&mut self, node: usize, now: SimTime) {
+        let racks = self.racks;
+        let after = self.policy.rack_blacklist_after;
+        if racks == 0 || after == 0 {
+            return;
+        }
+        let rack = node % racks;
+        if self.rack_blacklisted.get(rack).copied().unwrap_or(true) {
+            return;
+        }
+        if let Some(c) = self.rack_blacklist_count.get_mut(rack) {
+            *c += 1;
+        }
+        if self.rack_blacklist_count.get(rack).copied().unwrap_or(0) < after {
+            return;
+        }
+        let nodes = self.node_failures.len();
+        let usable_elsewhere = (0..nodes).any(|n| n % racks != rack && self.slots.usable(n));
+        if !usable_elsewhere {
+            return;
+        }
+        for n in (rack..nodes).step_by(racks) {
+            if self.slots.usable(n) {
+                self.slots.set_unusable(n);
+            }
+        }
+        if let Some(b) = self.rack_blacklisted.get_mut(rack) {
+            *b = true;
+        }
+        self.fstats.racks_blacklisted += 1;
+        self.annotations
+            .push((now.as_secs_f64(), format!("rack-blacklisted:{rack}")));
+    }
+
     /// Records a losing attempt's span and its wasted slot-seconds.
     fn record_wasted(
         &mut self,
@@ -1226,9 +1370,17 @@ fn launch_attempt(
     }
     let tier = load.tier_for(task, node);
     let t = &load.timing[node];
+    // A degraded rack uplink multiplies only the network-borne extras
+    // (remote reads, shuffle fetch); ×1.0 on healthy links keeps the
+    // legacy duration bitwise identical.
+    let extra = load.extra_for(task, tier);
+    let link = faults.domains.link_factor_at(node, now.as_secs_f64());
+    if link > 1.0 && extra > 0.0 {
+        st.fstats.link_degraded_attempts += 1;
+    }
     let dur_s = t.task_seconds * attempt_jitter(task, attempt) * faults.slowdown[node]
         + t.overhead_seconds
-        + load.extra_for(task, tier);
+        + extra * link;
     let dur = SimTime::from_secs_f64(dur_s);
     let rate = 1.0 / dur_s.max(1e-12);
     st.rate_sum += rate;
@@ -1339,18 +1491,9 @@ fn attempt_failed(
     st.record_wasted(task, &r, now, AttemptOutcome::Failed);
     st.fstats.failed_attempts += 1;
     st.failed[task] += 1;
-    st.node_failures[r.node] += 1;
-    let limit = st.policy.blacklist_after;
     // Hadoop never blacklists its way to an empty cluster (it caps the
     // blacklisted fraction); we keep the last usable node schedulable.
-    if limit > 0
-        && st.node_failures[r.node] >= limit
-        && st.slots.usable(r.node)
-        && st.slots.usable_other_than(r.node)
-    {
-        st.slots.set_unusable(r.node);
-        st.fstats.blacklisted_nodes += 1;
-    }
+    st.note_attempt_failure(r.node, now);
     if st.failed[task] >= st.policy.max_attempts {
         st.error = Some(PhaseError::AttemptsExhausted {
             task,
@@ -1429,11 +1572,408 @@ fn crash_node(sim: &mut Simulation, state: &Rc<RefCell<FaultState>>, node: usize
                 if let Some(w) = st.waiting.get_mut(task) {
                     *w = true;
                 }
-                st.queue.push_back(QueueEntry { task, queued: now });
+                if let Some(off) = task.checked_sub(st.base_tasks) {
+                    // A killed map re-execution goes back to the
+                    // recovery queue, not the reduce queue.
+                    let map = st
+                        .fetch
+                        .as_ref()
+                        .and_then(|f| f.reexec_map.get(off).copied());
+                    if let (Some(map), Some(f)) = (map, st.fetch.as_mut()) {
+                        f.queue.push_back(QueueEntry {
+                            task: map,
+                            queued: now,
+                        });
+                    }
+                } else {
+                    st.queue.push_back(QueueEntry { task, queued: now });
+                }
             }
         }
         st.note_maybe_idle(task);
     }
+}
+
+/// Rack-crash marker event: counts and annotates a whole-rack (ToR
+/// switch or correlated-domain) outage. Scheduled *before* the member
+/// nodes' own crash events at the same instant, so "some node of the
+/// rack was still alive" distinguishes a real rack outage from racks
+/// that had already bled out node by node.
+fn rack_crashed(sim: &mut Simulation, state: &Rc<RefCell<FaultState>>, rack: usize, racks: usize) {
+    let mut st = state.borrow_mut();
+    if st.error.is_some() || st.pending == 0 {
+        return;
+    }
+    let nodes = st.node_failures.len();
+    let any_alive = (rack..nodes)
+        .step_by(racks.max(1))
+        .any(|n| st.slots.alive(n));
+    if !any_alive {
+        return;
+    }
+    st.fstats.rack_crashes += 1;
+    st.annotations
+        .push((sim.now().as_secs_f64(), format!("rack-crash:{rack}")));
+}
+
+/// Fetch-failure handler, run right after [`crash_node`] for the same
+/// node: any completed map whose output lived on the dead node is lost,
+/// every in-flight reduce attempt registers a fetch failure (its shuffle
+/// flow from that output is cancelled on the calendar) and is parked
+/// until the lost maps have been re-executed on surviving nodes. A map
+/// whose every input replica is also gone fails the phase with
+/// [`PhaseError::DataLost`].
+fn fetch_on_crash(sim: &mut Simulation, state: &Rc<RefCell<FaultState>>, node: usize) {
+    let mut st = state.borrow_mut();
+    if st.fetch.is_none() || st.error.is_some() || st.pending == 0 {
+        return;
+    }
+    let now = sim.now();
+    let lost: Vec<usize> = st
+        .fetch
+        .as_ref()
+        .map(|f| {
+            f.holders
+                .iter()
+                .enumerate()
+                .filter(|&(m, &h)| h == node && !f.recovering.get(m).copied().unwrap_or(true))
+                .map(|(m, _)| m)
+                .collect()
+        })
+        .unwrap_or_default();
+    if lost.is_empty() {
+        return;
+    }
+    let nodes = st.node_failures.len();
+    let alive: Vec<bool> = (0..nodes).map(|n| st.slots.alive(n)).collect();
+    for m in lost {
+        let all_replicas_gone = st.fetch.as_ref().map_or(true, |f| {
+            f.replicas.get(m).map_or(true, |reps| {
+                reps.iter()
+                    .all(|&r| !alive.get(r).copied().unwrap_or(false))
+            })
+        });
+        if all_replicas_gone {
+            st.error = Some(PhaseError::DataLost { task: m });
+            return;
+        }
+        // First loss of this map: allocate its synthetic engine id and
+        // grow the per-task recovery vectors. Re-losses (the re-run's
+        // holder crashed too) reuse the id so attempt counters carry on.
+        let needs_id =
+            st.fetch.as_ref().and_then(|f| f.engine_of.get(m).copied()) == Some(usize::MAX);
+        if needs_id {
+            let id = st.running.len();
+            st.running.push(Vec::new());
+            st.running_pos.push(NOT_RUNNING);
+            st.failed.push(0);
+            // Re-executions are attempt ≥ 2 of the original map task.
+            st.next_attempt.push(2);
+            st.done.push(false);
+            st.speculated.push(true);
+            st.waiting.push(true);
+            if let Some(f) = st.fetch.as_mut() {
+                if let Some(e) = f.engine_of.get_mut(m) {
+                    *e = id;
+                }
+                f.reexec_map.push(m);
+            }
+        }
+        if let Some(f) = st.fetch.as_mut() {
+            if let Some(rec) = f.recovering.get_mut(m) {
+                *rec = true;
+            }
+            f.outstanding += 1;
+            f.queue.push_back(QueueEntry {
+                task: m,
+                queued: now,
+            });
+        }
+    }
+    // The shuffle is all-to-all: every in-flight reduce was fetching
+    // from the lost outputs. Cancel their flows on the calendar and gate
+    // them behind the re-executions. (Attempts on the dead node itself
+    // were already killed by `crash_node`.)
+    let mut victims: Vec<usize> = st
+        .running_tasks
+        .iter()
+        .copied()
+        .filter(|&t| t < st.base_tasks)
+        .collect();
+    victims.sort_unstable();
+    for task in victims {
+        while let Some(r) = st.running.get_mut(task).and_then(|l| l.pop()) {
+            sim.cancel(r.event);
+            st.release_slot(r.node, r.slot);
+            st.record_wasted(task, &r, now, AttemptOutcome::FetchFailed);
+            st.fstats.fetch_failures += 1;
+        }
+        st.note_maybe_idle(task);
+        let done = st.done.get(task).copied().unwrap_or(false);
+        let waiting = st.waiting.get(task).copied().unwrap_or(false);
+        if !done && !waiting {
+            if let Some(w) = st.waiting.get_mut(task) {
+                *w = true;
+            }
+            if let Some(f) = st.fetch.as_mut() {
+                f.gated.push(QueueEntry { task, queued: now });
+            }
+        }
+    }
+}
+
+/// Where a lost map's re-execution can go.
+enum ReexecChoice {
+    /// Launch on this node at this surviving-replica locality tier.
+    Run(usize, LocalityTier),
+    /// Every input replica is gone; the job cannot recover.
+    DataLost,
+    /// No free slot right now; wait for the calendar.
+    NoSlot,
+}
+
+/// Picks the node for a lost map's re-execution: the NameNode is
+/// re-queried for the *surviving* replica set
+/// ([`Topology::surviving_tier`]), and among free usable nodes the best
+/// locality tier wins (lowest node id breaks ties) — a surviving replica
+/// holder if possible, then a node in a surviving replica's rack, then
+/// anywhere (pricing the off-rack read).
+fn choose_reexec_node(st: &FaultState, map: usize) -> ReexecChoice {
+    let Some(f) = st.fetch.as_ref() else {
+        return ReexecChoice::NoSlot;
+    };
+    let reps: Vec<HdfsNodeId> = f
+        .replicas
+        .get(map)
+        .map(|v| v.iter().map(|&r| HdfsNodeId(r)).collect())
+        .unwrap_or_default();
+    let nodes = st.node_failures.len();
+    let alive: Vec<bool> = (0..nodes).map(|n| st.slots.alive(n)).collect();
+    let mut best: Option<(LocalityTier, usize)> = None;
+    for n in st.slots.free_nodes() {
+        let Some(tier) = f.topology.surviving_tier(HdfsNodeId(n), &reps, &alive) else {
+            return ReexecChoice::DataLost;
+        };
+        if best.map_or(true, |(bt, bn)| (tier, n) < (bt, bn)) {
+            best = Some((tier, n));
+        }
+    }
+    match best {
+        Some((tier, n)) => ReexecChoice::Run(n, tier),
+        None => {
+            if reps
+                .iter()
+                .any(|r| alive.get(r.0).copied().unwrap_or(false))
+            {
+                ReexecChoice::NoSlot
+            } else {
+                ReexecChoice::DataLost
+            }
+        }
+    }
+}
+
+/// Launches one re-execution attempt of lost map `map` on `node`: map
+/// timing (not the surrounding reduce phase's), the surviving-replica
+/// tier's read cost, and the same injected-failure draws as any other
+/// attempt — re-executions can fail, be killed or be blacklisted too.
+fn launch_reexec(
+    sim: &mut Simulation,
+    state: &Rc<RefCell<FaultState>>,
+    faults: &PhaseFaults,
+    map: usize,
+    queued: SimTime,
+    node: usize,
+    tier: LocalityTier,
+) {
+    let now = sim.now();
+    let mut st = state.borrow_mut();
+    let Some(id) = st
+        .fetch
+        .as_ref()
+        .and_then(|f| f.engine_of.get(map).copied())
+        .filter(|&i| i != usize::MAX)
+    else {
+        return;
+    };
+    let attempt = st.next_attempt.get(id).copied().unwrap_or(2);
+    if let Some(a) = st.next_attempt.get_mut(id) {
+        *a += 1;
+    }
+    if let Some(w) = st.waiting.get_mut(id) {
+        *w = false;
+    }
+    let (slot, wave) = st.claim_slot(node);
+    let wait = now.saturating_sub(queued);
+    if !wait.is_zero() {
+        st.stats.tasks_queued += 1;
+        st.stats.total_wait_s += wait.as_secs_f64();
+    }
+    let (task_s, over_s) = st
+        .fetch
+        .as_ref()
+        .and_then(|f| f.map_timing.get(node))
+        .map(|t| (t.task_seconds, t.overhead_seconds))
+        .unwrap_or((0.0, 0.0));
+    let read_s = st
+        .fetch
+        .as_ref()
+        .and_then(|f| f.read_seconds.get(tier.idx()).copied())
+        .unwrap_or(0.0);
+    let slow = faults.slowdown.get(node).copied().unwrap_or(1.0);
+    let link = faults.domains.link_factor_at(node, now.as_secs_f64());
+    if link > 1.0 && read_s > 0.0 {
+        st.fstats.link_degraded_attempts += 1;
+    }
+    let dur_s = task_s * attempt_jitter(map, attempt) * slow + over_s + read_s * link;
+    let dur = SimTime::from_secs_f64(dur_s);
+    let rate = 1.0 / dur_s.max(1e-12);
+    st.rate_sum += rate;
+    st.rate_count += 1;
+    let event = match faults.plan.attempt_failure(id, attempt) {
+        Some(frac) => {
+            let stc = state.clone();
+            sim.schedule_in(SimTime::from_secs_f64(dur_s * frac), move |sim| {
+                reexec_failed(sim, &stc, id, attempt);
+            })
+        }
+        None => {
+            let stc = state.clone();
+            sim.schedule_in(dur, move |sim| {
+                reexec_completed(sim, &stc, id, attempt);
+            })
+        }
+    };
+    if let Some(list) = st.running.get_mut(id) {
+        list.push(RunningAttempt {
+            attempt,
+            node,
+            slot,
+            wave,
+            queued,
+            launched: now,
+            duration: dur,
+            rate,
+            event,
+            speculative: false,
+            tier,
+        });
+    }
+    st.note_running(id);
+}
+
+/// A re-executed map landed: record its recovery span, move the output
+/// to the new holder, and — once no re-execution is outstanding —
+/// release the gated reduces back into the queue.
+fn reexec_completed(
+    sim: &mut Simulation,
+    state: &Rc<RefCell<FaultState>>,
+    id: usize,
+    attempt: u32,
+) {
+    let mut st = state.borrow_mut();
+    let now = sim.now();
+    let Some(r) = st.take_running(id, attempt) else {
+        return;
+    };
+    st.release_slot(r.node, r.slot);
+    if st.error.is_some() {
+        return;
+    }
+    let Some(map) = id.checked_sub(st.base_tasks).and_then(|off| {
+        st.fetch
+            .as_ref()
+            .and_then(|f| f.reexec_map.get(off).copied())
+    }) else {
+        return;
+    };
+    st.recovered.push(TaskSpan {
+        phase: String::new(),
+        task: map,
+        node: r.node,
+        slot: r.slot,
+        wave: r.wave,
+        queued_s: r.queued.as_secs_f64(),
+        launched_s: r.launched.as_secs_f64(),
+        finished_s: now.as_secs_f64(),
+        attempt: r.attempt,
+        outcome: AttemptOutcome::Recovered,
+        tier: r.tier,
+    });
+    st.fstats.reexecuted_maps += 1;
+    if now > st.max_finish {
+        st.max_finish = now;
+    }
+    let released = match st.fetch.as_mut() {
+        Some(f) => {
+            if let Some(h) = f.holders.get_mut(map) {
+                *h = r.node;
+            }
+            if let Some(rec) = f.recovering.get_mut(map) {
+                *rec = false;
+            }
+            f.outstanding = f.outstanding.saturating_sub(1);
+            if f.outstanding == 0 {
+                std::mem::take(&mut f.gated)
+            } else {
+                Vec::new()
+            }
+        }
+        None => Vec::new(),
+    };
+    for e in released {
+        st.queue.push_back(e);
+    }
+}
+
+/// A re-execution attempt hit an injected failure: same accounting as
+/// [`attempt_failed`] (wasted span, node failure, blacklisting, backoff
+/// re-queue, attempt exhaustion) against the *map* task.
+fn reexec_failed(sim: &mut Simulation, state: &Rc<RefCell<FaultState>>, id: usize, attempt: u32) {
+    let mut st = state.borrow_mut();
+    let now = sim.now();
+    let Some(r) = st.take_running(id, attempt) else {
+        return;
+    };
+    st.release_slot(r.node, r.slot);
+    if st.error.is_some() {
+        return;
+    }
+    let Some(map) = id.checked_sub(st.base_tasks).and_then(|off| {
+        st.fetch
+            .as_ref()
+            .and_then(|f| f.reexec_map.get(off).copied())
+    }) else {
+        return;
+    };
+    st.record_wasted(map, &r, now, AttemptOutcome::Failed);
+    st.fstats.failed_attempts += 1;
+    if let Some(fl) = st.failed.get_mut(id) {
+        *fl += 1;
+    }
+    st.note_attempt_failure(r.node, now);
+    let fails = st.failed.get(id).copied().unwrap_or(0);
+    if fails >= st.policy.max_attempts {
+        st.error = Some(PhaseError::AttemptsExhausted {
+            task: map,
+            attempts: fails,
+        });
+        return;
+    }
+    let delay = SimTime::from_secs_f64(st.policy.backoff_s(fails));
+    if let Some(w) = st.waiting.get_mut(id) {
+        *w = true;
+    }
+    let stc = state.clone();
+    sim.schedule_in(delay, move |sim| {
+        let mut st = stc.borrow_mut();
+        if st.error.is_none() {
+            let queued = sim.now();
+            if let Some(f) = st.fetch.as_mut() {
+                f.queue.push_back(QueueEntry { task: map, queued });
+            }
+        }
+    });
 }
 
 /// LATE speculation: among tasks with a single running attempt that has
@@ -1456,6 +1996,11 @@ fn choose_speculation(
     // old ascending full-task scan with a strict `<` on rate.
     let mut cand: Option<(f64, usize)> = None;
     for &task in &st.running_tasks {
+        if task >= st.base_tasks {
+            // Map re-executions recover lost data; LATE never
+            // duplicates them.
+            continue;
+        }
         let done = st.done.get(task).copied().unwrap_or(true);
         let speculated = st.speculated.get(task).copied().unwrap_or(true);
         if done || speculated {
@@ -1514,6 +2059,30 @@ pub fn run_phase_faulty(
     placement: &mut dyn Placement,
     faults: Option<&PhaseFaults>,
 ) -> Result<PhaseRun, PhaseError> {
+    run_phase_faulty_fetch(cluster, load, placement, faults, None)
+}
+
+/// [`run_phase_faulty`] with Hadoop fetch-failure semantics for a reduce
+/// phase: `fetch` says which node holds each completed map's output and
+/// where the map input replicas live. When a holder dies mid-phase (or
+/// died between the phases), its outputs are lost — in-flight reduce
+/// attempts' shuffle flows are cancelled on the calendar as fetch
+/// failures, reduces stall on the shuffle barrier, and the lost maps are
+/// re-executed on surviving nodes at the surviving-replica locality tier
+/// before the reduces resume. A map whose every input replica is gone
+/// fails cleanly with [`PhaseError::DataLost`]. `fetch = None` is
+/// exactly [`run_phase_faulty`].
+///
+/// # Panics
+///
+/// Same contract as [`run_phase_faulty`].
+pub fn run_phase_faulty_fetch(
+    cluster: &Cluster,
+    load: &PhaseLoad,
+    placement: &mut dyn Placement,
+    faults: Option<&PhaseFaults>,
+    fetch: Option<&FetchPlan>,
+) -> Result<PhaseRun, PhaseError> {
     let Some(faults) = faults else {
         return Ok(run_phase(cluster, load, placement));
     };
@@ -1538,6 +2107,8 @@ pub fn run_phase_faulty(
             spans: Vec::new(),
             slots: stats,
             wasted: Vec::new(),
+            recovered: Vec::new(),
+            annotations: Vec::new(),
             faults: FaultStats::default(),
         });
     }
@@ -1573,13 +2144,58 @@ pub fn run_phase_faulty(
         fstats: FaultStats::default(),
         policy: faults.policy,
         error: None,
+        base_tasks: load.tasks,
+        racks: faults.domains.racks,
+        rack_blacklist_count: vec![0; faults.domains.racks],
+        rack_blacklisted: vec![false; faults.domains.racks],
+        annotations: Vec::new(),
+        recovered: Vec::new(),
+        fetch: fetch.map(|p| FetchCtx {
+            holders: p.holders.clone(),
+            replicas: p.map_replicas.clone(),
+            topology: p.topology,
+            read_seconds: p.read_seconds,
+            map_timing: p.map_timing.clone(),
+            engine_of: vec![usize::MAX; p.holders.len()],
+            reexec_map: Vec::new(),
+            queue: VecDeque::new(),
+            recovering: vec![false; p.holders.len()],
+            outstanding: 0,
+            gated: Vec::new(),
+        }),
     }));
+
+    // Map outputs on nodes that died between the phases are lost before
+    // the first reduce even launches.
+    if fetch.is_some() {
+        for (node, &dead) in faults.dead_at_start.iter().enumerate() {
+            if dead {
+                fetch_on_crash(&mut sim, &state, node);
+            }
+        }
+    }
+
+    // Rack-outage markers go on the calendar before the member nodes'
+    // own crash events, so at an identical timestamp the marker still
+    // sees the rack alive.
+    if faults.domains.racks > 0 {
+        let racks = faults.domains.racks;
+        for (rack, crash) in faults.domains.rack_crash_at_s.iter().enumerate() {
+            if let Some(t) = crash {
+                let st = state.clone();
+                sim.schedule_at(SimTime::from_secs_f64(*t), move |sim| {
+                    rack_crashed(sim, &st, rack, racks);
+                });
+            }
+        }
+    }
 
     for (node, crash) in faults.crash_at_s.iter().enumerate() {
         if let Some(t) = crash {
             let st = state.clone();
             sim.schedule_at(SimTime::from_secs_f64(*t), move |sim| {
                 crash_node(sim, &st, node);
+                fetch_on_crash(sim, &st, node);
             });
         }
     }
@@ -1594,6 +2210,38 @@ pub fn run_phase_faulty(
                 if st.error.is_some() || st.slots.total_free() == 0 {
                     break;
                 }
+            }
+            // Fetch-failure recovery runs ahead of everything else.
+            let reexec = {
+                let st = state.borrow();
+                st.fetch.as_ref().and_then(|f| f.queue.front().copied())
+            };
+            if let Some(entry) = reexec {
+                let choice = choose_reexec_node(&state.borrow(), entry.task);
+                match choice {
+                    ReexecChoice::Run(node, tier) => {
+                        if let Some(f) = state.borrow_mut().fetch.as_mut() {
+                            f.queue.pop_front();
+                        }
+                        launch_reexec(sim, &state, faults, entry.task, entry.queued, node, tier);
+                        continue;
+                    }
+                    ReexecChoice::DataLost => {
+                        state.borrow_mut().error = Some(PhaseError::DataLost { task: entry.task });
+                        break;
+                    }
+                    ReexecChoice::NoSlot => break,
+                }
+            }
+            // Reduces stall on the shuffle barrier while lost map
+            // outputs are being re-executed.
+            if state
+                .borrow()
+                .fetch
+                .as_ref()
+                .is_some_and(|f| f.outstanding > 0)
+            {
+                break;
             }
             let front = state.borrow().queue.front().copied();
             if let Some(entry) = front {
@@ -1665,6 +2313,8 @@ pub fn run_phase_faulty(
         spans,
         slots: st.stats,
         wasted: st.wasted,
+        recovered: st.recovered,
+        annotations: st.annotations,
         faults: st.fstats,
     })
 }
@@ -1710,6 +2360,14 @@ pub struct ClusterTimeline {
     outcome: Vec<AttemptOutcome>,
     #[serde(default)]
     tier: Vec<LocalityTier>,
+    /// Absolute-time domain-event annotations (`"rack-crash:<r>"`,
+    /// `"rack-blacklisted:<r>"`), exported as instant events. Empty —
+    /// and bitwise invisible in every export — without active failure
+    /// domains.
+    #[serde(default)]
+    ann_time_s: Vec<f64>,
+    #[serde(default)]
+    ann_label: Vec<String>,
 }
 
 /// Narrows an engine-side index (task/node/slot/wave) to its column type.
@@ -1747,14 +2405,19 @@ impl ClusterTimeline {
     }
 
     /// Appends a phase's spans, labelled `phase`, shifted by `offset_s`.
-    /// Wasted attempts (failed/killed/cancelled) follow the winning
-    /// spans, so utilization and the energy model charge their slot time
-    /// too.
+    /// Wasted attempts (failed/killed/cancelled/fetch-failed) follow the
+    /// winning spans, and recovered map re-executions follow those, so
+    /// utilization and the energy model charge their slot time too.
+    /// Domain-event annotations are shifted onto the same clock.
     pub fn extend(&mut self, phase: &str, offset_s: f64, run: &PhaseRun) {
         let pix = self.intern(phase);
-        let extra = run.spans.len() + run.wasted.len();
+        let extra = run.spans.len() + run.wasted.len() + run.recovered.len();
         self.phase_ix.reserve(extra);
-        for s in run.spans.iter().chain(&run.wasted) {
+        for (t, label) in &run.annotations {
+            self.ann_time_s.push(t + offset_s);
+            self.ann_label.push(label.clone());
+        }
+        for s in run.spans.iter().chain(&run.wasted).chain(&run.recovered) {
             self.phase_ix.push(pix);
             self.task.push(narrow(s.task));
             self.node.push(narrow(s.node));
@@ -1982,6 +2645,16 @@ impl ClusterTimeline {
                 s.node, s.slot, s.phase, s.task, s.phase, s.task, s.wave
             );
         }
+        // Domain events (rack crashes, rack blacklists) as global
+        // instant events; absent without active failure domains, keeping
+        // legacy traces byte-identical.
+        for (t, label) in self.ann_time_s.iter().zip(&self.ann_label) {
+            let ts = t * 1e6;
+            let _ = writeln!(
+                out,
+                "{{\"ph\":\"i\",\"pid\":0,\"ts\":{ts:.3},\"name\":\"{label}\",\"s\":\"g\"}},"
+            );
+        }
         // Trailing comma is invalid JSON; close with a sentinel metadata
         // event instead of tracking "first".
         out.push_str("{\"ph\":\"M\",\"pid\":0,\"name\":\"trace_end\",\"args\":{}}\n]}\n");
@@ -2039,6 +2712,13 @@ impl ClusterTimeline {
                 self.task.get(i).copied().unwrap_or(0),
                 self.task.get(i).copied().unwrap_or(0),
                 self.wave.get(i).copied().unwrap_or(0),
+            )?;
+        }
+        for (t, label) in self.ann_time_s.iter().zip(&self.ann_label) {
+            let ts = t * 1e6;
+            writeln!(
+                w,
+                "{{\"ph\":\"i\",\"pid\":0,\"ts\":{ts:.3},\"name\":\"{label}\",\"s\":\"g\"}},"
             )?;
         }
         w.write_all(b"{\"ph\":\"M\",\"pid\":0,\"name\":\"trace_end\",\"args\":{}}\n]}\n")
@@ -2294,6 +2974,7 @@ mod tests {
             dead_at_start: vec![false; nodes],
             slowdown: vec![1.0; nodes],
             policy: RecoveryPolicy::hadoop(),
+            domains: hhsim_faults::PhaseDomains::default(),
         }
     }
 
@@ -2593,6 +3274,262 @@ mod tests {
                 s.launched_s
             );
         }
+    }
+
+    use hhsim_faults::{LinkWindow, PhaseDomains};
+
+    /// A 4-node, 1-slot-per-node cluster over two racks (node % 2),
+    /// with a reduce-like load and a fetch plan mapping map outputs to
+    /// holders. `map_replicas` follows HDFS: the holder is always the
+    /// first replica.
+    fn fetch_scenario() -> (Cluster, PhaseLoad, FetchPlan) {
+        let c = Cluster::homogeneous(CoreKind::Big, 4, 1);
+        let load = PhaseLoad::uniform(&set(4, 10.0), &c);
+        let plan = FetchPlan {
+            holders: vec![0, 0, 1, 3],
+            map_replicas: vec![vec![0, 2], vec![0, 2], vec![1, 3], vec![3, 1]],
+            topology: Topology::racked(2, 1.0),
+            read_seconds: [0.0, 2.0, 6.0],
+            map_timing: vec![
+                NodeTiming {
+                    task_seconds: 3.0,
+                    overhead_seconds: 0.1,
+                };
+                4
+            ],
+        };
+        (c, load, plan)
+    }
+
+    #[test]
+    fn rack_crash_markers_count_and_annotate() {
+        let c = Cluster::homogeneous(CoreKind::Big, 4, 1);
+        let load = PhaseLoad::uniform(&set(8, 5.0), &c);
+        let mut faults = PhaseFaults::inert(4);
+        // Rack 1 = nodes {1, 3}; the ToR dies at t=6 taking both down.
+        faults.domains = PhaseDomains {
+            racks: 2,
+            rack_crash_at_s: vec![None, Some(6.0)],
+            link_degraded: vec![None, None],
+        };
+        faults.crash_at_s[1] = Some(6.0);
+        faults.crash_at_s[3] = Some(6.0);
+        let run = run_phase_faulty(&c, &load, &mut FifoAnySlot, Some(&faults))
+            .expect("rack 0 survives to finish the phase");
+        assert_eq!(run.faults.rack_crashes, 1, "one whole-rack outage");
+        assert_eq!(run.faults.node_crashes, 2);
+        assert_eq!(
+            run.annotations,
+            vec![(6.0, String::from("rack-crash:1"))],
+            "the outage is annotated once, at crash time"
+        );
+        for s in &run.spans {
+            assert!(
+                s.launched_s < 6.0 || s.node % 2 == 0,
+                "nothing launches in the dead rack after the crash"
+            );
+        }
+        // The annotation rides into the chrome trace as an instant
+        // event; clean runs carry none.
+        let mut tl = ClusterTimeline::new(&c);
+        tl.extend("map", 0.0, &run);
+        let json = tl.to_chrome_trace_json();
+        assert!(json.contains("\"name\":\"rack-crash:1\""));
+        assert!(json.contains("\"ph\":\"i\""));
+        let clean = run_phase(&c, &load, &mut FifoAnySlot);
+        let mut tl = ClusterTimeline::new(&c);
+        tl.extend("map", 0.0, &clean);
+        assert!(!tl.to_chrome_trace_json().contains("\"ph\":\"i\""));
+    }
+
+    #[test]
+    fn rack_blacklisting_never_strands_the_last_rack() {
+        let c = Cluster::homogeneous(CoreKind::Big, 4, 1);
+        let load = PhaseLoad::uniform(&set(16, 5.0), &c);
+        let mut faults = failure_faults(4, 0.3, 9);
+        faults.policy.blacklist_after = 1;
+        faults.policy.rack_blacklist_after = 1;
+        faults.domains = PhaseDomains {
+            racks: 2,
+            rack_crash_at_s: vec![None, None],
+            link_degraded: vec![None, None],
+        };
+        let run = run_phase_faulty(&c, &load, &mut FifoAnySlot, Some(&faults))
+            .expect("the spared rack finishes the phase");
+        assert!(
+            run.faults.failed_attempts > 0,
+            "seed 9 must inject failures"
+        );
+        // The first failure blacklists its node and escalates to its
+        // rack; the other rack may lose nodes individually but never the
+        // whole rack (last-usable-rack guard), and the last usable node
+        // is always spared, so the phase completes.
+        assert_eq!(run.faults.racks_blacklisted, 1);
+        assert!(run.faults.blacklisted_nodes <= 3);
+        assert_eq!(run.spans.len(), 16);
+        let dead_rack = run
+            .annotations
+            .iter()
+            .find_map(|(_, a)| a.strip_prefix("rack-blacklisted:"))
+            .and_then(|r| r.parse::<usize>().ok())
+            .expect("rack blacklist is annotated");
+        let (t_black, _) = run.annotations[0];
+        for s in run.spans.iter().chain(&run.wasted) {
+            assert!(
+                s.node % 2 != dead_rack || s.launched_s < t_black + 1e-9,
+                "rack {dead_rack} blacklisted at {t_black} but node {} launched at {}",
+                s.node,
+                s.launched_s
+            );
+        }
+    }
+
+    #[test]
+    fn fetch_failure_reexecutes_lost_maps_on_surviving_replicas() {
+        let (c, load, plan) = fetch_scenario();
+        let mut faults = PhaseFaults::inert(4);
+        // Node 0 holds map outputs 0 and 1; it dies mid-shuffle.
+        faults.crash_at_s[0] = Some(5.0);
+        let run = run_phase_faulty_fetch(&c, &load, &mut FifoAnySlot, Some(&faults), Some(&plan))
+            .expect("surviving replicas recover the lost outputs");
+        // The in-flight reduce on node 0 is killed; the three on
+        // surviving nodes register fetch failures.
+        assert_eq!(run.faults.killed_attempts, 1);
+        assert_eq!(run.faults.fetch_failures, 3);
+        let fetch_failed = run
+            .wasted
+            .iter()
+            .filter(|w| w.outcome == AttemptOutcome::FetchFailed)
+            .count() as u64;
+        assert_eq!(fetch_failed, run.faults.fetch_failures);
+        // Both lost maps re-execute exactly once, as attempt >= 2, on a
+        // node the NameNode's surviving replica set justifies: map 0
+        // lands on surviving replica holder 2 (node-local), map 1 finds
+        // node 2 busy and prices an off-rack read from it.
+        assert_eq!(run.faults.reexecuted_maps, 2);
+        assert_eq!(run.recovered.len(), 2);
+        let tiers: Vec<(usize, LocalityTier)> =
+            run.recovered.iter().map(|r| (r.task, r.tier)).collect();
+        assert_eq!(
+            tiers,
+            vec![(0, LocalityTier::NodeLocal), (1, LocalityTier::OffRack)]
+        );
+        for r in &run.recovered {
+            assert_eq!(r.outcome, AttemptOutcome::Recovered);
+            assert!(r.attempt >= 2, "a re-execution is never attempt 1");
+            assert!(r.node != 0, "never on the dead holder");
+            assert!(r.finished_s <= run.makespan_s + 1e-9);
+        }
+        // Reduces stall on the shuffle barrier until the last lost map
+        // has been re-executed.
+        let recovery_end = run
+            .recovered
+            .iter()
+            .map(|r| r.finished_s)
+            .fold(0.0, f64::max);
+        for s in &run.spans {
+            assert!(
+                s.launched_s < 5.0 || s.launched_s >= recovery_end - 1e-9,
+                "reduce launched at {} inside the recovery window",
+                s.launched_s
+            );
+            assert_eq!(s.outcome, AttemptOutcome::Success);
+        }
+        // The trace vocabulary carries the new outcomes.
+        let mut tl = ClusterTimeline::new(&c);
+        tl.extend("reduce", 0.0, &run);
+        let json = tl.to_chrome_trace_json();
+        assert!(json.contains("\"outcome\":\"fetch-failed\""));
+        assert!(json.contains("\"outcome\":\"recovered\""));
+        // Determinism: same plan, same bytes.
+        let again = run_phase_faulty_fetch(&c, &load, &mut FifoAnySlot, Some(&faults), Some(&plan))
+            .expect("deterministic");
+        assert_eq!(run, again);
+    }
+
+    #[test]
+    fn all_replicas_gone_is_a_clean_data_lost_error() {
+        let (c, load, mut plan) = fetch_scenario();
+        // Map 0's input block lives only in rack 0 (nodes 0 and 2) and
+        // the whole rack dies: no surviving replica anywhere.
+        plan.map_replicas[0] = vec![0, 2];
+        let mut faults = PhaseFaults::inert(4);
+        faults.crash_at_s[0] = Some(5.0);
+        faults.crash_at_s[2] = Some(5.0);
+        let err = run_phase_faulty_fetch(&c, &load, &mut FifoAnySlot, Some(&faults), Some(&plan))
+            .expect_err("no replica survives");
+        assert_eq!(err, PhaseError::DataLost { task: 0 });
+        assert!(err.to_string().contains("lost every replica"));
+    }
+
+    #[test]
+    fn holder_dead_between_phases_recovers_before_reduces_launch() {
+        let (c, load, plan) = fetch_scenario();
+        let mut faults = PhaseFaults::inert(4);
+        faults.dead_at_start[0] = true;
+        let run = run_phase_faulty_fetch(&c, &load, &mut FifoAnySlot, Some(&faults), Some(&plan))
+            .expect("maps 0 and 1 recover from surviving replicas");
+        assert_eq!(run.faults.reexecuted_maps, 2);
+        assert_eq!(run.faults.fetch_failures, 0, "no reduce was in flight yet");
+        let recovery_end = run
+            .recovered
+            .iter()
+            .map(|r| r.finished_s)
+            .fold(0.0, f64::max);
+        for s in &run.spans {
+            assert!(
+                s.launched_s >= recovery_end - 1e-9,
+                "every reduce waits out the recovery"
+            );
+        }
+    }
+
+    #[test]
+    fn fetch_plan_without_crashes_is_invisible() {
+        let (c, load, plan) = fetch_scenario();
+        let faults = PhaseFaults::inert(4);
+        let with = run_phase_faulty_fetch(&c, &load, &mut FifoAnySlot, Some(&faults), Some(&plan))
+            .expect("inert faults complete");
+        let without = run_phase_faulty(&c, &load, &mut FifoAnySlot, Some(&faults))
+            .expect("inert faults complete");
+        assert_eq!(with, without, "an unused fetch plan is a perfect no-op");
+        assert!(with.recovered.is_empty());
+        assert!(with.annotations.is_empty());
+    }
+
+    #[test]
+    fn link_degradation_taxes_remote_recovery_reads() {
+        let (c, load, plan) = fetch_scenario();
+        let mut faults = PhaseFaults::inert(4);
+        faults.crash_at_s[0] = Some(5.0);
+        let healthy =
+            run_phase_faulty_fetch(&c, &load, &mut FifoAnySlot, Some(&faults), Some(&plan))
+                .expect("healthy links");
+        // Map 1's off-rack recovery read lands on node 1 (rack 1); a
+        // degradation window over rack 1 multiplies that read by 4.
+        faults.domains = PhaseDomains {
+            racks: 2,
+            rack_crash_at_s: vec![None, None],
+            link_degraded: vec![
+                None,
+                Some(LinkWindow {
+                    start_s: 0.0,
+                    end_s: 100.0,
+                    factor: 4.0,
+                }),
+            ],
+        };
+        let degraded =
+            run_phase_faulty_fetch(&c, &load, &mut FifoAnySlot, Some(&faults), Some(&plan))
+                .expect("degraded links still recover");
+        assert!(degraded.faults.link_degraded_attempts >= 1);
+        assert_eq!(healthy.faults.link_degraded_attempts, 0);
+        assert!(
+            degraded.makespan_s > healthy.makespan_s + 1.0,
+            "a 4x slower 6 s off-rack read must show in the makespan: {} vs {}",
+            degraded.makespan_s,
+            healthy.makespan_s
+        );
     }
 
     #[test]

@@ -19,10 +19,10 @@ use hhsim_energy::MetricKind;
 use hhsim_hdfs::{BlockSize, Topology};
 use hhsim_workloads::AppId;
 
-use hhsim_faults::{FaultConfig, RecoveryPolicy};
+use hhsim_faults::{DomainConfig, FaultConfig, PhaseError, RecoveryPolicy};
 
 use crate::harness::{ReplicationPlan, Sweep};
-use crate::model::{simulate_cluster, Measurement, NodeMix, PlacementKind, SimConfig};
+use crate::model::{try_simulate_cluster, Measurement, NodeMix, PlacementKind, SimConfig};
 use crate::report::FigureData;
 
 /// Per-node data size used for micro-benchmarks (1 GB, §3).
@@ -749,7 +749,12 @@ pub fn fig19_faults(rate: f64, speculation: bool) -> FaultConfig {
 /// speculation, normalized to each cluster's fault-free run. Every point —
 /// including the fault-free baselines — uses the event-driven cluster
 /// engine so the ratios isolate the cost of faults, not engine differences.
-pub fn fig19() -> FigureData {
+///
+/// # Errors
+///
+/// Returns the first [`PhaseError`] of an unrecoverable point (a typed
+/// "job failed" instead of a panic).
+pub fn fig19() -> Result<FigureData, PhaseError> {
     let [xeon, atom] = machines();
     type ClusterSpec<'a> = (&'a str, &'a MachineModel, Option<(usize, usize)>);
     let clusters: [ClusterSpec; 3] = [
@@ -777,12 +782,12 @@ pub fn fig19() -> FigureData {
     );
     for app in [AppId::WordCount, AppId::TeraSort] {
         for (who, m, mix) in clusters {
-            let clean = simulate_cluster(&point(app, m, mix)).0;
+            let clean = try_simulate_cluster(&point(app, m, mix))?.0;
             for speculation in [true, false] {
                 let mode = if speculation { "spec" } else { "nospec" };
                 for rate in FAULT_RATES {
                     let c = point(app, m, mix).faults(fig19_faults(rate, speculation));
-                    let meas = simulate_cluster(&c).0;
+                    let meas = try_simulate_cluster(&c)?.0;
                     let x = format!("{rate:.2}");
                     f.push(
                         format!("T/{who}/{}/{mode}", app.short_name()),
@@ -798,7 +803,7 @@ pub fn fig19() -> FigureData {
             }
         }
     }
-    f
+    Ok(f)
 }
 
 /// Fault-seed replications behind every Fig. 20 point.
@@ -816,7 +821,12 @@ pub const FIG20_SEED: u64 = 0x00F2_05EE_D000;
 /// series), normalized to the cluster's fault-free run. Speculation is
 /// on everywhere (the paper's default recovery), and the straggler
 /// population keeps the bands non-degenerate even at rate 0.
-pub fn fig20() -> FigureData {
+///
+/// # Errors
+///
+/// Returns the [`PhaseError`] of an unrecoverable baseline run (the
+/// replicated points themselves absorb failed seeds as `failed_runs`).
+pub fn fig20() -> Result<FigureData, PhaseError> {
     let [xeon, atom] = machines();
     type ClusterSpec<'a> = (&'a str, &'a MachineModel, Option<(usize, usize)>);
     let clusters: [ClusterSpec; 3] = [
@@ -844,7 +854,7 @@ pub fn fig20() -> FigureData {
     );
     for app in [AppId::WordCount, AppId::TeraSort] {
         for (who, m, mix) in clusters {
-            let clean = simulate_cluster(&point(app, m, mix)).0;
+            let clean = try_simulate_cluster(&point(app, m, mix))?.0;
             let clean_t = clean.breakdown.total();
             let clean_edp = clean.exact_energy_j * clean_t;
             for rate in FAULT_RATES {
@@ -861,7 +871,7 @@ pub fn fig20() -> FigureData {
             }
         }
     }
-    f
+    Ok(f)
 }
 
 /// ToR-uplink oversubscription factors swept in Fig. 21.
@@ -942,36 +952,154 @@ pub fn fig21() -> FigureData {
     f
 }
 
-/// A figure/table generator: produces one artifact's data from scratch.
-pub type Generator = fn() -> FigureData;
+/// Per-rack failure rates (expected ToR-switch crashes per hour) swept
+/// in Fig. 22; 0 is the rack-fault-free baseline.
+pub const FIG22_RATES: [f64; 4] = [0.0, 1.0, 4.0, 8.0];
+
+/// Fault-seed replications behind every Fig. 22 point.
+pub const FIG22_SEEDS: u64 = 32;
+
+/// First fault seed of the Fig. 22 sweep (seeds run consecutively from
+/// here); fixed so the checked-in artifacts regenerate byte-identically.
+pub const FIG22_SEED: u64 = 0x00F2_25EE_D000;
+
+/// ToR oversubscription of the Fig. 22 fabric (the middle of the
+/// Fig. 21 sweep).
+pub const FIG22_OVERSUB: f64 = 4.0;
+
+/// The Fig. 22 fault model at one rack-failure rate (`per_hour`
+/// expected switch crashes per rack per hour): correlated rack outages
+/// on the [`TOPO_RACKS`]-rack fabric over the Fig. 19 straggler
+/// background, so speculation has work at rate 0 and the sweep isolates
+/// the cost of losing racks — cancelled shuffles, fetch-failure map
+/// re-execution, off-rack recovery reads.
+pub fn fig22_faults(per_hour: f64, speculation: bool) -> FaultConfig {
+    let mut recovery = RecoveryPolicy::hadoop();
+    recovery.speculation = speculation;
+    recovery.spec_min_runtime_s = 2.0;
+    let mut fc = FaultConfig::none()
+        .seed(FIG22_SEED)
+        .stragglers(0.4, 2.5)
+        .recovery(recovery);
+    if per_hour > 0.0 {
+        fc = fc.domains(
+            DomainConfig::none()
+                .racks(TOPO_RACKS)
+                .switch_mttf(3600.0 / per_hour),
+        );
+    }
+    fc
+}
+
+/// Fig. 22 (model extension): makespan and EDP degradation vs rack
+/// failure rate on the Fig. 21 12-node/4-rack clusters (TeraSort,
+/// 256 MB blocks, 4x oversubscription), with and without speculation.
+/// A switch crash takes a whole rack's nodes — and the map outputs on
+/// them — offline at once: in-flight shuffle flows cancel, reduces
+/// register fetch failures, and lost maps re-execute on surviving
+/// replica holders. Each point replicates over [`FIG22_SEEDS`] fault
+/// seeds; `T`/`EDP` report the mean over the replications that finish,
+/// normalized to the cluster's rack-fault-free clean run, and `Pfail`
+/// reports the fraction of seeds whose job died outright (every replica
+/// of some block lost, or no usable node left) — the availability side
+/// of the robustness story.
+///
+/// # Errors
+///
+/// Returns the [`PhaseError`] of an unrecoverable baseline run (the
+/// replicated points themselves absorb failed seeds as `failed_runs`,
+/// surfaced through the `Pfail` series).
+pub fn fig22() -> Result<FigureData, PhaseError> {
+    // hhsim: allow(panic-in-engine): irrefutable [_; 2] destructure, not indexing
+    let [xeon, atom] = machines();
+    type ClusterSpec<'a> = (&'a str, &'a MachineModel, Option<(usize, usize)>);
+    let clusters: [ClusterSpec; 3] = [
+        ("Xeon12", &xeon, None),
+        ("Atom12", &atom, None),
+        ("Mix4X8A", &xeon, Some((4, 8))),
+    ];
+    let app = AppId::TeraSort;
+    let point = |m: &MachineModel, mix: Option<(usize, usize)>, rate: f64, spec: bool| {
+        let mut c = cfg(app, m)
+            .data_per_node(data_for(app))
+            .block_size(BlockSize::MB_256)
+            .topology(Topology::racked(TOPO_RACKS, FIG22_OVERSUB))
+            .faults(fig22_faults(rate, spec));
+        match mix {
+            Some((big, little)) => {
+                c = c.mix(NodeMix {
+                    big,
+                    little,
+                    placement: PlacementKind::PaperClass(MetricKind::Edp),
+                });
+            }
+            None => c.nodes = TOPO_NODES,
+        }
+        c
+    };
+    let mut f = FigureData::new(
+        "fig22",
+        "Makespan, EDP and job-failure probability vs rack failure rate",
+        "ratio",
+    );
+    for (who, m, mix) in clusters {
+        for speculation in [true, false] {
+            let mode = if speculation { "spec" } else { "nospec" };
+            // The clean anchor has no faults at all: degradation at rate 0
+            // then shows the straggler background, like Fig. 19/20.
+            let mut clean_cfg = point(m, mix, 0.0, speculation);
+            clean_cfg.faults = None;
+            let clean = try_simulate_cluster(&clean_cfg)?.0;
+            let clean_t = clean.breakdown.total();
+            let clean_edp = clean.exact_energy_j * clean_t;
+            for rate in FIG22_RATES {
+                let c = point(m, mix, rate, speculation);
+                let s = ReplicationPlan::new(c, FIG22_SEED..FIG22_SEED + FIG22_SEEDS).run();
+                let x = format!("{rate:.0}");
+                let name = |metric: &str| format!("{metric}/{who}/{mode}");
+                f.push(name("T"), x.clone(), s.makespan_s.mean / clean_t);
+                f.push(name("EDP"), x.clone(), s.edp.mean / clean_edp);
+                let p_fail = s.failed_runs as f64 / s.replications.max(1) as f64;
+                f.push(name("Pfail"), x, p_fail);
+            }
+        }
+    }
+    Ok(f)
+}
+
+/// A figure/table generator: produces one artifact's data from scratch,
+/// or a typed [`PhaseError`] when an unrecoverable fault configuration
+/// fails the job ("job failed" diagnosis instead of a panic).
+pub type Generator = fn() -> Result<FigureData, PhaseError>;
 
 /// Every generator keyed by id, for the CLI harness.
 pub fn all() -> Vec<(&'static str, Generator)> {
     vec![
-        ("table1", table1 as Generator),
-        ("table2", table2),
-        ("fig1", fig1),
-        ("fig2", fig2),
-        ("fig3", fig3),
-        ("fig4", fig4),
-        ("fig5", fig5),
-        ("fig6", fig6),
-        ("fig7", fig7),
-        ("fig8", fig8),
-        ("fig9", fig9),
-        ("fig10", fig10),
-        ("fig11", fig11),
-        ("fig12", fig12),
-        ("fig13", fig13),
-        ("fig14", fig14),
-        ("fig15", fig15),
-        ("fig16", fig16),
-        ("table3", table3),
-        ("fig17", fig17),
-        ("fig18", fig18),
+        ("table1", (|| Ok(table1())) as Generator),
+        ("table2", || Ok(table2())),
+        ("fig1", || Ok(fig1())),
+        ("fig2", || Ok(fig2())),
+        ("fig3", || Ok(fig3())),
+        ("fig4", || Ok(fig4())),
+        ("fig5", || Ok(fig5())),
+        ("fig6", || Ok(fig6())),
+        ("fig7", || Ok(fig7())),
+        ("fig8", || Ok(fig8())),
+        ("fig9", || Ok(fig9())),
+        ("fig10", || Ok(fig10())),
+        ("fig11", || Ok(fig11())),
+        ("fig12", || Ok(fig12())),
+        ("fig13", || Ok(fig13())),
+        ("fig14", || Ok(fig14())),
+        ("fig15", || Ok(fig15())),
+        ("fig16", || Ok(fig16())),
+        ("table3", || Ok(table3())),
+        ("fig17", || Ok(fig17())),
+        ("fig18", || Ok(fig18())),
         ("fig19", fig19),
         ("fig20", fig20),
-        ("fig21", fig21),
+        ("fig21", || Ok(fig21())),
+        ("fig22", fig22),
     ]
 }
 
@@ -1028,7 +1156,7 @@ mod tests {
 
     #[test]
     fn all_generators_are_registered() {
-        assert_eq!(all().len(), 24, "3 tables + 21 figure artifacts");
+        assert_eq!(all().len(), 25, "3 tables + 22 figure artifacts");
     }
 
     #[test]
@@ -1056,7 +1184,7 @@ mod tests {
 
     #[test]
     fn fig19_faults_degrade_and_speculation_recovers() {
-        let f = fig19();
+        let f = fig19().expect("fig19 recovers from every injected fault");
         let val = |series: &str, rate: f64| {
             f.rows
                 .iter()
@@ -1101,7 +1229,7 @@ mod tests {
 
     #[test]
     fn fig20_bands_bracket_means_and_widen_with_rate() {
-        let f = fig20();
+        let f = fig20().expect("fig20's clean baselines cannot fail");
         // 2 apps x 3 clusters x 4 rates x 6 series (T/Tlo/Thi, EDP triple).
         assert_eq!(f.rows.len(), 144);
         let val = |series: &str, rate: f64| {
@@ -1197,5 +1325,65 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn fig22_rack_faults_degrade_and_jobs_start_dying() {
+        let f = fig22().expect("fig22 baselines are fault-free and cannot fail");
+        // 3 clusters x 2 modes x 4 rates x 3 series (T, EDP, Pfail).
+        assert_eq!(f.rows.len(), 72);
+        let val = |series: &str, rate: f64| {
+            f.rows
+                .iter()
+                .find(|r| r.series == series && r.x == format!("{rate:.0}"))
+                .map(|r| r.value)
+                .expect("fig22 row")
+        };
+        let worst = *FIG22_RATES.last().expect("rates are non-empty");
+        let (mut low, mut high, mut n) = (0.0, 0.0, 0.0);
+        for who in ["Xeon12", "Atom12", "Mix4X8A"] {
+            for mode in ["spec", "nospec"] {
+                let t = format!("T/{who}/{mode}");
+                // Stragglers alone already cost makespan at rate 0, and the
+                // straggler-only sweep never loses a replica set.
+                assert!(val(&t, 0.0) > 1.0, "{t}: stragglers must hurt");
+                assert!(
+                    val(&format!("Pfail/{who}/{mode}"), 0.0) == 0.0,
+                    "Pfail/{who}/{mode}: no rack faults, no dead jobs"
+                );
+                // Job-failure probability is monotone in the rack rate.
+                let mut prev = 0.0;
+                for rate in FIG22_RATES {
+                    let p = val(&format!("Pfail/{who}/{mode}"), rate);
+                    assert!(
+                        (0.0..=1.0).contains(&p) && p >= prev,
+                        "Pfail/{who}/{mode}@{rate}: must be a monotone probability"
+                    );
+                    prev = p;
+                }
+                // Enough seeds must survive the worst rate for the
+                // survivor-conditional means to stay meaningful.
+                assert!(prev < 0.9, "Pfail/{who}/{mode}: worst rate drowns the mean");
+                low += val(&t, 0.0);
+                high += val(&t, worst);
+                n += 1.0;
+            }
+        }
+        // Losing racks costs: cancelled shuffles, off-rack recovery reads,
+        // and re-executed maps make the mean degradation grow with rate.
+        assert!(
+            high / n > low / n,
+            "mean degradation must grow with rack failure rate ({} vs {})",
+            high / n,
+            low / n
+        );
+        // The availability story has to actually show up somewhere: at the
+        // worst rate some cluster loses jobs to dead replica sets.
+        let dies = ["Xeon12", "Atom12", "Mix4X8A"].iter().any(|who| {
+            ["spec", "nospec"]
+                .iter()
+                .any(|mode| val(&format!("Pfail/{who}/{mode}"), worst) > 0.0)
+        });
+        assert!(dies, "worst rack-failure rate must kill some replications");
     }
 }

@@ -50,12 +50,13 @@ use serde::{Deserialize, Serialize};
 use hhsim_faults::{FaultConfig, FaultStats, NodeFaults, PhaseError};
 
 use crate::cluster::{
-    run_phase, run_phase_faulty, Cluster, ClusterTimeline, FifoAnySlot, KindPreferring, NodeTiming,
-    PhaseLoad, PhaseLocality, PhaseRun, Placement, SlotStats, TaskSet,
+    run_phase, run_phase_faulty, run_phase_faulty_fetch, Cluster, ClusterTimeline, FetchPlan,
+    FifoAnySlot, KindPreferring, NodeTiming, PhaseLoad, PhaseLocality, PhaseRun, Placement,
+    SlotStats, TaskSet,
 };
 use crate::ratios::JobRatios;
 use crate::shuffle;
-use crate::simcache::{PhaseFaultKey, PhaseKey, PhaseNetKey, SimCache};
+use crate::simcache::{fetch_digest, PhaseFaultKey, PhaseKey, PhaseNetKey, SimCache};
 
 /// Framework instructions charged per task launch (JVM spin-up, split
 /// bookkeeping, heartbeats).
@@ -1304,6 +1305,7 @@ impl ClusterPrep {
         little_task_s: f64,
         faults: Option<PhaseFaultKey>,
         net: Option<PhaseNetKey>,
+        fetch: Option<u64>,
     ) -> PhaseKey {
         PhaseKey {
             placement: self.placement_code,
@@ -1317,6 +1319,7 @@ impl ClusterPrep {
             ],
             faults,
             net,
+            fetch,
         }
     }
 
@@ -1420,6 +1423,7 @@ impl ClusterPrep {
                     .as_ref()
                     .zip(map_locality)
                     .map(|(t, l)| PhaseNetKey::for_map(t, l)),
+                None,
             );
             phase_idx += 1;
             let map_run = cache.phase_run(map_key, || {
@@ -1428,7 +1432,7 @@ impl ClusterPrep {
             map_slots_stats.absorb(&map_run.slots);
             fault_stats.absorb(&map_run.faults);
             for s in &map_run.spans {
-                if let Some(c) = locality_tiers.get_mut(s.tier as usize) {
+                if let Some(c) = locality_tiers.get_mut(s.tier.idx()) {
                     *c += 1;
                 }
             }
@@ -1450,6 +1454,21 @@ impl ClusterPrep {
 
             // Reduce phase.
             if tb.n_red > 0 {
+                // Hadoop fetch-failure semantics need both faults (a
+                // holder can die) and an active topology (replicas and
+                // locality tiers exist); either alone keeps the legacy
+                // reduce path bitwise intact.
+                let fetch_plan =
+                    faults
+                        .and(map_locality)
+                        .zip(self.topology.as_ref())
+                        .map(|(loc, topo)| FetchPlan {
+                            holders: map_run.spans.iter().map(|s| s.node).collect(),
+                            map_replicas: loc.replicas.clone(),
+                            topology: *topo,
+                            read_seconds: loc.read_seconds,
+                            map_timing: map_load.timing.clone(),
+                        });
                 let red_extra = self.red_extra.get(ji).filter(|e| !e.is_empty());
                 let mut red_load = PhaseLoad::by_kind(
                     tb.n_red,
@@ -1478,10 +1497,17 @@ impl ClusterPrep {
                         .as_ref()
                         .zip(red_extra)
                         .map(|(t, e)| PhaseNetKey::for_extras(t, e)),
+                    fetch_plan.as_ref().map(fetch_digest),
                 );
                 phase_idx += 1;
                 let red_run = cache.phase_run(red_key, || {
-                    run_phase_faulty(cluster, &red_load, placement.as_mut(), red_faults.as_ref())
+                    run_phase_faulty_fetch(
+                        cluster,
+                        &red_load,
+                        placement.as_mut(),
+                        red_faults.as_ref(),
+                        fetch_plan.as_ref(),
+                    )
                 })?;
                 reduce_slots_stats.absorb(&red_run.slots);
                 fault_stats.absorb(&red_run.faults);

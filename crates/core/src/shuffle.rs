@@ -154,6 +154,7 @@ struct FlowState {
     active: Vec<bool>,
     rates: Vec<f64>,
     finish_s: Vec<f64>,
+    cancelled: Vec<bool>,
     last_t: SimTime,
     live: usize,
 }
@@ -207,6 +208,18 @@ impl FlowState {
     }
 }
 
+/// Per-flow outcome of a shuffle whose sources can crash mid-transfer:
+/// finish (or cancellation) times plus which flows never completed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowOutcomes {
+    /// Time each flow left the fabric, seconds: its completion, or the
+    /// crash instant for cancelled flows. Order matches the input.
+    pub finish_s: Vec<f64>,
+    /// True for flows cancelled because their source node crashed while
+    /// they were still transferring.
+    pub cancelled: Vec<bool>,
+}
+
 /// Finish time in seconds of every flow when all of them start at time
 /// zero and share the fabric max-min fairly. Same-node and empty flows
 /// finish at `0.0`. Output order matches `flows`.
@@ -215,8 +228,24 @@ impl FlowState {
 /// on a [`Simulation`] calendar, so the result is the closed-form
 /// max-min trajectory, independent of any time-step size.
 pub fn flow_finish_times(topology: &Topology, nodes: usize, flows: &[Flow]) -> Vec<f64> {
+    flow_finish_times_with_crashes(topology, nodes, flows, &[]).finish_s
+}
+
+/// [`flow_finish_times`] with crash-cancelled sources: each `(node,
+/// at_s)` entry kills `node` at `at_s`, cancelling every flow it is
+/// still sourcing *at that instant* on the calendar and re-settling
+/// max-min fair shares among the survivors — released bandwidth speeds
+/// the remaining flows up from the crash onward. An empty crash list
+/// reproduces [`flow_finish_times`] exactly.
+pub fn flow_finish_times_with_crashes(
+    topology: &Topology,
+    nodes: usize,
+    flows: &[Flow],
+    crashes: &[(usize, f64)],
+) -> FlowOutcomes {
     let links = Links::new(topology, nodes.max(1));
     let paths: Vec<Vec<usize>> = flows.iter().map(|f| links.path(f)).collect();
+    let srcs: Vec<usize> = flows.iter().map(|f| f.src).collect();
     let mut active: Vec<bool> = Vec::with_capacity(flows.len());
     let mut live = 0usize;
     for f in flows {
@@ -228,14 +257,51 @@ pub fn flow_finish_times(topology: &Topology, nodes: usize, flows: &[Flow]) -> V
         remaining: flows.iter().map(|f| f.bytes).collect(),
         rates: vec![0.0; flows.len()],
         finish_s: vec![0.0; flows.len()],
+        cancelled: vec![false; flows.len()],
         active,
         last_t: SimTime::ZERO,
         live,
     }));
 
     let mut sim = Simulation::new();
+    // Crash events go on the calendar up front: settle the fluid system
+    // at the crash instant with the rates that were valid until then,
+    // then drop every flow the dead node was still sourcing. The main
+    // loop below re-settles fair shares right after, so survivors pick
+    // up the released bandwidth from the crash onward.
+    for &(node, at_s) in crashes {
+        if at_s < 0.0 {
+            continue;
+        }
+        let st2 = state.clone();
+        let srcs2 = srcs.clone();
+        sim.schedule_in(SimTime::from_secs_f64(at_s), move |sim| {
+            let mut st = st2.borrow_mut();
+            st.settle(sim.now());
+            let now_s = sim.now().as_secs_f64();
+            for (i, &src) in srcs2.iter().enumerate() {
+                if src != node || !st.active.get(i).copied().unwrap_or(false) {
+                    continue;
+                }
+                if let Some(a) = st.active.get_mut(i) {
+                    *a = false;
+                }
+                if let Some(c) = st.cancelled.get_mut(i) {
+                    *c = true;
+                }
+                if let Some(f) = st.finish_s.get_mut(i) {
+                    *f = now_s;
+                }
+                st.live -= 1;
+            }
+        });
+    }
+
     // One completion event in flight at a time: recompute fair shares,
     // schedule the earliest finisher, settle when it fires, repeat.
+    // Crash events may land before a scheduled completion; the stale
+    // completion event then just settles (a no-op drain at the already-
+    // recomputed rates) and the loop schedules the true next finisher.
     let schedule_next = |sim: &mut Simulation, state: &Rc<RefCell<FlowState>>| {
         let mut st = state.borrow_mut();
         if st.live == 0 {
@@ -257,10 +323,22 @@ pub fn flow_finish_times(topology: &Topology, nodes: usize, flows: &[Flow]) -> V
     }
 
     match Rc::try_unwrap(state) {
-        Ok(cell) => cell.into_inner().finish_s,
+        Ok(cell) => {
+            let st = cell.into_inner();
+            FlowOutcomes {
+                finish_s: st.finish_s,
+                cancelled: st.cancelled,
+            }
+        }
         // Unreachable: the calendar has drained, so no event closure
         // still holds a clone.
-        Err(rc) => rc.borrow().finish_s.clone(),
+        Err(rc) => {
+            let st = rc.borrow();
+            FlowOutcomes {
+                finish_s: st.finish_s.clone(),
+                cancelled: st.cancelled.clone(),
+            }
+        }
     }
 }
 
@@ -485,5 +563,79 @@ mod tests {
         let a = reduce_fetch_seconds(&t, 9, 18, 1e9);
         let b = reduce_fetch_seconds(&t, 9, 18, 1e9);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn crashed_source_flow_is_cancelled_and_bandwidth_released() {
+        // Regression: a flow sourced from a crashed node used to keep
+        // filling bandwidth to completion. Flows 0→1 and 2→1 share node
+        // 1's downlink at half rate each; node 0 dies at t=1, so its
+        // flow must be cancelled there and the survivor must finish on
+        // the released full rate: 1.5 units left at t=1 → done at 2.5,
+        // not the contended 4.0.
+        let t = one_rack();
+        let unit = 117.0e6;
+        let flows = [
+            Flow {
+                src: 0,
+                dst: 1,
+                bytes: 2.0 * unit,
+            },
+            Flow {
+                src: 2,
+                dst: 1,
+                bytes: 2.0 * unit,
+            },
+        ];
+        let out = flow_finish_times_with_crashes(&t, 3, &flows, &[(0, 1.0)]);
+        assert_eq!(out.cancelled, vec![true, false]);
+        let dead = out.finish_s.first().copied().unwrap_or(0.0);
+        let live = out.finish_s.get(1).copied().unwrap_or(0.0);
+        assert!((dead - 1.0).abs() < 1e-5, "cancelled at crash: {out:?}");
+        assert!((live - 2.5).abs() < 1e-5, "released bandwidth: {out:?}");
+        // The buggy (crash-blind) trajectory keeps both at half rate.
+        let blind = flow_finish_times(&t, 3, &flows);
+        for b in &blind {
+            assert!((b - 4.0).abs() < 1e-5, "got {blind:?}");
+        }
+    }
+
+    #[test]
+    fn no_crashes_reproduces_flow_finish_times_exactly() {
+        let t = Topology::racked(2, 8.0);
+        let flows = [
+            Flow {
+                src: 0,
+                dst: 1,
+                bytes: 3.0e8,
+            },
+            Flow {
+                src: 1,
+                dst: 2,
+                bytes: 1.0e8,
+            },
+            Flow {
+                src: 3,
+                dst: 0,
+                bytes: 2.0e8,
+            },
+        ];
+        let plain = flow_finish_times(&t, 4, &flows);
+        let out = flow_finish_times_with_crashes(&t, 4, &flows, &[]);
+        assert_eq!(out.finish_s, plain);
+        assert_eq!(out.cancelled, vec![false; 3]);
+    }
+
+    #[test]
+    fn crash_after_completion_cancels_nothing() {
+        let t = one_rack();
+        let flows = [Flow {
+            src: 0,
+            dst: 1,
+            bytes: 117.0e6, // one second at line rate
+        }];
+        let out = flow_finish_times_with_crashes(&t, 2, &flows, &[(0, 5.0)]);
+        assert_eq!(out.cancelled, vec![false]);
+        assert!((out.finish_s.first().copied().unwrap_or(0.0) - 1.0).abs() < 1e-5);
     }
 }

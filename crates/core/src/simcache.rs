@@ -70,6 +70,40 @@ pub(crate) struct PhaseKey {
     /// fabric. `None` means the legacy flat network, so every
     /// pre-topology key keeps its exact equality class.
     pub net: Option<PhaseNetKey>,
+    /// FNV-1a digest of the fetch-failure recovery plan
+    /// ([`fetch_digest`]), when the phase runs with one. `None` keeps
+    /// every pre-fetch key's exact equality class.
+    pub fetch: Option<u64>,
+}
+
+/// FNV-1a digest of every field of a [`FetchPlan`](crate::FetchPlan):
+/// map-output holders, input replica sets, fabric parameters, per-tier
+/// read penalties and per-node map timing. Same collision argument as
+/// [`PhaseNetKey::digest`].
+pub(crate) fn fetch_digest(plan: &crate::FetchPlan) -> u64 {
+    let mut d = FNV_OFFSET;
+    for &h in &plan.holders {
+        d = fnv(d, h as u64);
+    }
+    for reps in &plan.map_replicas {
+        // Replica-set delimiter: distinguishes [[1],[2]] from [[1,2]].
+        d = fnv(d, u64::MAX);
+        for &r in reps {
+            d = fnv(d, r as u64);
+        }
+    }
+    d = fnv(d, plan.topology.racks as u64);
+    d = fnv(d, plan.topology.node_bytes_per_s.to_bits());
+    d = fnv(d, plan.topology.core_bytes_per_s.to_bits());
+    d = fnv(d, plan.topology.oversubscription.to_bits());
+    for s in plan.read_seconds {
+        d = fnv(d, s.to_bits());
+    }
+    for t in &plan.map_timing {
+        d = fnv(d, t.task_seconds.to_bits());
+        d = fnv(d, t.overhead_seconds.to_bits());
+    }
+    d
 }
 
 /// Identity of a phase's network inputs under an active [`Topology`]:
@@ -173,6 +207,13 @@ pub(crate) struct PhaseFaultKey {
     pub spec_min_runtime_s: u64,
     /// Blacklist threshold.
     pub blacklist_after: u32,
+    /// Rack blacklist escalation threshold.
+    pub rack_blacklist_after: u32,
+    /// Failure-domain identity, when domains are active: (racks,
+    /// switch MTTF bits, rack MTTF bits, link MTTF bits, link factor
+    /// bits, link window bits). `None` keeps every pre-domain key's
+    /// exact equality class.
+    pub domains: Option<(usize, u64, u64, u64, u64, u64)>,
 }
 
 impl PhaseFaultKey {
@@ -193,6 +234,19 @@ impl PhaseFaultKey {
             spec_rate_threshold: fc.recovery.spec_rate_threshold.to_bits(),
             spec_min_runtime_s: fc.recovery.spec_min_runtime_s.to_bits(),
             blacklist_after: fc.recovery.blacklist_after,
+            rack_blacklist_after: fc.recovery.rack_blacklist_after,
+            domains: fc.domains.active().then(|| {
+                let d = &fc.domains;
+                let bits = |m: Option<f64>| m.map_or(0, f64::to_bits);
+                (
+                    d.racks,
+                    bits(d.switch_mttf_s),
+                    bits(d.rack_mttf_s),
+                    bits(d.link_mttf_s),
+                    d.link_factor.to_bits(),
+                    d.link_window_s.to_bits(),
+                )
+            }),
         }
     }
 }

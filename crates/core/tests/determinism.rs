@@ -16,7 +16,8 @@ use hhsim_core::{figures, harness};
 /// unaffected.)
 #[test]
 fn jobs_count_never_changes_output_bytes() {
-    let generators: [(&str, figures::Generator); 3] = [
+    type Infallible = fn() -> hhsim_core::FigureData;
+    let generators: [(&str, Infallible); 3] = [
         ("fig3", figures::fig3),
         ("fig9", figures::fig9),
         ("table3", figures::table3),

@@ -149,6 +149,9 @@ fn recovery_invariants_hold_over_random_fault_plans() {
             Err(PhaseError::NoUsableSlots { pending }) => {
                 assert!(pending > 0 && pending <= s.tasks);
             }
+            Err(PhaseError::DataLost { .. }) => {
+                unreachable!("no fetch plan: data loss cannot be detected")
+            }
         }
     });
 }
@@ -183,6 +186,7 @@ fn blacklisted_nodes_receive_no_new_attempts() {
             dead_at_start: vec![false; nodes],
             slowdown: vec![1.0; nodes],
             policy,
+            domains: hhsim_faults::PhaseDomains::default(),
         };
         let Ok(run) = run_phase_faulty(&cluster, &load, &mut FifoAnySlot, Some(&faults)) else {
             // Attempts exhausted under a hot failure rate: fine, covered

@@ -30,9 +30,13 @@ fn faulty_cfg(map_rate: f64, reduce_rate: f64) -> SimConfig {
 #[test]
 fn fig20_is_byte_identical_across_jobs_and_matches_checked_in() {
     set_jobs(1);
-    let serial = figures::fig20().to_csv();
+    let serial = figures::fig20()
+        .expect("fig20 baselines cannot fail")
+        .to_csv();
     set_jobs(4);
-    let par = figures::fig20().to_csv();
+    let par = figures::fig20()
+        .expect("fig20 baselines cannot fail")
+        .to_csv();
     set_jobs(0);
     assert_eq!(serial, par, "fig20 must not depend on --jobs");
     let path = format!("{}/../../results/fig20.csv", env!("CARGO_MANIFEST_DIR"));

@@ -42,6 +42,7 @@ fn failure_faults(nodes: usize, rate: f64, seed: u64) -> PhaseFaults {
         dead_at_start: vec![false; nodes],
         slowdown: vec![1.0; nodes],
         policy: RecoveryPolicy::hadoop(),
+        domains: hhsim_faults::PhaseDomains::default(),
     }
 }
 

@@ -72,6 +72,7 @@ fn faulty_timeline() -> ClusterTimeline {
         dead_at_start: vec![false; 3],
         slowdown: vec![1.0, 1.0, 2.0],
         policy: RecoveryPolicy::hadoop(),
+        domains: hhsim_faults::PhaseDomains::default(),
     };
     let map = run_phase_faulty(
         &cluster,

@@ -51,6 +51,9 @@ const TAG_FAIL: u64 = 0x4641_494c; // "FAIL"
 const TAG_FRAC: u64 = 0x4652_4143; // "FRAC"
 const TAG_CRASH: u64 = 0x4352_5348; // "CRSH"
 const TAG_STRAG: u64 = 0x5354_5247; // "STRG"
+const TAG_SWCH: u64 = 0x5357_4348; // "SWCH"
+const TAG_RACK: u64 = 0x5241_434b; // "RACK"
+const TAG_LINK: u64 = 0x4c49_4e4b; // "LINK"
 
 /// Hadoop-style recovery knobs applied by the cluster engine when a
 /// [`FaultConfig`] is active.
@@ -76,6 +79,13 @@ pub struct RecoveryPolicy {
     /// (0 disables blacklisting). Blacklisted nodes receive no new
     /// attempts; in-flight work is allowed to finish.
     pub blacklist_after: u32,
+    /// Blacklist a whole rack once this many of its nodes have been
+    /// individually blacklisted (0 disables rack blacklisting). Only
+    /// takes effect when the fault layer carries a rack structure
+    /// ([`PhaseDomains::racks`] > 0), and never strands the cluster:
+    /// the last rack with a usable node stays schedulable.
+    #[serde(default)]
+    pub rack_blacklist_after: u32,
 }
 
 impl RecoveryPolicy {
@@ -90,6 +100,7 @@ impl RecoveryPolicy {
             spec_rate_threshold: 0.8,
             spec_min_runtime_s: 5.0,
             blacklist_after: 3,
+            rack_blacklist_after: 2,
         }
     }
 
@@ -103,6 +114,95 @@ impl RecoveryPolicy {
 impl Default for RecoveryPolicy {
     fn default() -> Self {
         RecoveryPolicy::hadoop()
+    }
+}
+
+/// Correlated failure-domain knobs: faults that hit a whole rack at
+/// once instead of one node at a time. Like every other fault source
+/// the draws are stateless hashes of `(seed, tag, rack)`, so an
+/// inactive config ([`DomainConfig::none`]) is bitwise invisible to
+/// every run that does not opt in.
+///
+/// Rack membership follows the fabric convention used everywhere else
+/// in the workspace: node `n` lives in rack `n % racks`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DomainConfig {
+    /// Number of failure domains (racks). 0 disables every domain
+    /// fault regardless of the MTTF knobs below.
+    pub racks: usize,
+    /// Mean time to ToR-switch failure, seconds (`None` = switches
+    /// never crash). A switch crash takes its whole rack offline at
+    /// one instant.
+    pub switch_mttf_s: Option<f64>,
+    /// Mean time to a rack-correlated crash event, seconds (`None` =
+    /// no shared-domain term). Acts as a competing hazard on top of
+    /// each node's individual `node_mttf_s` draw: every node of the
+    /// rack shares the domain's crash candidate.
+    pub rack_mttf_s: Option<f64>,
+    /// Mean time to a link-degradation event on a rack uplink, seconds
+    /// (`None` = links never degrade).
+    pub link_mttf_s: Option<f64>,
+    /// Multiplier (> 1) on remote-read / shuffle extra seconds for
+    /// tasks launched in a degradation window on an affected rack.
+    pub link_factor: f64,
+    /// Duration of one link-degradation window, seconds.
+    pub link_window_s: f64,
+}
+
+impl DomainConfig {
+    /// No failure domains: zero racks, no switch/rack/link events.
+    pub fn none() -> Self {
+        DomainConfig {
+            racks: 0,
+            switch_mttf_s: None,
+            rack_mttf_s: None,
+            link_mttf_s: None,
+            link_factor: 1.0,
+            link_window_s: 0.0,
+        }
+    }
+
+    /// Sets the rack count.
+    pub fn racks(mut self, racks: usize) -> Self {
+        self.racks = racks;
+        self
+    }
+
+    /// Enables ToR-switch crashes with the given mean time to failure.
+    pub fn switch_mttf(mut self, mttf_s: f64) -> Self {
+        self.switch_mttf_s = Some(mttf_s);
+        self
+    }
+
+    /// Enables the rack-correlated crash term.
+    pub fn rack_mttf(mut self, mttf_s: f64) -> Self {
+        self.rack_mttf_s = Some(mttf_s);
+        self
+    }
+
+    /// Enables link degradation: windows of `window_s` seconds during
+    /// which a rack's remote reads slow by `factor`.
+    pub fn link_degradation(mut self, mttf_s: f64, factor: f64, window_s: f64) -> Self {
+        self.link_mttf_s = Some(mttf_s);
+        self.link_factor = factor;
+        self.link_window_s = window_s;
+        self
+    }
+
+    /// True if this configuration can inject any domain fault at all.
+    pub fn active(&self) -> bool {
+        self.racks > 0
+            && (self.switch_mttf_s.is_some()
+                || self.rack_mttf_s.is_some()
+                || (self.link_mttf_s.is_some()
+                    && self.link_factor > 1.0
+                    && self.link_window_s > 0.0))
+    }
+}
+
+impl Default for DomainConfig {
+    fn default() -> Self {
+        DomainConfig::none()
     }
 }
 
@@ -124,6 +224,10 @@ pub struct FaultConfig {
     pub straggler_slowdown: f64,
     /// How the engine recovers from the injected faults.
     pub recovery: RecoveryPolicy,
+    /// Correlated failure domains (rack/switch/link faults). The
+    /// default ([`DomainConfig::none`]) injects nothing.
+    #[serde(default)]
+    pub domains: DomainConfig,
 }
 
 impl FaultConfig {
@@ -138,6 +242,7 @@ impl FaultConfig {
             straggler_rate: 0.0,
             straggler_slowdown: 1.0,
             recovery: RecoveryPolicy::hadoop(),
+            domains: DomainConfig::none(),
         }
     }
 
@@ -174,6 +279,12 @@ impl FaultConfig {
         self
     }
 
+    /// Installs correlated failure domains (rack/switch/link faults).
+    pub fn domains(mut self, domains: DomainConfig) -> Self {
+        self.domains = domains;
+        self
+    }
+
     /// True if this configuration can inject any fault at all. An
     /// inactive config (e.g. [`FaultConfig::none`]) leaves the engine on
     /// its fault-free fast path, byte-identical to no config.
@@ -182,6 +293,7 @@ impl FaultConfig {
             || self.reduce_failure_rate > 0.0
             || self.node_mttf_s.is_some()
             || (self.straggler_rate > 0.0 && self.straggler_slowdown > 1.0)
+            || self.domains.active()
     }
 
     /// The per-attempt failure rate of a phase (`true` = reduce).
@@ -227,6 +339,37 @@ impl FaultPlan {
     }
 }
 
+/// One rack-uplink degradation window, phase- or run-relative.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkWindow {
+    /// Window start, seconds.
+    pub start_s: f64,
+    /// Window end, seconds.
+    pub end_s: f64,
+    /// Multiplier (> 1) on remote-read extras inside the window.
+    pub factor: f64,
+}
+
+impl LinkWindow {
+    /// True if `t` falls inside the window.
+    pub fn covers(&self, t: f64) -> bool {
+        t >= self.start_s && t < self.end_s
+    }
+}
+
+/// Run-level failure-domain fate: one entry per rack.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct NodeDomains {
+    /// Number of racks (0 = no domain structure; node `n` is in rack
+    /// `n % racks` otherwise).
+    pub racks: usize,
+    /// Absolute time each rack goes down as a whole (ToR-switch crash
+    /// or correlated rack event), `None` = never.
+    pub rack_crash_at_s: Vec<Option<f64>>,
+    /// Absolute link-degradation window per rack, `None` = healthy.
+    pub link_windows: Vec<Option<LinkWindow>>,
+}
+
 /// Run-level node fate: absolute crash times and straggler slowdowns,
 /// sampled once per run so a node crashed in the map phase stays dead in
 /// the reduce phase.
@@ -234,25 +377,95 @@ impl FaultPlan {
 pub struct NodeFaults {
     /// Absolute crash time per node, seconds from run start (`None` =
     /// never crashes). May exceed the run's makespan, in which case the
-    /// crash simply never fires.
+    /// crash simply never fires. When failure domains are active this
+    /// already folds in the node's rack fate (switch crash or
+    /// correlated rack event) as a competing hazard.
     pub crash_at_s: Vec<Option<f64>>,
     /// Whole-run duration multiplier per node (1.0 = healthy).
     pub slowdown: Vec<f64>,
+    /// Rack-level fate (empty / zero racks without active domains).
+    #[serde(default)]
+    pub domains: NodeDomains,
+}
+
+/// Exponential inverse-CDF draw with mean `mttf`; `unit` < 1 keeps the
+/// log argument strictly positive.
+fn exp_draw(seed: u64, tag: u64, id: u64, mttf: f64) -> f64 {
+    let u = unit(draw(seed, tag, id, 0));
+    -mttf * (1.0 - u).ln()
+}
+
+/// Min of two optional crash candidates (competing hazards).
+fn min_opt(a: Option<f64>, b: Option<f64>) -> Option<f64> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.min(y)),
+        (x, None) => x,
+        (None, y) => y,
+    }
 }
 
 impl NodeFaults {
     /// Samples every node's fate from the config seed.
     pub fn sample(cfg: &FaultConfig, nodes: usize) -> Self {
+        let valid = |m: &f64| m.is_finite() && *m > 0.0;
+        let domains = if cfg.domains.active() {
+            let racks = cfg.domains.racks;
+            let rack_crash_at_s = (0..racks)
+                .map(|r| {
+                    let switch = cfg
+                        .domains
+                        .switch_mttf_s
+                        .filter(valid)
+                        .map(|mttf| exp_draw(cfg.seed, TAG_SWCH, r as u64, mttf));
+                    let shared = cfg
+                        .domains
+                        .rack_mttf_s
+                        .filter(valid)
+                        .map(|mttf| exp_draw(cfg.seed, TAG_RACK, r as u64, mttf));
+                    min_opt(switch, shared)
+                })
+                .collect();
+            let degrading = cfg.domains.link_factor > 1.0 && cfg.domains.link_window_s > 0.0;
+            let link_windows = (0..racks)
+                .map(|r| {
+                    cfg.domains
+                        .link_mttf_s
+                        .filter(valid)
+                        .filter(|_| degrading)
+                        .map(|mttf| {
+                            let start = exp_draw(cfg.seed, TAG_LINK, r as u64, mttf);
+                            LinkWindow {
+                                start_s: start,
+                                end_s: start + cfg.domains.link_window_s,
+                                factor: cfg.domains.link_factor,
+                            }
+                        })
+                })
+                .collect();
+            NodeDomains {
+                racks,
+                rack_crash_at_s,
+                link_windows,
+            }
+        } else {
+            NodeDomains::default()
+        };
         let crash_at_s = (0..nodes)
             .map(|n| {
-                cfg.node_mttf_s
-                    .filter(|m| m.is_finite() && *m > 0.0)
-                    .map(|mttf| {
-                        // Inverse-CDF exponential draw; `unit` < 1 keeps
-                        // the log argument strictly positive.
-                        let u = unit(draw(cfg.seed, TAG_CRASH, n as u64, 0));
-                        -mttf * (1.0 - u).ln()
-                    })
+                let own = cfg
+                    .node_mttf_s
+                    .filter(valid)
+                    .map(|mttf| exp_draw(cfg.seed, TAG_CRASH, n as u64, mttf));
+                let rack = if domains.racks > 0 {
+                    domains
+                        .rack_crash_at_s
+                        .get(n % domains.racks)
+                        .copied()
+                        .flatten()
+                } else {
+                    None
+                };
+                min_opt(own, rack)
             })
             .collect();
         let slowdown = (0..nodes)
@@ -267,6 +480,7 @@ impl NodeFaults {
         NodeFaults {
             crash_at_s,
             slowdown,
+            domains,
         }
     }
 
@@ -298,13 +512,82 @@ impl NodeFaults {
                 }
             }
         }
+        let domains = PhaseDomains {
+            racks: self.domains.racks,
+            rack_crash_at_s: self
+                .domains
+                .rack_crash_at_s
+                .iter()
+                .map(|c| match c {
+                    // A rack event before this phase shows up as
+                    // `dead_at_start` nodes; it was counted (if at all)
+                    // by the phase it landed in.
+                    Some(t) if *t <= offset_s => None,
+                    Some(t) => Some(t - offset_s),
+                    None => None,
+                })
+                .collect(),
+            link_degraded: self
+                .domains
+                .link_windows
+                .iter()
+                .map(|w| match w {
+                    Some(w) if w.end_s > offset_s => Some(LinkWindow {
+                        start_s: (w.start_s - offset_s).max(0.0),
+                        end_s: w.end_s - offset_s,
+                        factor: w.factor,
+                    }),
+                    _ => None,
+                })
+                .collect(),
+        };
         PhaseFaults {
             plan: FaultPlan::new(cfg.seed, phase, failure_rate),
             crash_at_s,
             dead_at_start,
             slowdown: self.slowdown.clone(),
             policy: cfg.recovery,
+            domains,
         }
+    }
+}
+
+/// One phase's view of the failure domains: phase-relative rack crash
+/// times and link-degradation windows. The default (zero racks) carries
+/// no domain structure at all.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct PhaseDomains {
+    /// Number of racks (0 = no domain structure).
+    pub racks: usize,
+    /// Phase-relative time each rack goes down as a whole (`None` = not
+    /// during this phase).
+    pub rack_crash_at_s: Vec<Option<f64>>,
+    /// Phase-relative link-degradation window per rack.
+    pub link_degraded: Vec<Option<LinkWindow>>,
+}
+
+impl PhaseDomains {
+    /// The rack of `node` (0 when no domain structure is configured).
+    pub fn rack_of(&self, node: usize) -> usize {
+        if self.racks == 0 {
+            0
+        } else {
+            node % self.racks
+        }
+    }
+
+    /// The degradation factor on remote reads for a task launched on
+    /// `node` at phase-relative time `t` (1.0 = healthy uplink).
+    pub fn link_factor_at(&self, node: usize, t: f64) -> f64 {
+        if self.racks == 0 {
+            return 1.0;
+        }
+        self.link_degraded
+            .get(node % self.racks)
+            .copied()
+            .flatten()
+            .filter(|w| w.covers(t))
+            .map_or(1.0, |w| w.factor)
     }
 }
 
@@ -321,6 +604,9 @@ pub struct PhaseFaults {
     pub slowdown: Vec<f64>,
     /// Recovery semantics.
     pub policy: RecoveryPolicy,
+    /// Phase-projected failure domains (rack crashes, link windows).
+    #[serde(default)]
+    pub domains: PhaseDomains,
 }
 
 impl PhaseFaults {
@@ -333,6 +619,7 @@ impl PhaseFaults {
             dead_at_start: vec![false; nodes],
             slowdown: vec![1.0; nodes],
             policy: RecoveryPolicy::hadoop(),
+            domains: PhaseDomains::default(),
         }
     }
 }
@@ -350,6 +637,13 @@ pub enum AttemptOutcome {
     Killed,
     /// A speculative duplicate that lost the race and was cancelled.
     Cancelled,
+    /// A reduce attempt cancelled mid-shuffle because a node holding a
+    /// map output it was fetching died (does not count toward
+    /// `max_attempts`; the reduce re-runs after the map re-executes).
+    FetchFailed,
+    /// A completed map task re-executed on a surviving node after a
+    /// fetch failure (the winning recovery attempt).
+    Recovered,
 }
 
 impl AttemptOutcome {
@@ -360,6 +654,8 @@ impl AttemptOutcome {
             AttemptOutcome::Failed => "failed",
             AttemptOutcome::Killed => "killed",
             AttemptOutcome::Cancelled => "cancelled",
+            AttemptOutcome::FetchFailed => "fetch-failed",
+            AttemptOutcome::Recovered => "recovered",
         }
     }
 }
@@ -381,6 +677,25 @@ pub struct FaultStats {
     pub node_crashes: u64,
     /// Nodes blacklisted after repeated failures.
     pub blacklisted_nodes: u64,
+    /// Whole-rack failure events (ToR-switch crash or correlated rack
+    /// event) that fired mid-phase.
+    #[serde(default)]
+    pub rack_crashes: u64,
+    /// Racks blacklisted after too many of their nodes went bad.
+    #[serde(default)]
+    pub racks_blacklisted: u64,
+    /// In-flight reduce attempts cancelled because a map output they
+    /// were fetching was lost to a crash.
+    #[serde(default)]
+    pub fetch_failures: u64,
+    /// Completed map tasks re-executed on surviving nodes after fetch
+    /// failures.
+    #[serde(default)]
+    pub reexecuted_maps: u64,
+    /// Attempts whose remote reads were priced through a degraded rack
+    /// uplink.
+    #[serde(default)]
+    pub link_degraded_attempts: u64,
     /// Slot-seconds spent on attempts that did not win (failed, killed
     /// or cancelled) — work the energy model still has to charge.
     pub wasted_slot_s: f64,
@@ -396,12 +711,17 @@ impl FaultStats {
         self.cancelled_attempts += other.cancelled_attempts;
         self.node_crashes += other.node_crashes;
         self.blacklisted_nodes += other.blacklisted_nodes;
+        self.rack_crashes += other.rack_crashes;
+        self.racks_blacklisted += other.racks_blacklisted;
+        self.fetch_failures += other.fetch_failures;
+        self.reexecuted_maps += other.reexecuted_maps;
+        self.link_degraded_attempts += other.link_degraded_attempts;
         self.wasted_slot_s += other.wasted_slot_s;
     }
 
     /// Total attempts that consumed a slot without winning.
     pub fn wasted_attempts(&self) -> u64 {
-        self.failed_attempts + self.killed_attempts + self.cancelled_attempts
+        self.failed_attempts + self.killed_attempts + self.cancelled_attempts + self.fetch_failures
     }
 }
 
@@ -420,6 +740,13 @@ pub enum PhaseError {
         /// Tasks that never completed.
         pending: usize,
     },
+    /// A map task needed re-execution after a fetch failure, but every
+    /// replica of its input block died with its node or rack; Hadoop
+    /// fails the job instead of retrying forever.
+    DataLost {
+        /// The map task whose input block lost all replicas.
+        task: usize,
+    },
 }
 
 impl std::fmt::Display for PhaseError {
@@ -432,6 +759,12 @@ impl std::fmt::Display for PhaseError {
                 write!(
                     f,
                     "{pending} task(s) pending but every node is dead or blacklisted"
+                )
+            }
+            PhaseError::DataLost { task } => {
+                write!(
+                    f,
+                    "map task {task} lost every replica of its input block; job failed"
                 )
             }
         }
@@ -539,11 +872,134 @@ mod tests {
         let nf = NodeFaults {
             crash_at_s: vec![Some(50.0), Some(150.0), None],
             slowdown: vec![1.0, 2.0, 1.0],
+            domains: NodeDomains::default(),
         };
         let pf = nf.phase(&cfg, 1, 0.1, 100.0);
         assert_eq!(pf.dead_at_start, vec![true, false, false]);
         assert_eq!(pf.crash_at_s, vec![None, Some(50.0), None]);
         assert_eq!(pf.slowdown, nf.slowdown);
+        assert_eq!(pf.domains, PhaseDomains::default());
+    }
+
+    #[test]
+    fn domain_activation_flags() {
+        assert!(!DomainConfig::none().active());
+        // MTTFs without racks inject nothing.
+        assert!(!DomainConfig::none().switch_mttf(100.0).active());
+        assert!(DomainConfig::none().racks(4).switch_mttf(100.0).active());
+        assert!(DomainConfig::none().racks(4).rack_mttf(100.0).active());
+        assert!(DomainConfig::none()
+            .racks(4)
+            .link_degradation(100.0, 4.0, 30.0)
+            .active());
+        // A "degradation" that does not degrade injects nothing.
+        assert!(!DomainConfig::none()
+            .racks(4)
+            .link_degradation(100.0, 1.0, 30.0)
+            .active());
+        assert!(!DomainConfig::none().racks(4).active());
+        assert!(FaultConfig::none()
+            .domains(DomainConfig::none().racks(4).switch_mttf(100.0))
+            .active());
+    }
+
+    #[test]
+    fn switch_crash_takes_the_whole_rack_down_at_once() {
+        let cfg = FaultConfig::none()
+            .seed(13)
+            .domains(DomainConfig::none().racks(4).switch_mttf(300.0));
+        let nf = NodeFaults::sample(&cfg, 12);
+        assert_eq!(nf.domains.racks, 4);
+        assert_eq!(nf.domains.rack_crash_at_s.len(), 4);
+        for (n, c) in nf.crash_at_s.iter().enumerate() {
+            // Without a per-node MTTF, every node inherits exactly its
+            // rack's shared crash time.
+            assert_eq!(*c, nf.domains.rack_crash_at_s[n % 4], "node {n}");
+        }
+    }
+
+    #[test]
+    fn rack_term_is_a_competing_hazard_on_node_mttf() {
+        let cfg = FaultConfig::none()
+            .seed(21)
+            .node_mttf(500.0)
+            .domains(DomainConfig::none().racks(2).rack_mttf(800.0));
+        let solo = FaultConfig::none().seed(21).node_mttf(500.0);
+        let nf = NodeFaults::sample(&cfg, 8);
+        let base = NodeFaults::sample(&solo, 8);
+        for n in 0..8 {
+            let own = base.crash_at_s[n].expect("node mttf draws for all");
+            let rack = nf.domains.rack_crash_at_s[n % 2].expect("rack term draws");
+            assert_eq!(nf.crash_at_s[n], Some(own.min(rack)), "node {n}");
+        }
+    }
+
+    #[test]
+    fn link_windows_project_onto_phases() {
+        let cfg = FaultConfig::none().seed(2).domains(
+            DomainConfig::none()
+                .racks(2)
+                .link_degradation(100.0, 4.0, 50.0),
+        );
+        let mut nf = NodeFaults::sample(&cfg, 4);
+        nf.domains.link_windows = vec![
+            Some(LinkWindow {
+                start_s: 30.0,
+                end_s: 80.0,
+                factor: 4.0,
+            }),
+            None,
+        ];
+        // Phase starting at 60 s sees the tail of rack 0's window.
+        let pf = nf.phase(&cfg, 0, 0.0, 60.0);
+        let w = pf.domains.link_degraded[0].expect("window overlaps phase");
+        assert_eq!(w.start_s, 0.0);
+        assert!((w.end_s - 20.0).abs() < 1e-12);
+        assert_eq!(pf.domains.link_factor_at(0, 10.0), 4.0);
+        assert_eq!(pf.domains.link_factor_at(0, 25.0), 1.0, "after the window");
+        assert_eq!(
+            pf.domains.link_factor_at(1, 10.0),
+            1.0,
+            "other rack healthy"
+        );
+        // Phase starting after the window sees nothing.
+        let pf = nf.phase(&cfg, 0, 0.0, 90.0);
+        assert_eq!(pf.domains.link_degraded[0], None);
+    }
+
+    #[test]
+    fn domain_sampling_is_deterministic_and_seed_sensitive() {
+        let dom = DomainConfig::none()
+            .racks(4)
+            .switch_mttf(200.0)
+            .rack_mttf(400.0);
+        let a = NodeFaults::sample(&FaultConfig::none().seed(7).domains(dom), 12);
+        let b = NodeFaults::sample(&FaultConfig::none().seed(7).domains(dom), 12);
+        let c = NodeFaults::sample(&FaultConfig::none().seed(8).domains(dom), 12);
+        assert_eq!(a, b);
+        assert_ne!(a.domains.rack_crash_at_s, c.domains.rack_crash_at_s);
+    }
+
+    #[test]
+    fn inactive_domains_leave_sampling_bitwise_identical() {
+        let plain = FaultConfig::none().seed(9).node_mttf(300.0);
+        let with_none = plain.domains(DomainConfig::none());
+        assert_eq!(
+            NodeFaults::sample(&plain, 6),
+            NodeFaults::sample(&with_none, 6)
+        );
+        // Racks alone (no MTTFs) stay inactive too.
+        let racks_only = plain.domains(DomainConfig::none().racks(4));
+        let nf = NodeFaults::sample(&racks_only, 6);
+        assert_eq!(nf, NodeFaults::sample(&plain, 6));
+        assert_eq!(nf.domains, NodeDomains::default());
+    }
+
+    #[test]
+    fn data_lost_error_displays() {
+        let e = PhaseError::DataLost { task: 5 };
+        assert!(e.to_string().contains("map task 5"));
+        assert!(e.to_string().contains("replica"));
     }
 
     #[test]

@@ -42,6 +42,15 @@ impl LocalityTier {
             LocalityTier::OffRack => "off-rack",
         }
     }
+
+    /// Dense index (0, 1, 2) for tier-keyed lookup tables.
+    pub fn idx(self) -> usize {
+        match self {
+            LocalityTier::NodeLocal => 0,
+            LocalityTier::RackLocal => 1,
+            LocalityTier::OffRack => 2,
+        }
+    }
 }
 
 impl fmt::Display for LocalityTier {
@@ -131,6 +140,34 @@ impl Topology {
         LocalityTier::OffRack
     }
 
+    /// Locality tier of a reader relative to the replicas of a block
+    /// that are still alive, or `None` when every replica is gone —
+    /// the NameNode query a fetch-failure recovery asks before
+    /// re-executing a completed map. `alive` is indexed by node id;
+    /// replicas beyond its length count as dead.
+    pub fn surviving_tier(
+        &self,
+        reader: NodeId,
+        replicas: &[NodeId],
+        alive: &[bool],
+    ) -> Option<LocalityTier> {
+        let mut best: Option<LocalityTier> = None;
+        for r in replicas {
+            if !alive.get(r.0).copied().unwrap_or(false) {
+                continue;
+            }
+            let t = if *r == reader {
+                LocalityTier::NodeLocal
+            } else if self.same_rack(*r, reader) {
+                LocalityTier::RackLocal
+            } else {
+                LocalityTier::OffRack
+            };
+            best = Some(best.map_or(t, |b| b.min(t)));
+        }
+        best
+    }
+
     /// Seconds to move `bytes` to a reader at `tier`: zero for a local
     /// read, the node link for a rack-local read, and the slower of the
     /// node link and the oversubscribed uplink for an off-rack read.
@@ -199,6 +236,41 @@ mod tests {
         assert_eq!(t.tier(NodeId(1), &replicas), LocalityTier::OffRack);
         assert!(LocalityTier::NodeLocal < LocalityTier::RackLocal);
         assert!(LocalityTier::RackLocal < LocalityTier::OffRack);
+    }
+
+    #[test]
+    fn surviving_tier_degrades_as_replicas_die() {
+        let t = Topology::racked(2, 1.0);
+        let replicas = [NodeId(0), NodeId(2), NodeId(1)]; // racks 0, 0, 1
+        let alive = |dead: &[usize]| {
+            let mut a = vec![true; 6];
+            for d in dead {
+                a[*d] = false;
+            }
+            a
+        };
+        // All alive: the reader holding a replica is node-local.
+        assert_eq!(
+            t.surviving_tier(NodeId(0), &replicas, &alive(&[])),
+            Some(LocalityTier::NodeLocal)
+        );
+        // Reader's own replica died but a rack mate survives.
+        assert_eq!(
+            t.surviving_tier(NodeId(0), &replicas, &alive(&[0])),
+            Some(LocalityTier::RackLocal)
+        );
+        // The whole rack died with the replicas: off-rack read.
+        assert_eq!(
+            t.surviving_tier(NodeId(0), &replicas, &alive(&[0, 2])),
+            Some(LocalityTier::OffRack)
+        );
+        // Every replica gone: the block is unrecoverable.
+        assert_eq!(
+            t.surviving_tier(NodeId(0), &replicas, &alive(&[0, 1, 2])),
+            None
+        );
+        // Replicas beyond the liveness table count as dead, not alive.
+        assert_eq!(t.surviving_tier(NodeId(0), &replicas, &[]), None);
     }
 
     #[test]
